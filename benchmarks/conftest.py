@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the relevant simulation under ``benchmark`` (so pytest-benchmark times
+the harness itself), renders the reproduced rows/series next to the
+paper's numbers, prints them, and writes them to
+``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Write a rendered result table to disk and echo it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Regenerate the results index after a benchmark run."""
+    if not RESULTS_DIR.is_dir():
+        return
+    artifacts = sorted(p.name for p in RESULTS_DIR.glob("*.txt"))
+    if not artifacts:
+        return
+    lines = ["# Benchmark artifacts", "",
+             "One rendered table/series per reproduced experiment "
+             "(regenerate with `pytest benchmarks/ --benchmark-only`):", ""]
+    lines.extend(f"- `{name}`" for name in artifacts)
+    (RESULTS_DIR / "INDEX.md").write_text("\n".join(lines) + "\n")

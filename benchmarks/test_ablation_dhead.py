@@ -1,0 +1,60 @@
+"""Ablation (ours): head width d_head.
+
+The attention MatMuls' operational intensity is ~d_head FLOP/B: wider
+heads push the SDA MatMuls toward compute-bound while the softmax
+stays at 1.25 FLOP/B regardless.  This ablation sweeps d_head at fixed
+d_model (more, narrower heads vs fewer, wider ones) and shows the
+recomposition payoff falls as heads widen — narrower heads mean a more
+softmax-dominated SDA block.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import render_table
+from repro.models import BERT_LARGE, InferenceSession
+
+D_HEADS = (32, 64, 128)
+
+
+def run():
+    out = {}
+    for d_head in D_HEADS:
+        model = dataclasses.replace(
+            BERT_LARGE,
+            name=f"BERT-large/dh{d_head}",
+            num_heads=BERT_LARGE.d_model // d_head,
+        )
+        base = InferenceSession(model, plan="baseline").simulate()
+        sdf = InferenceSession(model, plan="sdf").simulate()
+        out[d_head] = {
+            "softmax_share": base.softmax_time_fraction(),
+            "speedup": base.total_time / sdf.total_time,
+            "latency": base.total_time,
+        }
+    return out
+
+
+def test_ablation_dhead(benchmark, report):
+    results = benchmark(run)
+
+    report("ablation_dhead", render_table(
+        ["d_head", "heads", "baseline latency", "softmax share",
+         "SDF speedup"],
+        [[dh, BERT_LARGE.d_model // dh,
+          f"{v['latency'] * 1e3:.1f} ms",
+          f"{v['softmax_share'] * 100:.0f}%",
+          f"{v['speedup']:.2f}x"]
+         for dh, v in results.items()],
+    ))
+
+    # Softmax's share (and the payoff) falls as heads widen: wider
+    # heads amortise the per-element softmax work over more MatMul
+    # FLOPs per attention element.
+    shares = [results[dh]["softmax_share"] for dh in D_HEADS]
+    speedups = [results[dh]["speedup"] for dh in D_HEADS]
+    assert shares[0] > shares[-1]
+    assert speedups[0] > speedups[-1]
+    # But recomposition helps at every width.
+    assert all(s > 1.05 for s in speedups)

@@ -1,0 +1,71 @@
+"""Ablation (related work, Section 7): fully fused MHA kernels.
+
+FasterTransformer-style single-kernel MHA eliminates *all*
+attention-matrix traffic but requires the per-thread-block score slab
+to fit in shared memory — "only applicable when the input sequence is
+short (e.g., less than 384)".  This ablation quantifies both sides:
+where full fusion exists it beats SDF; at the paper's L = 4096 it
+cannot launch, and recomposition is the scalable alternative.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.common import KernelError
+from repro.gpu import Device
+from repro.gpu.specs import all_gpus
+from repro.kernels.mha_fused import max_fusable_seq_len
+from repro.models import AttentionKind, AttentionSpec, SDABlock
+
+SEQ_LENS = (128, 256, 512, 1024, 2048, 4096)
+SPEC = AttentionSpec(kind=AttentionKind.DENSE)
+
+
+def run():
+    rows = []
+    for seq_len in SEQ_LENS:
+        times = {}
+        for plan in ("baseline", "sdf", "fused-mha"):
+            device = Device("A100")
+            block = SDABlock(batch=1, num_heads=16, seq_len=seq_len,
+                             d_head=64, spec=SPEC, plan=plan)
+            try:
+                block.simulate(device)
+                times[plan] = device.profile.total_time()
+            except KernelError:
+                times[plan] = None
+        rows.append((seq_len, times))
+    limits = {spec.name: max_fusable_seq_len(spec) for spec in all_gpus()}
+    return rows, limits
+
+
+def test_ablation_fully_fused(benchmark, report):
+    rows, limits = benchmark(run)
+
+    table_rows = []
+    for seq_len, times in rows:
+        base = times["baseline"]
+        table_rows.append([
+            seq_len,
+            f"{base * 1e6:.0f} us",
+            f"{base / times['sdf']:.2f}x",
+            (f"{base / times['fused-mha']:.2f}x"
+             if times["fused-mha"] else "infeasible"),
+        ])
+    report("ablation_fully_fused",
+           render_table(["L", "baseline SDA", "SDF", "fully fused MHA"],
+                        table_rows)
+           + "\n\nmax fusable L per device: "
+           + ", ".join(f"{k}={v}" for k, v in limits.items()))
+
+    by_len = dict(rows)
+    # Short sequences: full fusion exists and beats SDF.
+    short = by_len[256]
+    assert short["fused-mha"] is not None
+    assert short["fused-mha"] < short["sdf"]
+    # Paper scale: full fusion cannot launch; SDF still wins vs baseline.
+    long = by_len[4096]
+    assert long["fused-mha"] is None
+    assert long["sdf"] < long["baseline"]
+    # The feasibility limit is short-sequence-scale on every device.
+    assert all(128 <= limit <= 2048 for limit in limits.values())

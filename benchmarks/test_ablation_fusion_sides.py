@@ -1,0 +1,56 @@
+"""Ablation (ours): fusing only one side of the softmax.
+
+The paper fuses LS into the preceding MatMul *and* GS into the
+following one.  This ablation measures each fusion alone: either one
+removes two of the six decomposed sweeps (6 -> 4, back to baseline
+traffic), and both together are required to go below baseline (2
+sweeps, Fig. 6).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.models import BERT_LARGE, BIGBIRD_LARGE, InferenceSession
+
+PLANS = ("baseline", "sd", "sdf-ls-only", "sdf-gs-only", "sdf")
+
+
+def run():
+    out = {}
+    for model in (BERT_LARGE, BIGBIRD_LARGE):
+        base = InferenceSession(model, plan="baseline").simulate()
+        entry = {}
+        for plan in PLANS:
+            result = InferenceSession(model, plan=plan).simulate()
+            entry[plan] = {
+                "speedup": base.total_time / result.total_time,
+                "traffic": result.total_dram_bytes / base.total_dram_bytes,
+            }
+        out[model.name] = entry
+    return out
+
+
+def test_ablation_fusion_sides(benchmark, report):
+    results = benchmark(run)
+
+    rows = []
+    for model_name, entry in results.items():
+        for plan, v in entry.items():
+            rows.append([model_name, plan, f"{v['speedup']:.2f}x",
+                         f"{v['traffic']:.2f}"])
+    report("ablation_fusion_sides", render_table(
+        ["model", "plan", "speedup", "traffic (norm.)"], rows,
+    ))
+
+    for model_name, entry in results.items():
+        # Each single-sided fusion improves on bare decomposition...
+        assert entry["sdf-ls-only"]["speedup"] > entry["sd"]["speedup"]
+        assert entry["sdf-gs-only"]["speedup"] > entry["sd"]["speedup"]
+        # ...but both sides together are strictly best.
+        assert entry["sdf"]["speedup"] > entry["sdf-ls-only"]["speedup"]
+        assert entry["sdf"]["speedup"] > entry["sdf-gs-only"]["speedup"]
+        # Traffic: one-sided fusion lands near baseline (4 sweeps);
+        # both sides go clearly below.
+        assert entry["sdf-ls-only"]["traffic"] == pytest.approx(1.0, abs=0.12)
+        assert entry["sdf-gs-only"]["traffic"] == pytest.approx(1.0, abs=0.12)
+        assert entry["sdf"]["traffic"] < 0.97

@@ -1,0 +1,41 @@
+"""Ablation (ours): sub-vector size T.
+
+Section 3.3 argues T should equal the MatMul output tile width and
+notes the m'/d'/r' overhead is 1/T of the attention matrix, negligible
+for T >= 64.  This ablation sweeps T on BERT-large and shows the
+speedup is flat for large T and degrades as T shrinks (intermediate
+traffic grows as 1/T).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.models import BERT_LARGE, InferenceSession
+
+T_VALUES = (16, 32, 64, 128, 256)
+
+
+def run_sweep():
+    base = InferenceSession(BERT_LARGE, plan="baseline").simulate()
+    speedups = {}
+    for t in T_VALUES:
+        sdf = InferenceSession(BERT_LARGE, plan="sdf", t=t).simulate()
+        speedups[t] = base.total_time / sdf.total_time
+    return speedups
+
+
+def test_ablation_subvector_size(benchmark, report):
+    speedups = benchmark(run_sweep)
+
+    report("ablation_subvector_size", render_table(
+        ["T", "SDF speedup"],
+        [[t, f"{s:.3f}x"] for t, s in speedups.items()],
+    ))
+
+    # All T values still beat the baseline.
+    assert all(s > 1.0 for s in speedups.values())
+    # T >= 64: the intermediates are negligible, speedup plateaus.
+    assert speedups[128] == pytest.approx(speedups[64], rel=0.03)
+    assert speedups[256] == pytest.approx(speedups[64], rel=0.03)
+    # Small T pays measurable intermediate overhead.
+    assert speedups[16] < speedups[64]

@@ -1,0 +1,54 @@
+"""Extension benchmark: corpus-level latency over TriviaQA-like data.
+
+The paper's Fig. 7 caption reports "average execution time ... using
+TriviaQA dataset".  This benchmark runs the whole (synthetic) corpus
+through the simulator with length bucketing and reports the latency
+distribution under the baseline and recomposed plans — the
+workload-characterisation view of the speedup.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.workloads import SyntheticTriviaQA
+from repro.workloads.driver import DatasetBenchmark
+
+
+def run():
+    dataset = SyntheticTriviaQA(num_documents=128, seed=0)
+    out = {}
+    for model in ("bert-large", "longformer-large"):
+        for plan in ("baseline", "sdf"):
+            out[(model, plan)] = DatasetBenchmark(
+                dataset, model, plan=plan, max_seq_len=4096, bucket=512,
+            ).run()
+    return out
+
+
+def test_dataset_latency(benchmark, report):
+    reports = benchmark(run)
+
+    rows = []
+    for (model, plan), rep in reports.items():
+        rows.append([
+            model, plan,
+            f"{rep.mean_latency * 1e3:.1f} ms",
+            f"{rep.percentile_latency(50) * 1e3:.1f} ms",
+            f"{rep.percentile_latency(95) * 1e3:.1f} ms",
+            f"{rep.throughput:.1f} docs/s",
+        ])
+    report("dataset_latency", render_table(
+        ["model", "plan", "mean", "p50", "p95", "throughput"], rows,
+    ))
+
+    for model in ("bert-large", "longformer-large"):
+        base = reports[(model, "baseline")]
+        sdf = reports[(model, "sdf")]
+        # The corpus-mean speedup tracks the fixed-shape Fig. 8 result.
+        speedup = base.mean_latency / sdf.mean_latency
+        assert speedup > (1.1 if model == "bert-large" else 1.3), model
+        # Tail latency (long documents) gains at least as much as the
+        # median — the speedup grows with L (Fig. 9a).
+        p95_gain = base.percentile_latency(95) / sdf.percentile_latency(95)
+        p50_gain = base.percentile_latency(50) / sdf.percentile_latency(50)
+        assert p95_gain >= p50_gain * 0.98, model

@@ -1,0 +1,76 @@
+"""Extension benchmarks: tensor parallelism and memory footprint.
+
+Beyond the paper's single-GPU evaluation:
+
+- **Tensor parallelism** — each shard runs the same SDA pipeline over
+  ``H/n`` heads, so the recomposition speedup survives sharding,
+  diluted only by the all-reduce share;
+- **Memory footprint** — recomposition halves peak attention-matrix
+  memory (only ``X'`` is materialised), and sparse attention's O(L)
+  storage (Section 2.2) shows up directly.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.models import BERT_LARGE, BIGBIRD_LARGE, InferenceSession
+from repro.models.footprint import inference_footprint
+from repro.models.parallel import TensorParallelSession
+
+
+def run():
+    tp = {}
+    single = InferenceSession(BERT_LARGE, plan="baseline").simulate()
+    for n in (2, 4, 8):
+        base = TensorParallelSession(BERT_LARGE, n_gpus=n,
+                                     plan="baseline").simulate()
+        sdf = TensorParallelSession(BERT_LARGE, n_gpus=n,
+                                    plan="sdf").simulate()
+        tp[n] = {
+            "scaling": single.total_time / base.total_time,
+            "comm_fraction": base.comm_fraction,
+            "sdf_speedup": base.total_time / sdf.total_time,
+        }
+
+    footprint = {}
+    for model in (BERT_LARGE, BIGBIRD_LARGE):
+        for plan in ("baseline", "sdf"):
+            fp = inference_footprint(model, seq_len=4096, plan=plan)
+            footprint[(model.name, plan)] = fp
+    return tp, footprint
+
+
+def test_extension_scaling(benchmark, report):
+    tp, footprint = benchmark(run)
+
+    tp_rows = [
+        [n, f"{v['scaling']:.2f}x", f"{v['comm_fraction'] * 100:.0f}%",
+         f"{v['sdf_speedup']:.2f}x"]
+        for n, v in tp.items()
+    ]
+    fp_rows = [
+        [name, plan, f"{fp.weights / 1e9:.2f}", f"{fp.attention / 1e9:.2f}",
+         f"{fp.total / 1e9:.2f}"]
+        for (name, plan), fp in footprint.items()
+    ]
+    report("extension_scaling",
+           "Tensor parallelism (BERT-large, A100 + NVLink3):\n"
+           + render_table(["GPUs", "scaling", "comm share", "SDF speedup"],
+                          tp_rows)
+           + "\n\nPeak memory footprint at L=4096 (GB):\n"
+           + render_table(["model", "plan", "weights", "attention", "total"],
+                          fp_rows))
+
+    # TP scales sub-linearly but monotonically; SDF survives sharding.
+    assert tp[2]["scaling"] > 1.5
+    assert tp[8]["scaling"] > tp[4]["scaling"] > tp[2]["scaling"]
+    for n in (2, 4, 8):
+        assert tp[n]["sdf_speedup"] > 1.10
+
+    # Footprint: SDF halves the dense attention matrices; sparse
+    # storage is a fraction of dense.
+    bert_base = footprint[("BERT-large", "baseline")]
+    bert_sdf = footprint[("BERT-large", "sdf")]
+    bb_base = footprint[("BigBird-large", "baseline")]
+    assert bert_sdf.attention == bert_base.attention // 2
+    assert bb_base.attention < 0.25 * bert_base.attention

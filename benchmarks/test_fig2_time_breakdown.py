@@ -1,0 +1,67 @@
+"""Fig. 2: execution-time breakdown of the four models on A100, L=4096.
+
+Paper: softmax uses 36% / 18% / 40% / 42% of total execution time for
+BERT, GPT-Neo, BigBird and Longformer; the SDA block (softmax + SDA
+MatMul) accounts for ~68% of BERT and ~57% of BigBird.
+"""
+
+import pytest
+
+from repro.analysis import normalized_time_breakdown, render_stacked_bars, render_table
+from repro.models import InferenceSession, all_models
+
+PAPER_SOFTMAX_SHARE = {
+    "BERT-large": 0.36,
+    "GPT-Neo-1.3B": 0.18,
+    "BigBird-large": 0.40,
+    "Longformer-large": 0.42,
+}
+
+
+def run_breakdowns():
+    out = {}
+    for model in all_models():
+        result = InferenceSession(model, gpu="A100", plan="baseline",
+                                  seq_len=4096, batch=1).simulate()
+        out[model.name] = normalized_time_breakdown(result)
+    return out
+
+
+def test_fig2_time_breakdown(benchmark, report):
+    breakdowns = benchmark(run_breakdowns)
+
+    rows = []
+    for name, fractions in breakdowns.items():
+        rows.append([
+            name,
+            f"{fractions['softmax']:.2f}",
+            f"{PAPER_SOFTMAX_SHARE[name]:.2f}",
+            f"{fractions['matmul']:.2f}",
+            f"{fractions['fc']:.2f}",
+            f"{fractions['feedforward']:.2f}",
+            f"{fractions['other']:.2f}",
+        ])
+    table = render_table(
+        ["model", "softmax", "paper softmax", "sda matmul", "fc",
+         "feedforward", "other"],
+        rows,
+    )
+    report("fig2_time_breakdown",
+           table + "\n\n" + render_stacked_bars(breakdowns))
+
+    for name, fractions in breakdowns.items():
+        assert fractions["softmax"] == pytest.approx(
+            PAPER_SOFTMAX_SHARE[name], abs=0.07
+        ), name
+
+    # SDA block shares: ~68% for BERT, ~57% for BigBird (Section 2.3).
+    bert_sda = breakdowns["BERT-large"]["softmax"] + breakdowns["BERT-large"]["matmul"]
+    bigbird_sda = (breakdowns["BigBird-large"]["softmax"]
+                   + breakdowns["BigBird-large"]["matmul"])
+    assert bert_sda == pytest.approx(0.68, abs=0.12)
+    assert bigbird_sda == pytest.approx(0.57, abs=0.12)
+
+    # GPT-Neo's softmax share is the smallest; the sparse models' the largest.
+    shares = {name: f["softmax"] for name, f in breakdowns.items()}
+    assert min(shares, key=shares.get) == "GPT-Neo-1.3B"
+    assert max(shares, key=shares.get) in ("BigBird-large", "Longformer-large")

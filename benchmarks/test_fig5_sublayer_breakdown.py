@@ -1,0 +1,68 @@
+"""Fig. 5: time and off-chip-access proportions of the decomposed
+softmax sub-layers (LS, IR, GS) on A100.
+
+Paper: LS and GS dominate both time and traffic; IR stays below 12.5%
+(the intermediates are 1/T the size of the attention matrix).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.models import BERT_LARGE, BIGBIRD_LARGE, InferenceSession
+
+LS_NAMES = ("local_softmax", "bs_local_softmax")
+IR_NAMES = ("inter_reduction", "bs_inter_reduction")
+GS_NAMES = ("global_scaling", "bs_global_scaling")
+
+
+def sublayer_shares(model):
+    result = InferenceSession(model, gpu="A100", plan="sd",
+                              seq_len=4096).simulate()
+    time = {"LS": 0.0, "IR": 0.0, "GS": 0.0}
+    traffic = {"LS": 0.0, "IR": 0.0, "GS": 0.0}
+    for record in result.profile:
+        for key, names in (("LS", LS_NAMES), ("IR", IR_NAMES),
+                           ("GS", GS_NAMES)):
+            if record.name in names:
+                time[key] += record.time
+                traffic[key] += record.dram_bytes
+    total_time = sum(time.values())
+    total_traffic = sum(traffic.values())
+    return (
+        {k: v / total_time for k, v in time.items()},
+        {k: v / total_traffic for k, v in traffic.items()},
+    )
+
+
+def run():
+    return {
+        model.name: sublayer_shares(model)
+        for model in (BERT_LARGE, BIGBIRD_LARGE)
+    }
+
+
+def test_fig5_sublayer_breakdown(benchmark, report):
+    shares = benchmark(run)
+
+    rows = []
+    for name, (time, traffic) in shares.items():
+        rows.append([
+            name,
+            f"{time['LS']:.2f}", f"{time['IR']:.2f}", f"{time['GS']:.2f}",
+            f"{traffic['LS']:.2f}", f"{traffic['IR']:.2f}",
+            f"{traffic['GS']:.2f}",
+        ])
+    report("fig5_sublayer_breakdown", render_table(
+        ["model", "LS time", "IR time", "GS time",
+         "LS bytes", "IR bytes", "GS bytes"], rows,
+    ))
+
+    for name, (time, traffic) in shares.items():
+        # Paper: "the proportion of IR is less than 12.5% in terms of time".
+        assert time["IR"] < 0.125, name
+        assert traffic["IR"] < 0.125, name
+        # LS and GS dominate.
+        assert time["LS"] + time["GS"] > 0.85, name
+        # LS sweeps the matrix twice (read+write+stats) vs GS's
+        # read+write+r': LS >= GS in traffic.
+        assert traffic["LS"] >= traffic["GS"] * 0.95, name

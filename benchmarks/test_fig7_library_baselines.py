@@ -1,0 +1,65 @@
+"""Fig. 7: average execution time of the GPU libraries vs our baseline.
+
+Paper (BERT-large and BigBird-large, L=4096, batch=1, A100):
+HuggingFace is the slowest; TensorRT (dense) and DeepSpeed (sparse)
+are the best; our baseline is within 1% of TensorRT on BERT and within
+2% of DeepSpeed on the sparse models.  AutoTVM (text, Section 4) is
+1.49x slower than our baseline on BERT-large.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import AUTOTVM, OUR_BASELINE, all_libraries, simulate_library
+from repro.models import BERT_LARGE, BIGBIRD_LARGE
+
+
+def run_comparison():
+    out = {}
+    for model in (BERT_LARGE, BIGBIRD_LARGE):
+        out[model.name] = {
+            lib.name: simulate_library(lib, model).total_time
+            for lib in all_libraries()
+        }
+    out[BERT_LARGE.name]["AutoTVM"] = simulate_library(
+        AUTOTVM, BERT_LARGE
+    ).total_time
+    return out
+
+
+def test_fig7_library_baselines(benchmark, report):
+    times = benchmark(run_comparison)
+
+    rows = []
+    for model_name, libs in times.items():
+        ours = libs["Ours (baseline)"]
+        for lib_name, t in libs.items():
+            rows.append([model_name, lib_name, f"{t * 1e3:.1f} ms",
+                         f"{t / ours:.2f}x"])
+    report("fig7_library_baselines", render_table(
+        ["model", "library", "latency", "vs ours"], rows,
+    ))
+
+    for model_name, libs in times.items():
+        ours = libs["Ours (baseline)"]
+        best = min(t for name, t in libs.items() if name != "AutoTVM")
+        # HuggingFace is the slowest library in Fig. 7.
+        competitive = {n: t for n, t in libs.items() if n != "AutoTVM"}
+        assert max(competitive, key=competitive.get) == "HuggingFace"
+        # Our baseline within 8% of the best (Section 4).
+        assert ours / best < 1.08
+
+    # Dense: ours ~= TensorRT (< 1% difference).
+    bert = times[BERT_LARGE.name]
+    assert bert["Ours (baseline)"] / bert["TensorRT"] == pytest.approx(
+        1.0, abs=0.01
+    )
+    # AutoTVM 1.49x slower than our baseline (Section 4).
+    assert bert["AutoTVM"] / bert["Ours (baseline)"] == pytest.approx(
+        1.49, rel=0.08
+    )
+    # Sparse: ours ~= DeepSpeed (paper: within 2%).
+    bigbird = times[BIGBIRD_LARGE.name]
+    assert bigbird["Ours (baseline)"] / bigbird["DeepSpeed"] == pytest.approx(
+        1.0, abs=0.06
+    )

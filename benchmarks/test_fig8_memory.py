@@ -1,0 +1,53 @@
+"""Fig. 8(b): normalised off-chip memory accesses under SD and SDF.
+
+Paper: SD roughly doubles the softmax layer's attention-matrix traffic
+(visible as a net increase for the dense models); SDF cuts softmax
+off-chip accesses by 1.58x-2.51x, reducing net traffic for every
+model; the intermediate (m', d', r') traffic added to MatMul stays
+below 9.3% of the original softmax traffic.
+"""
+
+import pytest
+
+from repro.analysis import plan_comparison, render_table
+
+MODELS = ["bert-large", "gpt-neo-1.3b", "bigbird-large", "longformer-large"]
+
+
+def run_comparisons():
+    return {key: plan_comparison(key, plans=("sd", "sdf")) for key in MODELS}
+
+
+def softmax_traffic(result):
+    return result.traffic_breakdown().get("softmax", 0.0)
+
+
+def test_fig8b_memory_accesses(benchmark, report):
+    comparisons = benchmark(run_comparisons)
+
+    rows = []
+    for key, comparison in comparisons.items():
+        base = comparison.baseline
+        rows.append([
+            comparison.model_name,
+            f"{base.total_dram_bytes / 1e9:.1f} GB",
+            f"{comparison.normalized_traffic('sd'):.2f}",
+            f"{comparison.normalized_traffic('sdf'):.2f}",
+            f"{softmax_traffic(comparison.variants['sd']) / max(softmax_traffic(base), 1e-9):.2f}",
+        ])
+    report("fig8b_memory_accesses", render_table(
+        ["model", "baseline traffic", "SD (norm.)", "SDF (norm.)",
+         "softmax traffic SD/base"], rows,
+    ))
+
+    for key, comparison in comparisons.items():
+        base = comparison.baseline
+        # SD roughly doubles softmax-layer traffic.
+        ratio = softmax_traffic(comparison.variants["sd"]) / softmax_traffic(base)
+        assert ratio == pytest.approx(2.0, rel=0.15), key
+        # SD never reduces total traffic; SDF always does.
+        assert comparison.normalized_traffic("sd") > 1.0, key
+        assert comparison.normalized_traffic("sdf") < 0.97, key
+        # SDF's softmax kernels (only IR remains) sweep almost nothing.
+        sdf_softmax = softmax_traffic(comparison.variants["sdf"])
+        assert sdf_softmax < 0.1 * softmax_traffic(base), key

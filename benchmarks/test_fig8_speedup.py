@@ -1,0 +1,90 @@
+"""Fig. 8(a): normalised execution time under SD and SDF on A100.
+
+Paper (L=4096, batch=1): applying softmax decomposition alone changes
+performance by 0.94x / 0.99x / 1.44x / 1.49x for BERT / GPT-Neo /
+BigBird / Longformer; adding fusion reaches the headline 1.25x /
+1.12x / 1.57x / 1.65x end-to-end speedups.
+"""
+
+import pytest
+
+from repro.analysis import (
+    normalized_time_breakdown,
+    plan_comparison,
+    render_stacked_bars,
+    render_table,
+)
+
+PAPER_SD = {
+    "BERT-large": 0.94,
+    "GPT-Neo-1.3B": 0.99,
+    "BigBird-large": 1.44,
+    "Longformer-large": 1.49,
+}
+PAPER_SDF = {
+    "BERT-large": 1.25,
+    "GPT-Neo-1.3B": 1.12,
+    "BigBird-large": 1.57,
+    "Longformer-large": 1.65,
+}
+
+
+def run_comparisons():
+    return {
+        name: plan_comparison(key, plans=("sd", "sdf"))
+        for name, key in [
+            ("BERT-large", "bert-large"),
+            ("GPT-Neo-1.3B", "gpt-neo-1.3b"),
+            ("BigBird-large", "bigbird-large"),
+            ("Longformer-large", "longformer-large"),
+        ]
+    }
+
+
+def test_fig8a_speedups(benchmark, report):
+    comparisons = benchmark(run_comparisons)
+
+    rows = []
+    for name, comparison in comparisons.items():
+        rows.append([
+            name,
+            f"{comparison.baseline.total_time * 1e3:.1f} ms",
+            f"{comparison.speedup('sd'):.2f}x",
+            f"{PAPER_SD[name]:.2f}x",
+            f"{comparison.speedup('sdf'):.2f}x",
+            f"{PAPER_SDF[name]:.2f}x",
+        ])
+    stacks = {}
+    for name, comparison in comparisons.items():
+        stacks[f"{name} baseline"] = normalized_time_breakdown(
+            comparison.baseline)
+        for plan in ("sd", "sdf"):
+            stacks[f"{name} {plan}"] = normalized_time_breakdown(
+                comparison.variants[plan])
+    report("fig8a_speedups", render_table(
+        ["model", "baseline latency", "SD (measured)", "SD (paper)",
+         "SDF (measured)", "SDF (paper)"], rows,
+    ) + "\n\nper-plan execution-time stacks (the Fig. 8(a) middle "
+        "panel):\n" + render_stacked_bars(stacks))
+
+    for name, comparison in comparisons.items():
+        sd, sdf = comparison.speedup("sd"), comparison.speedup("sdf")
+        # Headline SDF speedups within a band of the paper's.
+        assert sdf == pytest.approx(PAPER_SDF[name], rel=0.12), name
+        # SD sign structure: hurts dense, helps sparse (Section 5.1).
+        if name in ("BERT-large",):
+            assert sd < 1.0, name
+        if name in ("BigBird-large", "Longformer-large"):
+            assert sd == pytest.approx(PAPER_SD[name], rel=0.10), name
+        # Fusion always improves on bare decomposition.
+        assert sdf > sd, name
+
+    # The cross-model ordering of the headline results.
+    sdf = {name: c.speedup("sdf") for name, c in comparisons.items()}
+    assert sdf["GPT-Neo-1.3B"] < sdf["BERT-large"]
+    assert sdf["BERT-large"] < sdf["BigBird-large"]
+    assert sdf["BERT-large"] < sdf["Longformer-large"]
+
+    # Mean latency reduction ~28% (Section 1).
+    reductions = [1 - 1 / s for s in sdf.values()]
+    assert sum(reductions) / len(reductions) == pytest.approx(0.28, abs=0.05)

@@ -1,0 +1,50 @@
+"""Fig. 9(a): SDF speedup as a function of sequence length on A100.
+
+Paper: the speedup grows with L for every model — for dense models
+because the O(L^2) softmax share grows, for sparse models because
+rising sparsity further depresses the baseline softmax's bandwidth
+utilisation.
+"""
+
+from repro.analysis import render_table
+from repro.models import InferenceSession, all_models
+
+SEQ_LENS = (1024, 2048, 4096, 8192, 16384)
+
+
+def run_sweep():
+    speedups = {}
+    for model in all_models():
+        series = []
+        for seq_len in SEQ_LENS:
+            base = InferenceSession(model, plan="baseline",
+                                    seq_len=seq_len).simulate()
+            sdf = InferenceSession(model, plan="sdf",
+                                   seq_len=seq_len).simulate()
+            series.append(base.total_time / sdf.total_time)
+        speedups[model.name] = series
+    return speedups
+
+
+def test_fig9a_seqlen_sweep(benchmark, report):
+    speedups = benchmark(run_sweep)
+
+    rows = [
+        [name] + [f"{s:.2f}x" for s in series]
+        for name, series in speedups.items()
+    ]
+    report("fig9a_seqlen_sweep", render_table(
+        ["model"] + [f"L={L}" for L in SEQ_LENS], rows,
+    ))
+
+    for name, series in speedups.items():
+        # Monotone increase with L (the Fig. 9(a) shape).
+        for shorter, longer in zip(series, series[1:]):
+            assert longer >= shorter * 0.99, (name, series)
+        # And a substantive rise from 1k to 16k.
+        assert series[-1] > series[0] * 1.15, name
+
+    # Sparse models rise fastest (their sparsity grows linearly in L).
+    gain = {name: series[-1] / series[0] for name, series in speedups.items()}
+    assert gain["BigBird-large"] > gain["BERT-large"]
+    assert gain["Longformer-large"] > gain["BERT-large"]

@@ -1,0 +1,54 @@
+"""Extension benchmark: generation serving (prefill + KV-cache decode).
+
+Scopes the paper's technique honestly for GPT-style serving: softmax
+recomposition accelerates the *prefill* phase (full L x L attention
+over the prompt) while the *decode* phase — one query row per step
+against the KV cache — is weight- and cache-bandwidth-bound and gains
+nothing.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.models.generation import GenerationSession
+
+PROMPT, TOKENS = 4096, 32
+
+
+def run():
+    out = {}
+    for plan in ("baseline", "sdf"):
+        result = GenerationSession(
+            "gpt-neo-1.3b", plan=plan, prompt_len=PROMPT,
+            generated_tokens=TOKENS,
+        ).simulate()
+        out[plan] = result
+    return out
+
+
+def test_generation_decode(benchmark, report):
+    results = benchmark(run)
+
+    rows = []
+    for plan, result in results.items():
+        rows.append([
+            plan,
+            f"{result.prefill_time * 1e3:.1f} ms",
+            f"{result.time_per_token * 1e3:.2f} ms",
+            f"{result.tokens_per_second:.0f} tok/s",
+            f"{result.kv_cache_bytes / 1e6:.0f} MB",
+        ])
+    base, sdf = results["baseline"], results["sdf"]
+    report("generation_decode", render_table(
+        ["plan", "prefill", "per-token decode", "throughput", "KV cache"],
+        rows,
+    ) + f"\n\nprefill speedup: {base.prefill_time / sdf.prefill_time:.2f}x"
+        f" | decode speedup: {base.decode_time / sdf.decode_time:.2f}x")
+
+    # Recomposition accelerates prefill...
+    assert base.prefill_time / sdf.prefill_time > 1.08
+    # ...and leaves decode untouched (its softmax rows are 1 x L).
+    assert base.decode_time / sdf.decode_time == pytest.approx(1.0, abs=0.01)
+    # Decode is not softmax-bound.
+    by_cat = base.decode_profile.time_by_category()
+    assert by_cat["softmax"] < 0.25 * (by_cat["fc"] + by_cat["feedforward"])

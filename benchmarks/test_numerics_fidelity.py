@@ -1,0 +1,50 @@
+"""Extension benchmark: fp16 numerical fidelity of the decomposition.
+
+Eq. 2 is exact in real arithmetic; in fp16 storage the monolithic and
+decomposed schedules round differently.  This benchmark quantifies
+both against a float64 oracle across logit magnitudes, confirming
+decomposition adds no numerical cost beyond ordinary fp16 rounding —
+the correctness side of the reproduction.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.analysis.numerics import softmax_fidelity
+
+SCALES = (1.0, 5.0, 10.0)
+
+
+def run():
+    return {
+        scale: softmax_fidelity(rows=64, length=4096, t=64, scale=scale)
+        for scale in SCALES
+    }
+
+
+def test_numerics_fidelity(benchmark, report):
+    results = benchmark(run)
+
+    rows = []
+    for scale, stats in results.items():
+        for schedule in ("monolithic", "decomposed"):
+            s = stats[schedule]
+            rows.append([
+                scale, schedule,
+                f"{s.max_abs_error:.2e}",
+                f"{s.mean_abs_error:.2e}",
+                f"{s.max_row_sum_error:.2e}",
+            ])
+    report("numerics_fidelity", render_table(
+        ["logit scale", "schedule", "max |err|", "mean |err|",
+         "max |row sum - 1|"], rows,
+    ))
+
+    for scale, stats in results.items():
+        mono, deco = stats["monolithic"], stats["decomposed"]
+        # fp16 rounding level, both schedules.
+        assert mono.max_abs_error < 2e-3, scale
+        assert deco.max_abs_error < 2e-3, scale
+        # Decomposition is within a small factor of monolithic error.
+        assert deco.max_abs_error < 3 * mono.max_abs_error + 1e-6, scale
+        assert deco.max_row_sum_error < 1e-2, scale

@@ -1,0 +1,60 @@
+"""Section 2.3 projection: the memory wall makes softmax worse over time.
+
+Paper: "due to the memory wall problem, where the memory bandwidth is
+less scalable compared to the computational power, the softmax layers
+could take even more of the total execution time in future GPUs."
+
+This benchmark quantifies the claim across GPU generations — T4
+(Turing) -> A100 (Ampere) -> H100 (Hopper, our projection beyond
+Table 1): machine balance grows, the baseline softmax share grows, and
+so does the recomposition payoff.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.gpu import get_gpu
+from repro.gpu.roofline import machine_balance
+from repro.models import BERT_LARGE, InferenceSession
+
+GENERATIONS = ("T4", "A100", "H100")
+
+
+def run():
+    rows = {}
+    for name in GENERATIONS:
+        gpu = get_gpu(name)
+        base = InferenceSession(BERT_LARGE, gpu=gpu,
+                                plan="baseline").simulate()
+        sdf = InferenceSession(BERT_LARGE, gpu=gpu, plan="sdf").simulate()
+        rows[name] = {
+            "balance": machine_balance(gpu),
+            "softmax_share": base.softmax_time_fraction(),
+            "speedup": base.total_time / sdf.total_time,
+        }
+    return rows
+
+
+def test_sec23_future_gpu_trend(benchmark, report):
+    rows = benchmark(run)
+
+    report("sec23_future_gpu_trend", render_table(
+        ["GPU", "machine balance (FLOP/B)", "softmax share (baseline)",
+         "SDF speedup"],
+        [[name,
+          f"{v['balance']:.0f}",
+          f"{v['softmax_share'] * 100:.0f}%",
+          f"{v['speedup']:.2f}x"]
+         for name, v in rows.items()],
+    ))
+
+    balances = [rows[g]["balance"] for g in GENERATIONS]
+    shares = [rows[g]["softmax_share"] for g in GENERATIONS]
+    speedups = [rows[g]["speedup"] for g in GENERATIONS]
+    # Machine balance grows monotonically across generations...
+    assert balances[0] < balances[1] < balances[2]
+    # ...and with it the softmax share and the recomposition payoff.
+    assert shares[2] > shares[1]
+    assert speedups[2] > speedups[1]
+    # H100 softmax share exceeds 40%: the Section 2.3 prediction.
+    assert shares[2] > 0.40

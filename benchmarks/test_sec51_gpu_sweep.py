@@ -1,0 +1,69 @@
+"""Section 5.1, cross-GPU results: SDF speedups on RTX 3090 and T4.
+
+Paper: RTX 3090 reaches 1.12x / 1.05x / 1.32x / 1.36x and T4 reaches
+1.22x / 1.08x / 1.77x / 1.87x for BERT / GPT-Neo / BigBird /
+Longformer.  The 3090's speedups are uniformly below the A100's
+(its tensor-FLOPS-to-bandwidth ratio is smaller, so the softmax share
+of the baseline is smaller).
+
+Known deviation (recorded in EXPERIMENTS.md): our utilisation model
+reproduces T4 > RTX 3090 and the dense-model magnitudes, but predicts
+~1.5x rather than ~1.8x for the sparse models on T4 — the paper
+attributes the extra T4 gain to SM thread-count effects beyond this
+model.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.models import InferenceSession, all_models
+
+PAPER = {
+    "A100": [1.25, 1.12, 1.57, 1.65],
+    "RTX 3090": [1.12, 1.05, 1.32, 1.36],
+    "T4": [1.22, 1.08, 1.77, 1.87],
+}
+
+
+def run_sweep():
+    speedups = {}
+    for gpu in ("A100", "RTX 3090", "T4"):
+        series = []
+        for model in all_models():
+            base = InferenceSession(model, gpu=gpu, plan="baseline").simulate()
+            sdf = InferenceSession(model, gpu=gpu, plan="sdf").simulate()
+            series.append(base.total_time / sdf.total_time)
+        speedups[gpu] = series
+    return speedups
+
+
+def test_sec51_gpu_sweep(benchmark, report):
+    speedups = benchmark(run_sweep)
+
+    names = [model.name for model in all_models()]
+    rows = []
+    for gpu, series in speedups.items():
+        for name, measured, paper in zip(names, series, PAPER[gpu]):
+            rows.append([gpu, name, f"{measured:.2f}x", f"{paper:.2f}x"])
+    report("sec51_gpu_sweep", render_table(
+        ["GPU", "model", "SDF (measured)", "SDF (paper)"], rows,
+    ))
+
+    # Every model speeds up on every GPU.
+    for gpu, series in speedups.items():
+        assert all(s > 1.0 for s in series), gpu
+
+    # RTX 3090 speedups are below the A100's for every model (Section 5.1).
+    for a100, rtx in zip(speedups["A100"], speedups["RTX 3090"]):
+        assert rtx < a100
+
+    # Dense models on RTX 3090 / T4 land near the paper's numbers.
+    assert speedups["RTX 3090"][0] == pytest.approx(1.12, abs=0.1)
+    assert speedups["T4"][0] == pytest.approx(1.22, abs=0.1)
+    assert speedups["T4"][1] == pytest.approx(1.08, abs=0.06)
+
+    # Cross-model ordering holds everywhere: GPT-Neo < BERT < sparse.
+    for series in speedups.values():
+        bert, gpt, bigbird, longformer = series
+        assert gpt < bert < bigbird
+        assert gpt < bert < longformer

@@ -1,0 +1,56 @@
+"""Sections 1/5: latency and off-chip access-energy reduction.
+
+Paper: softmax recomposition reduces per-inference latency by 28% and
+off-chip access energy by 29% on average, without hardware changes.
+
+Known deviation (recorded in EXPERIMENTS.md): our measured average
+energy reduction is ~20% (10-35% per model) — for the sparse models
+the baseline softmax's traffic is already small (its cost is
+utilisation, not bytes), so fusing it away saves less energy than the
+paper's average suggests.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.models import InferenceSession, all_models
+
+
+def run():
+    rows = {}
+    for model in all_models():
+        base = InferenceSession(model, plan="baseline").simulate()
+        sdf = InferenceSession(model, plan="sdf").simulate()
+        rows[model.name] = {
+            "latency_reduction": 1 - sdf.total_time / base.total_time,
+            "energy_reduction": 1 - sdf.offchip_energy / base.offchip_energy,
+            "baseline_energy_j": base.offchip_energy,
+        }
+    return rows
+
+
+def test_sec5_energy(benchmark, report):
+    results = benchmark(run)
+
+    rows = [
+        [name,
+         f"{v['latency_reduction'] * 100:.0f}%",
+         f"{v['energy_reduction'] * 100:.0f}%",
+         f"{v['baseline_energy_j'] * 1e3:.1f} mJ"]
+        for name, v in results.items()
+    ]
+    lat = [v["latency_reduction"] for v in results.values()]
+    en = [v["energy_reduction"] for v in results.values()]
+    report("sec5_energy", render_table(
+        ["model", "latency reduction", "off-chip energy reduction",
+         "baseline off-chip energy"], rows,
+    ) + f"\n\naverages: latency {sum(lat)/4*100:.0f}% (paper 28%), "
+        f"energy {sum(en)/4*100:.0f}% (paper 29%)")
+
+    # Mean latency reduction ~28%.
+    assert sum(lat) / len(lat) == pytest.approx(0.28, abs=0.05)
+    # Every model saves energy; dense models save the most (their
+    # softmax sweeps were the bulk of all off-chip traffic).
+    assert all(r > 0.05 for r in en)
+    assert results["BERT-large"]["energy_reduction"] > 0.25
+    assert sum(en) / len(en) > 0.15

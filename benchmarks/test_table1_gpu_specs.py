@@ -1,0 +1,54 @@
+"""Table 1: specifications of the GPUs used in the evaluation.
+
+Regenerates the spec table from the device presets and exercises the
+device model's launch path on each GPU.
+"""
+
+from repro.common import GB, KIB, MIB, TERA
+from repro.analysis import render_table
+from repro.gpu import Device
+from repro.gpu.costmodel import KernelLaunch, WorkloadShape
+from repro.gpu.occupancy import TBResources
+from repro.gpu.specs import all_gpus
+
+
+def build_table():
+    rows = []
+    for spec in all_gpus():
+        rows.append([
+            spec.name,
+            f"{spec.mem_bandwidth / GB:,.1f}",
+            f"{spec.fp16_cuda_flops / TERA:.1f}",
+            f"{spec.fp16_tensor_flops / TERA:.0f}",
+            f"{spec.l1_per_sm / KIB:.0f}",
+            f"{spec.l2_size / MIB:.0f}",
+            spec.num_sms,
+            spec.max_threads_per_sm,
+        ])
+    return render_table(
+        ["GPU", "BW (GB/s)", "FP16 CUDA (TFLOPS)", "FP16 Tensor (TFLOPS)",
+         "L1/SM (KB)", "L2 (MB)", "SMs", "threads/SM"],
+        rows,
+    )
+
+
+def exercise_devices():
+    """Launch a canonical streaming kernel on every preset."""
+    times = {}
+    for spec in all_gpus():
+        device = Device(spec)
+        timing = device.launch(KernelLaunch(
+            name="probe", category="other",
+            tb=TBResources(threads=256),
+            shape=WorkloadShape(grid=100_000),
+            dram_read_bytes=1e9, dram_write_bytes=1e9,
+        ))
+        times[spec.name] = timing.time
+    return times
+
+
+def test_table1(benchmark, report):
+    times = benchmark(exercise_devices)
+    # Table 1 ordering: A100 fastest, T4 slowest, per memory bandwidth.
+    assert times["A100"] < times["RTX 3090"] < times["T4"]
+    report("table1_gpu_specs", build_table())

@@ -1,0 +1,19 @@
+"""Meta-benchmark: the automated reproduction verifier.
+
+Runs every :class:`~repro.analysis.verification.PaperTarget` — the
+machine-readable version of EXPERIMENTS.md — and writes the pass/fail
+report.  Only the documented dense-SD deviation is allowed to fall
+outside its tolerance band.
+"""
+
+from repro.analysis.verification import verify_reproduction
+
+
+def test_verification(benchmark, report):
+    result = benchmark(verify_reproduction)
+
+    report("verification", result.render())
+
+    failing = [r.target.name for r in result.results if not r.passed]
+    assert set(failing) <= {"SD-only speedup, bert-large"}, failing
+    assert result.pass_count >= len(result.results) - 1

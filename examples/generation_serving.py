@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""GPT-style serving: where softmax recomposition does (and doesn't) help.
+
+Simulates prompt prefill followed by token-by-token decode against a
+KV cache for GPT-Neo-1.3B, across prompt lengths and plans, and breaks
+the decode step down by kernel category.  The takeaway: recomposition
+accelerates prefill (the long-sequence attention the paper targets)
+while decode — one query row per step — is bound by streaming weights
+and the KV cache, untouched by softmax scheduling.
+
+Run:  python examples/generation_serving.py
+"""
+
+from repro.analysis import render_table
+from repro.models.generation import GenerationSession
+
+
+def demo_serving_grid():
+    print("=" * 76)
+    print("1. Prefill vs decode latency (GPT-Neo-1.3B, 32 generated tokens)")
+    print("=" * 76)
+    rows = []
+    for prompt in (1024, 4096, 8192):
+        for plan in ("baseline", "sdf"):
+            result = GenerationSession(
+                "gpt-neo-1.3b", plan=plan, prompt_len=prompt,
+                generated_tokens=32,
+            ).simulate()
+            rows.append([
+                prompt, plan,
+                f"{result.prefill_time * 1e3:.1f} ms",
+                f"{result.time_per_token * 1e3:.2f} ms",
+                f"{result.tokens_per_second:.0f} tok/s",
+                f"{result.kv_cache_bytes / 1e6:.0f} MB",
+            ])
+    print(render_table(
+        ["prompt", "plan", "prefill", "per-token", "throughput", "KV cache"],
+        rows,
+    ))
+    print()
+
+
+def demo_decode_breakdown():
+    print("=" * 76)
+    print("2. What a decode step spends its time on")
+    print("=" * 76)
+    result = GenerationSession("gpt-neo-1.3b", prompt_len=4096,
+                               generated_tokens=16).simulate()
+    by_cat = result.decode_profile.time_by_category()
+    total = result.decode_profile.total_time()
+    print(render_table(
+        ["category", "share of decode time"],
+        [[category, f"{share / total * 100:.1f}%"]
+         for category, share in sorted(by_cat.items(),
+                                       key=lambda kv: -kv[1])],
+    ))
+    print("\nDecode streams the weights every step; its 1 x L softmax "
+          "rows are a rounding error —\nwhich is why the paper "
+          "evaluates the long-sequence (prefill-shaped) regime.")
+
+
+if __name__ == "__main__":
+    demo_serving_grid()
+    demo_decode_breakdown()

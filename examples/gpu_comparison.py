@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Cross-GPU comparison: the full evaluation grid in one run.
+
+Simulates all four models under the baseline, SD and SDF plans on the
+three GPUs of Table 1 and prints speedups, latency and off-chip
+energy — the Fig. 8 / Section 5.1 grid plus the energy claim.
+
+Run:  python examples/gpu_comparison.py
+"""
+
+from repro import InferenceSession, all_models
+from repro.analysis import render_table
+from repro.gpu.specs import all_gpus
+
+
+def main():
+    for gpu in all_gpus():
+        print("=" * 78)
+        print(f"{gpu.name}: {gpu.mem_bandwidth / 1e9:,.0f} GB/s, "
+              f"{gpu.fp16_tensor_flops / 1e12:.0f} TFLOPS FP16 tensor")
+        print("=" * 78)
+        rows = []
+        reductions = []
+        for model in all_models():
+            base = InferenceSession(model, gpu=gpu, plan="baseline").simulate()
+            sd = InferenceSession(model, gpu=gpu, plan="sd").simulate()
+            sdf = InferenceSession(model, gpu=gpu, plan="sdf").simulate()
+            reductions.append(1 - sdf.offchip_energy / base.offchip_energy)
+            rows.append([
+                model.name,
+                f"{base.total_time * 1e3:.1f} ms",
+                f"{base.total_time / sd.total_time:.2f}x",
+                f"{base.total_time / sdf.total_time:.2f}x",
+                f"{base.offchip_energy * 1e3:.0f} mJ",
+                f"{reductions[-1] * 100:.0f}%",
+            ])
+        print(render_table(
+            ["model", "baseline latency", "SD", "SDF",
+             "baseline off-chip energy", "energy saved"],
+            rows,
+        ))
+        print(f"mean off-chip energy reduction: "
+              f"{sum(reductions) / len(reductions) * 100:.0f}%\n")
+
+
+if __name__ == "__main__":
+    main()

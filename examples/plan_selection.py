@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Execution-plan selection: from the paper's SDF to FlashAttention.
+
+Walks the full plan space the library implements — the paper's
+baseline/SD/SDF, the related-work kernels (online softmax,
+TurboTransformers, fully fused MHA), and FlashAttention — and shows
+how the best choice depends on sequence length and model, ending with
+the automatic selector (`plan="auto"`).
+
+Run:  python examples/plan_selection.py
+"""
+
+from repro.analysis import render_table
+from repro.core.autotune import ALL_CANDIDATES, select_plan
+from repro.models import InferenceSession
+
+
+def demo_plan_space():
+    print("=" * 76)
+    print("1. Every plan, BERT-large across sequence lengths (A100)")
+    print("=" * 76)
+    rows = []
+    for seq_len in (256, 1024, 4096, 16384):
+        choice = select_plan("bert-large", seq_len=seq_len,
+                             candidates=ALL_CANDIDATES)
+        base = choice.latencies[list(choice.latencies)[0]]
+        cells = []
+        for plan, latency in choice.latencies.items():
+            if latency is None:
+                cells.append("infeasible")
+            else:
+                marker = " *" if plan is choice.plan else ""
+                cells.append(f"{base / latency:.2f}x{marker}")
+        rows.append([seq_len] + cells)
+    headers = ["L"] + [p.value for p in ALL_CANDIDATES]
+    print(render_table(headers, rows))
+    print("(* = selected by plan='auto'; speedups relative to baseline)")
+    print()
+
+
+def demo_auto_session():
+    print("=" * 76)
+    print("2. plan='auto' picks per configuration")
+    print("=" * 76)
+    rows = []
+    for model in ("bert-large", "bigbird-large"):
+        for seq_len in (1024, 4096):
+            session = InferenceSession(model, plan="auto", seq_len=seq_len)
+            result = session.simulate()
+            baseline = InferenceSession(model, plan="baseline",
+                                        seq_len=seq_len).simulate()
+            rows.append([
+                model, seq_len, session.plan.value,
+                f"{baseline.total_time / result.total_time:.2f}x",
+            ])
+    print(render_table(["model", "L", "chosen plan", "speedup"], rows))
+    print("\n(plan='auto' considers the paper's plans by default; pass")
+    print(" candidates=ALL_CANDIDATES to select_plan for the full space)")
+
+
+if __name__ == "__main__":
+    demo_plan_space()
+    demo_auto_session()

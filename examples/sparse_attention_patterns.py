@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Sparse attention patterns and why decomposition helps them most.
+
+Renders the block layouts of BigBird, Longformer and GPT-Neo local
+attention, shows how their density falls with sequence length
+(making attention O(L)), and demonstrates the Section 5.1 effect:
+the baseline softmax's conservative worst-case-row allocation idles
+almost every warp on a sparse matrix, while the decomposed Local
+Softmax allocates per nonzero block and saturates bandwidth.
+
+Run:  python examples/sparse_attention_patterns.py
+"""
+
+from repro.analysis import render_table
+from repro.gpu import A100
+from repro.gpu.costmodel import time_kernel
+from repro.sparse import (
+    BlockSparseLS,
+    BlockSparseRowSoftmax,
+    bigbird_layout,
+    gpt_neo_local_layout,
+    longformer_layout,
+)
+
+
+def render_layout(layout, max_blocks=32):
+    """ASCII picture of the block mask ('#' = nonzero block)."""
+    step = max(1, layout.n_block_rows // max_blocks)
+    lines = []
+    for i in range(0, layout.n_block_rows, step):
+        row = layout.mask[i, ::step]
+        lines.append("".join("#" if v else "." for v in row))
+    return "\n".join(lines)
+
+
+def demo_patterns():
+    print("=" * 72)
+    print("1. Block-sparse layouts at L=2048 (block 64)")
+    print("=" * 72)
+    layouts = {
+        "BigBird (window+random+global)": bigbird_layout(2048, 64),
+        "Longformer (window 512 + global)": longformer_layout(2048, 64),
+        "GPT-Neo local (causal window 256)": gpt_neo_local_layout(2048, 64),
+    }
+    for name, layout in layouts.items():
+        print(f"\n{name}: {layout}")
+        print(render_layout(layout))
+    print()
+
+
+def demo_density_scaling():
+    print("=" * 72)
+    print("2. Density falls as 1/L: sparse attention is O(L) (Section 2.2)")
+    print("=" * 72)
+    rows = []
+    for seq_len in (1024, 2048, 4096, 8192, 16384):
+        layout = bigbird_layout(seq_len, 64)
+        rows.append([
+            seq_len,
+            layout.nnz_blocks,
+            f"{layout.density * 100:.1f}%",
+            f"{layout.storage_bytes() / 1e6:.1f} MB",
+            f"{seq_len * seq_len * 2 / 1e6:.0f} MB",
+        ])
+    print(render_table(
+        ["L", "nnz blocks", "density", "block-sparse bytes",
+         "dense bytes (1 head)"], rows,
+    ))
+    print()
+
+
+def demo_utilization():
+    print("=" * 72)
+    print("3. The Section 5.1 effect: bandwidth utilisation of the")
+    print("   baseline sparse softmax vs the decomposed Local Softmax")
+    print("=" * 72)
+    rows = []
+    for seq_len in (2048, 4096, 8192):
+        layout = bigbird_layout(seq_len, 64)
+        baseline = BlockSparseRowSoftmax(layout, batch=16)
+        ls = BlockSparseLS(layout, batch=16)
+        util_base = time_kernel(
+            A100, baseline.launch_spec(A100)
+        ).bandwidth_utilization
+        util_ls = time_kernel(A100, ls.launch_spec(A100)).bandwidth_utilization
+        rows.append([
+            seq_len,
+            f"{layout.mean_row_nnz * 64:.0f} / {seq_len}",
+            f"{util_base * 100:.1f}%",
+            f"{util_ls * 100:.1f}%",
+            f"{util_ls / util_base:.1f}x",
+        ])
+    print(render_table(
+        ["L", "mean row nnz / provisioned", "baseline softmax BW util",
+         "Local Softmax BW util", "gain"], rows,
+    ))
+
+
+if __name__ == "__main__":
+    demo_patterns()
+    demo_density_scaling()
+    demo_utilization()

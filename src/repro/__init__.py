@@ -1,0 +1,71 @@
+"""Softmax recomposition for transformer inference.
+
+A full reproduction of *"Accelerating Transformer Networks through
+Recomposing Softmax Layers"* (Choi, Li, Kim, Hwang, Ahn — IISWC 2022):
+the softmax decomposition/fusion itself, the transformer models it is
+evaluated on (BERT-large, GPT-Neo-1.3B, BigBird-large,
+Longformer-large), the block-sparse attention substrate, and an
+analytical GPU performance model standing in for the A100 / RTX 3090 /
+T4 hardware.
+
+Quickstart::
+
+    from repro import InferenceSession
+
+    baseline = InferenceSession("bert-large", gpu="A100",
+                                plan="baseline", seq_len=4096).simulate()
+    recomposed = InferenceSession("bert-large", gpu="A100",
+                                  plan="sdf", seq_len=4096).simulate()
+    print(recomposed.speedup_over(baseline))   # ~1.25x (paper: 1.25x)
+"""
+
+from repro.core import (
+    AttentionPlan,
+    SoftmaxDecomposition,
+    attention_matrix_sweeps,
+    decomposed_softmax,
+    online_softmax,
+    softmax_backward,
+)
+from repro.gpu import A100, Device, GPUSpec, RTX3090, T4, get_gpu
+from repro.models import (
+    BERT_LARGE,
+    BIGBIRD_LARGE,
+    GPT_NEO_1_3B,
+    InferenceResult,
+    InferenceSession,
+    LONGFORMER_LARGE,
+    ModelConfig,
+    all_models,
+    get_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core contribution
+    "AttentionPlan",
+    "SoftmaxDecomposition",
+    "decomposed_softmax",
+    "online_softmax",
+    "softmax_backward",
+    "attention_matrix_sweeps",
+    # device model
+    "GPUSpec",
+    "A100",
+    "RTX3090",
+    "T4",
+    "get_gpu",
+    "Device",
+    # models & runtime
+    "ModelConfig",
+    "BERT_LARGE",
+    "GPT_NEO_1_3B",
+    "BIGBIRD_LARGE",
+    "LONGFORMER_LARGE",
+    "all_models",
+    "get_model",
+    "InferenceSession",
+    "InferenceResult",
+]

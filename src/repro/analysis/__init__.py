@@ -1,0 +1,23 @@
+"""Result analysis and text rendering.
+
+Helpers that turn :class:`~repro.gpu.profiler.Profile` /
+:class:`~repro.models.runtime.InferenceResult` objects into the rows
+and stacks the paper's figures report, plus plain-text table/bar
+renderers used by the benchmark harness and the examples.
+"""
+
+from repro.analysis.breakdown import (
+    normalized_time_breakdown,
+    normalized_traffic_breakdown,
+    plan_comparison,
+)
+from repro.analysis.reporting import render_bar_chart, render_stacked_bars, render_table
+
+__all__ = [
+    "normalized_time_breakdown",
+    "normalized_traffic_breakdown",
+    "plan_comparison",
+    "render_table",
+    "render_bar_chart",
+    "render_stacked_bars",
+]

@@ -1,0 +1,72 @@
+"""Breakdown computations behind the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.base import CATEGORY
+from repro.models.runtime import InferenceResult
+
+
+def normalized_time_breakdown(result: InferenceResult) -> dict[str, float]:
+    """Per-category execution-time fractions (the Fig. 2 stacks).
+
+    Categories follow :class:`~repro.kernels.base.CATEGORY`; fractions
+    sum to 1.
+    """
+    total = result.total_time
+    breakdown = result.time_breakdown()
+    return {
+        category: breakdown.get(category, 0.0) / total
+        for category in CATEGORY.ALL
+    }
+
+
+def normalized_traffic_breakdown(result: InferenceResult) -> dict[str, float]:
+    """Per-category off-chip traffic fractions (the Fig. 8(b) stacks)."""
+    total = result.total_dram_bytes
+    breakdown = result.traffic_breakdown()
+    return {
+        category: breakdown.get(category, 0.0) / total
+        for category in CATEGORY.ALL
+    }
+
+
+@dataclass(frozen=True)
+class PlanComparison:
+    """Baseline vs optimised plans for one model (one Fig. 8 group)."""
+
+    model_name: str
+    baseline: InferenceResult
+    variants: dict[str, InferenceResult]
+
+    def speedup(self, plan_name: str) -> float:
+        """Speedup of ``plan_name`` over the baseline."""
+        return self.baseline.total_time / self.variants[plan_name].total_time
+
+    def normalized_time(self, plan_name: str) -> float:
+        """Execution time of ``plan_name`` relative to baseline."""
+        return self.variants[plan_name].total_time / self.baseline.total_time
+
+    def normalized_traffic(self, plan_name: str) -> float:
+        """Off-chip traffic of ``plan_name`` relative to baseline."""
+        return (
+            self.variants[plan_name].total_dram_bytes
+            / self.baseline.total_dram_bytes
+        )
+
+
+def plan_comparison(
+    model, plans=("sd", "sdf"), **session_kwargs
+) -> PlanComparison:
+    """Simulate ``model`` under baseline plus ``plans`` (Fig. 8 rows)."""
+    from repro.models.runtime import InferenceSession
+
+    baseline = InferenceSession(model, plan="baseline", **session_kwargs).simulate()
+    variants = {
+        plan: InferenceSession(model, plan=plan, **session_kwargs).simulate()
+        for plan in plans
+    }
+    return PlanComparison(
+        model_name=baseline.model.name, baseline=baseline, variants=variants
+    )

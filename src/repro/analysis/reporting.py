@@ -1,0 +1,90 @@
+"""Plain-text rendering of tables and bar charts.
+
+The benchmark harness prints the same rows and series the paper's
+tables and figures report; these helpers keep that output readable in
+a terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_BAR_WIDTH = 40
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    cells = [[str(h) for h in headers]] + [
+        [str(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            .rstrip()
+        )
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    values: Mapping[str, float], *, unit: str = "", width: int = _BAR_WIDTH
+) -> str:
+    """Horizontal bars scaled to the maximum value."""
+    if not values:
+        return "(empty)"
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value:.3g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_stacked_bars(
+    stacks: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = _BAR_WIDTH * 2,
+) -> str:
+    """Stacked horizontal bars (the Fig. 2 / Fig. 8 style breakdown).
+
+    ``stacks`` maps bar label to {segment: fraction}; each bar is
+    normalised to its own total.  A legend line maps glyphs to
+    segments.
+    """
+    if not stacks:
+        return "(empty)"
+    glyphs = "#=+:.%*o"
+    segments: list[str] = []
+    for stack in stacks.values():
+        for segment in stack:
+            if segment not in segments:
+                segments.append(segment)
+    glyph_of = {segment: glyphs[i % len(glyphs)] for i, segment in
+                enumerate(segments)}
+    label_width = max(len(label) for label in stacks)
+    lines = [
+        "legend: "
+        + "  ".join(f"{glyph_of[s]}={s}" for s in segments)
+    ]
+    for label, stack in stacks.items():
+        total = sum(stack.values()) or 1.0
+        bar = "".join(
+            glyph_of[segment] * round(width * value / total)
+            for segment, value in stack.items()
+        )
+        lines.append(f"{label.ljust(label_width)} |{bar}|")
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Automated reproduction verification against the paper's numbers.
+
+Encodes every quantitative claim of the evaluation as a
+:class:`PaperTarget` (value, tolerance, and how to measure it) and
+checks the simulated system against all of them in one call —
+the machine-readable counterpart of EXPERIMENTS.md.
+
+>>> from repro.analysis.verification import verify_reproduction
+>>> report = verify_reproduction(quick=True)   # doctest: +SKIP
+>>> report.all_passed                          # doctest: +SKIP
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.reporting import render_table
+from repro.models.runtime import InferenceSession
+
+#: (figure, model) -> paper value for the headline SDF speedups.
+PAPER_SDF_SPEEDUPS = {
+    "bert-large": 1.25,
+    "gpt-neo-1.3b": 1.12,
+    "bigbird-large": 1.57,
+    "longformer-large": 1.65,
+}
+
+#: Fig. 2 softmax execution-time shares.
+PAPER_SOFTMAX_SHARES = {
+    "bert-large": 0.36,
+    "gpt-neo-1.3b": 0.18,
+    "bigbird-large": 0.40,
+    "longformer-large": 0.42,
+}
+
+#: Fig. 8(a) SD-only performance (x of baseline).
+PAPER_SD_SPEEDUPS = {
+    "bert-large": 0.94,
+    "gpt-neo-1.3b": 0.99,
+    "bigbird-large": 1.44,
+    "longformer-large": 1.49,
+}
+
+
+@dataclass(frozen=True)
+class PaperTarget:
+    """One quantitative claim of the paper."""
+
+    name: str
+    source: str
+    paper_value: float
+    #: Allowed relative deviation for a PASS verdict.
+    rel_tol: float
+    measure: Callable[[], float]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of verifying one target."""
+
+    target: PaperTarget
+    measured: float
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation from the paper's value."""
+        return abs(self.measured - self.target.paper_value) / abs(
+            self.target.paper_value
+        )
+
+    @property
+    def passed(self) -> bool:
+        """Whether the measurement lies within the tolerance band."""
+        return self.deviation <= self.target.rel_tol
+
+
+@dataclass
+class ReproductionReport:
+    """All checks, with rendering."""
+
+    results: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every target is within tolerance."""
+        return all(result.passed for result in self.results)
+
+    @property
+    def pass_count(self) -> int:
+        """Number of targets within tolerance."""
+        return sum(result.passed for result in self.results)
+
+    def render(self) -> str:
+        """Human-readable verification table."""
+        rows = [
+            [r.target.name,
+             r.target.source,
+             f"{r.target.paper_value:.2f}",
+             f"{r.measured:.2f}",
+             f"{r.deviation * 100:.0f}%",
+             "PASS" if r.passed else "DEVIATES"]
+            for r in self.results
+        ]
+        header = (f"{self.pass_count}/{len(self.results)} targets within "
+                  f"tolerance\n")
+        return header + render_table(
+            ["target", "source", "paper", "measured", "dev", "verdict"],
+            rows,
+        )
+
+
+def _session_pair(model, **kwargs):
+    base = InferenceSession(model, plan="baseline", **kwargs).simulate()
+    sdf = InferenceSession(model, plan="sdf", **kwargs).simulate()
+    return base, sdf
+
+
+def build_targets(*, quick: bool = False) -> list[PaperTarget]:
+    """The verification suite.  ``quick`` restricts to the headline
+    numbers (4 targets) instead of the full set."""
+    targets: list[PaperTarget] = []
+
+    def sdf_speedup(model):
+        def measure():
+            base, sdf = _session_pair(model)
+            return base.total_time / sdf.total_time
+        return measure
+
+    for model, value in PAPER_SDF_SPEEDUPS.items():
+        targets.append(PaperTarget(
+            name=f"SDF speedup, {model}",
+            source="Fig. 8(a)",
+            paper_value=value,
+            rel_tol=0.12,
+            measure=sdf_speedup(model),
+        ))
+    if quick:
+        return targets
+
+    def softmax_share(model):
+        def measure():
+            return InferenceSession(model, plan="baseline").simulate() \
+                .softmax_time_fraction()
+        return measure
+
+    for model, value in PAPER_SOFTMAX_SHARES.items():
+        targets.append(PaperTarget(
+            name=f"softmax time share, {model}",
+            source="Fig. 2",
+            paper_value=value,
+            rel_tol=0.25,
+            measure=softmax_share(model),
+        ))
+
+    def sd_speedup(model):
+        def measure():
+            base = InferenceSession(model, plan="baseline").simulate()
+            sd = InferenceSession(model, plan="sd").simulate()
+            return base.total_time / sd.total_time
+        return measure
+
+    for model, value in PAPER_SD_SPEEDUPS.items():
+        targets.append(PaperTarget(
+            name=f"SD-only speedup, {model}",
+            source="Fig. 8(a)",
+            paper_value=value,
+            rel_tol=0.12,
+            measure=sd_speedup(model),
+        ))
+
+    def mean_latency_reduction():
+        total = 0.0
+        for model in PAPER_SDF_SPEEDUPS:
+            base, sdf = _session_pair(model)
+            total += 1 - sdf.total_time / base.total_time
+        return total / len(PAPER_SDF_SPEEDUPS)
+
+    targets.append(PaperTarget(
+        name="mean latency reduction",
+        source="Section 1",
+        paper_value=0.28,
+        rel_tol=0.15,
+        measure=mean_latency_reduction,
+    ))
+    return targets
+
+
+def verify_reproduction(*, quick: bool = False) -> ReproductionReport:
+    """Run every target's measurement and collect a report."""
+    report = ReproductionReport()
+    for target in build_targets(quick=quick):
+        report.results.append(
+            CheckResult(target=target, measured=target.measure())
+        )
+    return report

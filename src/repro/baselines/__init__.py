@@ -1,0 +1,35 @@
+"""Library baseline emulation (Fig. 7).
+
+The paper compares its baseline against HuggingFace, FasterTransformer,
+TensorRT, DeepSpeed and AutoTVM.  Those libraries run on identical
+hardware; they differ in *scheduling policy* — which element-wise
+layers run standalone, how many layout-shuffling passes the framework
+inserts, how tuned the softmax kernel is, and how close to peak the
+selected GEMMs run.  :class:`~repro.baselines.libraries.LibraryProfile`
+captures exactly those policy differences and drives the same device
+model.
+"""
+
+from repro.baselines.libraries import (
+    AUTOTVM,
+    DEEPSPEED,
+    FASTER_TRANSFORMER,
+    HUGGINGFACE,
+    LibraryProfile,
+    OUR_BASELINE,
+    TENSORRT,
+    all_libraries,
+    simulate_library,
+)
+
+__all__ = [
+    "LibraryProfile",
+    "HUGGINGFACE",
+    "FASTER_TRANSFORMER",
+    "TENSORRT",
+    "DEEPSPEED",
+    "AUTOTVM",
+    "OUR_BASELINE",
+    "all_libraries",
+    "simulate_library",
+]

@@ -1,0 +1,310 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``   one model/GPU/plan inference with breakdown
+``compare``    baseline vs SD vs SDF for one model (a Fig. 8 row)
+``breakdown``  the Fig. 2 stacks across all four models
+``libraries``  the Fig. 7 library comparison
+``sweep``      speedup vs sequence length or batch (Fig. 9)
+``generate``   prompt prefill + token-by-token decode (KV cache)
+``trace``      write a Chrome-trace JSON of one inference
+``parallel``   tensor-parallel scaling across 2-8 GPUs
+``roofline``   roofline plot of one inference's kernel categories
+``footprint``  peak device-memory footprint per plan
+``verify``     run the automated paper-target verification
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    normalized_time_breakdown,
+    render_stacked_bars,
+    render_table,
+)
+from repro.models import InferenceSession, all_models
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="bert-large",
+                        help="bert-large | gpt-neo-1.3b | bigbird-large | "
+                             "longformer-large")
+    parser.add_argument("--model-json", default=None,
+                        help="path to a custom ModelConfig JSON file "
+                             "(overrides --model)")
+    parser.add_argument("--gpu", default="A100",
+                        help="A100 | RTX 3090 | T4 | H100")
+    parser.add_argument("--seq-len", type=int, default=4096)
+    parser.add_argument("--batch", type=int, default=1)
+
+
+def _resolve_model(args: argparse.Namespace):
+    if getattr(args, "model_json", None):
+        from repro.models.serialization import load_config
+
+        return load_config(args.model_json)
+    return args.model
+
+
+def cmd_simulate(args: argparse.Namespace) -> str:
+    result = InferenceSession(
+        _resolve_model(args), gpu=args.gpu, plan=args.plan,
+        seq_len=args.seq_len, batch=args.batch,
+    ).simulate()
+    lines = [
+        f"{result.model.name} on {result.gpu.name} "
+        f"(L={args.seq_len}, batch={args.batch}, plan={args.plan})",
+        f"latency:          {result.total_time * 1e3:.2f} ms",
+        f"off-chip traffic: {result.total_dram_bytes / 1e9:.2f} GB",
+        f"off-chip energy:  {result.offchip_energy * 1e3:.1f} mJ",
+        f"softmax share:    {result.softmax_time_fraction() * 100:.0f}%",
+        "",
+        render_stacked_bars({result.model.name:
+                             normalized_time_breakdown(result)}),
+    ]
+    return "\n".join(lines)
+
+
+def cmd_compare(args: argparse.Namespace) -> str:
+    rows = []
+    baseline = None
+    model = _resolve_model(args)
+    for plan in ("baseline", "sd", "sdf"):
+        result = InferenceSession(
+            model, gpu=args.gpu, plan=plan,
+            seq_len=args.seq_len, batch=args.batch,
+        ).simulate()
+        if baseline is None:
+            baseline = result
+        rows.append([
+            plan,
+            f"{result.total_time * 1e3:.2f} ms",
+            f"{baseline.total_time / result.total_time:.2f}x",
+            f"{result.total_dram_bytes / 1e9:.2f} GB",
+            f"{1 - result.offchip_energy / baseline.offchip_energy:+.0%}",
+        ])
+    return render_table(
+        ["plan", "latency", "speedup", "traffic", "energy saved"], rows,
+    )
+
+
+def cmd_breakdown(args: argparse.Namespace) -> str:
+    stacks = {}
+    for model in all_models():
+        result = InferenceSession(
+            model, gpu=args.gpu, plan="baseline",
+            seq_len=args.seq_len, batch=args.batch,
+        ).simulate()
+        stacks[model.name] = normalized_time_breakdown(result)
+    return render_stacked_bars(stacks)
+
+
+def cmd_libraries(args: argparse.Namespace) -> str:
+    from repro.baselines import all_libraries, simulate_library
+
+    rows = []
+    for lib in all_libraries():
+        result = simulate_library(lib, args.model, gpu=args.gpu,
+                                  seq_len=args.seq_len, batch=args.batch)
+        rows.append([lib.name, f"{result.total_time * 1e3:.2f} ms"])
+    return render_table(["library", "latency"], rows)
+
+
+def cmd_sweep(args: argparse.Namespace) -> str:
+    values = [int(v) for v in args.values.split(",")]
+    rows = []
+    for value in values:
+        kwargs = dict(seq_len=args.seq_len, batch=args.batch)
+        kwargs["seq_len" if args.axis == "seq-len" else "batch"] = value
+        base = InferenceSession(args.model, gpu=args.gpu, plan="baseline",
+                                **kwargs).simulate()
+        sdf = InferenceSession(args.model, gpu=args.gpu, plan="sdf",
+                               **kwargs).simulate()
+        rows.append([value, f"{base.total_time * 1e3:.2f} ms",
+                     f"{base.total_time / sdf.total_time:.2f}x"])
+    return render_table([args.axis, "baseline latency", "SDF speedup"], rows)
+
+
+def cmd_generate(args: argparse.Namespace) -> str:
+    from repro.models.generation import GenerationSession
+
+    result = GenerationSession(
+        args.model, gpu=args.gpu, plan=args.plan,
+        prompt_len=args.seq_len, generated_tokens=args.tokens,
+        batch=args.batch, prefill_chunk=args.prefill_chunk,
+    ).simulate()
+    return render_table(
+        ["phase", "value"],
+        [
+            ["prefill latency", f"{result.prefill_time * 1e3:.2f} ms"],
+            ["decode latency", f"{result.decode_time * 1e3:.2f} ms"],
+            ["per-token latency", f"{result.time_per_token * 1e3:.3f} ms"],
+            ["decode throughput",
+             f"{result.tokens_per_second:.1f} tokens/s"],
+            ["KV cache", f"{result.kv_cache_bytes / 1e6:.1f} MB"],
+        ],
+    )
+
+
+def cmd_trace(args: argparse.Namespace) -> str:
+    from repro.gpu.trace import summarize, to_chrome_trace
+
+    result = InferenceSession(
+        args.model, gpu=args.gpu, plan=args.plan,
+        seq_len=args.seq_len, batch=args.batch,
+    ).simulate()
+    with open(args.output, "w") as handle:
+        handle.write(to_chrome_trace(result.profile))
+    return (f"wrote {len(result.profile)} kernel slices to {args.output}\n\n"
+            + summarize(result.profile))
+
+
+def cmd_parallel(args: argparse.Namespace) -> str:
+    from repro.models.parallel import TensorParallelSession
+
+    model = _resolve_model(args)
+    single = InferenceSession(model, gpu=args.gpu, plan=args.plan,
+                              seq_len=args.seq_len,
+                              batch=args.batch).simulate()
+    rows = [[1, f"{single.total_time * 1e3:.2f} ms", "1.00x", "0%"]]
+    for n in (2, 4, 8):
+        try:
+            tp = TensorParallelSession(
+                model, n_gpus=n, gpu=args.gpu, plan=args.plan,
+                seq_len=args.seq_len, batch=args.batch,
+            ).simulate()
+        except Exception as error:
+            rows.append([n, f"({error})", "-", "-"])
+            continue
+        rows.append([
+            n,
+            f"{tp.total_time * 1e3:.2f} ms",
+            f"{single.total_time / tp.total_time:.2f}x",
+            f"{tp.comm_fraction * 100:.0f}%",
+        ])
+    return render_table(["GPUs", "latency", "scaling", "comm share"], rows)
+
+
+def cmd_roofline(args: argparse.Namespace) -> str:
+    from repro.gpu.roofline import analyze, render_roofline, summary_table
+    from repro.gpu.specs import get_gpu
+
+    result = InferenceSession(
+        _resolve_model(args), gpu=args.gpu, plan=args.plan,
+        seq_len=args.seq_len, batch=args.batch,
+    ).simulate()
+    spec = get_gpu(args.gpu)
+    points = analyze(result.profile, spec)
+    return render_roofline(points, spec) + "\n\n" + summary_table(points, spec)
+
+
+def cmd_footprint(args: argparse.Namespace) -> str:
+    from repro.models.footprint import inference_footprint
+    from repro.models.config import get_model
+
+    model = _resolve_model(args)
+    config = get_model(model) if isinstance(model, str) else model
+    rows = []
+    for plan in ("baseline", "sd", "sdf"):
+        fp = inference_footprint(config, seq_len=args.seq_len,
+                                 batch=args.batch, plan=plan)
+        rows.append([
+            plan,
+            f"{fp.weights / 1e9:.2f}",
+            f"{fp.activations / 1e9:.2f}",
+            f"{fp.attention / 1e9:.2f}",
+            f"{fp.intermediates / 1e9:.3f}",
+            f"{fp.total / 1e9:.2f}",
+        ])
+    return render_table(
+        ["plan", "weights (GB)", "activations (GB)", "attention (GB)",
+         "intermediates (GB)", "total (GB)"], rows,
+    )
+
+
+def cmd_verify(args: argparse.Namespace) -> str:
+    from repro.analysis.verification import verify_reproduction
+
+    return verify_reproduction(quick=args.quick).render()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Softmax recomposition reproduction (IISWC 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="one inference + breakdown")
+    _add_common(p_sim)
+    p_sim.add_argument("--plan", default="baseline")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="baseline vs SD vs SDF")
+    _add_common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_brk = sub.add_parser("breakdown", help="Fig. 2 stacks, all models")
+    _add_common(p_brk)
+    p_brk.set_defaults(func=cmd_breakdown)
+
+    p_lib = sub.add_parser("libraries", help="Fig. 7 library comparison")
+    _add_common(p_lib)
+    p_lib.set_defaults(func=cmd_libraries)
+
+    p_swp = sub.add_parser("sweep", help="Fig. 9 sweeps")
+    _add_common(p_swp)
+    p_swp.add_argument("--axis", choices=("seq-len", "batch"),
+                       default="seq-len")
+    p_swp.add_argument("--values", default="1024,2048,4096,8192")
+    p_swp.set_defaults(func=cmd_sweep)
+
+    p_gen = sub.add_parser("generate", help="prefill + KV-cache decode")
+    _add_common(p_gen)
+    p_gen.set_defaults(model="gpt-neo-1.3b", seq_len=2048)
+    p_gen.add_argument("--plan", default="baseline")
+    p_gen.add_argument("--tokens", type=int, default=64)
+    p_gen.add_argument("--prefill-chunk", type=int, default=0,
+                       help="prefill the prompt in chunks of this many "
+                            "tokens (0 = single shot)")
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_par = sub.add_parser("parallel", help="tensor-parallel scaling")
+    _add_common(p_par)
+    p_par.add_argument("--plan", default="baseline")
+    p_par.set_defaults(func=cmd_parallel)
+
+    p_roof = sub.add_parser("roofline", help="roofline analysis")
+    _add_common(p_roof)
+    p_roof.add_argument("--plan", default="baseline")
+    p_roof.set_defaults(func=cmd_roofline)
+
+    p_fp = sub.add_parser("footprint", help="peak memory footprint")
+    _add_common(p_fp)
+    p_fp.set_defaults(func=cmd_footprint)
+
+    p_ver = sub.add_parser("verify", help="check all paper targets")
+    p_ver.add_argument("--quick", action="store_true",
+                       help="headline targets only")
+    p_ver.set_defaults(func=cmd_verify)
+
+    p_trc = sub.add_parser("trace", help="export a Chrome trace")
+    _add_common(p_trc)
+    p_trc.add_argument("--plan", default="baseline")
+    p_trc.add_argument("--output", default="trace.json")
+    p_trc.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(args.func(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

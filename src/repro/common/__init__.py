@@ -1,0 +1,32 @@
+"""Shared substrate: dtypes, units, validation helpers, and exceptions.
+
+Every other subpackage builds on these primitives.  Keeping them in one
+place ensures the whole library agrees on what "a half-precision
+element" or "a gigabyte per second" means.
+"""
+
+from repro.common.dtypes import DType
+from repro.common.errors import (
+    ConfigError,
+    DeviceError,
+    KernelError,
+    PlanError,
+    ReproError,
+    ShapeError,
+)
+from repro.common.units import GB, GIB, KIB, MIB, TERA
+
+__all__ = [
+    "DType",
+    "ReproError",
+    "ConfigError",
+    "ShapeError",
+    "KernelError",
+    "PlanError",
+    "DeviceError",
+    "KIB",
+    "MIB",
+    "GIB",
+    "GB",
+    "TERA",
+]

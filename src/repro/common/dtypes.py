@@ -1,0 +1,44 @@
+"""Element types used by the simulated kernels.
+
+The paper evaluates FP16 inference with FP32 accumulation (the standard
+tensor-core contract).  :class:`DType` captures the storage format of a
+tensor; kernels always accumulate in float32 regardless of storage.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Storage element type of a simulated tensor."""
+
+    FP16 = "fp16"
+    FP32 = "fp32"
+
+    @property
+    def nbytes(self) -> int:
+        """Size of one element in bytes."""
+        return 2 if self is DType.FP16 else 4
+
+    @property
+    def np(self) -> type:
+        """The numpy scalar type used to store values of this dtype."""
+        return np.float16 if self is DType.FP16 else np.float32
+
+    def quantize(self, array: np.ndarray) -> np.ndarray:
+        """Round ``array`` to this storage format, returned as float32.
+
+        FP16 storage with FP32 compute is modelled by a round-trip
+        through ``np.float16``: values pick up half-precision rounding
+        but downstream arithmetic stays in float32, exactly as a tensor
+        core consumes FP16 operands into an FP32 accumulator.
+        """
+        if self is DType.FP16:
+            return np.asarray(array, dtype=np.float16).astype(np.float32)
+        return np.asarray(array, dtype=np.float32)
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything coming out of this package with one except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A model, device, or plan configuration is invalid."""
+
+
+class ShapeError(ReproError):
+    """Operands have incompatible or unsupported shapes."""
+
+
+class KernelError(ReproError):
+    """A kernel was constructed or launched with invalid arguments."""
+
+
+class PlanError(ReproError):
+    """An execution plan is malformed (e.g. illegal fusion request)."""
+
+
+class DeviceError(ReproError):
+    """The simulated device was misused (e.g. negative traffic counts)."""

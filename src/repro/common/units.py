@@ -1,0 +1,21 @@
+"""Unit constants used throughout the performance model.
+
+Memory capacities use binary prefixes (KiB/MiB/GiB) because that is how
+GPU on-chip memories are specified; bandwidths and FLOP rates use
+decimal prefixes (GB/s, TFLOPS) matching vendor datasheets and Table 1
+of the paper.
+"""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TERA = 1_000_000_000_000
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+PICOJOULE = 1e-12

@@ -1,0 +1,45 @@
+"""Softmax recomposition — the paper's primary contribution.
+
+- :mod:`repro.core.decomposition` — the pure math of Eq. 2 and a
+  high-level :func:`~repro.core.decomposition.decomposed_softmax`;
+- :mod:`repro.core.plan` — the execution plans the evaluation compares
+  (baseline / SD / SDF and the ablation variants) and their
+  attention-matrix sweep counts (Fig. 6);
+- :mod:`repro.core.online` — online (single-pass) softmax [21], the
+  closest prior software optimisation, for comparison;
+- :mod:`repro.core.backward` — the softmax derivative from outputs
+  only (Eq. 3), showing recomposition applies to training (Section 6).
+"""
+
+from repro.core.backward import softmax_backward
+from repro.core.decomposition import (
+    SoftmaxDecomposition,
+    decomposed_softmax,
+)
+from repro.core.graph import Buffer, KernelGraph, Node
+from repro.core.online import online_softmax
+from repro.core.plan import AttentionPlan, attention_matrix_sweeps
+from repro.core.recompose import (
+    build_dense_sda_graph,
+    build_sparse_sda_graph,
+    decompose_softmax_pass,
+    fuse_softmax_pass,
+    recompose,
+)
+
+__all__ = [
+    "AttentionPlan",
+    "attention_matrix_sweeps",
+    "SoftmaxDecomposition",
+    "decomposed_softmax",
+    "online_softmax",
+    "softmax_backward",
+    "KernelGraph",
+    "Node",
+    "Buffer",
+    "build_dense_sda_graph",
+    "build_sparse_sda_graph",
+    "decompose_softmax_pass",
+    "fuse_softmax_pass",
+    "recompose",
+]

@@ -1,0 +1,88 @@
+"""Automatic execution-plan selection.
+
+Given a model / device / shape, simulate each candidate plan and pick
+the fastest — what a deployment engine would do ahead of time.  Plans
+that cannot run at the configuration (TurboTransformers beyond
+L = 1024, the fully fused MHA kernel beyond its shared-memory limit,
+dense-only plans on sparse models) are skipped rather than failed.
+
+``InferenceSession(..., plan="auto")`` uses this with the paper's
+plans; pass ``candidates=ALL_CANDIDATES`` to also consider the
+related-work and forward-looking kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.errors import KernelError, PlanError
+from repro.core.plan import AttentionPlan
+
+#: The paper's own plans (numerically identical, always applicable).
+PAPER_CANDIDATES = (
+    AttentionPlan.BASELINE,
+    AttentionPlan.DECOMPOSED,
+    AttentionPlan.RECOMPOSED,
+)
+
+#: Everything the library implements.
+ALL_CANDIDATES = (
+    AttentionPlan.BASELINE,
+    AttentionPlan.DECOMPOSED,
+    AttentionPlan.RECOMPOSED,
+    AttentionPlan.ONLINE,
+    AttentionPlan.TURBO,
+    AttentionPlan.FULLY_FUSED,
+    AttentionPlan.FLASH,
+)
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """Outcome of plan selection."""
+
+    plan: AttentionPlan
+    #: Candidate -> simulated latency (seconds); None if infeasible.
+    latencies: dict[AttentionPlan, Optional[float]]
+
+    @property
+    def feasible(self) -> dict[AttentionPlan, float]:
+        """Only the candidates that could run."""
+        return {p: t for p, t in self.latencies.items() if t is not None}
+
+    def speedup_over(self, plan: AttentionPlan) -> float:
+        """How much the chosen plan beats ``plan`` (must be feasible)."""
+        return self.latencies[plan] / self.latencies[self.plan]
+
+
+def select_plan(
+    model,
+    *,
+    gpu="A100",
+    seq_len: int = 4096,
+    batch: int = 1,
+    t: int = 64,
+    candidates: Sequence[AttentionPlan] = PAPER_CANDIDATES,
+) -> PlanChoice:
+    """Simulate every candidate and return the fastest feasible plan."""
+    from repro.models.runtime import InferenceSession
+
+    latencies: dict[AttentionPlan, Optional[float]] = {}
+    for plan in candidates:
+        try:
+            result = InferenceSession(
+                model, gpu=gpu, plan=plan, seq_len=seq_len, batch=batch, t=t
+            ).simulate()
+        except (PlanError, KernelError):
+            latencies[plan] = None
+            continue
+        latencies[plan] = result.total_time
+    feasible = {p: t for p, t in latencies.items() if t is not None}
+    if not feasible:
+        raise PlanError(
+            f"no candidate plan is feasible for {model!r} at "
+            f"seq_len={seq_len}"
+        )
+    best = min(feasible, key=feasible.get)
+    return PlanChoice(plan=best, latencies=latencies)

@@ -1,0 +1,46 @@
+"""Softmax backward pass from outputs only (Section 6, Eq. 3).
+
+The Jacobian of softmax is expressible purely in terms of its output::
+
+    dy_i/dx_k = y_i (delta_ik - y_k)
+
+so the backward pass is ``dx = y * (dE/dy - sum_i dE/dy_i * y_i)``.
+Because no *input* needs to be rematerialised, softmax recomposition —
+which avoids storing the softmax input off-chip — remains valid for
+the forward pass of training, not just inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ShapeError
+
+
+def softmax_backward(y: np.ndarray, grad_y: np.ndarray) -> np.ndarray:
+    """Gradient of the loss w.r.t. the softmax *input*, from the softmax
+    *output* ``y`` and the upstream gradient ``grad_y`` (Eq. 3).
+
+    Both arrays share the same shape; softmax was taken along the last
+    axis.
+    """
+    y = np.asarray(y, dtype=np.float32)
+    grad_y = np.asarray(grad_y, dtype=np.float32)
+    if y.shape != grad_y.shape:
+        raise ShapeError(
+            f"softmax_backward: y shape {y.shape} != grad shape {grad_y.shape}"
+        )
+    inner = np.sum(grad_y * y, axis=-1, keepdims=True)
+    return y * (grad_y - inner)
+
+
+def softmax_jacobian(y: np.ndarray) -> np.ndarray:
+    """Dense softmax Jacobian for one row ``y`` (Eq. 3, both cases).
+
+    ``J[i, k] = y_i (1 - y_i)`` when ``i == k`` and ``-y_i y_k``
+    otherwise.  Quadratic in the row length — use only for testing.
+    """
+    y = np.asarray(y, dtype=np.float32)
+    if y.ndim != 1:
+        raise ShapeError(f"softmax_jacobian expects one row, got shape {y.shape}")
+    return np.diag(y) - np.outer(y, y)

@@ -1,0 +1,75 @@
+"""High-level softmax decomposition API (Eq. 2).
+
+The kernel-level pieces live in :mod:`repro.kernels.decomposed`; this
+module packages them as the mathematical transformation the paper
+proposes, independent of any device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.validation import require_positive
+from repro.kernels.decomposed import (
+    global_scaling,
+    inter_reduction,
+    local_softmax,
+)
+
+
+def decomposed_softmax(x: np.ndarray, t: int) -> np.ndarray:
+    """Softmax along the last axis via the LS -> IR -> GS decomposition.
+
+    Mathematically identical to safe softmax for every ``t`` dividing
+    the row length (Eq. 2 of the paper).
+
+    >>> import numpy as np
+    >>> x = np.array([[0.0, 1.0, 2.0, 3.0]])
+    >>> y = decomposed_softmax(x, t=2)
+    >>> float(np.round(y.sum(), 6))
+    1.0
+    """
+    x_prime, m_prime, d_prime = local_softmax(x, t)
+    r_prime = inter_reduction(m_prime, d_prime)
+    return global_scaling(x_prime, r_prime, t)
+
+
+@dataclass(frozen=True)
+class SoftmaxDecomposition:
+    """A reusable decomposition with a fixed sub-vector size ``T``.
+
+    Exposes the three sub-layers individually so callers (and the fused
+    kernels) can interleave other work between them, mirroring how the
+    GPU pipeline separates them in time.
+    """
+
+    t: int
+
+    def __post_init__(self) -> None:
+        require_positive("T", self.t)
+
+    def local(self, x: np.ndarray):
+        """LS: per-sub-vector softmax; returns ``(x', m', d')``."""
+        return local_softmax(x, self.t)
+
+    def reduce(self, m_prime: np.ndarray, d_prime: np.ndarray) -> np.ndarray:
+        """IR: reconstruction factors ``r'`` from the statistics."""
+        return inter_reduction(m_prime, d_prime)
+
+    def scale(self, x_prime: np.ndarray, r_prime: np.ndarray) -> np.ndarray:
+        """GS: final scaling ``y = x' * r'``."""
+        return global_scaling(x_prime, r_prime, self.t)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Full decomposed softmax along the last axis."""
+        return decomposed_softmax(x, self.t)
+
+    def n_subvectors(self, length: int) -> int:
+        """Sub-vectors per row of length ``length``."""
+        if length % self.t != 0:
+            from repro.common.errors import ShapeError
+
+            raise ShapeError(f"row length {length} not divisible by T={self.t}")
+        return length // self.t

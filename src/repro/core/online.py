@@ -1,0 +1,68 @@
+"""Online (single-pass) softmax — Milakov & Gimelshein [21].
+
+The closest prior software optimisation to the paper: the max and the
+normalisation term are produced in one fused sweep by maintaining a
+running maximum ``m`` and rescaling the running sum ``d`` whenever the
+maximum grows::
+
+    m_new = max(m, x_i)
+    d_new = d * exp(m - m_new) + exp(x_i - m_new)
+
+This removes one of the three passes of safe softmax but — as the
+paper's related-work section notes — it does not change the *row-wise*
+data access pattern, so it still cannot be fused with the neighbouring
+MatMuls.  The implementation here is used by the ``ONLINE`` plan and
+the related-work ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def online_softmax(x: np.ndarray) -> np.ndarray:
+    """Single-pass softmax along the last axis.
+
+    Literal element-by-element recurrence (vectorised across rows), so
+    tests can confirm it agrees with safe softmax while exercising the
+    actual online update order.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    lead = x.shape[:-1]
+    length = x.shape[-1]
+    m = np.full(lead, -np.inf, dtype=np.float32)
+    d = np.zeros(lead, dtype=np.float32)
+    for i in range(length):
+        xi = x[..., i]
+        m_new = np.maximum(m, xi)
+        finite = np.isfinite(m_new)
+        safe_m = np.where(finite, m_new, 0.0)
+        d = d * np.exp(np.where(finite, m, safe_m) - safe_m) + np.where(
+            np.isfinite(xi), np.exp(xi - safe_m), 0.0
+        )
+        m = m_new
+    finite_m = np.where(np.isfinite(m), m, 0.0)
+    e = np.where(np.isfinite(x), np.exp(x - finite_m[..., None]), 0.0)
+    return np.divide(
+        e, d[..., None], out=np.zeros_like(e), where=d[..., None] > 0
+    )
+
+
+def online_softmax_statistics(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return the running ``(m, d)`` after one online pass.
+
+    These equal the safe-softmax ``m`` and ``d`` of Eq. 1 — the
+    invariant the online recurrence maintains.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    m = np.full(x.shape[:-1], -np.inf, dtype=np.float32)
+    d = np.zeros(x.shape[:-1], dtype=np.float32)
+    for i in range(x.shape[-1]):
+        xi = x[..., i]
+        m_new = np.maximum(m, xi)
+        safe_m = np.where(np.isfinite(m_new), m_new, 0.0)
+        d = d * np.exp(np.where(np.isfinite(m), m, safe_m) - safe_m) + np.where(
+            np.isfinite(xi), np.exp(xi - safe_m), 0.0
+        )
+        m = m_new
+    return m, d

@@ -1,0 +1,66 @@
+"""The simulated GPU device: times kernel launches and records profiles.
+
+:class:`Device` is the single point through which every kernel in the
+library executes.  Kernels hand it a :class:`~repro.gpu.costmodel.KernelLaunch`
+describing their grid, per-thread-block resources, traffic and FLOPs;
+the device times the launch with the roofline model and appends a
+:class:`~repro.gpu.profiler.KernelRecord` to the active profile.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.costmodel import KernelLaunch, KernelTiming, time_kernel
+from repro.gpu.energy import EnergyModel
+from repro.gpu.profiler import KernelRecord, Profile
+from repro.gpu.specs import GPUSpec, get_gpu
+
+
+class Device:
+    """A simulated GPU executing kernel launches.
+
+    >>> device = Device("A100")
+    >>> device.spec.name
+    'A100'
+    """
+
+    def __init__(self, spec: "GPUSpec | str") -> None:
+        if isinstance(spec, str):
+            spec = get_gpu(spec)
+        self.spec = spec
+        self.profile = Profile()
+        self.energy_model = EnergyModel(spec)
+
+    def reset(self) -> None:
+        """Discard all recorded kernels and start a fresh profile."""
+        self.profile = Profile()
+
+    def launch(self, launch: KernelLaunch) -> KernelTiming:
+        """Time ``launch`` and record it in the active profile."""
+        timing = time_kernel(self.spec, launch)
+        self.profile.add(
+            KernelRecord(
+                name=launch.name,
+                category=launch.category,
+                time=timing.time,
+                dram_read_bytes=launch.dram_read_bytes,
+                dram_write_bytes=launch.dram_write_bytes,
+                tensor_flops=launch.tensor_flops,
+                cuda_flops=launch.cuda_flops,
+                bandwidth_utilization=timing.bandwidth_utilization,
+                bound=timing.bound,
+            )
+        )
+        return timing
+
+    def take_profile(self) -> Profile:
+        """Return the active profile and start a fresh one."""
+        profile = self.profile
+        self.profile = Profile()
+        return profile
+
+    def offchip_energy(self) -> float:
+        """Off-chip access energy of the active profile, joules."""
+        return self.energy_model.offchip_energy(self.profile)
+
+    def __repr__(self) -> str:
+        return f"Device({self.spec.name!r}, kernels={len(self.profile)})"

@@ -1,0 +1,44 @@
+"""Off-chip access energy model.
+
+The paper reports a ~29% reduction in off-chip access energy from
+softmax recomposition.  Off-chip energy is overwhelmingly proportional
+to the bytes moved across the DRAM interface, so the model charges a
+per-byte energy taken from the device's memory technology (HBM2e for
+A100, GDDR6X for RTX 3090, GDDR6 for T4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.profiler import Profile
+from repro.gpu.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Charges off-chip traffic at the device's DRAM energy per byte."""
+
+    spec: GPUSpec
+
+    def offchip_energy(self, profile: Profile) -> float:
+        """Total off-chip access energy of ``profile`` in joules."""
+        return profile.total_dram_bytes() * self.spec.dram_energy_per_byte
+
+    def offchip_energy_by_category(self, profile: Profile) -> dict[str, float]:
+        """Off-chip access energy per kernel category, in joules."""
+        per_byte = self.spec.dram_energy_per_byte
+        return {
+            category: traffic * per_byte
+            for category, traffic in profile.traffic_by_category().items()
+        }
+
+    def saving(self, baseline: Profile, optimized: Profile) -> float:
+        """Fractional energy reduction of ``optimized`` vs ``baseline``.
+
+        Returns e.g. ``0.29`` for a 29% reduction.
+        """
+        base = self.offchip_energy(baseline)
+        if base == 0:
+            return 0.0
+        return 1.0 - self.offchip_energy(optimized) / base

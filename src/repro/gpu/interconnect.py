@@ -1,0 +1,54 @@
+"""GPU-to-GPU interconnect model (for tensor-parallel inference).
+
+Models ring all-reduce over NVLink/NVSwitch: a collective over ``n``
+GPUs moves ``2 (n-1)/n`` of the buffer per GPU through the per-GPU
+link bandwidth, plus per-hop latency.  Used by
+:mod:`repro.models.parallel` to charge the two all-reduces per
+transformer layer that Megatron-style tensor parallelism requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import GB
+from repro.common.validation import require_positive
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Point-to-point interconnect between the GPUs of one server."""
+
+    name: str
+    #: Per-GPU aggregate link bandwidth, bytes/second (one direction).
+    link_bandwidth: float
+    #: Per-hop latency in seconds.
+    hop_latency: float
+
+    def __post_init__(self) -> None:
+        require_positive("link_bandwidth", self.link_bandwidth)
+        require_positive("hop_latency", self.hop_latency)
+
+
+#: NVLink 3 (A100 HGX): 600 GB/s total bidirectional = 300 GB/s each way.
+NVLINK3 = InterconnectSpec(name="NVLink3", link_bandwidth=300 * GB,
+                           hop_latency=3e-6)
+
+#: PCIe 4.0 x16 (what a non-NVLink server falls back to).
+PCIE4 = InterconnectSpec(name="PCIe4x16", link_bandwidth=32 * GB,
+                         hop_latency=5e-6)
+
+
+def allreduce_time(spec: InterconnectSpec, nbytes: float, n_gpus: int) -> float:
+    """Ring all-reduce latency for an ``nbytes`` buffer over ``n`` GPUs.
+
+    Reduce-scatter + all-gather: each GPU sends ``2 (n-1)/n`` of the
+    buffer and traverses ``2 (n-1)`` hops.
+    """
+    if n_gpus < 1:
+        raise ConfigError(f"n_gpus must be >= 1, got {n_gpus}")
+    if n_gpus == 1 or nbytes <= 0:
+        return 0.0
+    volume = 2.0 * (n_gpus - 1) / n_gpus * nbytes
+    return volume / spec.link_bandwidth + 2 * (n_gpus - 1) * spec.hop_latency

@@ -1,0 +1,87 @@
+"""Thread-block occupancy calculator.
+
+Given the per-thread-block resource demand (threads, shared memory,
+registers), compute how many thread blocks fit on one SM and therefore
+how many warps are resident.  This is the standard CUDA occupancy
+calculation and is the mechanism behind the paper's Section 5.1
+observation: the baseline sparse-attention softmax conservatively
+allocates one full row vector (length ``L``) of shared memory per
+thread block, which crushes occupancy; the decomposed Local Softmax
+allocates only one sub-vector (length ``T``), restoring it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import KernelError
+from repro.common.validation import require_non_negative, require_positive
+from repro.gpu.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class TBResources:
+    """Per-thread-block resource demand of a kernel."""
+
+    #: Threads launched per thread block.
+    threads: int
+    #: Static + dynamic shared memory per thread block, bytes.
+    shared_mem: int = 0
+    #: 32-bit registers per thread.
+    registers_per_thread: int = 32
+
+    def __post_init__(self) -> None:
+        require_positive("threads", self.threads)
+        require_non_negative("shared_mem", self.shared_mem)
+        require_positive("registers_per_thread", self.registers_per_thread)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one kernel on one device."""
+
+    #: Resident thread blocks per SM.
+    tbs_per_sm: int
+    #: Resident warps per SM.
+    warps_per_sm: int
+    #: warps_per_sm / device maximum, in (0, 1].
+    fraction: float
+    #: Which resource bound occupancy ("threads", "shared_mem",
+    #: "registers", or "tb_slots").
+    limiter: str
+
+
+def compute_occupancy(spec: GPUSpec, tb: TBResources) -> Occupancy:
+    """Compute resident thread blocks and warps per SM.
+
+    Raises :class:`KernelError` if the thread block cannot run at all
+    (e.g. its shared-memory demand exceeds the SM's carve-out).
+    """
+    warps_per_tb = -(-tb.threads // spec.warp_size)
+
+    limits = {
+        "threads": spec.max_threads_per_sm // (warps_per_tb * spec.warp_size),
+        "tb_slots": spec.max_tbs_per_sm,
+        "registers": spec.registers_per_sm
+        // (tb.registers_per_thread * warps_per_tb * spec.warp_size),
+    }
+    if tb.shared_mem > 0:
+        limits["shared_mem"] = spec.max_shared_mem_per_sm // tb.shared_mem
+
+    limiter = min(limits, key=lambda k: limits[k])
+    tbs_per_sm = limits[limiter]
+    if tbs_per_sm < 1:
+        raise KernelError(
+            f"thread block does not fit on {spec.name}: "
+            f"{limiter} demand too high "
+            f"(threads={tb.threads}, shared_mem={tb.shared_mem}B, "
+            f"regs/thread={tb.registers_per_thread})"
+        )
+
+    warps_per_sm = min(tbs_per_sm * warps_per_tb, spec.max_warps_per_sm)
+    return Occupancy(
+        tbs_per_sm=tbs_per_sm,
+        warps_per_sm=warps_per_sm,
+        fraction=warps_per_sm / spec.max_warps_per_sm,
+        limiter=limiter,
+    )

@@ -1,0 +1,119 @@
+"""Nsight-Compute-like per-kernel profiling records.
+
+The paper measures execution time and off-chip memory accesses with
+NVIDIA Nsight Compute [28]; :class:`Profile` provides the same
+observables for the simulated device: per-kernel records plus
+aggregation by category for the breakdown figures (Fig. 2, Fig. 5,
+Fig. 8).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.common.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One executed kernel: what Nsight Compute would report."""
+
+    name: str
+    category: str
+    time: float
+    dram_read_bytes: float
+    dram_write_bytes: float
+    tensor_flops: float
+    cuda_flops: float
+    bandwidth_utilization: float
+    bound: str
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total off-chip traffic of the kernel."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+
+class Profile:
+    """An ordered collection of :class:`KernelRecord` with aggregations."""
+
+    def __init__(self, records: Iterable[KernelRecord] = ()) -> None:
+        self._records: list[KernelRecord] = list(records)
+
+    def add(self, record: KernelRecord) -> None:
+        """Append one kernel record."""
+        if record.time < 0:
+            raise DeviceError(f"negative kernel time: {record}")
+        self._records.append(record)
+
+    def extend(self, other: "Profile") -> None:
+        """Append all records from ``other`` (e.g. another layer's profile)."""
+        self._records.extend(other._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[KernelRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> tuple[KernelRecord, ...]:
+        """The recorded kernels, in launch order."""
+        return tuple(self._records)
+
+    def total_time(self) -> float:
+        """End-to-end simulated time in seconds."""
+        return sum(record.time for record in self._records)
+
+    def total_dram_bytes(self) -> float:
+        """Total off-chip traffic in bytes."""
+        return sum(record.dram_bytes for record in self._records)
+
+    def total_dram_read_bytes(self) -> float:
+        """Total off-chip read traffic in bytes."""
+        return sum(record.dram_read_bytes for record in self._records)
+
+    def total_dram_write_bytes(self) -> float:
+        """Total off-chip write traffic in bytes."""
+        return sum(record.dram_write_bytes for record in self._records)
+
+    def time_by_category(self) -> dict[str, float]:
+        """Execution time per category (the Fig. 2 / Fig. 8 stacks)."""
+        out: dict[str, float] = defaultdict(float)
+        for record in self._records:
+            out[record.category] += record.time
+        return dict(out)
+
+    def traffic_by_category(self) -> dict[str, float]:
+        """Off-chip traffic per category (the Fig. 8(b) stacks)."""
+        out: dict[str, float] = defaultdict(float)
+        for record in self._records:
+            out[record.category] += record.dram_bytes
+        return dict(out)
+
+    def time_fraction(self, category: str) -> float:
+        """Fraction of total time spent in ``category`` (0 if empty)."""
+        total = self.total_time()
+        if total == 0:
+            return 0.0
+        return self.time_by_category().get(category, 0.0) / total
+
+    def filtered(self, *categories: str) -> "Profile":
+        """A sub-profile containing only the given categories."""
+        wanted = set(categories)
+        return Profile(r for r in self._records if r.category in wanted)
+
+    def scaled(self, repeats: int) -> "Profile":
+        """A profile representing this one executed ``repeats`` times.
+
+        Used to expand a single simulated encoder layer into a full
+        model without re-simulating identical layers.
+        """
+        if repeats < 1:
+            raise DeviceError(f"repeats must be >= 1, got {repeats}")
+        out = Profile()
+        for _ in range(repeats):
+            out._records.extend(self._records)
+        return out

@@ -1,0 +1,133 @@
+"""Roofline analysis of simulated profiles.
+
+Section 3.1 argues from operational intensity: softmax performs five
+operations per element (2.5 Op/B at fp16) while modern GPUs sit above
+25 FLOP/B of machine balance, so softmax is hopelessly memory-bound.
+This module computes exactly that analysis for any profile — per-kernel
+intensity, achieved performance, and the distance to the roofline —
+and renders a terminal roofline plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.reporting import render_table
+from repro.gpu.profiler import Profile
+from repro.gpu.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel (or kernel category) on the roofline plane."""
+
+    name: str
+    #: FLOPs per DRAM byte.
+    intensity: float
+    #: Achieved FLOP/s.
+    performance: float
+    #: Achieved fraction of the roofline at this intensity, in (0, 1].
+    efficiency: float
+
+
+def machine_balance(spec: GPUSpec) -> float:
+    """FLOP/B at which ``spec`` transitions from memory- to
+    compute-bound (tensor peak over memory bandwidth)."""
+    return spec.fp16_tensor_flops / spec.mem_bandwidth
+
+
+def roofline_at(spec: GPUSpec, intensity: float) -> float:
+    """Attainable FLOP/s at ``intensity`` on ``spec``."""
+    return min(spec.fp16_tensor_flops, intensity * spec.mem_bandwidth)
+
+
+def analyze(profile: Profile, spec: GPUSpec,
+            *, by_category: bool = True) -> list[RooflinePoint]:
+    """Roofline points for ``profile`` on ``spec``.
+
+    With ``by_category`` (default) kernels are aggregated per breakdown
+    category; otherwise each launch is its own point.  Kernels that
+    move no bytes or perform no FLOPs are skipped.
+    """
+    groups: dict[str, list] = {}
+    for record in profile:
+        key = record.category if by_category else record.name
+        groups.setdefault(key, []).append(record)
+
+    points = []
+    for name, records in groups.items():
+        flops = sum(r.tensor_flops + r.cuda_flops for r in records)
+        traffic = sum(r.dram_bytes for r in records)
+        time = sum(r.time for r in records)
+        if flops <= 0 or traffic <= 0 or time <= 0:
+            continue
+        intensity = flops / traffic
+        performance = flops / time
+        points.append(RooflinePoint(
+            name=name,
+            intensity=intensity,
+            performance=performance,
+            efficiency=performance / roofline_at(spec, intensity),
+        ))
+    return sorted(points, key=lambda p: p.intensity)
+
+
+def render_roofline(points: list[RooflinePoint], spec: GPUSpec,
+                    *, width: int = 64, height: int = 16) -> str:
+    """ASCII log-log roofline plot with one letter per point."""
+    if not points:
+        return "(no points)"
+    min_i = min(min(p.intensity for p in points), 1.0) / 2
+    max_i = max(max(p.intensity for p in points), machine_balance(spec)) * 2
+    max_p = spec.fp16_tensor_flops * 2
+    min_p = min(p.performance for p in points) / 4
+
+    def col(intensity):
+        return int((math.log10(intensity) - math.log10(min_i))
+                   / (math.log10(max_i) - math.log10(min_i)) * (width - 1))
+
+    def row(performance):
+        frac = ((math.log10(performance) - math.log10(min_p))
+                / (math.log10(max_p) - math.log10(min_p)))
+        return (height - 1) - int(frac * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Draw the roofline itself.
+    for c in range(width):
+        intensity = 10 ** (math.log10(min_i)
+                           + c / (width - 1)
+                           * (math.log10(max_i) - math.log10(min_i)))
+        r = row(roofline_at(spec, intensity))
+        if 0 <= r < height:
+            grid[r][c] = "-" if intensity >= machine_balance(spec) else "/"
+    # Plot the kernels.
+    legend = []
+    for index, point in enumerate(points):
+        glyph = chr(ord("A") + index % 26)
+        r, c = row(point.performance), col(point.intensity)
+        if 0 <= r < height and 0 <= c < width:
+            grid[r][c] = glyph
+        legend.append(
+            f"{glyph}={point.name} ({point.intensity:.1f} FLOP/B, "
+            f"{point.performance / 1e12:.1f} TFLOP/s, "
+            f"{point.efficiency * 100:.0f}% of roof)"
+        )
+    lines = ["".join(r) for r in grid]
+    lines.append(f"machine balance: {machine_balance(spec):.0f} FLOP/B "
+                 f"({spec.name})")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def summary_table(points: list[RooflinePoint], spec: GPUSpec) -> str:
+    """Tabular view of the roofline analysis."""
+    rows = [
+        [p.name, f"{p.intensity:.2f}", f"{p.performance / 1e12:.2f}",
+         f"{p.efficiency * 100:.0f}%",
+         "memory" if p.intensity < machine_balance(spec) else "compute"]
+        for p in points
+    ]
+    return render_table(
+        ["kernel", "FLOP/B", "TFLOP/s", "roof efficiency", "regime"], rows,
+    )

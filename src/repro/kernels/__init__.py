@@ -1,0 +1,59 @@
+"""Simulated GPU kernel library.
+
+Each kernel couples two things that real GPU kernels also couple:
+
+1. **Numerics** — a numpy implementation that computes exactly what the
+   CUDA kernel computes (FP16 storage, FP32 accumulation), used by the
+   correctness tests and the examples;
+2. **Cost** — a :class:`~repro.gpu.costmodel.KernelLaunch` derived from
+   the kernel's tiling (grid size, per-thread-block resources, off-chip
+   traffic, FLOPs), used by the device model to time the launch.
+
+The two views are produced by the same object from the same shape
+parameters, so the performance model and the numerics can never drift
+apart silently.
+"""
+
+from repro.kernels.base import CATEGORY, Kernel, ceil_div
+from repro.kernels.elementwise import (
+    AddBiasGeluKernel,
+    LayerNormKernel,
+    ResidualAddKernel,
+    ScaleMaskKernel,
+)
+from repro.kernels.backward import BlockSparseSoftmaxBackward, SoftmaxBackwardKernel
+from repro.kernels.matmul import MatMulKernel
+from repro.kernels.mha_fused import FullyFusedMHAKernel
+from repro.kernels.softmax import (
+    BatchedRowSoftmaxKernel,
+    OnlineRowSoftmaxKernel,
+    RowSoftmaxKernel,
+)
+from repro.kernels.decomposed import (
+    GlobalScaleKernel,
+    InterReductionKernel,
+    LocalSoftmaxKernel,
+)
+from repro.kernels.fused import FusedGSMatMulKernel, FusedMatMulLSKernel
+
+__all__ = [
+    "Kernel",
+    "CATEGORY",
+    "ceil_div",
+    "MatMulKernel",
+    "RowSoftmaxKernel",
+    "OnlineRowSoftmaxKernel",
+    "BatchedRowSoftmaxKernel",
+    "SoftmaxBackwardKernel",
+    "BlockSparseSoftmaxBackward",
+    "FullyFusedMHAKernel",
+    "ScaleMaskKernel",
+    "AddBiasGeluKernel",
+    "ResidualAddKernel",
+    "LayerNormKernel",
+    "LocalSoftmaxKernel",
+    "InterReductionKernel",
+    "GlobalScaleKernel",
+    "FusedMatMulLSKernel",
+    "FusedGSMatMulKernel",
+]

@@ -1,0 +1,139 @@
+"""Softmax backward kernel (Section 6).
+
+Computes ``dX = Y * (dY - sum(dY * Y, axis=-1, keepdims=True))`` —
+Eq. 3 rearranged — from the softmax *output* only.  Like the forward
+kernel it is a row-per-thread-block reduction (the per-row dot product
+``sum(dY * Y)`` imposes the same strict dependency the forward max/sum
+do), reading two matrices and writing one: three attention-matrix
+sweeps.
+
+Because only ``Y`` is needed, the forward pass never stores the
+softmax *input* off-chip — which is exactly why softmax recomposition
+(whose whole point is not storing intermediate matrices) remains valid
+for the forward pass of training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.common.errors import ShapeError
+from repro.common.validation import require_positive
+from repro.core.backward import softmax_backward
+from repro.gpu.costmodel import KernelLaunch, MLP_REDUCTION, WorkloadShape
+from repro.gpu.occupancy import TBResources
+from repro.gpu.specs import GPUSpec
+from repro.kernels.base import CATEGORY, Kernel
+from repro.kernels.softmax import PHASE_DUTY, _row_threads
+
+
+class SoftmaxBackwardKernel(Kernel):
+    """Row-wise softmax backward: ``(Y, dY) -> dX``."""
+
+    category = CATEGORY.SOFTMAX
+
+    def __init__(
+        self,
+        rows: int,
+        length: int,
+        *,
+        dtype: DType = DType.FP16,
+        name: str = "softmax_backward",
+    ) -> None:
+        require_positive("rows", rows)
+        require_positive("length", length)
+        self.rows = rows
+        self.length = length
+        self.dtype = dtype
+        self.name = name
+
+    def launch_spec(self, spec: GPUSpec) -> KernelLaunch:
+        elements = self.rows * self.length
+        elem_bytes = self.dtype.nbytes
+        return KernelLaunch(
+            name=self.name,
+            category=self.category,
+            tb=TBResources(
+                threads=_row_threads(self.length, spec),
+                # Y and dY rows staged in fp32 for the dot product.
+                shared_mem=2 * self.length * 4,
+            ),
+            shape=WorkloadShape(grid=self.rows),
+            dram_read_bytes=2 * elements * elem_bytes,  # Y and dY
+            dram_write_bytes=elements * elem_bytes,     # dX
+            cuda_flops=4.0 * elements,  # mul+acc dot, subtract, scale
+            issue_fraction=PHASE_DUTY,
+            bytes_in_flight_per_warp=MLP_REDUCTION,
+        )
+
+    def compute(self, y: np.ndarray, grad_y: np.ndarray) -> np.ndarray:
+        """Eq. 3 along the last axis, fp16 storage."""
+        if y.shape[-1] != self.length:
+            raise ShapeError(
+                f"{self.name}: row length {y.shape[-1]}, expected {self.length}"
+            )
+        y = self.dtype.quantize(y)
+        grad_y = self.dtype.quantize(grad_y)
+        return self.dtype.quantize(softmax_backward(y, grad_y))
+
+
+class BlockSparseSoftmaxBackward(Kernel):
+    """Softmax backward over a block-sparse attention matrix.
+
+    Like the forward block-sparse softmax, the baseline implementation
+    provisions one thread block per (worst-case dense) row, so the
+    issue fraction collapses with density; traffic covers only the
+    nonzero blocks of ``Y``, ``dY`` and ``dX``.
+    """
+
+    category = CATEGORY.SOFTMAX
+
+    def __init__(self, layout, batch: int, *, dtype: DType = DType.FP16,
+                 name: str = "bs_softmax_backward") -> None:
+        require_positive("batch", batch)
+        self.layout = layout
+        self.batch = batch
+        self.dtype = dtype
+        self.name = name
+
+    def launch_spec(self, spec: GPUSpec) -> KernelLaunch:
+        layout = self.layout
+        bs = layout.block_size
+        rows = self.batch * layout.seq_len
+        mean_nnz = layout.mean_row_nnz * bs
+        elements = self.batch * layout.nnz_elements()
+        elem_bytes = self.dtype.nbytes
+        return KernelLaunch(
+            name=self.name,
+            category=self.category,
+            tb=TBResources(
+                threads=_row_threads(layout.row_length, spec),
+                shared_mem=2 * layout.row_length * 4,
+            ),
+            shape=WorkloadShape(
+                grid=rows,
+                mean_work=mean_nnz,
+                max_work=float(layout.max_row_nnz * bs),
+            ),
+            dram_read_bytes=2 * elements * elem_bytes,
+            dram_write_bytes=elements * elem_bytes,
+            cuda_flops=4.0 * elements,
+            issue_fraction=PHASE_DUTY * (mean_nnz / layout.row_length),
+            bytes_in_flight_per_warp=MLP_REDUCTION,
+        )
+
+    def compute(self, y, grad_y):
+        """Eq. 3 across each row's nonzero blocks.
+
+        Operands are :class:`~repro.sparse.layout.BlockSparseMatrix`;
+        zero blocks contribute nothing to the per-row dot product.
+        """
+        from repro.sparse.layout import BlockSparseMatrix
+
+        y_dense = y.to_dense()
+        dy_dense = grad_y.to_dense()
+        dx = softmax_backward(self.dtype.quantize(y_dense),
+                              self.dtype.quantize(dy_dense))
+        out = BlockSparseMatrix.from_dense(dx, self.layout)
+        return BlockSparseMatrix(self.layout, self.dtype.quantize(out.data))

@@ -1,0 +1,274 @@
+"""The decomposed softmax sub-layer kernels: LS, IR, and GS (Section 3.2).
+
+Softmax decomposition splits each row vector of the attention matrix
+into ``N_sv = L / T`` sub-vectors of size ``T`` and rewrites safe
+softmax (Eq. 2) as:
+
+- **Local Softmax (LS)** — per sub-vector ``k``: ``m'_k = max_i x_{k,i}``,
+  ``d'_k = sum_i exp(x_{k,i} - m'_k)``, and the locally normalised
+  values ``x'_{k,i} = exp(x_{k,i} - m'_k) / d'_k``;
+- **Inter-sub-vector Reduction (IR)** — per row: ``m = max_k m'_k``,
+  ``d = sum_k exp(m'_k - m) d'_k``, and the reconstruction factor
+  ``r'_k = exp(m'_k - m) d'_k / d``;
+- **Global Scaling (GS)** — ``y_{k,i} = x'_{k,i} * r'_k``.
+
+LS and GS stream square tiles with no cross-tile dependency, matching
+the MatMul data access pattern — which is what makes the fusion of
+Section 3.3 possible.  The pure-math forms live here so they can be
+tested against the monolithic softmax and reused by the fused kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.common.errors import ShapeError
+from repro.common.validation import require_divisible, require_positive
+from repro.gpu.costmodel import (
+    KernelLaunch,
+    MLP_REDUCTION,
+    MLP_STREAMING,
+    WorkloadShape,
+)
+from repro.gpu.occupancy import TBResources
+from repro.gpu.specs import GPUSpec
+from repro.kernels.base import CATEGORY, Kernel, ceil_div
+from repro.kernels.elementwise import _TB_ELEMENTS
+
+#: Bytes of one intermediate scalar (m', d', r' are kept in fp32).
+INTERMEDIATE_BYTES = 4
+
+#: Rows a 256-thread LS/IR thread block processes (one row per warp).
+_ROWS_PER_TB = 8
+
+
+def local_softmax(x: np.ndarray, t: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pure math of the LS sub-layer along the last axis.
+
+    Returns ``(x_prime, m_prime, d_prime)`` where the last axis of
+    ``x`` (length ``L``) is viewed as ``N_sv`` sub-vectors of size
+    ``t``; ``m_prime``/``d_prime`` have trailing shape ``(N_sv,)`` and
+    ``x_prime`` keeps the input shape.  Fully masked (all ``-inf``)
+    sub-vectors yield ``x' = 0`` and ``d' = 0``.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    length = x.shape[-1]
+    if length % t != 0:
+        raise ShapeError(f"row length {length} not divisible by T={t}")
+    sub = x.reshape(x.shape[:-1] + (length // t, t))
+    m_prime = np.max(sub, axis=-1)
+    finite_m = np.where(np.isfinite(m_prime), m_prime, 0.0)
+    e = np.exp(sub - finite_m[..., None])
+    e = np.where(np.isfinite(sub), e, 0.0)
+    d_prime = np.sum(e, axis=-1)
+    x_prime = np.divide(
+        e, d_prime[..., None], out=np.zeros_like(e), where=d_prime[..., None] > 0
+    )
+    return x_prime.reshape(x.shape), m_prime, d_prime
+
+
+def inter_reduction(m_prime: np.ndarray, d_prime: np.ndarray) -> np.ndarray:
+    """Pure math of the IR sub-layer: reconstruction factors ``r'``.
+
+    ``m_prime`` and ``d_prime`` carry sub-vector statistics on the last
+    axis; returns ``r'`` of the same shape, satisfying
+    ``y = x' * r'`` (Eq. 2).  Rows whose every sub-vector is masked
+    (``d' = 0`` everywhere) produce ``r' = 0``.
+    """
+    m_prime = np.asarray(m_prime, dtype=np.float32)
+    d_prime = np.asarray(d_prime, dtype=np.float32)
+    if m_prime.shape != d_prime.shape:
+        raise ShapeError(
+            f"m'/d' shape mismatch: {m_prime.shape} vs {d_prime.shape}"
+        )
+    m = np.max(m_prime, axis=-1, keepdims=True)
+    finite_m = np.where(np.isfinite(m), m, 0.0)
+    scale = np.where(d_prime > 0, np.exp(m_prime - finite_m), 0.0)
+    d = np.sum(scale * d_prime, axis=-1, keepdims=True)
+    return np.divide(
+        scale * d_prime, d, out=np.zeros_like(d_prime), where=d > 0
+    )
+
+
+def global_scaling(x_prime: np.ndarray, r_prime: np.ndarray, t: int) -> np.ndarray:
+    """Pure math of the GS sub-layer: ``y_{k,i} = x'_{k,i} * r'_k``."""
+    x_prime = np.asarray(x_prime, dtype=np.float32)
+    length = x_prime.shape[-1]
+    if length % t != 0:
+        raise ShapeError(f"row length {length} not divisible by T={t}")
+    n_sv = length // t
+    if r_prime.shape[-1] != n_sv:
+        raise ShapeError(
+            f"r' has {r_prime.shape[-1]} sub-vectors, expected {n_sv}"
+        )
+    sub = x_prime.reshape(x_prime.shape[:-1] + (n_sv, t))
+    scaled = sub * np.asarray(r_prime, dtype=np.float32)[..., None]
+    return scaled.reshape(x_prime.shape)
+
+
+class LocalSoftmaxKernel(Kernel):
+    """LS: tile-streaming local softmax over sub-vectors.
+
+    ``num_subvectors`` is the total sub-vector count across all rows,
+    heads and batch items.  For dense attention it is
+    ``rows * L / T``; for block-sparse attention it is
+    ``nnz_blocks * block_size`` (only nonzero sub-vectors exist, which
+    is exactly the finer-grain allocation win of Section 5.1).
+    """
+
+    category = CATEGORY.SOFTMAX
+
+    def __init__(
+        self,
+        num_subvectors: int,
+        t: int,
+        *,
+        dtype: DType = DType.FP16,
+        name: str = "local_softmax",
+    ) -> None:
+        require_positive("num_subvectors", num_subvectors)
+        require_positive("T", t)
+        self.num_subvectors = num_subvectors
+        self.t = t
+        self.dtype = dtype
+        self.name = name
+
+    @property
+    def elements(self) -> int:
+        """Attention-matrix elements this launch touches."""
+        return self.num_subvectors * self.t
+
+    def launch_spec(self, spec: GPUSpec) -> KernelLaunch:
+        elem_bytes = self.dtype.nbytes
+        stats_bytes = 2 * self.num_subvectors * INTERMEDIATE_BYTES
+        grid = ceil_div(self.num_subvectors, _ROWS_PER_TB)
+        return KernelLaunch(
+            name=self.name,
+            category=self.category,
+            tb=TBResources(
+                threads=256,
+                # One sub-vector per warp in fp32 plus per-warp partials.
+                shared_mem=_ROWS_PER_TB * self.t * 4,
+            ),
+            shape=WorkloadShape(grid=grid),
+            dram_read_bytes=self.elements * elem_bytes,
+            dram_write_bytes=self.elements * elem_bytes + stats_bytes,
+            cuda_flops=5.0 * self.elements,
+            bytes_in_flight_per_warp=MLP_STREAMING,
+        )
+
+    def compute(self, x: np.ndarray):
+        """Apply LS along the last axis; returns ``(x', m', d')``."""
+        x = self.dtype.quantize(x)
+        x_prime, m_prime, d_prime = local_softmax(x, self.t)
+        return self.dtype.quantize(x_prime), m_prime, d_prime
+
+
+class InterReductionKernel(Kernel):
+    """IR: reduce per-sub-vector statistics into reconstruction factors.
+
+    Sweeps only the intermediate values — ``1/T`` the size of the
+    attention matrix — which is why its share of the decomposed softmax
+    stays below 12.5% (Fig. 5) and below ~3% of the original softmax
+    time once LS and GS are fused away (Section 5.1).
+    """
+
+    category = CATEGORY.SOFTMAX
+
+    def __init__(
+        self,
+        rows: int,
+        *,
+        mean_subvectors: float,
+        max_subvectors: Optional[float] = None,
+        name: str = "inter_reduction",
+    ) -> None:
+        require_positive("rows", rows)
+        require_positive("mean_subvectors", mean_subvectors)
+        self.rows = rows
+        self.mean_subvectors = mean_subvectors
+        self.max_subvectors = max_subvectors or mean_subvectors
+        self.name = name
+
+    @property
+    def total_stats(self) -> float:
+        """Total (m', d') pairs across all rows."""
+        return self.rows * self.mean_subvectors
+
+    def launch_spec(self, spec: GPUSpec) -> KernelLaunch:
+        read = 2 * self.total_stats * INTERMEDIATE_BYTES
+        write = self.total_stats * INTERMEDIATE_BYTES
+        return KernelLaunch(
+            name=self.name,
+            category=self.category,
+            tb=TBResources(threads=256),
+            shape=WorkloadShape(
+                grid=ceil_div(self.rows, _ROWS_PER_TB),
+                mean_work=self.mean_subvectors,
+                max_work=self.max_subvectors,
+            ),
+            dram_read_bytes=read,
+            dram_write_bytes=write,
+            cuda_flops=6.0 * self.total_stats,
+            # A row's N_sv statistics fit in registers, so IR is a
+            # single streaming pass (read m'/d', write r') with no
+            # barrier-phased row sweeps — unlike the monolithic softmax.
+            bytes_in_flight_per_warp=MLP_STREAMING,
+        )
+
+    def compute(self, m_prime: np.ndarray, d_prime: np.ndarray) -> np.ndarray:
+        """Compute ``r'`` along the last axis (kept in fp32)."""
+        return inter_reduction(m_prime, d_prime)
+
+
+class GlobalScaleKernel(Kernel):
+    """GS: element-wise scaling of ``x'`` by the broadcast ``r'``.
+
+    A pure streaming kernel — each ``r'`` is reused across all ``T``
+    elements of its sub-vector, so the extra read traffic is ``1/T`` of
+    the attention matrix (Section 3.2).
+    """
+
+    category = CATEGORY.SOFTMAX
+
+    def __init__(
+        self,
+        num_subvectors: int,
+        t: int,
+        *,
+        dtype: DType = DType.FP16,
+        name: str = "global_scaling",
+    ) -> None:
+        require_positive("num_subvectors", num_subvectors)
+        require_positive("T", t)
+        self.num_subvectors = num_subvectors
+        self.t = t
+        self.dtype = dtype
+        self.name = name
+
+    @property
+    def elements(self) -> int:
+        """Attention-matrix elements this launch touches."""
+        return self.num_subvectors * self.t
+
+    def launch_spec(self, spec: GPUSpec) -> KernelLaunch:
+        elem_bytes = self.dtype.nbytes
+        return KernelLaunch(
+            name=self.name,
+            category=self.category,
+            tb=TBResources(threads=256),
+            shape=WorkloadShape(grid=ceil_div(self.elements, _TB_ELEMENTS)),
+            dram_read_bytes=self.elements * elem_bytes
+            + self.num_subvectors * INTERMEDIATE_BYTES,
+            dram_write_bytes=self.elements * elem_bytes,
+            cuda_flops=1.0 * self.elements,
+            bytes_in_flight_per_warp=MLP_STREAMING,
+        )
+
+    def compute(self, x_prime: np.ndarray, r_prime: np.ndarray) -> np.ndarray:
+        """Scale ``x'`` (fp16 storage) by ``r'`` along the last axis."""
+        x_prime = self.dtype.quantize(x_prime)
+        return self.dtype.quantize(global_scaling(x_prime, r_prime, self.t))

@@ -1,0 +1,195 @@
+"""Element-wise and row-normalisation kernels.
+
+These are the memory-bound glue layers of the transformer (scale,
+mask, bias+GeLU, residual add, LayerNorm).  Their data access pattern
+is simple, so — as the paper notes in Section 2.3 — they are routinely
+fused into adjacent MatMuls; the standalone kernels here exist for the
+un-fused library baselines (Fig. 7) and for the ``other`` category of
+the breakdown figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.common.errors import ShapeError
+from repro.common.validation import require_positive
+from repro.gpu.costmodel import (
+    KernelLaunch,
+    MLP_REDUCTION,
+    MLP_STREAMING,
+    WorkloadShape,
+)
+from repro.gpu.occupancy import TBResources
+from repro.gpu.specs import GPUSpec
+from repro.kernels.base import CATEGORY, Kernel, ceil_div
+
+#: Elements processed by one 256-thread streaming thread block
+#: (8 elements per thread, a typical grid-stride unroll).
+_TB_ELEMENTS = 2048
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GeLU activation (tanh approximation, as used by BERT/GPT)."""
+    x = np.asarray(x, dtype=np.float32)
+    c = np.float32(np.sqrt(2.0 / np.pi))
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+class _StreamingKernel(Kernel):
+    """Shared cost logic for fully streaming element-wise kernels."""
+
+    def __init__(
+        self,
+        elements: int,
+        *,
+        dtype: DType = DType.FP16,
+        reads_per_element: float = 1.0,
+        writes_per_element: float = 1.0,
+        flops_per_element: float = 1.0,
+        name: str = "elementwise",
+        category: str = CATEGORY.OTHER,
+    ) -> None:
+        require_positive("elements", elements)
+        self.elements = elements
+        self.dtype = dtype
+        self.reads_per_element = reads_per_element
+        self.writes_per_element = writes_per_element
+        self.flops_per_element = flops_per_element
+        self.name = name
+        self.category = category
+
+    def launch_spec(self, spec: GPUSpec) -> KernelLaunch:
+        elem_bytes = self.dtype.nbytes
+        return KernelLaunch(
+            name=self.name,
+            category=self.category,
+            tb=TBResources(threads=256),
+            shape=WorkloadShape(grid=ceil_div(self.elements, _TB_ELEMENTS)),
+            dram_read_bytes=self.elements * self.reads_per_element * elem_bytes,
+            dram_write_bytes=self.elements * self.writes_per_element * elem_bytes,
+            cuda_flops=self.flops_per_element * self.elements,
+            bytes_in_flight_per_warp=MLP_STREAMING,
+        )
+
+
+class ScaleMaskKernel(_StreamingKernel):
+    """Standalone ``x / sqrt(d_head) + mask`` over the attention matrix.
+
+    Only the un-fused library baselines launch this; the paper's
+    baseline (and ours) folds it into the preceding MatMul epilogue.
+    """
+
+    def __init__(self, elements: int, scale: float, *, dtype: DType = DType.FP16,
+                 name: str = "scale_mask") -> None:
+        super().__init__(
+            elements,
+            dtype=dtype,
+            reads_per_element=1.0,
+            writes_per_element=1.0,
+            flops_per_element=2.0,
+            name=name,
+            category=CATEGORY.OTHER,
+        )
+        self.scale = scale
+
+    def compute(self, x: np.ndarray, mask: np.ndarray = None) -> np.ndarray:
+        x = self.dtype.quantize(x).astype(np.float32) * np.float32(self.scale)
+        if mask is not None:
+            x = x + mask
+        return self.dtype.quantize(x)
+
+
+class ResidualAddKernel(_StreamingKernel):
+    """``y = x + residual`` over the hidden matrix."""
+
+    def __init__(self, elements: int, *, dtype: DType = DType.FP16) -> None:
+        super().__init__(
+            elements,
+            dtype=dtype,
+            reads_per_element=2.0,
+            writes_per_element=1.0,
+            flops_per_element=1.0,
+            name="residual_add",
+        )
+
+    def compute(self, x: np.ndarray, residual: np.ndarray) -> np.ndarray:
+        if x.shape != residual.shape:
+            raise ShapeError(
+                f"residual_add: mismatched shapes {x.shape} vs {residual.shape}"
+            )
+        return self.dtype.quantize(
+            self.dtype.quantize(x).astype(np.float32)
+            + self.dtype.quantize(residual).astype(np.float32)
+        )
+
+
+class AddBiasGeluKernel(_StreamingKernel):
+    """``y = gelu(x + bias)`` — the FF block activation."""
+
+    def __init__(self, elements: int, *, dtype: DType = DType.FP16) -> None:
+        super().__init__(
+            elements,
+            dtype=dtype,
+            reads_per_element=1.0,
+            writes_per_element=1.0,
+            flops_per_element=9.0,  # bias add + tanh-GeLU polynomial
+            name="bias_gelu",
+            category=CATEGORY.FEEDFORWARD,
+        )
+
+    def compute(self, x: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        x = self.dtype.quantize(x).astype(np.float32)
+        return self.dtype.quantize(gelu(x + np.asarray(bias, dtype=np.float32)))
+
+
+class LayerNormKernel(Kernel):
+    """Row-wise LayerNorm over the hidden dimension.
+
+    A reduction kernel like softmax, but over the (short) hidden
+    dimension rather than the sequence, so occupancy is never the
+    problem it is for attention rows.
+    """
+
+    category = CATEGORY.OTHER
+
+    def __init__(self, rows: int, width: int, *, dtype: DType = DType.FP16) -> None:
+        require_positive("rows", rows)
+        require_positive("width", width)
+        self.rows = rows
+        self.width = width
+        self.dtype = dtype
+        self.name = "layernorm"
+
+    def launch_spec(self, spec: GPUSpec) -> KernelLaunch:
+        elements = self.rows * self.width
+        elem_bytes = self.dtype.nbytes
+        return KernelLaunch(
+            name=self.name,
+            category=self.category,
+            tb=TBResources(threads=256, shared_mem=self.width * 4),
+            shape=WorkloadShape(grid=self.rows),
+            dram_read_bytes=elements * elem_bytes,
+            dram_write_bytes=elements * elem_bytes,
+            cuda_flops=8.0 * elements,
+            issue_fraction=0.5,  # two of four passes touch DRAM
+            bytes_in_flight_per_warp=MLP_REDUCTION,
+        )
+
+    def compute(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        eps: float = 1e-5,
+    ) -> np.ndarray:
+        if x.shape[-1] != self.width:
+            raise ShapeError(
+                f"layernorm: width {x.shape[-1]}, expected {self.width}"
+            )
+        x = self.dtype.quantize(x).astype(np.float32)
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normed = (x - mean) / np.sqrt(var + np.float32(eps))
+        return self.dtype.quantize(normed * gamma + beta)

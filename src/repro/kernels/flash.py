@@ -1,0 +1,187 @@
+"""FlashAttention-style tiled attention (Dao et al., 2022).
+
+Published the same year as the paper, FlashAttention is the natural
+end point of the ideas softmax recomposition develops: where SDF
+decomposes softmax so its sub-layers fuse into the two MatMuls (still
+materialising the locally softmaxed matrix ``X'`` once), FlashAttention
+keeps a *running* softmax — the online-normaliser recurrence of [21]
+applied per K/V tile — and rescales a resident output accumulator, so
+no attention-sized tensor ever exists:
+
+    for each K/V tile j:
+        S_j   = Q_i @ K_j^T            (in registers)
+        m_new = max(m, rowmax(S_j))
+        P_j   = exp(S_j - m_new)
+        l     = l * exp(m - m_new) + rowsum(P_j)
+        O     = O * exp(m - m_new) + P_j @ V_j
+        m     = m_new
+    O /= l
+
+Shared memory holds only fixed-size tiles — independent of ``L`` — so
+unlike the fully fused MHA kernel (Section 7) it works at any sequence
+length.  The price is extra arithmetic: the exponentials run on the
+CUDA/SFU pipes *inside* the GEMM mainloop, and the output accumulator
+is rescaled once per K/V tile.
+
+Included as a forward-looking comparison plan (``flash``); the
+benchmark suite positions it against SDF.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.common.errors import ShapeError
+from repro.common.validation import require_positive
+from repro.gpu.costmodel import KernelLaunch, MLP_MATMUL, WorkloadShape
+from repro.gpu.occupancy import TBResources
+from repro.gpu.specs import GPUSpec
+from repro.kernels.base import CATEGORY, Kernel, ceil_div
+
+#: Query rows per thread block (the Q tile height).
+TILE_Q = 128
+#: K/V rows per mainloop iteration (the K/V tile height).
+TILE_KV = 128
+
+#: CUDA-core FLOP-equivalents per attention-matrix element for the
+#: in-mainloop softmax: SFU exponent (~4 issue slots at ~50% epilogue
+#: efficiency => 8), running max/sum updates (~4).
+_SOFTMAX_FLOPS = 12.0
+#: Accumulator rescale: d_head multiply-adds per row per K/V tile,
+#: i.e. d_head / TILE_KV per attention element.
+_RESCALE_FLOPS_PER_ELEMENT = 64.0 / TILE_KV
+
+
+class FlashAttentionKernel(Kernel):
+    """Single-kernel tiled attention with online softmax.
+
+    Traffic: Q/K/V in, O out — nothing else.  Compute: both GEMMs on
+    the tensor cores plus the per-element online-softmax work on the
+    CUDA/SFU pipes.
+    """
+
+    category = CATEGORY.MATMUL
+
+    def __init__(
+        self,
+        batch_heads: int,
+        seq_len: int,
+        d_head: int,
+        *,
+        dtype: DType = DType.FP16,
+        scale: float = 1.0,
+        causal: bool = False,
+        name: str = "flash_attention",
+    ) -> None:
+        require_positive("batch_heads", batch_heads)
+        require_positive("seq_len", seq_len)
+        require_positive("d_head", d_head)
+        self.batch_heads = batch_heads
+        self.seq_len = seq_len
+        self.d_head = d_head
+        self.dtype = dtype
+        self.scale = scale
+        self.causal = causal
+        self.name = name
+
+    def _score_elements(self) -> float:
+        """Attention-matrix elements actually computed."""
+        full = self.batch_heads * self.seq_len * self.seq_len
+        # Causal kernels skip tiles entirely above the diagonal.
+        return full / 2 if self.causal else float(full)
+
+    def launch_spec(self, spec: GPUSpec) -> KernelLaunch:
+        elem = self.dtype.nbytes
+        d = self.d_head
+        operand = self.batch_heads * self.seq_len * d * elem
+        # Q tile + double-buffered K and V tiles; the output
+        # accumulator and the m/l statistics live in registers.
+        shared = (TILE_Q * d + 2 * 2 * TILE_KV * d) * elem
+        scores = self._score_elements()
+        return KernelLaunch(
+            name=self.name,
+            category=self.category,
+            tb=TBResources(threads=256, shared_mem=shared,
+                           registers_per_thread=255),
+            shape=WorkloadShape(
+                grid=self.batch_heads * ceil_div(self.seq_len, TILE_Q)
+            ),
+            dram_read_bytes=3 * operand,
+            dram_write_bytes=operand,
+            tensor_flops=2 * 2.0 * scores * d,
+            cuda_flops=(_SOFTMAX_FLOPS + _RESCALE_FLOPS_PER_ELEMENT) * scores,
+            bytes_in_flight_per_warp=MLP_MATMUL,
+        )
+
+    def compute(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """The literal tiled online-softmax algorithm, tile by tile.
+
+        Implemented as the actual FlashAttention recurrence (not a
+        reference softmax), so the tests exercise the rescaling math.
+        """
+        expected = (self.batch_heads, self.seq_len, self.d_head)
+        for label, array in (("Q", q), ("K", k), ("V", v)):
+            if tuple(array.shape) != expected:
+                raise ShapeError(
+                    f"{self.name}: {label} shape {array.shape}, "
+                    f"expected {expected}"
+                )
+        q = self.dtype.quantize(q)
+        k = self.dtype.quantize(k)
+        v = self.dtype.quantize(v)
+        bh, length, d = self.batch_heads, self.seq_len, self.d_head
+        scale = np.float32(self.scale)
+        out = np.zeros((bh, length, d), dtype=np.float32)
+
+        for q0 in range(0, length, TILE_Q):
+            q1 = min(q0 + TILE_Q, length)
+            q_tile = q[:, q0:q1]
+            rows = q1 - q0
+            m = np.full((bh, rows), -np.inf, dtype=np.float32)
+            l = np.zeros((bh, rows), dtype=np.float32)
+            acc = np.zeros((bh, rows, d), dtype=np.float32)
+            for k0 in range(0, length, TILE_KV):
+                k1 = min(k0 + TILE_KV, length)
+                if self.causal and k0 > q1 - 1:
+                    break  # tiles entirely above the diagonal
+                s = np.matmul(q_tile, np.swapaxes(k[:, k0:k1], 1, 2),
+                              dtype=np.float32) * scale
+                if self.causal:
+                    qi = np.arange(q0, q1)[:, None]
+                    kj = np.arange(k0, k1)[None, :]
+                    s = np.where(kj > qi, -np.inf, s)
+                tile_max = s.max(axis=-1)
+                m_new = np.maximum(m, tile_max)
+                safe_m = np.where(np.isfinite(m_new), m_new, 0.0)
+                p = np.where(np.isfinite(s), np.exp(s - safe_m[..., None]),
+                             0.0)
+                correction = np.where(
+                    np.isfinite(m), np.exp(m - safe_m), 0.0
+                )
+                l = l * correction + p.sum(axis=-1)
+                acc = acc * correction[..., None] + np.matmul(
+                    p, v[:, k0:k1], dtype=np.float32
+                )
+                m = m_new
+            out[:, q0:q1] = np.divide(
+                acc, l[..., None], out=np.zeros_like(acc),
+                where=l[..., None] > 0,
+            )
+        return self.dtype.quantize(out)
+
+
+def flash_memory_footprint(batch_heads: int, seq_len: int, d_head: int,
+                           dtype: DType = DType.FP16) -> int:
+    """Extra device memory FlashAttention needs beyond Q/K/V/O: none of
+    attention-matrix size — only the per-row statistics."""
+    return batch_heads * seq_len * 2 * 4  # m and l in fp32
+
+
+def flash_shared_mem(d_head: int, dtype: DType = DType.FP16) -> int:
+    """Shared memory per thread block — independent of sequence length,
+    which is why FlashAttention scales where the fused MHA kernel of
+    Section 7 cannot."""
+    return (TILE_Q * d_head + 4 * TILE_KV * d_head) * dtype.nbytes

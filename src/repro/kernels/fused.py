@@ -1,0 +1,176 @@
+"""Fused MatMul + softmax sub-layer kernels (Section 3.3).
+
+Decomposition makes the softmax sub-layers tile-shaped, so:
+
+- **MatMul ∘ LS** — the ``Q @ K^T`` kernel applies Local Softmax to
+  each output tile before storing it.  Setting the sub-vector size
+  ``T`` equal to the MatMul's output tile width makes each sub-vector
+  land entirely inside one thread block, so no cross-block
+  communication is needed.  The attention matrix is written *already
+  locally softmaxed* (``X'``) together with the per-sub-vector
+  statistics ``m'``/``d'``.
+- **GS ∘ MatMul** — the ``A @ V`` kernel scales each LHS element by its
+  sub-vector's reconstruction factor ``r'`` as it is loaded, consuming
+  ``X'`` directly.
+
+Between them only the (un-fusable) IR kernel runs, sweeping the
+``1/T``-sized intermediates.  Off-chip accesses to the attention
+matrix drop from four sweeps to two (Fig. 6).
+
+The exponent/max/sum work moves into the MatMul's epilogue, which is
+why the paper observes MatMul execution time growing by 28–55% while
+the softmax kernels disappear (Section 5.1); here that shows up as
+CUDA-core FLOPs added to a tensor-core kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.common.errors import ShapeError
+from repro.common.validation import require_divisible
+from repro.kernels.base import CATEGORY, ceil_div
+from repro.kernels.decomposed import (
+    INTERMEDIATE_BYTES,
+    global_scaling,
+    local_softmax,
+)
+from repro.kernels.matmul import MatMulKernel
+
+#: CUDA-core FLOP-equivalents of the LS epilogue per output element.
+#: Roughly 16 raw operations (the exponent occupies ~4 SFU issue slots,
+#: the per-sub-vector max and sum reductions cost ~8 warp-shuffle steps,
+#: plus subtract/normalise), executed at the ~50% issue efficiency
+#: typical of GEMM epilogue code (register-file bound, no dual issue).
+#: This is what makes the fused MatMul measurably slower than the plain
+#: one — the paper's "MatMul execution time increases by 28~55%".
+LS_EPILOGUE_FLOPS = 32.0
+
+#: CUDA-core FLOPs of the GS prologue per LHS element (one multiply).
+GS_PROLOGUE_FLOPS = 1.0
+
+
+class FusedMatMulLSKernel(MatMulKernel):
+    """``Q @ K^T`` with scale/mask and Local Softmax in the epilogue.
+
+    The sub-vector size ``T`` *is* the output tile width (``tile_n``),
+    per Section 3.3: "by setting T of the LS kernel equal to the output
+    tile width of the MatMul kernel, the LS kernel can be fused to its
+    preceding MatMul kernel".
+    """
+
+    def __init__(
+        self,
+        batch: int,
+        m: int,
+        n: int,
+        k: int,
+        t: int,
+        *,
+        dtype: DType = DType.FP16,
+        pre_softmax_epilogue: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        pre_softmax_flops_per_element: float = 0.0,
+        name: str = "sda_qk_ls_fused",
+    ) -> None:
+        require_divisible("n (attention row length)", n, t)
+        super().__init__(
+            batch,
+            m,
+            n,
+            k,
+            dtype=dtype,
+            tile_m=128,
+            tile_n=t,
+            tile_k=min(32, k),
+            epilogue=pre_softmax_epilogue,
+            epilogue_flops_per_element=pre_softmax_flops_per_element,
+            name=name,
+            category=CATEGORY.MATMUL,
+        )
+        self.t = t
+
+    @property
+    def num_subvectors(self) -> int:
+        """Sub-vectors produced: one per row per output-tile column."""
+        return self.batch * self.m * (self.n // self.t)
+
+    def _extra_write_bytes(self) -> float:
+        return 2.0 * self.num_subvectors * INTERMEDIATE_BYTES
+
+    def _extra_cuda_flops(self) -> float:
+        return LS_EPILOGUE_FLOPS * self.batch * self.m * self.n
+
+    def compute(self, a: np.ndarray, b: np.ndarray):
+        """Returns ``(x_prime, m_prime, d_prime)``.
+
+        ``x_prime`` is stored in fp16; the statistics stay in fp32,
+        exactly as the real fused kernel keeps them.
+        """
+        a, b = self._check_operands(a, b)
+        scores = np.matmul(a, b, dtype=np.float32)
+        if self.epilogue is not None:
+            scores = self.epilogue(scores)
+        x_prime, m_prime, d_prime = local_softmax(scores, self.t)
+        return self.dtype.quantize(x_prime), m_prime, d_prime
+
+
+class FusedGSMatMulKernel(MatMulKernel):
+    """``(X' * r') @ V`` — Global Scaling in the MatMul prologue.
+
+    Each LHS element is multiplied by its sub-vector's reconstruction
+    factor as it streams into shared memory; ``r'`` adds only
+    ``1/T``-sized read traffic.
+    """
+
+    def __init__(
+        self,
+        batch: int,
+        m: int,
+        n: int,
+        k: int,
+        t: int,
+        *,
+        dtype: DType = DType.FP16,
+        name: str = "sda_gs_av_fused",
+    ) -> None:
+        require_divisible("k (attention row length)", k, t)
+        super().__init__(
+            batch,
+            m,
+            n,
+            k,
+            dtype=dtype,
+            tile_m=128,
+            tile_n=min(128, max(8, n)),
+            tile_k=32,
+            name=name,
+            category=CATEGORY.MATMUL,
+        )
+        self.t = t
+
+    @property
+    def num_subvectors(self) -> int:
+        """Reconstruction factors consumed: one per LHS row sub-vector."""
+        return self.batch * self.m * (self.k // self.t)
+
+    def _extra_read_bytes(self) -> float:
+        return float(self.num_subvectors * INTERMEDIATE_BYTES)
+
+    def _extra_cuda_flops(self) -> float:
+        return GS_PROLOGUE_FLOPS * self.batch * self.m * self.k
+
+    def compute(
+        self, x_prime: np.ndarray, r_prime: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        """Scale ``x_prime`` by ``r_prime`` and multiply by ``v``."""
+        expect_r = (self.batch, self.m, self.k // self.t)
+        if tuple(r_prime.shape) != expect_r:
+            raise ShapeError(
+                f"{self.name}: r' shape {r_prime.shape}, expected {expect_r}"
+            )
+        x_prime = self.dtype.quantize(x_prime)
+        scaled = global_scaling(x_prime, r_prime, self.t)
+        return super().compute(scaled, v)

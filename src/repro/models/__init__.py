@@ -1,0 +1,78 @@
+"""Transformer models evaluated by the paper.
+
+- :mod:`repro.models.config` — architecture configurations for
+  BERT-large, GPT-Neo-1.3B, BigBird-large and Longformer-large
+  (parameters from the HuggingFace model cards, Section 4);
+- :mod:`repro.models.weights` — deterministic synthetic weights
+  (inference *performance* depends only on shapes);
+- :mod:`repro.models.attention` — the SDA block under each
+  :class:`~repro.core.plan.AttentionPlan`, dense and block-sparse;
+- :mod:`repro.models.layers` — MHA and FF blocks, LayerNorm/residual;
+- :mod:`repro.models.runtime` — :class:`InferenceSession`, the
+  user-facing entry point tying models to simulated devices.
+"""
+
+from repro.models.attention import SDABlock
+from repro.models.config import (
+    AttentionKind,
+    AttentionSpec,
+    BERT_LARGE,
+    BIGBIRD_LARGE,
+    GPT_NEO_1_3B,
+    LONGFORMER_LARGE,
+    ModelConfig,
+    all_models,
+    get_model,
+)
+from repro.models.layers import FFBlock, MHABlock, TransformerLayer
+from repro.models.footprint import MemoryFootprint, inference_footprint
+from repro.models.generation import GenerationResult, GenerationSession
+from repro.models.parallel import (
+    PipelineParallelResult,
+    PipelineParallelSession,
+    TensorParallelResult,
+    TensorParallelSession,
+)
+from repro.models.runtime import InferenceResult, InferenceSession
+from repro.models.seq2seq import (
+    Seq2SeqConfig,
+    Seq2SeqSession,
+    VANILLA_TRANSFORMER_BASE,
+    VANILLA_TRANSFORMER_BIG,
+)
+from repro.models.training import TrainingProfiles, TrainingSDAStep
+from repro.models.weights import LayerWeights, ModelWeights
+
+__all__ = [
+    "AttentionKind",
+    "AttentionSpec",
+    "ModelConfig",
+    "BERT_LARGE",
+    "GPT_NEO_1_3B",
+    "BIGBIRD_LARGE",
+    "LONGFORMER_LARGE",
+    "all_models",
+    "get_model",
+    "LayerWeights",
+    "ModelWeights",
+    "SDABlock",
+    "MHABlock",
+    "FFBlock",
+    "TransformerLayer",
+    "InferenceSession",
+    "InferenceResult",
+    "GenerationSession",
+    "GenerationResult",
+    "TrainingSDAStep",
+    "TrainingProfiles",
+    "Seq2SeqConfig",
+    "Seq2SeqSession",
+    "VANILLA_TRANSFORMER_BASE",
+    "VANILLA_TRANSFORMER_BIG",
+    "TensorParallelSession",
+    "TensorParallelResult",
+    "PipelineParallelSession",
+    "PipelineParallelResult",
+    "inference_footprint",
+    "MemoryFootprint",
+]

@@ -1,0 +1,453 @@
+"""The scaled dot-product attention (SDA) block under every plan.
+
+:class:`SDABlock` assembles the kernel pipeline for one attention
+layer — dense or block-sparse — according to the chosen
+:class:`~repro.core.plan.AttentionPlan`:
+
+========================  ==================================================
+plan                      pipeline
+========================  ==================================================
+``BASELINE``              MatMul(+scale/mask) -> softmax -> MatMul
+``ONLINE``                MatMul(+scale/mask) -> online softmax -> MatMul
+``DECOMPOSED`` (SD)       MatMul(+scale/mask) -> LS -> IR -> GS -> MatMul
+``RECOMPOSED`` (SDF)      MatMul(+scale/mask+LS) -> IR -> (GS+MatMul)
+``FUSED_LS_ONLY``         MatMul(+scale/mask+LS) -> IR -> GS -> MatMul
+``FUSED_GS_ONLY``         MatMul(+scale/mask) -> LS -> IR -> (GS+MatMul)
+========================  ==================================================
+
+Scale and mask ride the first MatMul's epilogue in every plan — the
+paper's baseline already fuses element-wise layers (Section 2.3), so
+the comparison isolates the softmax recomposition itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.common.errors import PlanError, ShapeError
+from repro.common.validation import require_positive
+from repro.core.plan import AttentionPlan
+from repro.gpu.device import Device
+from repro.kernels.base import Kernel
+from repro.kernels.decomposed import (
+    GlobalScaleKernel,
+    InterReductionKernel,
+    LocalSoftmaxKernel,
+)
+from repro.kernels.fused import FusedGSMatMulKernel, FusedMatMulLSKernel
+from repro.kernels.matmul import MatMulKernel
+from repro.kernels.softmax import (
+    BatchedRowSoftmaxKernel,
+    OnlineRowSoftmaxKernel,
+    RowSoftmaxKernel,
+)
+from repro.models.config import AttentionSpec
+from repro.sparse.bsmatmul import (
+    BlockSparseMatMulDSD,
+    BlockSparseMatMulSDD,
+    FusedBSGSMatMulDSD,
+    FusedBSMatMulLSSDD,
+)
+from repro.sparse.bssoftmax import (
+    BlockSparseGS,
+    BlockSparseIR,
+    BlockSparseLS,
+    BlockSparseRowSoftmax,
+)
+
+#: Epilogue cost of scale + additive mask, CUDA-core FLOPs per element.
+_SCALE_MASK_FLOPS = 2.0
+
+
+class _CausalBias:
+    """Additive causal mask, materialised lazily (only when numerics run)."""
+
+    def __init__(self, seq_len: int) -> None:
+        self.seq_len = seq_len
+        self._bias: Optional[np.ndarray] = None
+
+    def __call__(self) -> np.ndarray:
+        if self._bias is None:
+            bias = np.zeros((self.seq_len, self.seq_len), dtype=np.float32)
+            bias[np.triu_indices(self.seq_len, k=1)] = -np.inf
+            self._bias = bias
+        return self._bias
+
+
+def _causal_block_bias(layout, block_index: int) -> np.ndarray:
+    """Additive causal mask for one block of a block-sparse matrix."""
+    bs = layout.block_size
+    bi = layout.block_rows[block_index]
+    bj = layout.block_cols[block_index]
+    rows = np.arange(bi * bs, (bi + 1) * bs)[:, None]
+    cols = np.arange(bj * bs, (bj + 1) * bs)[None, :]
+    return np.where(cols > rows, -np.inf, 0.0).astype(np.float32)
+
+
+class SDABlock:
+    """One scaled dot-product attention block as a kernel pipeline.
+
+    Parameters
+    ----------
+    batch:
+        Inference batch size.
+    num_heads, seq_len, d_head:
+        Attention geometry; kernels fold batch and heads together.
+    spec:
+        The layer's :class:`~repro.models.config.AttentionSpec`.
+    plan:
+        The softmax execution plan (name or enum).
+    t:
+        Sub-vector size for the decomposed plans.  For block-sparse
+        layers the sub-vector is the block width, per Section 3.4.
+    """
+
+    def __init__(
+        self,
+        *,
+        batch: int,
+        num_heads: int,
+        seq_len: int,
+        d_head: int,
+        spec: AttentionSpec,
+        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        dtype: DType = DType.FP16,
+        t: int = 64,
+        layout_seed: int = 0,
+        kv_seq_len: int = 0,
+        key_padding_lengths: "np.ndarray | None" = None,
+    ) -> None:
+        require_positive("batch", batch)
+        require_positive("num_heads", num_heads)
+        require_positive("seq_len", seq_len)
+        require_positive("d_head", d_head)
+        if key_padding_lengths is not None:
+            key_padding_lengths = np.asarray(key_padding_lengths)
+            if key_padding_lengths.shape != (batch,):
+                raise ShapeError(
+                    f"key_padding_lengths must have shape ({batch},), got "
+                    f"{key_padding_lengths.shape}"
+                )
+        self.key_padding_lengths = key_padding_lengths
+        self.batch = batch
+        self.num_heads = num_heads
+        self.seq_len = seq_len
+        # Cross-attention (decoder over encoder memory, Section 2.1)
+        # has a rectangular L_q x L_kv attention matrix.
+        self.kv_seq_len = kv_seq_len or seq_len
+        self.d_head = d_head
+        self.spec = spec
+        self.plan = AttentionPlan.from_name(plan)
+        self.dtype = dtype
+        self.t = t
+        self.scale = 1.0 / math.sqrt(d_head)
+        self.batch_heads = batch * num_heads
+        if self.kv_seq_len != self.seq_len and spec.is_sparse:
+            raise PlanError(
+                "block-sparse layouts are defined for square "
+                "self-attention; cross-attention must be dense"
+            )
+        if key_padding_lengths is not None and (
+            spec.is_sparse
+            or self.plan in (AttentionPlan.FLASH, AttentionPlan.FULLY_FUSED)
+        ):
+            raise PlanError(
+                "key padding masks are supported for the dense epilogue-"
+                "based plans (baseline/sd/sdf/online/turbo)"
+            )
+        self.layout = spec.layout(seq_len, seed=layout_seed)
+        if self.layout is None:
+            self._kernels = self._build_dense()
+        else:
+            if self.plan in (AttentionPlan.ONLINE, AttentionPlan.TURBO,
+                             AttentionPlan.FULLY_FUSED):
+                raise PlanError(
+                    f"the {self.plan.value!r} plan is only implemented for "
+                    f"dense attention"
+                )
+            self._kernels = self._build_sparse()
+
+    # -- pipeline construction ------------------------------------------
+
+    def _padding_bias(self) -> "np.ndarray | None":
+        """Additive key-padding mask, ``(batch*heads, 1, kv_len)``.
+
+        Positions at or beyond each batch item's true length receive
+        ``-inf`` — the standard variable-length-batch mask.  The cost
+        model is unchanged: padded batches still run fixed-shape
+        kernels, which is exactly why serving systems bucket by length.
+        """
+        if self.key_padding_lengths is None:
+            return None
+        positions = np.arange(self.kv_seq_len)[None, :]
+        masked = positions >= self.key_padding_lengths[:, None]
+        bias = np.where(masked, -np.inf, 0.0).astype(np.float32)
+        bias = np.repeat(bias, self.num_heads, axis=0)
+        return bias[:, None, :]
+
+    def _dense_epilogue(self):
+        scale = np.float32(self.scale)
+        padding = self._padding_bias()
+        if self.spec.is_causal:
+            causal = _CausalBias(self.seq_len)
+            if padding is None:
+                return lambda s: s * scale + causal()
+            return lambda s: s * scale + causal() + padding
+        if padding is None:
+            return lambda s: s * scale
+        return lambda s: s * scale + padding
+
+    def _sparse_epilogue(self):
+        scale = np.float32(self.scale)
+        if self.spec.is_causal:
+            def epilogue(blocks, layout):
+                blocks = blocks * scale
+                for idx in range(layout.nnz_blocks):
+                    blocks[:, idx] += _causal_block_bias(layout, idx)
+                return blocks
+
+            return epilogue
+        return lambda blocks, layout: blocks * scale
+
+    def _build_dense(self) -> list[Kernel]:
+        bh, length, d = self.batch_heads, self.seq_len, self.d_head
+        kv_len = self.kv_seq_len
+        rows = bh * length
+        epilogue = self._dense_epilogue()
+        plan = self.plan
+
+        def score():
+            return MatMulKernel(
+                batch=bh, m=length, n=kv_len, k=d, dtype=self.dtype,
+                tile_m=128, tile_n=128, tile_k=min(32, d),
+                epilogue=epilogue,
+                epilogue_flops_per_element=_SCALE_MASK_FLOPS,
+                name="sda_qk_matmul", category="matmul",
+            )
+
+        def value():
+            return MatMulKernel(
+                batch=bh, m=length, n=d, k=kv_len, dtype=self.dtype,
+                tile_m=128, tile_n=min(128, max(8, d)), tile_k=32,
+                name="sda_av_matmul", category="matmul",
+            )
+
+        def fused_score():
+            return FusedMatMulLSKernel(
+                batch=bh, m=length, n=kv_len, k=d, t=self.t, dtype=self.dtype,
+                pre_softmax_epilogue=epilogue,
+                pre_softmax_flops_per_element=_SCALE_MASK_FLOPS,
+            )
+
+        def fused_value():
+            return FusedGSMatMulKernel(
+                batch=bh, m=length, n=d, k=kv_len, t=self.t, dtype=self.dtype
+            )
+
+        def n_sv():
+            if kv_len % self.t != 0:
+                raise ShapeError(
+                    f"attention row length {kv_len} not divisible by "
+                    f"T={self.t}"
+                )
+            return kv_len // self.t
+
+        def ls():
+            return LocalSoftmaxKernel(num_subvectors=rows * n_sv(), t=self.t,
+                                      dtype=self.dtype)
+
+        def ir():
+            return InterReductionKernel(rows=rows, mean_subvectors=n_sv())
+
+        def gs():
+            return GlobalScaleKernel(num_subvectors=rows * n_sv(), t=self.t,
+                                     dtype=self.dtype)
+
+        if plan is AttentionPlan.BASELINE:
+            softmax = RowSoftmaxKernel(rows=rows, length=kv_len,
+                                       dtype=self.dtype)
+            return [score(), softmax, value()]
+        if plan is AttentionPlan.ONLINE:
+            softmax = OnlineRowSoftmaxKernel(rows=rows, length=kv_len,
+                                             dtype=self.dtype)
+            return [score(), softmax, value()]
+        if plan is AttentionPlan.TURBO:
+            softmax = BatchedRowSoftmaxKernel(rows=rows, length=kv_len,
+                                              dtype=self.dtype)
+            return [score(), softmax, value()]
+        if plan is AttentionPlan.DECOMPOSED:
+            return [score(), ls(), ir(), gs(), value()]
+        if plan is AttentionPlan.RECOMPOSED:
+            return [fused_score(), ir(), fused_value()]
+        if plan is AttentionPlan.FUSED_LS_ONLY:
+            return [fused_score(), ir(), gs(), value()]
+        if plan is AttentionPlan.FUSED_GS_ONLY:
+            return [score(), ls(), ir(), fused_value()]
+        if plan is AttentionPlan.FULLY_FUSED:
+            if self.spec.is_causal:
+                raise PlanError(
+                    "the FULLY_FUSED plan does not support causal masks"
+                )
+            if kv_len != length:
+                raise PlanError(
+                    "the FULLY_FUSED plan does not support cross-attention"
+                )
+            from repro.kernels.mha_fused import FullyFusedMHAKernel
+
+            return [FullyFusedMHAKernel(bh, length, d, dtype=self.dtype,
+                                        scale=self.scale)]
+        if plan is AttentionPlan.FLASH:
+            if kv_len != length:
+                raise PlanError(
+                    "the FLASH plan does not support cross-attention"
+                )
+            from repro.kernels.flash import FlashAttentionKernel
+
+            return [FlashAttentionKernel(
+                bh, length, d, dtype=self.dtype, scale=self.scale,
+                causal=self.spec.is_causal,
+            )]
+        raise PlanError(f"unhandled plan {plan}")
+
+    def _build_sparse(self) -> list[Kernel]:
+        bh, d, layout = self.batch_heads, self.d_head, self.layout
+        epilogue = self._sparse_epilogue()
+        plan = self.plan
+
+        score = BlockSparseMatMulSDD(
+            layout, bh, d, dtype=self.dtype,
+            epilogue=epilogue, epilogue_flops_per_element=_SCALE_MASK_FLOPS,
+        )
+        value = BlockSparseMatMulDSD(layout, bh, d, dtype=self.dtype)
+        fused_score = FusedBSMatMulLSSDD(
+            layout, bh, d, dtype=self.dtype,
+            epilogue=epilogue, epilogue_flops_per_element=_SCALE_MASK_FLOPS,
+        )
+        fused_value = FusedBSGSMatMulDSD(layout, bh, d, dtype=self.dtype)
+        ls = BlockSparseLS(layout, bh, dtype=self.dtype)
+        ir = BlockSparseIR(layout, bh)
+        gs = BlockSparseGS(layout, bh, dtype=self.dtype)
+
+        if plan is AttentionPlan.BASELINE:
+            softmax = BlockSparseRowSoftmax(layout, bh, dtype=self.dtype)
+            return [score, softmax, value]
+        if plan is AttentionPlan.DECOMPOSED:
+            return [score, ls, ir, gs, value]
+        if plan is AttentionPlan.RECOMPOSED:
+            return [fused_score, ir, fused_value]
+        if plan is AttentionPlan.FUSED_LS_ONLY:
+            return [fused_score, ir, gs, value]
+        if plan is AttentionPlan.FUSED_GS_ONLY:
+            return [score, ls, ir, fused_value]
+        if plan is AttentionPlan.FLASH:
+            from repro.sparse.bsflash import BlockSparseFlashAttentionKernel
+
+            return [BlockSparseFlashAttentionKernel(
+                layout, bh, d, dtype=self.dtype, scale=self.scale,
+                causal=self.spec.is_causal,
+            )]
+        raise PlanError(f"unhandled plan {plan}")
+
+    # -- execution -------------------------------------------------------
+
+    @property
+    def kernels(self) -> tuple[Kernel, ...]:
+        """The pipeline's kernels, in launch order."""
+        return tuple(self._kernels)
+
+    def simulate(self, device: Device) -> None:
+        """Launch the pipeline on ``device`` without numerics."""
+        for kernel in self._kernels:
+            kernel.simulate(device)
+
+    def forward(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        device: Optional[Device] = None,
+    ) -> np.ndarray:
+        """Numeric attention: ``(batch*heads, L, d_head)`` in and out.
+
+        For cross-attention K and V carry ``kv_seq_len`` rows.
+        """
+        expected_q = (self.batch_heads, self.seq_len, self.d_head)
+        expected_kv = (self.batch_heads, self.kv_seq_len, self.d_head)
+        if tuple(q.shape) != expected_q:
+            raise ShapeError(f"SDA Q shape {q.shape}, expected {expected_q}")
+        for name, array in (("K", k), ("V", v)):
+            if tuple(array.shape) != expected_kv:
+                raise ShapeError(
+                    f"SDA {name} shape {array.shape}, expected {expected_kv}"
+                )
+        if self.layout is None:
+            return self._forward_dense(q, k, v, device)
+        return self._forward_sparse(q, k, v, device)
+
+    def _forward_dense(self, q, k, v, device):
+        kernels = self._kernels
+        k_t = np.swapaxes(k, 1, 2)
+        plan = self.plan
+        if plan in (AttentionPlan.FULLY_FUSED, AttentionPlan.FLASH):
+            (fused,) = kernels
+            return fused.run(device, q, k, v)
+        if plan in (AttentionPlan.BASELINE, AttentionPlan.ONLINE,
+                    AttentionPlan.TURBO):
+            score, softmax, value = kernels
+            return value.run(device, softmax.run(device, score.run(device, q, k_t)), v)
+        if plan is AttentionPlan.DECOMPOSED:
+            score, ls, ir, gs, value = kernels
+            x_prime, m_prime, d_prime = ls.run(device, score.run(device, q, k_t))
+            r_prime = ir.run(device, m_prime, d_prime)
+            return value.run(device, gs.run(device, x_prime, r_prime), v)
+        if plan is AttentionPlan.RECOMPOSED:
+            fused_score, ir, fused_value = kernels
+            x_prime, m_prime, d_prime = fused_score.run(device, q, k_t)
+            r_prime = ir.run(device, m_prime, d_prime)
+            return fused_value.run(device, x_prime, r_prime, v)
+        if plan is AttentionPlan.FUSED_LS_ONLY:
+            fused_score, ir, gs, value = kernels
+            x_prime, m_prime, d_prime = fused_score.run(device, q, k_t)
+            r_prime = ir.run(device, m_prime, d_prime)
+            return value.run(device, gs.run(device, x_prime, r_prime), v)
+        if plan is AttentionPlan.FUSED_GS_ONLY:
+            score, ls, ir, fused_value = kernels
+            x_prime, m_prime, d_prime = ls.run(device, score.run(device, q, k_t))
+            r_prime = ir.run(device, m_prime, d_prime)
+            return fused_value.run(device, x_prime, r_prime, v)
+        raise PlanError(f"unhandled plan {plan}")
+
+    def _forward_sparse(self, q, k, v, device):
+        kernels = self._kernels
+        plan = self.plan
+        if plan is AttentionPlan.FLASH:
+            (fused,) = kernels
+            return fused.run(device, q, k, v)
+        if plan is AttentionPlan.BASELINE:
+            score, softmax, value = kernels
+            return value.run(device, softmax.run(device, score.run(device, q, k)), v)
+        if plan is AttentionPlan.DECOMPOSED:
+            score, ls, ir, gs, value = kernels
+            x_prime, m_prime, d_prime = ls.run(device, score.run(device, q, k))
+            r_prime = ir.run(device, m_prime, d_prime)
+            return value.run(device, gs.run(device, x_prime, r_prime), v)
+        if plan is AttentionPlan.RECOMPOSED:
+            fused_score, ir, fused_value = kernels
+            x_prime, m_prime, d_prime = fused_score.run(device, q, k)
+            r_prime = ir.run(device, m_prime, d_prime)
+            return fused_value.run(device, x_prime, r_prime, v)
+        if plan is AttentionPlan.FUSED_LS_ONLY:
+            fused_score, ir, gs, value = kernels
+            x_prime, m_prime, d_prime = fused_score.run(device, q, k)
+            r_prime = ir.run(device, m_prime, d_prime)
+            return value.run(device, gs.run(device, x_prime, r_prime), v)
+        if plan is AttentionPlan.FUSED_GS_ONLY:
+            score, ls, ir, fused_value = kernels
+            x_prime, m_prime, d_prime = ls.run(device, score.run(device, q, k))
+            r_prime = ir.run(device, m_prime, d_prime)
+            return fused_value.run(device, x_prime, r_prime, v)
+        raise PlanError(f"unhandled plan {plan}")

@@ -1,0 +1,252 @@
+"""Autoregressive generation with a KV cache.
+
+The paper evaluates single-pass (prefill-style) inference over long
+inputs; production GPT serving adds a second phase — token-by-token
+decode against a growing key/value cache.  This module simulates that
+full pipeline so users can see where softmax recomposition matters:
+
+- **prefill** processes the whole prompt at once — the L x L attention
+  matrix dominates and recomposition applies in full;
+- **decode** computes one query row per step — the "attention matrix"
+  is 1 x L per head, far too small to be memory-sweep-bound, so the
+  step is dominated by streaming the weights and the KV cache.
+  Recomposition is honestly irrelevant there, and the simulation shows
+  it.
+
+Decode kernels reuse the library's MatMul/softmax kernels at m = 1
+shapes; the KV cache contributes an append write and a full read per
+layer per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.dtypes import DType
+from repro.common.errors import ConfigError
+from repro.common.validation import require_positive
+from repro.core.plan import AttentionPlan
+from repro.gpu.device import Device
+from repro.gpu.profiler import Profile
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.kernels.base import CATEGORY
+from repro.kernels.elementwise import AddBiasGeluKernel, LayerNormKernel, \
+    ResidualAddKernel
+from repro.kernels.matmul import MatMulKernel
+from repro.kernels.softmax import RowSoftmaxKernel
+from repro.models.config import AttentionKind, ModelConfig, get_model
+from repro.models.runtime import InferenceResult, InferenceSession
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Outcome of one simulated prompt + generation run."""
+
+    model: ModelConfig
+    gpu: GPUSpec
+    plan: AttentionPlan
+    prompt_len: int
+    generated_tokens: int
+    batch: int
+    prefill: InferenceResult
+    decode_profile: Profile
+
+    @property
+    def prefill_time(self) -> float:
+        """Prompt-processing latency in seconds."""
+        return self.prefill.total_time
+
+    @property
+    def decode_time(self) -> float:
+        """Total decode latency in seconds."""
+        return self.decode_profile.total_time()
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end latency in seconds."""
+        return self.prefill_time + self.decode_time
+
+    @property
+    def time_per_token(self) -> float:
+        """Mean decode latency per generated token."""
+        return self.decode_time / self.generated_tokens
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Decode throughput (per batch lane)."""
+        return 1.0 / self.time_per_token
+
+    @property
+    def kv_cache_bytes(self) -> int:
+        """KV cache size at the end of generation."""
+        length = self.prompt_len + self.generated_tokens
+        return (2 * self.batch * self.model.num_layers * length
+                * self.model.d_model * 2)
+
+
+class GenerationSession:
+    """Simulate prompt prefill followed by token-by-token decode.
+
+    >>> session = GenerationSession("gpt-neo-1.3b", prompt_len=2048,
+    ...                             generated_tokens=32)
+    >>> result = session.simulate()
+    >>> result.decode_time > 0
+    True
+    """
+
+    def __init__(
+        self,
+        model: "ModelConfig | str",
+        *,
+        gpu: "GPUSpec | str" = "A100",
+        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        prompt_len: int = 2048,
+        generated_tokens: int = 64,
+        batch: int = 1,
+        dtype: DType = DType.FP16,
+        t: int = 64,
+        prefill_chunk: int = 0,
+    ) -> None:
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.plan = AttentionPlan.from_name(plan)
+        require_positive("prompt_len", prompt_len)
+        require_positive("generated_tokens", generated_tokens)
+        require_positive("batch", batch)
+        if not any(spec.is_causal for spec in self.model.attention):
+            raise ConfigError(
+                f"{self.model.name} is not an autoregressive model; "
+                f"generation needs causal attention"
+            )
+        self.prompt_len = prompt_len
+        self.generated_tokens = generated_tokens
+        self.batch = batch
+        self.dtype = dtype
+        self.t = t
+        if prefill_chunk and prompt_len % prefill_chunk != 0:
+            raise ConfigError(
+                f"prompt_len {prompt_len} not divisible by prefill_chunk "
+                f"{prefill_chunk}"
+            )
+        self.prefill_chunk = prefill_chunk
+
+    # -- decode-step kernels ------------------------------------------------
+
+    def _layer_kernels(self, layer: int, m_tokens: int, kv_len: int,
+                       prefix: str):
+        """Kernel launches of one layer processing ``m_tokens`` new
+        queries against ``kv_len`` cached keys/values.
+
+        ``m_tokens = 1`` is a decode step (every GEMM is a GEMV
+        streaming the weights); ``m_tokens = C`` is one chunked-prefill
+        step (rectangular C x kv_len attention).
+        """
+        config, batch = self.model, self.batch
+        d, dff, heads = config.d_model, config.d_ff, config.num_heads
+        d_head = config.d_head
+        spec = config.layer_attention(layer)
+        if spec.kind is AttentionKind.LOCAL_CAUSAL:
+            attend_len = min(kv_len, spec.window + m_tokens - 1)
+        else:
+            attend_len = kv_len
+        m = m_tokens
+
+        def fc(n, k, name, category):
+            return MatMulKernel(batch=batch, m=m, n=n, k=k, dtype=self.dtype,
+                                tile_m=min(128, max(1, m)), tile_n=128,
+                                tile_k=64, b_shared=True, name=name,
+                                category=category)
+
+        return [
+            fc(d, d, f"{prefix}_q_proj", CATEGORY.FC),
+            fc(d, d, f"{prefix}_k_proj", CATEGORY.FC),
+            fc(d, d, f"{prefix}_v_proj", CATEGORY.FC),
+            # KV-cache append: write this step's K and V rows.
+            _CacheAppendKernel(batch * 2 * m * d, self.dtype),
+            # Attention: m query rows against the cache.
+            MatMulKernel(batch=batch * heads, m=m, n=attend_len, k=d_head,
+                         dtype=self.dtype, tile_m=min(128, max(1, m)),
+                         tile_n=128, tile_k=min(64, d_head),
+                         name=f"{prefix}_qk_matmul",
+                         category=CATEGORY.MATMUL),
+            RowSoftmaxKernel(rows=batch * heads * m, length=attend_len,
+                             dtype=self.dtype, name=f"{prefix}_softmax"),
+            MatMulKernel(batch=batch * heads, m=m, n=d_head, k=attend_len,
+                         dtype=self.dtype, tile_m=min(128, max(1, m)),
+                         tile_n=64, tile_k=64, name=f"{prefix}_av_matmul",
+                         category=CATEGORY.MATMUL),
+            fc(d, d, f"{prefix}_out_proj", CATEGORY.FC),
+            ResidualAddKernel(batch * m * d, dtype=self.dtype),
+            LayerNormKernel(batch * m, d, dtype=self.dtype),
+            fc(dff, d, f"{prefix}_ff1", CATEGORY.FEEDFORWARD),
+            AddBiasGeluKernel(batch * m * dff, dtype=self.dtype),
+            fc(d, dff, f"{prefix}_ff2", CATEGORY.FEEDFORWARD),
+            ResidualAddKernel(batch * m * d, dtype=self.dtype),
+            LayerNormKernel(batch * m, d, dtype=self.dtype),
+        ]
+
+    def _decode_layer_kernels(self, layer: int, kv_len: int):
+        """Kernel launches of one layer for one decode step."""
+        return self._layer_kernels(layer, 1, kv_len, "dec")
+
+    # -- simulation ------------------------------------------------------------
+
+    def _chunked_prefill(self) -> InferenceResult:
+        """Prefill the prompt in chunks of ``prefill_chunk`` tokens.
+
+        Each chunk's queries attend to the whole cache so far — a
+        rectangular ``C x kv`` attention — which bounds the peak
+        attention-matrix memory to ``C x L`` instead of ``L x L`` at a
+        modest latency cost (more, smaller kernel launches).
+        """
+        device = Device(self.gpu)
+        chunk = self.prefill_chunk
+        for start in range(0, self.prompt_len, chunk):
+            kv_len = start + chunk
+            for layer in range(self.model.num_layers):
+                for kernel in self._layer_kernels(layer, chunk, kv_len,
+                                                  "prefill"):
+                    kernel.simulate(device)
+        return InferenceResult(
+            model=self.model, gpu=self.gpu, plan=self.plan,
+            seq_len=self.prompt_len, batch=self.batch,
+            profile=device.take_profile(),
+        )
+
+    def simulate(self) -> GenerationResult:
+        """Cost-only simulation of prefill plus every decode step."""
+        if self.prefill_chunk:
+            prefill = self._chunked_prefill()
+        else:
+            prefill = InferenceSession(
+                self.model, gpu=self.gpu, plan=self.plan,
+                seq_len=self.prompt_len, batch=self.batch,
+                dtype=self.dtype, t=self.t,
+            ).simulate()
+
+        device = Device(self.gpu)
+        for step in range(self.generated_tokens):
+            kv_len = self.prompt_len + step + 1
+            for layer in range(self.model.num_layers):
+                for kernel in self._decode_layer_kernels(layer, kv_len):
+                    kernel.simulate(device)
+        return GenerationResult(
+            model=self.model,
+            gpu=self.gpu,
+            plan=self.plan,
+            prompt_len=self.prompt_len,
+            generated_tokens=self.generated_tokens,
+            batch=self.batch,
+            prefill=prefill,
+            decode_profile=device.take_profile(),
+        )
+
+
+class _CacheAppendKernel(ResidualAddKernel):
+    """Appending this step's K/V rows to the cache: a small write."""
+
+    def __init__(self, elements: int, dtype: DType) -> None:
+        super().__init__(elements, dtype=dtype)
+        self.name = "kv_cache_append"
+        self.reads_per_element = 1.0
+        self.writes_per_element = 1.0

@@ -1,0 +1,291 @@
+"""Tensor-parallel inference (Megatron-style) — an extension beyond the
+paper's single-GPU evaluation.
+
+The MHA block splits by heads (Q/K/V/out projections column/row
+parallel) and the FF block by its hidden dimension; each transformer
+layer then needs two all-reduces of the hidden states (after the
+attention output projection and after FC2).  Softmax recomposition
+applies unchanged within each GPU's shard — every GPU runs the same
+SDA pipeline over ``H/n`` heads — so the speedup survives tensor
+parallelism, diluted only by the communication share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.dtypes import DType
+from repro.common.errors import ConfigError
+from repro.common.validation import require_positive
+from repro.core.plan import AttentionPlan
+from repro.gpu.device import Device
+from repro.gpu.interconnect import InterconnectSpec, NVLINK3, allreduce_time
+from repro.gpu.profiler import KernelRecord, Profile
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.models.config import ModelConfig, get_model
+from repro.models.runtime import InferenceResult
+
+#: Profiler category for collective communication.
+COMM_CATEGORY = "comm"
+
+
+@dataclass(frozen=True)
+class TensorParallelResult:
+    """Outcome of a tensor-parallel inference simulation."""
+
+    result: InferenceResult
+    n_gpus: int
+    interconnect: InterconnectSpec
+
+    @property
+    def total_time(self) -> float:
+        """Per-inference latency (all GPUs run in lockstep)."""
+        return self.result.total_time
+
+    @property
+    def comm_time(self) -> float:
+        """Time spent in all-reduces."""
+        return self.result.profile.time_by_category().get(COMM_CATEGORY, 0.0)
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of latency spent communicating."""
+        return self.comm_time / self.total_time
+
+
+class TensorParallelSession:
+    """Simulate one model sharded across ``n_gpus`` identical devices.
+
+    Megatron sharding: Q/K/V and FC1 are column-parallel (full
+    ``d_model`` in, ``1/n`` slice out), the attention runs over
+    ``H/n`` heads per GPU, out-proj and FC2 are row-parallel, and the
+    two per-layer hidden-state all-reduces are charged to the
+    interconnect.  LayerNorm/residual work replicates on every GPU.
+    """
+
+    def __init__(
+        self,
+        model: "ModelConfig | str",
+        *,
+        n_gpus: int = 2,
+        gpu: "GPUSpec | str" = "A100",
+        interconnect: InterconnectSpec = NVLINK3,
+        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        seq_len: int = 4096,
+        batch: int = 1,
+        dtype: DType = DType.FP16,
+        t: int = 64,
+    ) -> None:
+        require_positive("n_gpus", n_gpus)
+        self.model = get_model(model) if isinstance(model, str) else model
+        if self.model.num_heads % n_gpus != 0:
+            raise ConfigError(
+                f"{self.model.name}: {self.model.num_heads} heads do not "
+                f"shard across {n_gpus} GPUs"
+            )
+        if self.model.d_ff % n_gpus != 0:
+            raise ConfigError(
+                f"{self.model.name}: d_ff={self.model.d_ff} does not shard "
+                f"across {n_gpus} GPUs"
+            )
+        self.n_gpus = n_gpus
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.interconnect = interconnect
+        self.plan = AttentionPlan.from_name(plan)
+        self.seq_len = seq_len
+        self.batch = batch
+        self.dtype = dtype
+        self.t = t
+
+    def _layer_kernels(self, layer: int):
+        """One layer's per-GPU kernels with the Megatron shapes.
+
+        Column-parallel Q/K/V and FC1 consume the full ``d_model``
+        input and produce a ``1/n`` slice; row-parallel out-proj and
+        FC2 consume the slice and produce the full ``d_model`` (summed
+        by the all-reduce).  LayerNorm/residual replicate.
+        """
+        from repro.kernels.base import CATEGORY
+        from repro.kernels.elementwise import (
+            AddBiasGeluKernel,
+            LayerNormKernel,
+            ResidualAddKernel,
+        )
+        from repro.kernels.matmul import MatMulKernel
+        from repro.models.attention import SDABlock
+
+        config, n = self.model, self.n_gpus
+        batch, length = self.batch, self.seq_len
+        d, dff = config.d_model, config.d_ff
+
+        def fc(n_dim, k_dim, name, category):
+            return MatMulKernel(batch=batch, m=length, n=n_dim, k=k_dim,
+                                dtype=self.dtype, b_shared=True, name=name,
+                                category=category)
+
+        sda = SDABlock(
+            batch=batch, num_heads=config.num_heads // n, seq_len=length,
+            d_head=config.d_head, spec=config.layer_attention(layer),
+            plan=self.plan, dtype=self.dtype, t=self.t,
+        )
+        return [
+            fc(d // n, d, "tp_q_proj", CATEGORY.FC),
+            fc(d // n, d, "tp_k_proj", CATEGORY.FC),
+            fc(d // n, d, "tp_v_proj", CATEGORY.FC),
+            *sda.kernels,
+            fc(d, d // n, "tp_out_proj", CATEGORY.FC),
+            ResidualAddKernel(batch * length * d, dtype=self.dtype),
+            LayerNormKernel(batch * length, d, dtype=self.dtype),
+            fc(dff // n, d, "tp_ff1", CATEGORY.FEEDFORWARD),
+            AddBiasGeluKernel(batch * length * dff // n, dtype=self.dtype),
+            fc(d, dff // n, "tp_ff2", CATEGORY.FEEDFORWARD),
+            ResidualAddKernel(batch * length * d, dtype=self.dtype),
+            LayerNormKernel(batch * length, d, dtype=self.dtype),
+        ]
+
+    def simulate(self) -> TensorParallelResult:
+        """Cost-only tensor-parallel inference."""
+        device = Device(self.gpu)
+        profile = Profile()
+        hidden_bytes = (self.batch * self.seq_len * self.model.d_model
+                        * self.dtype.nbytes)
+        comm = allreduce_time(self.interconnect, hidden_bytes, self.n_gpus)
+
+        layer_of_spec = {
+            self.model.layer_attention(layer): layer
+            for layer in range(self.model.num_layers)
+        }
+        for spec, count in self.model.unique_layer_specs():
+            for kernel in self._layer_kernels(layer_of_spec[spec]):
+                kernel.simulate(device)
+            layer_profile = device.take_profile()
+            # Two all-reduces per layer: post-attention and post-FF.
+            for index in range(2):
+                layer_profile.add(KernelRecord(
+                    name=f"allreduce_{index}",
+                    category=COMM_CATEGORY,
+                    time=comm,
+                    dram_read_bytes=hidden_bytes,
+                    dram_write_bytes=hidden_bytes,
+                    tensor_flops=0.0,
+                    cuda_flops=0.0,
+                    bandwidth_utilization=0.0,
+                    bound="memory",
+                ))
+            profile.extend(layer_profile.scaled(count))
+
+        return TensorParallelResult(
+            result=InferenceResult(
+                model=self.model,
+                gpu=self.gpu,
+                plan=self.plan,
+                seq_len=self.seq_len,
+                batch=self.batch,
+                profile=profile,
+            ),
+            n_gpus=self.n_gpus,
+            interconnect=self.interconnect,
+        )
+
+
+@dataclass(frozen=True)
+class PipelineParallelResult:
+    """Outcome of a pipeline-parallel inference simulation."""
+
+    stage_time: float
+    n_stages: int
+    microbatches: int
+    comm_per_boundary: float
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Idle fraction from pipeline fill/drain:
+        ``(stages - 1) / (microbatches + stages - 1)``."""
+        return (self.n_stages - 1) / (self.microbatches + self.n_stages - 1)
+
+    @property
+    def total_time(self) -> float:
+        """Latency of the whole batch through the pipeline.
+
+        Each of ``microbatches + stages - 1`` pipeline ticks costs one
+        stage time plus one activation transfer.
+        """
+        ticks = self.microbatches + self.n_stages - 1
+        return ticks * (self.stage_time + self.comm_per_boundary)
+
+    @property
+    def throughput_efficiency(self) -> float:
+        """Useful fraction of device-time (1 - bubble, ignoring comm)."""
+        return 1.0 - self.bubble_fraction
+
+
+class PipelineParallelSession:
+    """Layer-wise pipeline parallelism (GPipe-style, inference).
+
+    The layer stack splits into ``n_stages`` contiguous stages; the
+    batch splits into ``microbatches`` that stream through.  Per-stage
+    compute reuses the single-GPU layer simulation; stage boundaries
+    ship one microbatch of hidden states point to point.
+
+    Complementary to :class:`TensorParallelSession`: tensor parallelism
+    cuts *latency* (every GPU works on every token), pipelining cuts
+    nothing off the single-request latency but scales *throughput* with
+    far less communication.
+    """
+
+    def __init__(
+        self,
+        model: "ModelConfig | str",
+        *,
+        n_stages: int = 2,
+        microbatches: int = 4,
+        gpu: "GPUSpec | str" = "A100",
+        interconnect: InterconnectSpec = NVLINK3,
+        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        seq_len: int = 4096,
+        batch: int = 4,
+        dtype: DType = DType.FP16,
+        t: int = 64,
+    ) -> None:
+        require_positive("n_stages", n_stages)
+        require_positive("microbatches", microbatches)
+        self.model = get_model(model) if isinstance(model, str) else model
+        if self.model.num_layers % n_stages != 0:
+            raise ConfigError(
+                f"{self.model.name}: {self.model.num_layers} layers do not "
+                f"split across {n_stages} stages"
+            )
+        if batch % microbatches != 0:
+            raise ConfigError(
+                f"batch {batch} not divisible into {microbatches} microbatches"
+            )
+        self.n_stages = n_stages
+        self.microbatches = microbatches
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.interconnect = interconnect
+        self.plan = AttentionPlan.from_name(plan)
+        self.seq_len = seq_len
+        self.batch = batch
+        self.dtype = dtype
+        self.t = t
+
+    def simulate(self) -> PipelineParallelResult:
+        """Cost-only pipeline-parallel inference of one batch."""
+        from repro.models.runtime import InferenceSession
+
+        micro = self.batch // self.microbatches
+        one_microbatch = InferenceSession(
+            self.model, gpu=self.gpu, plan=self.plan,
+            seq_len=self.seq_len, batch=micro, dtype=self.dtype, t=self.t,
+        ).simulate()
+        stage_time = one_microbatch.total_time / self.n_stages
+        activation_bytes = (micro * self.seq_len * self.model.d_model
+                            * self.dtype.nbytes)
+        comm = (activation_bytes / self.interconnect.link_bandwidth
+                + self.interconnect.hop_latency)
+        return PipelineParallelResult(
+            stage_time=stage_time,
+            n_stages=self.n_stages,
+            microbatches=self.microbatches,
+            comm_per_boundary=comm,
+        )

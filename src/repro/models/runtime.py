@@ -1,0 +1,200 @@
+"""Inference runtime: run a model on a simulated device.
+
+:class:`InferenceSession` is the user-facing entry point.  Two modes:
+
+- :meth:`InferenceSession.simulate` — cost-only execution at full
+  paper scale (L = 4096 attention matrices are never materialised);
+  identical layers are timed once and the profile replicated.
+- :meth:`InferenceSession.forward` — numeric execution for
+  correctness tests and small-scale demos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.common.errors import ConfigError
+from repro.core.plan import AttentionPlan
+from repro.gpu.device import Device
+from repro.gpu.energy import EnergyModel
+from repro.gpu.profiler import Profile
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.models.config import ModelConfig, get_model
+from repro.models.layers import TransformerLayer
+from repro.models.weights import ModelWeights
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Outcome of one simulated inference."""
+
+    model: ModelConfig
+    gpu: GPUSpec
+    plan: AttentionPlan
+    seq_len: int
+    batch: int
+    profile: Profile
+    #: Per-layer-group profiles: (group label, layer count, one-layer
+    #: profile).  Populated by :meth:`InferenceSession.simulate`.
+    layer_groups: tuple = ()
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end latency in seconds."""
+        return self.profile.total_time()
+
+    @property
+    def total_dram_bytes(self) -> float:
+        """Total off-chip traffic in bytes."""
+        return self.profile.total_dram_bytes()
+
+    @property
+    def offchip_energy(self) -> float:
+        """Off-chip access energy in joules."""
+        return EnergyModel(self.gpu).offchip_energy(self.profile)
+
+    def time_breakdown(self) -> dict[str, float]:
+        """Execution time per kernel category (Fig. 2 stacks)."""
+        return self.profile.time_by_category()
+
+    def traffic_breakdown(self) -> dict[str, float]:
+        """Off-chip traffic per kernel category (Fig. 8(b) stacks)."""
+        return self.profile.traffic_by_category()
+
+    def softmax_time_fraction(self) -> float:
+        """Fraction of latency spent in softmax kernels."""
+        return self.profile.time_fraction("softmax")
+
+    def speedup_over(self, baseline: "InferenceResult") -> float:
+        """``baseline.total_time / self.total_time``."""
+        return baseline.total_time / self.total_time
+
+    def layer_summary(self) -> list[tuple[str, int, float, float]]:
+        """Per-layer-group rows: (label, layer count, per-layer latency
+        seconds, share of total time)."""
+        total = self.total_time or 1.0
+        return [
+            (label, count, profile.total_time(),
+             profile.total_time() * count / total)
+            for label, count, profile in self.layer_groups
+        ]
+
+
+class InferenceSession:
+    """Configured model + device + plan, ready to simulate or run.
+
+    >>> session = InferenceSession("bert-large", gpu="A100",
+    ...                            plan="sdf", seq_len=4096)
+    >>> result = session.simulate()
+    >>> result.total_time > 0
+    True
+    """
+
+    def __init__(
+        self,
+        model: "ModelConfig | str",
+        *,
+        gpu: "GPUSpec | str" = "A100",
+        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        seq_len: int = 4096,
+        batch: int = 1,
+        dtype: DType = DType.FP16,
+        t: int = 64,
+        layout_seed: int = 0,
+        weight_seed: int = 0,
+    ) -> None:
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        if isinstance(plan, str) and plan.lower() == "auto":
+            from repro.core.autotune import select_plan
+
+            plan = select_plan(
+                self.model, gpu=self.gpu, seq_len=seq_len, batch=batch, t=t
+            ).plan
+        self.plan = AttentionPlan.from_name(plan)
+        if seq_len < 1:
+            raise ConfigError(f"seq_len must be positive, got {seq_len}")
+        if batch < 1:
+            raise ConfigError(f"batch must be positive, got {batch}")
+        self.seq_len = seq_len
+        self.batch = batch
+        self.dtype = dtype
+        self.t = t
+        self.layout_seed = layout_seed
+        self.weights = ModelWeights(self.model, seed=weight_seed)
+
+    def _make_layer(self, layer: int) -> TransformerLayer:
+        return TransformerLayer(
+            self.model,
+            layer,
+            batch=self.batch,
+            seq_len=self.seq_len,
+            plan=self.plan,
+            dtype=self.dtype,
+            t=self.t,
+            layout_seed=self.layout_seed,
+        )
+
+    def simulate(self) -> InferenceResult:
+        """Cost-only inference at full scale.
+
+        Layers sharing an attention spec produce identical kernels, so
+        each distinct spec is simulated once and its profile replicated.
+        """
+        device = Device(self.gpu)
+        profile = Profile()
+        layer_groups = []
+        layer_of_spec = {
+            spec: layer
+            for layer in range(self.model.num_layers)
+            for spec in [self.model.layer_attention(layer)]
+        }
+        for spec, count in self.model.unique_layer_specs():
+            layer = self._make_layer(layer_of_spec[spec])
+            layer.simulate(device)
+            layer_profile = device.take_profile()
+            layer_groups.append((spec.kind.value, count, layer_profile))
+            profile.extend(layer_profile.scaled(count))
+        return InferenceResult(
+            model=self.model,
+            gpu=self.gpu,
+            plan=self.plan,
+            seq_len=self.seq_len,
+            batch=self.batch,
+            profile=profile,
+            layer_groups=tuple(layer_groups),
+        )
+
+    def forward(
+        self, hidden: np.ndarray, *, with_device: bool = False
+    ):
+        """Numeric inference over ``(batch, L, D)`` hidden states.
+
+        Returns the output hidden states, or ``(output, result)`` when
+        ``with_device`` is set.  Intended for small ``seq_len``; the
+        attention matrices are materialised.
+        """
+        expected = (self.batch, self.seq_len, self.model.d_model)
+        if tuple(hidden.shape) != expected:
+            raise ConfigError(
+                f"hidden shape {hidden.shape}, expected {expected}"
+            )
+        device = Device(self.gpu) if with_device else None
+        for layer in range(self.model.num_layers):
+            hidden = self._make_layer(layer).forward(
+                hidden, self.weights.layer(layer), device
+            )
+        if with_device:
+            result = InferenceResult(
+                model=self.model,
+                gpu=self.gpu,
+                plan=self.plan,
+                seq_len=self.seq_len,
+                batch=self.batch,
+                profile=device.take_profile(),
+            )
+            return hidden, result
+        return hidden

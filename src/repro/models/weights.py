@@ -1,0 +1,79 @@
+"""Deterministic synthetic model weights.
+
+The paper loads pre-trained HuggingFace checkpoints; inference
+*performance* depends only on tensor shapes, so this reproduction
+generates weights from a seeded RNG (substitution documented in
+DESIGN.md).  Values use the standard transformer initialisation
+(normal, std 0.02) so activations stay in a realistic fp16 range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+
+_INIT_STD = 0.02
+
+
+@dataclass(frozen=True)
+class LayerWeights:
+    """Parameters of one transformer layer."""
+
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    w_ff1: np.ndarray
+    b_ff1: np.ndarray
+    w_ff2: np.ndarray
+    b_ff2: np.ndarray
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+    ln2_gamma: np.ndarray
+    ln2_beta: np.ndarray
+
+
+def make_layer_weights(
+    config: ModelConfig, layer: int, *, seed: int = 0
+) -> LayerWeights:
+    """Weights for layer ``layer``, deterministic in ``(config, seed)``."""
+    rng = np.random.default_rng((seed, layer, hash(config.name) & 0xFFFF))
+    d, dff = config.d_model, config.d_ff
+
+    def w(shape):
+        return (rng.standard_normal(shape) * _INIT_STD).astype(np.float32)
+
+    return LayerWeights(
+        wq=w((d, d)),
+        wk=w((d, d)),
+        wv=w((d, d)),
+        wo=w((d, d)),
+        w_ff1=w((d, dff)),
+        b_ff1=np.zeros(dff, dtype=np.float32),
+        w_ff2=w((dff, d)),
+        b_ff2=np.zeros(d, dtype=np.float32),
+        ln1_gamma=np.ones(d, dtype=np.float32),
+        ln1_beta=np.zeros(d, dtype=np.float32),
+        ln2_gamma=np.ones(d, dtype=np.float32),
+        ln2_beta=np.zeros(d, dtype=np.float32),
+    )
+
+
+class ModelWeights:
+    """Lazily generated, cached per-layer weights for one model."""
+
+    def __init__(self, config: ModelConfig, *, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self._cache: dict[int, LayerWeights] = {}
+
+    def layer(self, layer: int) -> LayerWeights:
+        """Weights of layer ``layer`` (generated on first access)."""
+        if layer not in self._cache:
+            self._cache[layer] = make_layer_weights(
+                self.config, layer, seed=self.seed
+            )
+        return self._cache[layer]

@@ -1,0 +1,58 @@
+"""Block-sparse attention substrate.
+
+Sparse attention (BigBird, Longformer, GPT-Neo local attention) is
+expressed in the block-sparse format the paper adopts from [10, 36]:
+sparsity is defined on square blocks, computation inside a block is
+dense (tensor-core friendly), and zero blocks are skipped entirely.
+
+- :mod:`repro.sparse.layout` — the block mask and its statistics;
+- :mod:`repro.sparse.patterns` — layout generators for the models the
+  paper evaluates;
+- :mod:`repro.sparse.bsmatmul` — SDD (dense x dense -> sparse) and DSD
+  (sparse x dense -> dense) MatMul kernels, DeepSpeed/Triton style;
+- :mod:`repro.sparse.bssoftmax` — block-sparse softmax: the monolithic
+  baseline, the decomposed LS/IR/GS sub-layers, and the fused variants.
+"""
+
+from repro.sparse.layout import BlockSparseLayout, BlockSparseMatrix
+from repro.sparse.patterns import (
+    bigbird_layout,
+    causal_layout,
+    dense_layout,
+    gpt_neo_local_layout,
+    longformer_layout,
+    sliding_window_layout,
+    strided_layout,
+)
+from repro.sparse.bsmatmul import (
+    BlockSparseMatMulDSD,
+    BlockSparseMatMulSDD,
+    FusedBSGSMatMulDSD,
+    FusedBSMatMulLSSDD,
+)
+from repro.sparse.bssoftmax import (
+    BlockSparseGS,
+    BlockSparseIR,
+    BlockSparseLS,
+    BlockSparseRowSoftmax,
+)
+
+__all__ = [
+    "BlockSparseLayout",
+    "BlockSparseMatrix",
+    "dense_layout",
+    "sliding_window_layout",
+    "causal_layout",
+    "strided_layout",
+    "bigbird_layout",
+    "longformer_layout",
+    "gpt_neo_local_layout",
+    "BlockSparseMatMulSDD",
+    "BlockSparseMatMulDSD",
+    "FusedBSMatMulLSSDD",
+    "FusedBSGSMatMulDSD",
+    "BlockSparseRowSoftmax",
+    "BlockSparseLS",
+    "BlockSparseIR",
+    "BlockSparseGS",
+]

@@ -1,0 +1,133 @@
+"""Block-sparse FlashAttention.
+
+The tiled online-softmax kernel of :mod:`repro.kernels.flash` restricted
+to a block-sparse layout: each thread block owns one block row of
+queries and iterates only that row's nonzero K/V blocks, maintaining
+the running max / normaliser / output accumulator.  Like the dense
+variant it materialises no attention-sized tensor; like the
+block-sparse MatMuls its per-row work is irregular (the load-imbalance
+effect of Section 5.2 applies).
+
+This is the Triton block-sparse FlashAttention design, provided so the
+sparse models (BigBird, Longformer, GPT-Neo local layers) can run the
+forward-looking ``flash`` plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.common.errors import ShapeError
+from repro.common.validation import require_positive
+from repro.gpu.costmodel import KernelLaunch, MLP_MATMUL, WorkloadShape
+from repro.gpu.occupancy import TBResources
+from repro.gpu.specs import GPUSpec
+from repro.kernels.base import CATEGORY, Kernel
+from repro.kernels.flash import _RESCALE_FLOPS_PER_ELEMENT, _SOFTMAX_FLOPS
+from repro.sparse.layout import BlockSparseLayout
+
+
+class BlockSparseFlashAttentionKernel(Kernel):
+    """One-kernel block-sparse attention with online softmax."""
+
+    category = CATEGORY.MATMUL
+
+    def __init__(
+        self,
+        layout: BlockSparseLayout,
+        batch_heads: int,
+        d_head: int,
+        *,
+        dtype: DType = DType.FP16,
+        scale: float = 1.0,
+        causal: bool = False,
+        name: str = "bs_flash_attention",
+    ) -> None:
+        require_positive("batch_heads", batch_heads)
+        require_positive("d_head", d_head)
+        self.layout = layout
+        self.batch_heads = batch_heads
+        self.d_head = d_head
+        self.dtype = dtype
+        self.scale = scale
+        self.causal = causal
+        self.name = name
+
+    def launch_spec(self, spec: GPUSpec) -> KernelLaunch:
+        layout, d = self.layout, self.d_head
+        elem = self.dtype.nbytes
+        operand = self.batch_heads * layout.seq_len * d * elem
+        bs = layout.block_size
+        shared = (bs * d + 4 * bs * d) * elem  # Q tile + 2x K/V buffers
+        elements = self.batch_heads * layout.nnz_elements()
+        return KernelLaunch(
+            name=self.name,
+            category=self.category,
+            tb=TBResources(threads=256, shared_mem=shared,
+                           registers_per_thread=255),
+            shape=WorkloadShape(
+                grid=self.batch_heads * layout.n_block_rows,
+                mean_work=layout.mean_row_nnz,
+                max_work=float(layout.max_row_nnz),
+            ),
+            dram_read_bytes=3 * operand,
+            dram_write_bytes=operand,
+            tensor_flops=2 * 2.0 * elements * d,
+            cuda_flops=(
+                _SOFTMAX_FLOPS
+                + _RESCALE_FLOPS_PER_ELEMENT
+            ) * elements,
+            bytes_in_flight_per_warp=MLP_MATMUL,
+            compute_efficiency_scale=0.5,  # same small-tile derate as
+            # the Triton block-sparse GEMMs
+        )
+
+    def compute(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """The block-row online-softmax recurrence, nonzero blocks only."""
+        layout, bs, d = self.layout, self.layout.block_size, self.d_head
+        expected = (self.batch_heads, layout.seq_len, d)
+        for label, array in (("Q", q), ("K", k), ("V", v)):
+            if tuple(array.shape) != expected:
+                raise ShapeError(
+                    f"{self.name}: {label} shape {array.shape}, "
+                    f"expected {expected}"
+                )
+        q = self.dtype.quantize(q)
+        k = self.dtype.quantize(k)
+        v = self.dtype.quantize(v)
+        bh = self.batch_heads
+        scale = np.float32(self.scale)
+        out = np.zeros((bh, layout.seq_len, d), dtype=np.float32)
+
+        for block_row in range(layout.n_block_rows):
+            q0 = block_row * bs
+            q_tile = q[:, q0:q0 + bs]
+            m = np.full((bh, bs), -np.inf, dtype=np.float32)
+            l = np.zeros((bh, bs), dtype=np.float32)
+            acc = np.zeros((bh, bs, d), dtype=np.float32)
+            for idx in layout.blocks_in_row(block_row):
+                col = int(layout.block_cols[idx])
+                k0 = col * bs
+                s = np.matmul(q_tile, np.swapaxes(k[:, k0:k0 + bs], 1, 2),
+                              dtype=np.float32) * scale
+                if self.causal:
+                    qi = np.arange(q0, q0 + bs)[:, None]
+                    kj = np.arange(k0, k0 + bs)[None, :]
+                    s = np.where(kj > qi, -np.inf, s)
+                tile_max = s.max(axis=-1)
+                m_new = np.maximum(m, tile_max)
+                safe_m = np.where(np.isfinite(m_new), m_new, 0.0)
+                p = np.where(np.isfinite(s), np.exp(s - safe_m[..., None]),
+                             0.0)
+                correction = np.where(np.isfinite(m), np.exp(m - safe_m), 0.0)
+                l = l * correction + p.sum(axis=-1)
+                acc = acc * correction[..., None] + np.matmul(
+                    p, v[:, k0:k0 + bs], dtype=np.float32
+                )
+                m = m_new
+            out[:, q0:q0 + bs] = np.divide(
+                acc, l[..., None], out=np.zeros_like(acc),
+                where=l[..., None] > 0,
+            )
+        return self.dtype.quantize(out)

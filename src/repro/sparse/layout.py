@@ -1,0 +1,189 @@
+"""Block-sparse layout: which square blocks of the attention matrix exist.
+
+A layout is a boolean matrix over block coordinates.  It provides the
+statistics the cost model needs (nonzero blocks, per-row nonzero
+distribution for the load-imbalance model, density for the
+conservative-allocation analysis) and the gather/scatter helpers the
+numeric kernels use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.common.errors import ConfigError, ShapeError
+from repro.common.validation import require_positive
+
+
+class BlockSparseLayout:
+    """A block mask over an ``L x L`` attention matrix.
+
+    Parameters
+    ----------
+    mask:
+        Boolean array of shape ``(n_block_rows, n_block_cols)``; True
+        marks a nonzero (computed) block.
+    block_size:
+        Side of each square block in elements.
+    """
+
+    def __init__(self, mask: np.ndarray, block_size: int) -> None:
+        require_positive("block_size", block_size)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 2:
+            raise ShapeError(f"block mask must be 2-D, got shape {mask.shape}")
+        if not mask.any():
+            raise ConfigError("block mask has no nonzero blocks")
+        self.mask = mask
+        self.block_size = block_size
+        # Nonzero block coordinates in row-major order — this is the
+        # storage order of the block data array.
+        rows, cols = np.nonzero(mask)
+        self.block_rows = rows
+        self.block_cols = cols
+
+    # -- shape ---------------------------------------------------------
+
+    @property
+    def n_block_rows(self) -> int:
+        """Block rows in the layout."""
+        return self.mask.shape[0]
+
+    @property
+    def n_block_cols(self) -> int:
+        """Block columns in the layout."""
+        return self.mask.shape[1]
+
+    @property
+    def seq_len(self) -> int:
+        """Row length ``L`` in elements (square attention matrix)."""
+        return self.n_block_rows * self.block_size
+
+    @property
+    def row_length(self) -> int:
+        """Column count in elements."""
+        return self.n_block_cols * self.block_size
+
+    # -- statistics ----------------------------------------------------
+
+    @property
+    def nnz_blocks(self) -> int:
+        """Total nonzero blocks."""
+        return int(self.mask.sum())
+
+    @property
+    def density(self) -> float:
+        """Fraction of blocks that are nonzero."""
+        return self.nnz_blocks / self.mask.size
+
+    def row_nnz_blocks(self) -> np.ndarray:
+        """Nonzero blocks per block row."""
+        return self.mask.sum(axis=1)
+
+    @property
+    def mean_row_nnz(self) -> float:
+        """Mean nonzero blocks per block row."""
+        return float(self.row_nnz_blocks().mean())
+
+    @property
+    def max_row_nnz(self) -> int:
+        """Maximum nonzero blocks in any block row (global rows are
+        dense, so this is often the full row)."""
+        return int(self.row_nnz_blocks().max())
+
+    def nnz_elements(self) -> int:
+        """Nonzero elements of the attention matrix."""
+        return self.nnz_blocks * self.block_size * self.block_size
+
+    def storage_bytes(self, dtype: DType = DType.FP16) -> int:
+        """Bytes to store the block data."""
+        return self.nnz_elements() * dtype.nbytes
+
+    # -- conversions ---------------------------------------------------
+
+    def element_mask(self) -> np.ndarray:
+        """Element-wise boolean mask of shape ``(L, L)``."""
+        return np.kron(self.mask, np.ones((self.block_size, self.block_size),
+                                          dtype=bool))
+
+    def blocks_in_row(self, block_row: int) -> np.ndarray:
+        """Indices into the block-data array for one block row."""
+        return np.nonzero(self.block_rows == block_row)[0]
+
+    def transposed(self) -> "BlockSparseLayout":
+        """The layout of the transposed matrix (used by backward-pass
+        MatMuls such as ``dK = dX^T Q``)."""
+        return BlockSparseLayout(self.mask.T.copy(), self.block_size)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BlockSparseLayout)
+            and self.block_size == other.block_size
+            and np.array_equal(self.mask, other.mask)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockSparseLayout({self.n_block_rows}x{self.n_block_cols} "
+            f"blocks of {self.block_size}, nnz={self.nnz_blocks}, "
+            f"density={self.density:.3f})"
+        )
+
+
+@dataclass
+class BlockSparseMatrix:
+    """Block data plus its layout.
+
+    ``data`` has shape ``(batch, nnz_blocks, block_size, block_size)``,
+    blocks stored in the layout's row-major nonzero order.
+    """
+
+    layout: BlockSparseLayout
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        bs = self.layout.block_size
+        expected_tail = (self.layout.nnz_blocks, bs, bs)
+        if self.data.ndim != 4 or tuple(self.data.shape[1:]) != expected_tail:
+            raise ShapeError(
+                f"block data shape {self.data.shape} does not match layout "
+                f"(batch, {expected_tail[0]}, {bs}, {bs})"
+            )
+
+    @property
+    def batch(self) -> int:
+        """Leading batch (x heads) dimension."""
+        return self.data.shape[0]
+
+    def to_dense(self, fill: float = 0.0) -> np.ndarray:
+        """Materialise ``(batch, L, L)`` with ``fill`` in zero blocks."""
+        layout, bs = self.layout, self.layout.block_size
+        dense = np.full(
+            (self.batch, layout.seq_len, layout.row_length),
+            fill,
+            dtype=np.float32,
+        )
+        for idx, (bi, bj) in enumerate(zip(layout.block_rows, layout.block_cols)):
+            dense[:, bi * bs:(bi + 1) * bs, bj * bs:(bj + 1) * bs] = (
+                self.data[:, idx]
+            )
+        return dense
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, layout: BlockSparseLayout
+    ) -> "BlockSparseMatrix":
+        """Gather the layout's nonzero blocks out of a dense matrix."""
+        if dense.ndim != 3:
+            raise ShapeError(f"dense matrix must be 3-D, got {dense.shape}")
+        bs = layout.block_size
+        batch = dense.shape[0]
+        data = np.empty(
+            (batch, layout.nnz_blocks, bs, bs), dtype=np.float32
+        )
+        for idx, (bi, bj) in enumerate(zip(layout.block_rows, layout.block_cols)):
+            data[:, idx] = dense[:, bi * bs:(bi + 1) * bs, bj * bs:(bj + 1) * bs]
+        return cls(layout, data)

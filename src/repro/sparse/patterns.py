@@ -1,0 +1,140 @@
+"""Sparse attention pattern generators.
+
+Each generator returns a :class:`~repro.sparse.layout.BlockSparseLayout`
+for one attention head.  The patterns follow the papers the evaluated
+models come from:
+
+- **BigBird** [44]: sliding window + per-row random blocks + global
+  tokens (rows *and* columns dense for the global blocks);
+- **Longformer** [3]: sliding window + a few global tokens;
+- **GPT-Neo local attention** [4]: a causal sliding window;
+- **Sparse Transformer** [7]: strided pattern (provided for
+  completeness/ablations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.validation import require_divisible, require_positive
+from repro.sparse.layout import BlockSparseLayout
+
+
+def _n_blocks(seq_len: int, block_size: int) -> int:
+    require_positive("seq_len", seq_len)
+    require_positive("block_size", block_size)
+    require_divisible("seq_len", seq_len, block_size)
+    return seq_len // block_size
+
+
+def dense_layout(seq_len: int, block_size: int = 64) -> BlockSparseLayout:
+    """Every block nonzero — dense attention in block-sparse clothing."""
+    n = _n_blocks(seq_len, block_size)
+    return BlockSparseLayout(np.ones((n, n), dtype=bool), block_size)
+
+
+def causal_layout(seq_len: int, block_size: int = 64) -> BlockSparseLayout:
+    """Lower-triangular block mask — dense autoregressive attention."""
+    n = _n_blocks(seq_len, block_size)
+    return BlockSparseLayout(np.tril(np.ones((n, n), dtype=bool)), block_size)
+
+
+def sliding_window_layout(
+    seq_len: int,
+    block_size: int = 64,
+    window_blocks: int = 3,
+    *,
+    causal: bool = False,
+) -> BlockSparseLayout:
+    """Banded mask: each block row attends to ``window_blocks`` around
+    (or, if causal, up to) the diagonal."""
+    require_positive("window_blocks", window_blocks)
+    n = _n_blocks(seq_len, block_size)
+    half = window_blocks // 2
+    mask = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        if causal:
+            lo, hi = max(0, i - window_blocks + 1), i
+        else:
+            lo, hi = max(0, i - half), min(n - 1, i + half)
+        mask[i, lo:hi + 1] = True
+    return BlockSparseLayout(mask, block_size)
+
+
+def strided_layout(
+    seq_len: int, block_size: int = 64, stride_blocks: int = 8
+) -> BlockSparseLayout:
+    """Sparse Transformer [7] fixed pattern: local band + strided columns."""
+    require_positive("stride_blocks", stride_blocks)
+    n = _n_blocks(seq_len, block_size)
+    mask = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        lo = (i // stride_blocks) * stride_blocks
+        mask[i, lo:i + 1] = True  # local segment
+        mask[i, stride_blocks - 1::stride_blocks] = True  # strided columns
+        mask[i, i] = True
+    return BlockSparseLayout(np.tril(mask), block_size)
+
+
+def bigbird_layout(
+    seq_len: int,
+    block_size: int = 64,
+    *,
+    window_blocks: int = 3,
+    random_blocks: int = 3,
+    global_blocks: int = 2,
+    seed: int = 0,
+) -> BlockSparseLayout:
+    """BigBird [44]: window + random + global (ITC configuration).
+
+    Global blocks are dense along both their rows and their columns,
+    which is what makes the *worst-case* row length equal to ``L`` even
+    though the mean row holds only a handful of blocks — the
+    conservative-allocation problem of Section 5.1.
+    """
+    n = _n_blocks(seq_len, block_size)
+    if global_blocks + window_blocks > n:
+        raise ConfigError(
+            f"pattern needs at least {global_blocks + window_blocks} block "
+            f"rows, layout has {n}"
+        )
+    mask = sliding_window_layout(seq_len, block_size, window_blocks).mask.copy()
+    # Global tokens: first `global_blocks` rows and columns are dense.
+    mask[:global_blocks, :] = True
+    mask[:, :global_blocks] = True
+    # Random blocks per row.
+    rng = np.random.default_rng(seed)
+    for i in range(global_blocks, n):
+        choices = rng.choice(n, size=min(random_blocks, n), replace=False)
+        mask[i, choices] = True
+    return BlockSparseLayout(mask, block_size)
+
+
+def longformer_layout(
+    seq_len: int,
+    block_size: int = 64,
+    *,
+    window: int = 512,
+    global_blocks: int = 1,
+) -> BlockSparseLayout:
+    """Longformer [3]: symmetric sliding window of ``window`` tokens
+    plus a few global blocks (task tokens such as [CLS])."""
+    require_positive("window", window)
+    require_divisible("window", window, block_size)
+    window_blocks = max(1, window // block_size)
+    mask = sliding_window_layout(seq_len, block_size, window_blocks).mask.copy()
+    mask[:global_blocks, :] = True
+    mask[:, :global_blocks] = True
+    return BlockSparseLayout(mask, block_size)
+
+
+def gpt_neo_local_layout(
+    seq_len: int, block_size: int = 64, *, window: int = 256
+) -> BlockSparseLayout:
+    """GPT-Neo [4] local attention: causal window of ``window`` tokens."""
+    require_positive("window", window)
+    require_divisible("window", window, block_size)
+    return sliding_window_layout(
+        seq_len, block_size, window // block_size, causal=True
+    )

@@ -1,0 +1,27 @@
+"""Workload generation.
+
+The paper evaluates on TriviaQA [15], a long-document reading
+comprehension dataset.  That corpus is unavailable offline, and only
+the *sequence lengths* (and the truncate-to-first-L-tokens behaviour,
+Section 2.2) affect the measured quantities, so
+:class:`~repro.workloads.triviaqa.SyntheticTriviaQA` generates
+documents with a TriviaQA-like length distribution and Zipfian token
+identities (substitution documented in DESIGN.md).
+"""
+
+from repro.workloads.driver import DatasetBenchmark, DatasetLatencyReport
+from repro.workloads.genomics import SyntheticGenomics
+from repro.workloads.triviaqa import (
+    Document,
+    SyntheticTriviaQA,
+    embed_tokens,
+)
+
+__all__ = [
+    "Document",
+    "SyntheticTriviaQA",
+    "embed_tokens",
+    "DatasetBenchmark",
+    "DatasetLatencyReport",
+    "SyntheticGenomics",
+]

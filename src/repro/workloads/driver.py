@@ -1,0 +1,133 @@
+"""Dataset-level latency benchmarking.
+
+The paper reports *average* execution time over the TriviaQA dataset
+at a fixed maximum sequence length.  Production serving additionally
+buckets documents by length so short documents don't pay for the full
+context window.  :class:`DatasetBenchmark` models both: it buckets the
+corpus by (padded) sequence length, simulates each distinct bucket
+once, and aggregates a latency distribution — the workload-
+characterisation view of softmax recomposition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.validation import require_divisible, require_positive
+from repro.core.plan import AttentionPlan
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.models.config import ModelConfig, get_model
+from repro.models.runtime import InferenceSession
+from repro.workloads.triviaqa import SyntheticTriviaQA
+
+
+@dataclass(frozen=True)
+class DatasetLatencyReport:
+    """Latency distribution of one model/plan over a document corpus."""
+
+    model: ModelConfig
+    gpu: GPUSpec
+    plan: AttentionPlan
+    max_seq_len: int
+    bucket: int
+    #: bucketed length -> document count.
+    histogram: dict[int, int] = field(default_factory=dict)
+    #: bucketed length -> per-document latency (seconds).
+    bucket_latency: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def num_documents(self) -> int:
+        """Documents processed."""
+        return sum(self.histogram.values())
+
+    @property
+    def total_time(self) -> float:
+        """Corpus-wide latency in seconds."""
+        return sum(self.bucket_latency[length] * count
+                   for length, count in self.histogram.items())
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-document latency in seconds."""
+        return self.total_time / self.num_documents
+
+    def percentile_latency(self, q: float) -> float:
+        """Latency percentile ``q`` (0-100) over documents."""
+        latencies = np.repeat(
+            [self.bucket_latency[length] for length in sorted(self.histogram)],
+            [self.histogram[length] for length in sorted(self.histogram)],
+        )
+        return float(np.percentile(latencies, q))
+
+    @property
+    def throughput(self) -> float:
+        """Documents per second."""
+        return self.num_documents / self.total_time
+
+
+class DatasetBenchmark:
+    """Bucketed inference of a whole corpus.
+
+    Documents are truncated to ``max_seq_len`` and padded up to the
+    next ``bucket`` multiple; each distinct bucket is simulated once.
+    ``bucket`` must be a multiple of the attention block size (64) so
+    block-sparse layouts remain valid, and at least ``min_len`` so the
+    sparse patterns fit.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticTriviaQA,
+        model: "ModelConfig | str",
+        *,
+        gpu: "GPUSpec | str" = "A100",
+        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        max_seq_len: int = 4096,
+        bucket: int = 512,
+        batch: int = 1,
+        t: int = 64,
+    ) -> None:
+        require_positive("max_seq_len", max_seq_len)
+        require_positive("bucket", bucket)
+        require_divisible("bucket", bucket, 64)
+        require_divisible("max_seq_len", max_seq_len, bucket)
+        self.dataset = dataset
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.plan = AttentionPlan.from_name(plan)
+        self.max_seq_len = max_seq_len
+        self.bucket = bucket
+        self.batch = batch
+        self.t = t
+
+    def _bucketed_length(self, original_length: int) -> int:
+        kept = min(original_length, self.max_seq_len)
+        return int(min(self.max_seq_len,
+                       -(-kept // self.bucket) * self.bucket))
+
+    def run(self) -> DatasetLatencyReport:
+        """Simulate every length bucket once and aggregate."""
+        histogram = Counter(
+            self._bucketed_length(int(length))
+            for length in self.dataset.lengths()
+        )
+        bucket_latency: dict[int, float] = {}
+        for length in sorted(histogram):
+            result = InferenceSession(
+                self.model, gpu=self.gpu, plan=self.plan,
+                seq_len=length, batch=self.batch, t=self.t,
+            ).simulate()
+            bucket_latency[length] = result.total_time / self.batch
+        return DatasetLatencyReport(
+            model=self.model,
+            gpu=self.gpu,
+            plan=self.plan,
+            max_seq_len=self.max_seq_len,
+            bucket=self.bucket,
+            histogram=dict(histogram),
+            bucket_latency=bucket_latency,
+        )

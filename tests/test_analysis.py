@@ -1,0 +1,74 @@
+"""Tests for breakdown analysis and text reporting."""
+
+import pytest
+
+from repro.analysis import (
+    normalized_time_breakdown,
+    normalized_traffic_breakdown,
+    plan_comparison,
+    render_bar_chart,
+    render_stacked_bars,
+    render_table,
+)
+from repro.models import BERT_LARGE, InferenceSession
+
+
+@pytest.fixture(scope="module")
+def bert_result():
+    return InferenceSession(BERT_LARGE, plan="baseline").simulate()
+
+
+class TestBreakdowns:
+    def test_time_breakdown_complete(self, bert_result):
+        fractions = normalized_time_breakdown(bert_result)
+        assert set(fractions) == {"matmul", "softmax", "fc", "feedforward",
+                                  "other"}
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_traffic_breakdown_softmax_dominates_dense(self, bert_result):
+        fractions = normalized_traffic_breakdown(bert_result)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        # Softmax sweeps the attention matrix twice; SDA MatMul also
+        # touches it.  Together they dominate traffic at L=4096.
+        assert fractions["softmax"] + fractions["matmul"] > 0.7
+
+    def test_plan_comparison(self):
+        comparison = plan_comparison(BERT_LARGE, plans=("sd", "sdf"))
+        assert comparison.model_name == "BERT-large"
+        assert comparison.speedup("sdf") > 1.1
+        assert comparison.normalized_time("sdf") < 0.9
+        assert comparison.normalized_traffic("sd") > 1.0
+        assert comparison.normalized_traffic("sdf") < 1.0
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(["model", "speedup"],
+                            [["BERT", 1.25], ["BigBird", 1.57]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("model")
+        assert "1.57" in lines[3]
+
+    def test_bar_chart(self):
+        text = render_bar_chart({"baseline": 2.0, "sdf": 1.0}, unit="ms")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 2 * lines[1].count("#")
+
+    def test_bar_chart_empty(self):
+        assert render_bar_chart({}) == "(empty)"
+
+    def test_stacked_bars(self):
+        text = render_stacked_bars({
+            "BERT": {"softmax": 0.4, "matmul": 0.6},
+            "BigBird": {"softmax": 0.5, "matmul": 0.5},
+        })
+        lines = text.splitlines()
+        assert lines[0].startswith("legend:")
+        assert len(lines) == 3
+        assert "|" in lines[1]
+
+    def test_stacked_bars_zero_total(self):
+        text = render_stacked_bars({"x": {"a": 0.0}})
+        assert "x" in text

@@ -1,0 +1,71 @@
+"""Tests for automatic plan selection."""
+
+import pytest
+
+from repro.common import PlanError
+from repro.core import AttentionPlan
+from repro.core.autotune import (
+    ALL_CANDIDATES,
+    PAPER_CANDIDATES,
+    select_plan,
+)
+from repro.models import BERT_LARGE, BIGBIRD_LARGE, InferenceSession
+
+
+class TestSelectPlan:
+    def test_picks_sdf_among_paper_plans(self):
+        """SDF is the fastest of the paper's plans at paper scale."""
+        choice = select_plan(BERT_LARGE, seq_len=4096)
+        assert choice.plan is AttentionPlan.RECOMPOSED
+        assert choice.speedup_over(AttentionPlan.BASELINE) > 1.1
+
+    def test_all_candidates_picks_flash_at_long_length(self):
+        choice = select_plan(BERT_LARGE, seq_len=4096,
+                             candidates=ALL_CANDIDATES)
+        assert choice.plan is AttentionPlan.FLASH
+        # Turbo and fully fused are infeasible at this length.
+        assert choice.latencies[AttentionPlan.TURBO] is None
+        assert choice.latencies[AttentionPlan.FULLY_FUSED] is None
+
+    def test_fully_fused_wins_at_short_length(self):
+        choice = select_plan(BERT_LARGE, seq_len=256,
+                             candidates=ALL_CANDIDATES)
+        assert choice.plan in (AttentionPlan.FULLY_FUSED,
+                               AttentionPlan.FLASH)
+        assert choice.latencies[AttentionPlan.FULLY_FUSED] is not None
+
+    def test_sparse_model_skips_dense_only_plans(self):
+        choice = select_plan(BIGBIRD_LARGE, seq_len=4096,
+                             candidates=ALL_CANDIDATES)
+        assert choice.latencies[AttentionPlan.ONLINE] is None
+        assert choice.plan in (AttentionPlan.RECOMPOSED, AttentionPlan.FLASH)
+
+    def test_feasible_subset(self):
+        choice = select_plan(BERT_LARGE, seq_len=4096,
+                             candidates=ALL_CANDIDATES)
+        assert set(choice.feasible) == {
+            AttentionPlan.BASELINE, AttentionPlan.DECOMPOSED,
+            AttentionPlan.RECOMPOSED, AttentionPlan.ONLINE,
+            AttentionPlan.FLASH,
+        }
+
+    def test_no_feasible_plan_raises(self):
+        with pytest.raises(PlanError, match="no candidate plan"):
+            select_plan(BIGBIRD_LARGE, seq_len=4096,
+                        candidates=(AttentionPlan.TURBO,))
+
+
+class TestAutoSession:
+    def test_auto_plan_session(self):
+        session = InferenceSession(BERT_LARGE, plan="auto", seq_len=4096)
+        assert session.plan is AttentionPlan.RECOMPOSED
+        result = session.simulate()
+        baseline = InferenceSession(BERT_LARGE, plan="baseline",
+                                    seq_len=4096).simulate()
+        assert result.total_time < baseline.total_time
+
+    def test_auto_never_slower_than_any_paper_plan(self):
+        auto = InferenceSession(BIGBIRD_LARGE, plan="auto").simulate()
+        for plan in PAPER_CANDIDATES:
+            other = InferenceSession(BIGBIRD_LARGE, plan=plan).simulate()
+            assert auto.total_time <= other.total_time * 1.001

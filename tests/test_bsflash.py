@@ -1,0 +1,86 @@
+"""Tests for block-sparse FlashAttention."""
+
+import numpy as np
+import pytest
+
+from repro.common import DType
+from repro.gpu import A100
+from repro.models import (
+    AttentionKind,
+    AttentionSpec,
+    InferenceSession,
+    SDABlock,
+)
+from repro.sparse import bigbird_layout, sliding_window_layout
+from repro.sparse.bsflash import BlockSparseFlashAttentionKernel
+
+
+def make_qkv(bh, length, d, seed=0):
+    rng = np.random.default_rng(seed)
+    return tuple(rng.standard_normal((bh, length, d)).astype(np.float32)
+                 for _ in range(3))
+
+
+class TestNumerics:
+    def test_matches_masked_dense(self):
+        layout = sliding_window_layout(128, 16, window_blocks=3)
+        q, k, v = make_qkv(4, 128, 16)
+        kernel = BlockSparseFlashAttentionKernel(layout, 4, 16, scale=0.25,
+                                                 dtype=DType.FP32)
+        from repro.kernels.softmax import safe_softmax
+
+        scores = np.matmul(q, np.swapaxes(k, 1, 2),
+                           dtype=np.float32) * 0.25
+        scores = np.where(layout.element_mask(), scores, -np.inf)
+        expected = np.matmul(safe_softmax(scores), v, dtype=np.float32)
+        np.testing.assert_allclose(kernel.compute(q, k, v), expected,
+                                   atol=1e-4)
+
+    @pytest.mark.parametrize("kind,kwargs", [
+        (AttentionKind.BIGBIRD, dict(window_blocks=3, random_blocks=2,
+                                     global_blocks=1)),
+        (AttentionKind.LONGFORMER, dict(window=64, global_blocks=1)),
+        (AttentionKind.LOCAL_CAUSAL, dict(window=64)),
+    ])
+    def test_plan_agrees_with_baseline(self, kind, kwargs):
+        spec = AttentionSpec(kind=kind, block_size=16, **kwargs)
+        q, k, v = make_qkv(4, 256, 16, seed=kind.value.__hash__() % 100)
+        kw = dict(batch=2, num_heads=2, seq_len=256, d_head=16, spec=spec)
+        flash = SDABlock(plan="flash", **kw).forward(q, k, v)
+        base = SDABlock(plan="baseline", **kw).forward(q, k, v)
+        np.testing.assert_allclose(flash, base, atol=5e-3)
+
+
+class TestCost:
+    def test_zero_attention_traffic(self):
+        layout = bigbird_layout(4096, 64)
+        kernel = BlockSparseFlashAttentionKernel(layout, 16, 64)
+        launch = kernel.launch_spec(A100)
+        assert launch.dram_bytes == 4 * 16 * 4096 * 64 * 2
+
+    def test_flops_scale_with_nnz(self):
+        sparse = bigbird_layout(4096, 64)
+        kernel = BlockSparseFlashAttentionKernel(sparse, 16, 64)
+        launch = kernel.launch_spec(A100)
+        assert launch.tensor_flops == 4.0 * 16 * sparse.nnz_elements() * 64
+
+    def test_load_imbalance_carried(self):
+        layout = bigbird_layout(4096, 64)
+        kernel = BlockSparseFlashAttentionKernel(layout, 16, 64)
+        launch = kernel.launch_spec(A100)
+        assert launch.shape.max_work == layout.max_row_nnz
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("model", ["gpt-neo-1.3b", "bigbird-large",
+                                       "longformer-large"])
+    def test_flash_beats_sdf_on_sparse_models(self, model):
+        base = InferenceSession(model, plan="baseline").simulate()
+        sdf = InferenceSession(model, plan="sdf").simulate()
+        flash = InferenceSession(model, plan="flash").simulate()
+        assert flash.total_time < sdf.total_time < base.total_time
+
+    def test_flash_moves_least_data(self):
+        base = InferenceSession("bigbird-large", plan="baseline").simulate()
+        flash = InferenceSession("bigbird-large", plan="flash").simulate()
+        assert flash.total_dram_bytes < 0.9 * base.total_dram_bytes

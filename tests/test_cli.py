@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCLI:
+    def test_simulate(self, capsys):
+        out = run_cli(capsys, "simulate", "--model", "bert-large",
+                      "--seq-len", "1024")
+        assert "BERT-large on A100" in out
+        assert "softmax share" in out
+        assert "legend:" in out
+
+    def test_compare(self, capsys):
+        out = run_cli(capsys, "compare", "--model", "bigbird-large",
+                      "--seq-len", "2048")
+        assert "baseline" in out and "sdf" in out
+        assert "speedup" in out
+
+    def test_breakdown(self, capsys):
+        out = run_cli(capsys, "breakdown", "--seq-len", "1024")
+        for name in ("BERT-large", "GPT-Neo-1.3B", "BigBird-large",
+                     "Longformer-large"):
+            assert name in out
+
+    def test_libraries(self, capsys):
+        out = run_cli(capsys, "libraries", "--seq-len", "1024")
+        assert "HuggingFace" in out
+        assert "TensorRT" in out
+
+    def test_sweep(self, capsys):
+        out = run_cli(capsys, "sweep", "--model", "bert-large",
+                      "--values", "1024,2048")
+        assert "1024" in out and "2048" in out
+        assert out.count("x") >= 2
+
+    def test_sweep_batch_axis(self, capsys):
+        out = run_cli(capsys, "sweep", "--model", "longformer-large",
+                      "--axis", "batch", "--values", "1,4",
+                      "--seq-len", "2048")
+        assert "batch" in out
+
+    def test_generate(self, capsys):
+        out = run_cli(capsys, "generate", "--tokens", "4",
+                      "--seq-len", "512")
+        assert "prefill latency" in out
+        assert "tokens/s" in out
+
+    def test_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        out = run_cli(capsys, "trace", "--seq-len", "1024",
+                      "--output", str(path))
+        assert "kernel slices" in out
+        data = json.loads(path.read_text())
+        slices = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 24 * 14
+        assert all("dram_read_bytes" in e["args"] for e in slices)
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_gpu_option(self, capsys):
+        out = run_cli(capsys, "simulate", "--gpu", "t4",
+                      "--seq-len", "1024")
+        assert "on T4" in out
+
+    def test_footprint(self, capsys):
+        out = run_cli(capsys, "footprint", "--model", "bert-large",
+                      "--seq-len", "2048")
+        assert "attention (GB)" in out
+        assert "sdf" in out
+
+    def test_roofline(self, capsys):
+        out = run_cli(capsys, "roofline", "--seq-len", "1024")
+        assert "machine balance" in out
+        assert "regime" in out
+
+    def test_verify_quick(self, capsys):
+        out = run_cli(capsys, "verify", "--quick")
+        assert "4/4" in out
+        assert "PASS" in out
+
+    def test_model_json(self, capsys, tmp_path):
+        from repro.models import BIGBIRD_LARGE
+        from repro.models.serialization import config_to_json
+
+        path = tmp_path / "model.json"
+        path.write_text(config_to_json(BIGBIRD_LARGE))
+        out = run_cli(capsys, "simulate", "--model-json", str(path),
+                      "--seq-len", "2048")
+        assert "BigBird-large" in out
+
+    def test_parallel(self, capsys):
+        out = run_cli(capsys, "parallel", "--model", "bert-large",
+                      "--seq-len", "2048")
+        assert "GPUs" in out and "comm share" in out
+        assert "8" in out

@@ -1,0 +1,49 @@
+"""Golden-number regression tests.
+
+The simulator is fully deterministic, so the headline configurations
+are pinned to their exact current values (loose 2% bands).  If a
+refactor of the cost model moves these, EXPERIMENTS.md and the
+calibration discussion must be revisited — this suite makes that
+impossible to miss.
+"""
+
+import pytest
+
+from repro.models import InferenceSession
+
+# (model, plan) -> (latency seconds, off-chip bytes), A100, L=4096, b=1.
+GOLDEN = {
+    ("bert-large", "baseline"): (0.076110617, 65_833_795_584),
+    ("bert-large", "sdf"): (0.060157396, 42_479_910_912),
+    ("gpt-neo-1.3b", "baseline"): (0.162258138, 119_952_900_096),
+    ("gpt-neo-1.3b", "sdf"): (0.142142485, 107_563_253_760),
+    ("bigbird-large", "baseline"): (0.067084529, 21_944_598_528),
+    ("bigbird-large", "sdf"): (0.042450611, 18_478_006_272),
+    ("longformer-large", "baseline"): (0.067393871, 22_775_070_720),
+    ("longformer-large", "sdf"): (0.043288603, 18_932_170_752),
+}
+
+
+@pytest.mark.parametrize("model,plan", sorted(GOLDEN))
+def test_golden_latency_and_traffic(model, plan):
+    expected_time, expected_bytes = GOLDEN[(model, plan)]
+    result = InferenceSession(model, plan=plan).simulate()
+    assert result.total_time == pytest.approx(expected_time, rel=0.02)
+    assert result.total_dram_bytes == pytest.approx(expected_bytes, rel=0.02)
+
+
+def test_simulation_is_deterministic():
+    a = InferenceSession("bigbird-large", plan="sdf").simulate()
+    b = InferenceSession("bigbird-large", plan="sdf").simulate()
+    assert a.total_time == b.total_time
+    assert a.total_dram_bytes == b.total_dram_bytes
+
+
+def test_simulation_is_fast():
+    """The simulator itself must stay interactive: a full 24-layer
+    model simulates in well under a second."""
+    import time
+
+    start = time.perf_counter()
+    InferenceSession("bert-large", plan="sdf").simulate()
+    assert time.perf_counter() - start < 1.0

@@ -1,0 +1,202 @@
+"""Tests for the roofline kernel cost model."""
+
+import pytest
+
+from repro.common import GIB, KernelError
+from repro.gpu import A100, Device, KernelLaunch, T4, TBResources, WorkloadShape
+from repro.gpu.costmodel import (
+    MLP_MATMUL,
+    MLP_REDUCTION,
+    MLP_STREAMING,
+    bandwidth_utilization,
+    time_kernel,
+)
+from repro.gpu.occupancy import compute_occupancy
+
+
+def streaming_launch(bytes_total=1 * GIB, issue_fraction=1.0, grid=100_000):
+    return KernelLaunch(
+        name="stream",
+        category="elementwise",
+        tb=TBResources(threads=256),
+        shape=WorkloadShape(grid=grid),
+        dram_read_bytes=bytes_total / 2,
+        dram_write_bytes=bytes_total / 2,
+        cuda_flops=1.0,
+        bytes_in_flight_per_warp=MLP_STREAMING,
+        issue_fraction=issue_fraction,
+    )
+
+
+class TestMemoryBound:
+    def test_streaming_kernel_near_peak(self):
+        """A fully occupied streaming kernel sustains ~streaming efficiency."""
+        timing = time_kernel(A100, streaming_launch())
+        assert timing.bound == "memory"
+        assert timing.bandwidth_utilization == pytest.approx(
+            A100.streaming_efficiency, rel=0.01
+        )
+
+    def test_memory_time_matches_bytes_over_bandwidth(self):
+        launch = streaming_launch(bytes_total=2 * GIB)
+        timing = time_kernel(A100, launch)
+        expected = (2 * GIB) / (A100.mem_bandwidth * timing.bandwidth_utilization)
+        assert timing.memory_time == pytest.approx(expected)
+
+    def test_low_issue_fraction_collapses_utilization(self):
+        """The paper's sparse-softmax effect: idle warps kill bandwidth.
+
+        A row-reduction kernel (low per-warp MLP) whose thread blocks
+        are sized for worst-case dense rows (low issue fraction) runs
+        far below peak bandwidth; the same kernel with every warp
+        issuing saturates.
+        """
+
+        def reduction(issue_fraction):
+            return KernelLaunch(
+                name="rowsoftmax",
+                category="softmax",
+                tb=TBResources(threads=1024),
+                shape=WorkloadShape(grid=100_000),
+                dram_read_bytes=GIB / 2,
+                dram_write_bytes=GIB / 2,
+                bytes_in_flight_per_warp=MLP_REDUCTION,
+                issue_fraction=issue_fraction,
+            )
+
+        full = time_kernel(A100, reduction(1.0))
+        sparse = time_kernel(A100, reduction(0.0625))
+        assert sparse.bandwidth_utilization < 0.15 * full.bandwidth_utilization
+        assert sparse.time > 5 * full.time
+
+    def test_reduction_mlp_needs_more_warps(self):
+        """Lower per-warp MLP raises the warp count needed to saturate,
+        so at reduced occupancy the reduction kernel loses more."""
+        tb = TBResources(threads=256, shared_mem=40 * 1024)  # 4 TBs/SM
+        common = dict(
+            name="k",
+            category="softmax",
+            tb=tb,
+            shape=WorkloadShape(grid=100_000),
+            dram_read_bytes=GIB,
+        )
+        base = KernelLaunch(bytes_in_flight_per_warp=MLP_STREAMING, **common)
+        reduction = KernelLaunch(bytes_in_flight_per_warp=MLP_REDUCTION, **common)
+        occ = compute_occupancy(A100, tb)
+        util_base = bandwidth_utilization(A100, base, occ)
+        util_red = bandwidth_utilization(A100, reduction, occ)
+        assert util_red < util_base
+
+    def test_tiny_grid_cannot_saturate(self):
+        small = time_kernel(A100, streaming_launch(grid=10))
+        large = time_kernel(A100, streaming_launch(grid=100_000))
+        assert small.bandwidth_utilization < large.bandwidth_utilization
+
+
+class TestComputeBound:
+    def make_matmul(self, tensor_flops):
+        return KernelLaunch(
+            name="gemm",
+            category="matmul",
+            tb=TBResources(threads=256, shared_mem=48 * 1024),
+            shape=WorkloadShape(grid=10_000),
+            dram_read_bytes=1e6,
+            dram_write_bytes=1e6,
+            tensor_flops=tensor_flops,
+            bytes_in_flight_per_warp=MLP_MATMUL,
+        )
+
+    def test_large_gemm_is_compute_bound(self):
+        timing = time_kernel(A100, self.make_matmul(1e12))
+        assert timing.bound == "compute"
+
+    def test_compute_time_scales_linearly(self):
+        t1 = time_kernel(A100, self.make_matmul(1e12)).compute_time
+        t2 = time_kernel(A100, self.make_matmul(2e12)).compute_time
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_compute_time_uses_tensor_peak(self):
+        timing = time_kernel(A100, self.make_matmul(1e12))
+        ideal = 1e12 / (A100.fp16_tensor_flops * A100.compute_efficiency)
+        assert timing.compute_time == pytest.approx(ideal, rel=0.01)
+
+
+class TestImbalance:
+    def make(self, grid, max_work):
+        return KernelLaunch(
+            name="bs",
+            category="matmul",
+            tb=TBResources(threads=256),
+            shape=WorkloadShape(grid=grid, mean_work=1.0, max_work=max_work),
+            dram_read_bytes=1e9,
+        )
+
+    def test_balanced_work_no_penalty(self):
+        timing = time_kernel(A100, self.make(grid=10_000, max_work=1.0))
+        assert timing.imbalance_penalty == pytest.approx(1.0)
+
+    def test_imbalance_penalizes_small_grids(self):
+        small = time_kernel(A100, self.make(grid=1_000, max_work=8.0))
+        large = time_kernel(A100, self.make(grid=400_000, max_work=8.0))
+        assert small.imbalance_penalty > large.imbalance_penalty
+        assert large.imbalance_penalty < 1.1
+
+    def test_penalty_at_least_one(self):
+        for grid in (1, 100, 10_000, 1_000_000):
+            timing = time_kernel(A100, self.make(grid=grid, max_work=4.0))
+            assert timing.imbalance_penalty >= 1.0
+
+
+class TestValidation:
+    def test_rejects_bad_issue_fraction(self):
+        with pytest.raises(KernelError):
+            streaming_launch(issue_fraction=0.0)
+        with pytest.raises(KernelError):
+            streaming_launch(issue_fraction=1.5)
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(Exception):
+            KernelLaunch(
+                name="bad",
+                category="x",
+                tb=TBResources(threads=128),
+                shape=WorkloadShape(grid=1),
+                dram_read_bytes=-1.0,
+            )
+
+    def test_rejects_max_work_below_mean(self):
+        with pytest.raises(KernelError):
+            WorkloadShape(grid=10, mean_work=2.0, max_work=1.0)
+
+
+class TestDevice:
+    def test_device_records_launches(self):
+        device = Device("A100")
+        device.launch(streaming_launch())
+        device.launch(streaming_launch())
+        assert len(device.profile) == 2
+        assert device.profile.total_time() > 0
+
+    def test_device_by_spec(self):
+        device = Device(T4)
+        assert device.spec.name == "T4"
+
+    def test_take_profile_resets(self):
+        device = Device("A100")
+        device.launch(streaming_launch())
+        profile = device.take_profile()
+        assert len(profile) == 1
+        assert len(device.profile) == 0
+
+    def test_energy_accounting(self):
+        device = Device("A100")
+        device.launch(streaming_launch(bytes_total=1e9))
+        assert device.offchip_energy() == pytest.approx(
+            1e9 * A100.dram_energy_per_byte
+        )
+
+    def test_t4_slower_than_a100_on_same_stream(self):
+        a100, t4 = Device("A100"), Device("T4")
+        ta = a100.launch(streaming_launch()).time
+        tt = t4.launch(streaming_launch()).time
+        assert tt > 3 * ta  # bandwidth ratio is ~4.9x

@@ -1,0 +1,69 @@
+"""Tests for the thread-block occupancy calculator."""
+
+import pytest
+
+from repro.common import KIB, KernelError
+from repro.gpu import A100, T4, TBResources, compute_occupancy
+
+
+class TestOccupancy:
+    def test_small_tb_full_occupancy(self):
+        occ = compute_occupancy(A100, TBResources(threads=256, shared_mem=0))
+        assert occ.warps_per_sm == A100.max_warps_per_sm
+        assert occ.fraction == 1.0
+
+    def test_thread_limited(self):
+        occ = compute_occupancy(A100, TBResources(threads=1024))
+        assert occ.tbs_per_sm == 2
+        assert occ.limiter == "threads"
+
+    def test_shared_mem_limited(self):
+        # 40 KiB per TB -> only 4 TBs fit in the 164 KiB carve-out.
+        occ = compute_occupancy(
+            A100, TBResources(threads=128, shared_mem=40 * KIB)
+        )
+        assert occ.tbs_per_sm == 4
+        assert occ.limiter == "shared_mem"
+        assert occ.warps_per_sm == 16
+
+    def test_register_limited(self):
+        occ = compute_occupancy(
+            A100, TBResources(threads=256, registers_per_thread=255)
+        )
+        assert occ.limiter == "registers"
+        assert occ.tbs_per_sm == 65_536 // (255 * 256)
+
+    def test_tb_slot_limited(self):
+        occ = compute_occupancy(A100, TBResources(threads=32))
+        assert occ.tbs_per_sm == A100.max_tbs_per_sm
+        assert occ.limiter == "tb_slots"
+
+    def test_does_not_fit_raises(self):
+        with pytest.raises(KernelError, match="does not fit"):
+            compute_occupancy(
+                A100, TBResources(threads=128, shared_mem=200 * KIB)
+            )
+
+    def test_t4_one_max_size_tb(self):
+        occ = compute_occupancy(T4, TBResources(threads=1024))
+        assert occ.tbs_per_sm == 1
+        assert occ.warps_per_sm == 32
+
+    def test_warps_capped_at_device_max(self):
+        occ = compute_occupancy(A100, TBResources(threads=64))
+        assert occ.warps_per_sm <= A100.max_warps_per_sm
+
+    def test_occupancy_monotone_in_shared_mem(self):
+        """More shared memory per TB never increases occupancy."""
+        previous = None
+        for smem in (0, 8 * KIB, 16 * KIB, 32 * KIB, 64 * KIB):
+            occ = compute_occupancy(A100, TBResources(threads=128, shared_mem=smem))
+            if previous is not None:
+                assert occ.tbs_per_sm <= previous
+            previous = occ.tbs_per_sm
+
+    def test_resource_validation(self):
+        with pytest.raises(Exception):
+            TBResources(threads=0)
+        with pytest.raises(Exception):
+            TBResources(threads=128, shared_mem=-1)

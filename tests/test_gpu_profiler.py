@@ -1,0 +1,97 @@
+"""Tests for the profiler and energy model."""
+
+import pytest
+
+from repro.common import DeviceError
+from repro.gpu import A100, EnergyModel, KernelRecord, Profile, T4
+
+
+def record(name="k", category="matmul", time=1e-3, read=1e6, write=5e5):
+    return KernelRecord(
+        name=name, category=category, time=time,
+        dram_read_bytes=read, dram_write_bytes=write,
+        tensor_flops=0.0, cuda_flops=0.0,
+        bandwidth_utilization=0.5, bound="memory",
+    )
+
+
+class TestProfile:
+    def test_totals(self):
+        profile = Profile([record(time=1e-3), record(time=2e-3)])
+        assert profile.total_time() == pytest.approx(3e-3)
+        assert profile.total_dram_bytes() == pytest.approx(3e6)
+        assert profile.total_dram_read_bytes() == pytest.approx(2e6)
+        assert profile.total_dram_write_bytes() == pytest.approx(1e6)
+
+    def test_by_category(self):
+        profile = Profile([
+            record(category="matmul", time=1e-3),
+            record(category="softmax", time=3e-3),
+            record(category="softmax", time=1e-3),
+        ])
+        times = profile.time_by_category()
+        assert times["softmax"] == pytest.approx(4e-3)
+        assert profile.time_fraction("softmax") == pytest.approx(0.8)
+
+    def test_time_fraction_empty(self):
+        assert Profile().time_fraction("softmax") == 0.0
+
+    def test_filtered(self):
+        profile = Profile([record(category="matmul"),
+                           record(category="softmax")])
+        assert len(profile.filtered("softmax")) == 1
+        assert len(profile.filtered("softmax", "matmul")) == 2
+
+    def test_scaled(self):
+        profile = Profile([record(time=1e-3)])
+        scaled = profile.scaled(24)
+        assert len(scaled) == 24
+        assert scaled.total_time() == pytest.approx(24e-3)
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(DeviceError):
+            Profile().scaled(0)
+
+    def test_extend(self):
+        a = Profile([record()])
+        b = Profile([record(), record()])
+        a.extend(b)
+        assert len(a) == 3
+
+    def test_add_rejects_negative_time(self):
+        profile = Profile()
+        with pytest.raises(DeviceError):
+            profile.add(record(time=-1.0))
+
+    def test_records_ordered(self):
+        profile = Profile([record(name="a"), record(name="b")])
+        assert [r.name for r in profile.records] == ["a", "b"]
+
+
+class TestEnergyModel:
+    def test_energy_proportional_to_bytes(self):
+        profile = Profile([record(read=1e9, write=0.0)])
+        model = EnergyModel(A100)
+        assert model.offchip_energy(profile) == pytest.approx(
+            1e9 * A100.dram_energy_per_byte
+        )
+
+    def test_gddr_costs_more_per_byte(self):
+        profile = Profile([record(read=1e9)])
+        assert (EnergyModel(T4).offchip_energy(profile)
+                > EnergyModel(A100).offchip_energy(profile))
+
+    def test_saving(self):
+        baseline = Profile([record(read=2e9, write=0.0)])
+        optimized = Profile([record(read=1e9, write=0.0)])
+        model = EnergyModel(A100)
+        assert model.saving(baseline, optimized) == pytest.approx(0.5)
+
+    def test_saving_empty_baseline(self):
+        assert EnergyModel(A100).saving(Profile(), Profile()) == 0.0
+
+    def test_energy_by_category(self):
+        profile = Profile([record(category="matmul", read=1e9, write=0.0),
+                           record(category="softmax", read=3e9, write=0.0)])
+        by_cat = EnergyModel(A100).offchip_energy_by_category(profile)
+        assert by_cat["softmax"] == pytest.approx(3 * by_cat["matmul"])

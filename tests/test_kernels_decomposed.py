@@ -1,0 +1,159 @@
+"""Tests for softmax decomposition: LS ∘ IR ∘ GS ≡ safe softmax (Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import DType
+from repro.gpu import A100
+from repro.kernels import (
+    GlobalScaleKernel,
+    InterReductionKernel,
+    LocalSoftmaxKernel,
+    RowSoftmaxKernel,
+)
+from repro.kernels.decomposed import (
+    global_scaling,
+    inter_reduction,
+    local_softmax,
+)
+from repro.kernels.softmax import safe_softmax
+
+
+def decomposed_softmax(x, t):
+    """Full LS -> IR -> GS composition in pure fp32 math."""
+    x_prime, m_prime, d_prime = local_softmax(x, t)
+    r_prime = inter_reduction(m_prime, d_prime)
+    return global_scaling(x_prime, r_prime, t)
+
+
+class TestEquation2:
+    """The decomposed softmax is mathematically identical to softmax."""
+
+    @pytest.mark.parametrize("t", [1, 2, 8, 32, 64, 256])
+    def test_matches_monolithic(self, t):
+        x = np.random.default_rng(3).standard_normal((4, 256)).astype(np.float32)
+        np.testing.assert_allclose(
+            decomposed_softmax(x, t), safe_softmax(x), rtol=1e-5, atol=1e-7
+        )
+
+    def test_t_equal_length_is_monolithic(self):
+        x = np.random.default_rng(4).standard_normal((3, 64)).astype(np.float32)
+        np.testing.assert_allclose(
+            decomposed_softmax(x, 64), safe_softmax(x), rtol=1e-6
+        )
+
+    def test_batched_heads_shape(self):
+        x = np.random.default_rng(5).standard_normal((2, 4, 8, 128))
+        out = decomposed_softmax(x, 32)
+        assert out.shape == x.shape
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_masked_subvector(self):
+        """A fully masked sub-vector must contribute nothing."""
+        x = np.zeros((1, 8), dtype=np.float32)
+        x[0, 4:] = -np.inf
+        out = decomposed_softmax(x, 4)
+        np.testing.assert_allclose(out[0, :4], 0.25, rtol=1e-6)
+        np.testing.assert_array_equal(out[0, 4:], 0.0)
+
+    def test_fully_masked_row(self):
+        x = np.full((2, 16), -np.inf, dtype=np.float32)
+        np.testing.assert_array_equal(decomposed_softmax(x, 4), np.zeros((2, 16)))
+
+    def test_extreme_magnitudes(self):
+        """Safe-softmax stability must survive decomposition."""
+        x = np.array([[1e4, -1e4, 1e4 + 2, 0.0]], dtype=np.float32)
+        out = decomposed_softmax(x, 2)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, safe_softmax(x), rtol=1e-5, atol=1e-8)
+
+    @given(
+        rows=st.integers(1, 6),
+        n_sv=st.integers(1, 8),
+        t=st.sampled_from([1, 2, 4, 8, 16]),
+        seed=st.integers(0, 2**31 - 1),
+        scale=st.floats(0.01, 50.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_equivalence(self, rows, n_sv, t, seed, scale):
+        """For any shape/scale, decomposition reproduces softmax."""
+        x = (
+            np.random.default_rng(seed)
+            .standard_normal((rows, n_sv * t))
+            .astype(np.float32)
+            * scale
+        )
+        np.testing.assert_allclose(
+            decomposed_softmax(x, t), safe_softmax(x), rtol=1e-4, atol=1e-6
+        )
+
+    @given(
+        t=st.sampled_from([2, 4, 8]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_rows_sum_to_one(self, t, seed):
+        x = np.random.default_rng(seed).standard_normal((3, 32)).astype(np.float32)
+        out = decomposed_softmax(x, t)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-5)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_reconstruction_factors_sum(self, seed):
+        """Sum over k of r'_k * (locally-normalised mass 1) == 1: the
+        reconstruction factors are a convex combination of sub-vectors."""
+        x = np.random.default_rng(seed).standard_normal((5, 64)).astype(np.float32)
+        _, m_prime, d_prime = local_softmax(x, 8)
+        r_prime = inter_reduction(m_prime, d_prime)
+        np.testing.assert_allclose(r_prime.sum(axis=-1), 1.0, rtol=1e-5)
+        assert np.all(r_prime >= 0)
+
+
+class TestKernelObjects:
+    def test_kernel_pipeline_matches_fp16_softmax(self):
+        x = np.random.default_rng(6).standard_normal((2, 8, 128)).astype(np.float32)
+        ls = LocalSoftmaxKernel(num_subvectors=2 * 8 * 4, t=32)
+        ir = InterReductionKernel(rows=16, mean_subvectors=4)
+        gs = GlobalScaleKernel(num_subvectors=2 * 8 * 4, t=32)
+        mono = RowSoftmaxKernel(rows=16, length=128)
+
+        x_prime, m_prime, d_prime = ls.compute(x)
+        r_prime = ir.compute(m_prime, d_prime)
+        y = gs.compute(x_prime, r_prime)
+        np.testing.assert_allclose(y, mono.compute(x), atol=2e-3)
+
+    def test_ls_traffic_one_read_one_write_plus_stats(self):
+        ls = LocalSoftmaxKernel(num_subvectors=65536 * 64, t=64,
+                                dtype=DType.FP16)
+        launch = ls.launch_spec(A100)
+        elements = 65536 * 64 * 64
+        assert launch.dram_read_bytes == elements * 2
+        assert launch.dram_write_bytes == elements * 2 + 2 * 65536 * 64 * 4
+
+    def test_ir_traffic_is_one_over_t_scale(self):
+        """IR sweeps only intermediates: tiny next to the matrix (Fig. 5)."""
+        rows, n_sv, t = 65536, 64, 64
+        ir = InterReductionKernel(rows=rows, mean_subvectors=n_sv)
+        ls = LocalSoftmaxKernel(num_subvectors=rows * n_sv, t=t)
+        ir_bytes = ir.launch_spec(A100).dram_bytes
+        ls_bytes = ls.launch_spec(A100).dram_bytes
+        assert ir_bytes < ls_bytes / 16
+
+    def test_gs_reads_include_r_prime(self):
+        gs = GlobalScaleKernel(num_subvectors=1000, t=64, dtype=DType.FP16)
+        launch = gs.launch_spec(A100)
+        assert launch.dram_read_bytes == 1000 * 64 * 2 + 1000 * 4
+        assert launch.dram_write_bytes == 1000 * 64 * 2
+
+    def test_ls_and_gs_run_at_streaming_bandwidth(self):
+        """Decomposition restores streaming access (the point of §3.2)."""
+        from repro.gpu.costmodel import time_kernel
+
+        ls = LocalSoftmaxKernel(num_subvectors=65536 * 64, t=64)
+        gs = GlobalScaleKernel(num_subvectors=65536 * 64, t=64)
+        for kernel in (ls, gs):
+            timing = time_kernel(A100, kernel.launch_spec(A100))
+            assert timing.bandwidth_utilization == pytest.approx(
+                A100.streaming_efficiency, rel=0.02
+            )

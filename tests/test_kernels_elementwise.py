@@ -1,0 +1,114 @@
+"""Tests for the element-wise and LayerNorm kernels."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.common import DType, ShapeError
+from repro.gpu import A100
+from repro.kernels import (
+    AddBiasGeluKernel,
+    LayerNormKernel,
+    ResidualAddKernel,
+    ScaleMaskKernel,
+)
+from repro.kernels.elementwise import gelu
+
+
+class TestGelu:
+    def test_matches_exact_gelu(self):
+        """tanh-GeLU approximates x * Phi(x) closely."""
+        x = np.linspace(-4, 4, 101).astype(np.float32)
+        exact = x * norm.cdf(x)
+        np.testing.assert_allclose(gelu(x), exact, atol=3e-3)
+
+    def test_asymptotes(self):
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-4)
+        assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_zero(self):
+        assert gelu(np.array([0.0]))[0] == 0.0
+
+
+class TestScaleMask:
+    def test_scale_only(self):
+        kernel = ScaleMaskKernel(16, scale=0.5, dtype=DType.FP32)
+        x = np.arange(16, dtype=np.float32)
+        np.testing.assert_allclose(kernel.compute(x), x * 0.5)
+
+    def test_additive_mask(self):
+        kernel = ScaleMaskKernel(4, scale=1.0, dtype=DType.FP32)
+        x = np.ones(4, dtype=np.float32)
+        mask = np.array([0.0, -np.inf, 0.0, -np.inf], dtype=np.float32)
+        out = kernel.compute(x, mask)
+        assert out[0] == 1.0
+        assert np.isneginf(out[1])
+
+    def test_traffic_one_read_one_write(self):
+        kernel = ScaleMaskKernel(1_000_000, scale=1.0)
+        launch = kernel.launch_spec(A100)
+        assert launch.dram_read_bytes == 2_000_000
+        assert launch.dram_write_bytes == 2_000_000
+
+
+class TestResidualAdd:
+    def test_numerics(self):
+        kernel = ResidualAddKernel(8, dtype=DType.FP32)
+        x = np.ones(8, dtype=np.float32)
+        r = np.full(8, 2.0, dtype=np.float32)
+        np.testing.assert_allclose(kernel.compute(x, r), 3.0)
+
+    def test_shape_mismatch(self):
+        kernel = ResidualAddKernel(8)
+        with pytest.raises(ShapeError):
+            kernel.compute(np.zeros(8), np.zeros(4))
+
+    def test_reads_two_operands(self):
+        kernel = ResidualAddKernel(1_000_000)
+        launch = kernel.launch_spec(A100)
+        assert launch.dram_read_bytes == 2 * launch.dram_write_bytes
+
+
+class TestAddBiasGelu:
+    def test_numerics(self):
+        kernel = AddBiasGeluKernel(8, dtype=DType.FP32)
+        x = np.zeros(8, dtype=np.float32)
+        bias = np.full(8, 2.0, dtype=np.float32)
+        np.testing.assert_allclose(kernel.compute(x, bias), gelu(
+            np.full(8, 2.0, dtype=np.float32)), atol=1e-6)
+
+    def test_category(self):
+        assert AddBiasGeluKernel(8).category == "feedforward"
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self):
+        kernel = LayerNormKernel(rows=4, width=64, dtype=DType.FP32)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 64)).astype(np.float32) * 3 + 5
+        out = kernel.compute(x, np.ones(64, dtype=np.float32),
+                             np.zeros(64, dtype=np.float32))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta(self):
+        kernel = LayerNormKernel(rows=1, width=4, dtype=DType.FP32)
+        x = np.array([[1.0, 2.0, 3.0, 4.0]], dtype=np.float32)
+        gamma = np.full(4, 2.0, dtype=np.float32)
+        beta = np.full(4, 1.0, dtype=np.float32)
+        plain = kernel.compute(x, np.ones(4, dtype=np.float32),
+                               np.zeros(4, dtype=np.float32))
+        scaled = kernel.compute(x, gamma, beta)
+        np.testing.assert_allclose(scaled, plain * 2 + 1, atol=1e-5)
+
+    def test_rejects_wrong_width(self):
+        kernel = LayerNormKernel(rows=2, width=8)
+        with pytest.raises(ShapeError):
+            kernel.compute(np.zeros((2, 4)), np.ones(4), np.zeros(4))
+
+    def test_memory_bound_reduction(self):
+        from repro.gpu.costmodel import time_kernel
+
+        kernel = LayerNormKernel(rows=4096, width=1024)
+        timing = time_kernel(A100, kernel.launch_spec(A100))
+        assert timing.bound == "memory"

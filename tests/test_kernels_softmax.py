@@ -1,0 +1,115 @@
+"""Tests for the monolithic row softmax kernel."""
+
+import numpy as np
+import pytest
+from scipy.special import softmax as scipy_softmax
+
+from repro.common import DType, ShapeError
+from repro.gpu import A100
+from repro.kernels import RowSoftmaxKernel
+from repro.kernels.softmax import safe_softmax
+
+
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestSafeSoftmaxMath:
+    def test_matches_scipy(self):
+        x = rng().standard_normal((4, 64)).astype(np.float32)
+        np.testing.assert_allclose(
+            safe_softmax(x), scipy_softmax(x, axis=-1), rtol=1e-6
+        )
+
+    def test_rows_sum_to_one(self):
+        x = rng().standard_normal((8, 128)) * 10
+        sums = safe_softmax(x).sum(axis=-1)
+        np.testing.assert_allclose(sums, 1.0, rtol=1e-5)
+
+    def test_large_magnitudes_do_not_overflow(self):
+        """The 'safe' part: huge logits must not produce inf/nan (Eq. 1)."""
+        x = np.array([[1e4, 1e4 + 1.0, 1e4 - 1.0]], dtype=np.float32)
+        y = safe_softmax(x)
+        assert np.all(np.isfinite(y))
+        np.testing.assert_allclose(y.sum(), 1.0, rtol=1e-6)
+
+    def test_partially_masked_row(self):
+        x = np.array([[0.0, -np.inf, 0.0, -np.inf]], dtype=np.float32)
+        np.testing.assert_allclose(safe_softmax(x), [[0.5, 0.0, 0.5, 0.0]])
+
+    def test_fully_masked_row_yields_zeros(self):
+        x = np.full((1, 8), -np.inf, dtype=np.float32)
+        np.testing.assert_array_equal(safe_softmax(x), np.zeros((1, 8)))
+
+    def test_shift_invariance(self):
+        x = rng().standard_normal((3, 32)).astype(np.float32)
+        np.testing.assert_allclose(
+            safe_softmax(x), safe_softmax(x + 100.0), rtol=1e-4
+        )
+
+
+class TestKernelNumerics:
+    def test_kernel_applies_fp16_storage(self):
+        x = rng().standard_normal((2, 3, 64)).astype(np.float32)
+        kernel = RowSoftmaxKernel(rows=6, length=64, dtype=DType.FP16)
+        out = kernel.compute(x)
+        expected = np.float16(
+            safe_softmax(np.float16(x).astype(np.float32))
+        ).astype(np.float32)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_rejects_wrong_row_length(self):
+        kernel = RowSoftmaxKernel(rows=4, length=64)
+        with pytest.raises(ShapeError):
+            kernel.compute(np.zeros((4, 32)))
+
+
+class TestKernelCost:
+    def test_operational_intensity_is_2_5(self):
+        """Section 3.1: 5 ops/element over 2 bytes read => 2.5 Op/B of input."""
+        kernel = RowSoftmaxKernel(rows=1024, length=4096, dtype=DType.FP16)
+        launch = kernel.launch_spec(A100)
+        assert launch.cuda_flops / launch.dram_read_bytes == pytest.approx(2.5)
+
+    def test_dense_traffic_is_two_sweeps(self):
+        kernel = RowSoftmaxKernel(rows=65536, length=4096, dtype=DType.FP16)
+        launch = kernel.launch_spec(A100)
+        sweep = 65536 * 4096 * 2
+        assert launch.dram_read_bytes == sweep
+        assert launch.dram_write_bytes == sweep
+
+    def test_sparse_rows_issue_fraction_collapses(self):
+        """Conservatively provisioned sparse rows idle most warps (§5.1)."""
+        dense = RowSoftmaxKernel(rows=1000, length=4096)
+        sparse = RowSoftmaxKernel(
+            rows=1000, length=4096, mean_nnz=512, max_nnz=4096,
+            worst_case_length=4096,
+        )
+        dense_launch = dense.launch_spec(A100)
+        sparse_launch = sparse.launch_spec(A100)
+        assert sparse_launch.issue_fraction == pytest.approx(
+            dense_launch.issue_fraction / 8
+        )
+
+    def test_sparse_softmax_much_lower_bandwidth(self):
+        from repro.gpu.costmodel import time_kernel
+
+        dense = RowSoftmaxKernel(rows=65536, length=4096)
+        sparse = RowSoftmaxKernel(
+            rows=65536, length=4096, mean_nnz=512, max_nnz=4096,
+        )
+        util_dense = time_kernel(A100, dense.launch_spec(A100)).bandwidth_utilization
+        util_sparse = time_kernel(A100, sparse.launch_spec(A100)).bandwidth_utilization
+        assert util_sparse < 0.25 * util_dense
+
+    def test_mean_nnz_cannot_exceed_allocation(self):
+        with pytest.raises(ShapeError):
+            RowSoftmaxKernel(rows=10, length=64, mean_nnz=128,
+                             worst_case_length=64)
+
+    def test_memory_bound(self):
+        from repro.gpu.costmodel import time_kernel
+
+        kernel = RowSoftmaxKernel(rows=65536, length=4096)
+        timing = time_kernel(A100, kernel.launch_spec(A100))
+        assert timing.bound == "memory"

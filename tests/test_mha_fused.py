@@ -1,0 +1,109 @@
+"""Tests for the fully fused MHA kernel (Section 7 related work)."""
+
+import numpy as np
+import pytest
+
+from repro.common import DType, KernelError, PlanError
+from repro.gpu import A100, Device, T4
+from repro.kernels.mha_fused import (
+    FullyFusedMHAKernel,
+    max_fusable_seq_len,
+    shared_mem_demand,
+)
+from repro.models import AttentionKind, AttentionSpec, SDABlock
+
+
+class TestFeasibility:
+    def test_shared_mem_linear_in_seq_len(self):
+        assert (shared_mem_demand(512, 64)
+                < shared_mem_demand(1024, 64)
+                < shared_mem_demand(4096, 64))
+
+    def test_max_fusable_length_short(self):
+        """The Section 7 limitation: only short sequences fit."""
+        for spec in (A100, T4):
+            limit = max_fusable_seq_len(spec)
+            assert 128 <= limit <= 2048, spec.name
+        # Smaller shared memory -> shorter limit.
+        assert max_fusable_seq_len(T4) < max_fusable_seq_len(A100)
+
+    def test_short_sequence_launches(self):
+        kernel = FullyFusedMHAKernel(16, 256, 64)
+        launch = kernel.launch_spec(A100)
+        # No attention-matrix traffic at all: just Q/K/V in, O out.
+        assert launch.dram_bytes == 4 * 16 * 256 * 64 * 2
+
+    def test_long_sequence_rejected(self):
+        kernel = FullyFusedMHAKernel(16, 4096, 64)
+        with pytest.raises(KernelError, match="max fusable L"):
+            kernel.launch_spec(A100)
+
+    def test_rejected_exactly_beyond_limit(self):
+        limit = max_fusable_seq_len(A100)
+        FullyFusedMHAKernel(1, limit, 64).launch_spec(A100)
+        with pytest.raises(KernelError):
+            FullyFusedMHAKernel(1, limit + 64, 64).launch_spec(A100)
+
+
+class TestNumerics:
+    def test_matches_baseline_attention(self):
+        rng = np.random.default_rng(0)
+        q, k, v = (rng.standard_normal((4, 64, 16)).astype(np.float32)
+                   for _ in range(3))
+        scale = 1 / 4.0
+        fused = FullyFusedMHAKernel(4, 64, 16, scale=scale)
+        block = SDABlock(batch=2, num_heads=2, seq_len=64, d_head=16,
+                         spec=AttentionSpec(kind=AttentionKind.DENSE),
+                         plan="baseline")
+        np.testing.assert_allclose(
+            fused.compute(q, k, v), block.forward(q, k, v), atol=5e-3
+        )
+
+    def test_plan_integration(self):
+        rng = np.random.default_rng(1)
+        q, k, v = (rng.standard_normal((4, 128, 16)).astype(np.float32)
+                   for _ in range(3))
+        kwargs = dict(batch=2, num_heads=2, seq_len=128, d_head=16,
+                      spec=AttentionSpec(kind=AttentionKind.DENSE))
+        baseline = SDABlock(plan="baseline", **kwargs).forward(q, k, v)
+        fused = SDABlock(plan="fused-mha", **kwargs).forward(q, k, v)
+        np.testing.assert_allclose(fused, baseline, atol=5e-3)
+
+    def test_shape_validation(self):
+        kernel = FullyFusedMHAKernel(2, 32, 8)
+        with pytest.raises(Exception):
+            kernel.compute(np.zeros((2, 32, 9)), np.zeros((2, 32, 8)),
+                           np.zeros((2, 32, 8)))
+
+
+class TestPositioning:
+    """Why recomposition matters: full fusion wins where it exists and
+    simply does not exist at the paper's scales."""
+
+    def test_beats_sdf_at_short_sequences(self):
+        kwargs = dict(batch=1, num_heads=16, seq_len=256, d_head=64,
+                      spec=AttentionSpec(kind=AttentionKind.DENSE))
+        times = {}
+        for plan in ("baseline", "sdf", "fused-mha"):
+            device = Device("A100")
+            SDABlock(plan=plan, **kwargs).simulate(device)
+            times[plan] = device.profile.total_time()
+        assert times["fused-mha"] < times["sdf"] < times["baseline"]
+
+    def test_infeasible_at_paper_scale(self):
+        block = SDABlock(batch=1, num_heads=16, seq_len=4096, d_head=64,
+                         spec=AttentionSpec(kind=AttentionKind.DENSE),
+                         plan="fused-mha")
+        with pytest.raises(KernelError, match="max fusable"):
+            block.simulate(Device("A100"))
+
+    def test_rejected_for_causal_and_sparse(self):
+        with pytest.raises(PlanError):
+            SDABlock(batch=1, num_heads=2, seq_len=128, d_head=16,
+                     spec=AttentionSpec(kind=AttentionKind.DENSE_CAUSAL),
+                     plan="fused-mha")
+        with pytest.raises(PlanError):
+            SDABlock(batch=1, num_heads=2, seq_len=256, d_head=16,
+                     spec=AttentionSpec(kind=AttentionKind.BIGBIRD,
+                                        block_size=16, global_blocks=1),
+                     plan="fused-mha")

@@ -1,0 +1,201 @@
+"""Tests for the inference runtime (simulation and numerics)."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError, DType
+from repro.models import (
+    AttentionKind,
+    AttentionSpec,
+    BERT_LARGE,
+    GPT_NEO_1_3B,
+    InferenceSession,
+    ModelConfig,
+)
+
+
+def tiny_model(kind=AttentionKind.DENSE, layers=2, **spec_kwargs):
+    return ModelConfig(
+        name="tiny",
+        num_layers=layers,
+        d_model=64,
+        num_heads=4,
+        d_ff=128,
+        attention=(AttentionSpec(kind=kind, block_size=16, **spec_kwargs),),
+    )
+
+
+class TestSimulation:
+    def test_simulate_full_bert(self):
+        result = InferenceSession(BERT_LARGE, plan="baseline").simulate()
+        assert result.total_time > 0
+        assert result.total_dram_bytes > 0
+        # 24 layers x (4 FC + 3 SDA + gelu + 2 residual + 2 LN + fc1/fc2).
+        assert len(result.profile) == 24 * 14
+
+    def test_string_arguments(self):
+        result = InferenceSession("bert-large", gpu="a100",
+                                  plan="sdf").simulate()
+        assert result.model is BERT_LARGE
+        assert result.gpu.name == "A100"
+
+    def test_unique_spec_dedup_matches_full_simulation(self):
+        """Replicating per-spec profiles must equal simulating all layers."""
+        session = InferenceSession(GPT_NEO_1_3B, plan="baseline",
+                                   seq_len=2048)
+        result = session.simulate()
+
+        from repro.gpu import Device
+
+        device = Device(session.gpu)
+        for layer in range(GPT_NEO_1_3B.num_layers):
+            session._make_layer(layer).simulate(device)
+        assert device.profile.total_time() == pytest.approx(result.total_time)
+        assert device.profile.total_dram_bytes() == pytest.approx(
+            result.total_dram_bytes
+        )
+
+    def test_breakdown_fractions_sum_to_one(self):
+        from repro.analysis import normalized_time_breakdown
+
+        result = InferenceSession(BERT_LARGE).simulate()
+        fractions = normalized_time_breakdown(result)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["softmax"] > 0.2
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            InferenceSession(BERT_LARGE, seq_len=0)
+        with pytest.raises(ConfigError):
+            InferenceSession(BERT_LARGE, batch=0)
+
+    def test_speedup_over(self):
+        base = InferenceSession(BERT_LARGE, plan="baseline").simulate()
+        sdf = InferenceSession(BERT_LARGE, plan="sdf").simulate()
+        assert sdf.speedup_over(base) == pytest.approx(
+            base.total_time / sdf.total_time
+        )
+
+    def test_batch_scales_traffic(self):
+        one = InferenceSession(BERT_LARGE, batch=1).simulate()
+        four = InferenceSession(BERT_LARGE, batch=4).simulate()
+        assert four.total_dram_bytes > 3.5 * one.total_dram_bytes
+
+
+class TestNumericForward:
+    @pytest.mark.parametrize("plan", ["baseline", "sd", "sdf"])
+    def test_plans_produce_identical_hidden_states(self, plan):
+        config = tiny_model()
+        rng = np.random.default_rng(0)
+        hidden = rng.standard_normal((2, 32, 64)).astype(np.float32) * 0.1
+        base = InferenceSession(config, seq_len=32, batch=2, t=16,
+                                plan="baseline").forward(hidden)
+        out = InferenceSession(config, seq_len=32, batch=2, t=16,
+                               plan=plan).forward(hidden)
+        np.testing.assert_allclose(out, base, atol=5e-3)
+
+    def test_sparse_model_forward(self):
+        config = tiny_model(kind=AttentionKind.LONGFORMER, window=32,
+                            global_blocks=1)
+        rng = np.random.default_rng(1)
+        hidden = rng.standard_normal((1, 128, 64)).astype(np.float32) * 0.1
+        base = InferenceSession(config, seq_len=128, plan="baseline",
+                                t=16).forward(hidden)
+        sdf = InferenceSession(config, seq_len=128, plan="sdf",
+                               t=16).forward(hidden)
+        np.testing.assert_allclose(sdf, base, atol=5e-3)
+
+    def test_forward_with_device_returns_profile(self):
+        config = tiny_model()
+        hidden = np.zeros((1, 32, 64), dtype=np.float32)
+        out, result = InferenceSession(config, seq_len=32).forward(
+            hidden, with_device=True
+        )
+        assert out.shape == (1, 32, 64)
+        assert len(result.profile) == config.num_layers * 14
+
+    def test_forward_shape_validation(self):
+        config = tiny_model()
+        with pytest.raises(ConfigError):
+            InferenceSession(config, seq_len=32).forward(
+                np.zeros((1, 16, 64), dtype=np.float32)
+            )
+
+    def test_output_finite_and_normalized(self):
+        """LayerNorm keeps activations bounded through 4 layers."""
+        config = tiny_model(layers=4)
+        rng = np.random.default_rng(2)
+        hidden = rng.standard_normal((1, 32, 64)).astype(np.float32)
+        out = InferenceSession(config, seq_len=32).forward(hidden)
+        assert np.all(np.isfinite(out))
+        assert np.abs(out).max() < 50
+
+    def test_fp32_session(self):
+        config = tiny_model()
+        rng = np.random.default_rng(3)
+        hidden = rng.standard_normal((1, 32, 64)).astype(np.float32) * 0.1
+        base = InferenceSession(config, seq_len=32, dtype=DType.FP32, t=16,
+                                plan="baseline").forward(hidden)
+        sdf = InferenceSession(config, seq_len=32, dtype=DType.FP32, t=16,
+                               plan="sdf").forward(hidden)
+        np.testing.assert_allclose(sdf, base, atol=1e-5)
+
+
+class TestPaperHeadlines:
+    """The paper's headline A100 results, within tolerance bands."""
+
+    @pytest.mark.parametrize("model,expected,tol", [
+        ("bert-large", 1.25, 0.08),
+        ("gpt-neo-1.3b", 1.12, 0.08),
+        ("bigbird-large", 1.57, 0.15),
+        ("longformer-large", 1.65, 0.12),
+    ])
+    def test_sdf_speedups(self, model, expected, tol):
+        base = InferenceSession(model, plan="baseline").simulate()
+        sdf = InferenceSession(model, plan="sdf").simulate()
+        assert sdf.speedup_over(base) == pytest.approx(expected, rel=tol)
+
+    def test_sd_hurts_dense_helps_sparse(self):
+        """Fig. 8: SD alone slows dense models, speeds sparse ones."""
+        for model, lo, hi in [("bert-large", 0.75, 1.0),
+                              ("bigbird-large", 1.3, 1.7),
+                              ("longformer-large", 1.3, 1.7)]:
+            base = InferenceSession(model, plan="baseline").simulate()
+            sd = InferenceSession(model, plan="sd").simulate()
+            assert lo <= sd.speedup_over(base) <= hi, model
+
+    def test_softmax_shares(self):
+        """Fig. 2: softmax is 36/18/40/42% of execution time."""
+        for model, expected in [("bert-large", 0.36), ("gpt-neo-1.3b", 0.18),
+                                ("bigbird-large", 0.40),
+                                ("longformer-large", 0.42)]:
+            result = InferenceSession(model, plan="baseline").simulate()
+            assert result.softmax_time_fraction() == pytest.approx(
+                expected, abs=0.07
+            ), model
+
+    def test_sdf_reduces_memory_traffic(self):
+        for model in ("bert-large", "gpt-neo-1.3b"):
+            base = InferenceSession(model, plan="baseline").simulate()
+            sdf = InferenceSession(model, plan="sdf").simulate()
+            assert sdf.total_dram_bytes < 0.9 * base.total_dram_bytes
+
+
+class TestLayerGroups:
+    def test_bert_single_group(self):
+        result = InferenceSession(BERT_LARGE).simulate()
+        assert len(result.layer_groups) == 1
+        label, count, profile = result.layer_groups[0]
+        assert label == "dense"
+        assert count == 24
+        assert profile.total_time() * 24 == pytest.approx(result.total_time)
+
+    def test_gpt_neo_two_groups(self):
+        result = InferenceSession(GPT_NEO_1_3B, seq_len=2048).simulate()
+        labels = sorted(label for label, _, _ in result.layer_groups)
+        assert labels == ["dense_causal", "local_causal"]
+        summary = result.layer_summary()
+        assert sum(share for *_, share in summary) == pytest.approx(1.0)
+        # Dense-causal layers are the expensive ones (full L^2 attention).
+        shares = {label: share for label, _, _, share in summary}
+        assert shares["dense_causal"] > shares["local_causal"]

@@ -1,0 +1,86 @@
+"""Tests for key-padding-mask support (variable-length batches)."""
+
+import numpy as np
+import pytest
+
+from repro.common import PlanError, ShapeError
+from repro.kernels.softmax import safe_softmax
+from repro.models import AttentionKind, AttentionSpec, SDABlock
+
+SPEC = AttentionSpec(kind=AttentionKind.DENSE)
+
+
+def make_block(plan="baseline", lengths=(48, 64)):
+    return SDABlock(batch=2, num_heads=2, seq_len=64, d_head=16,
+                    spec=SPEC, plan=plan, t=16,
+                    key_padding_lengths=np.array(lengths))
+
+
+def make_qkv(seed=0):
+    rng = np.random.default_rng(seed)
+    return tuple(rng.standard_normal((4, 64, 16)).astype(np.float32)
+                 for _ in range(3))
+
+
+class TestPaddingMask:
+    def test_matches_manually_masked_reference(self):
+        q, k, v = make_qkv()
+        out = make_block().forward(q, k, v)
+        scores = np.matmul(q, np.swapaxes(k, 1, 2), dtype=np.float32) / 4.0
+        # First batch item (heads 0-1): keys 48.. masked.
+        scores[:2, :, 48:] = -np.inf
+        expected = np.matmul(safe_softmax(scores), v, dtype=np.float32)
+        np.testing.assert_allclose(out, expected, atol=5e-3)
+
+    @pytest.mark.parametrize("plan", ["sd", "sdf", "online"])
+    def test_plans_agree_under_padding(self, plan):
+        q, k, v = make_qkv(seed=1)
+        baseline = make_block("baseline").forward(q, k, v)
+        other = make_block(plan).forward(q, k, v)
+        np.testing.assert_allclose(other, baseline, atol=5e-3)
+
+    def test_padded_keys_ignored(self):
+        """Changing a padded key/value must not change the output."""
+        q, k, v = make_qkv(seed=2)
+        out1 = make_block().forward(q, k, v)
+        k2, v2 = k.copy(), v.copy()
+        k2[:2, 50:] += 100.0
+        v2[:2, 50:] -= 100.0
+        out2 = make_block().forward(q, k2, v2)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_unpadded_item_unaffected(self):
+        q, k, v = make_qkv(seed=3)
+        masked = make_block(lengths=(48, 64)).forward(q, k, v)
+        unmasked = SDABlock(batch=2, num_heads=2, seq_len=64, d_head=16,
+                            spec=SPEC).forward(q, k, v)
+        # Second batch item (heads 2-3) has no padding: identical.
+        np.testing.assert_array_equal(masked[2:], unmasked[2:])
+
+    def test_causal_plus_padding(self):
+        spec = AttentionSpec(kind=AttentionKind.DENSE_CAUSAL)
+        q, k, v = make_qkv(seed=4)
+        block = SDABlock(batch=2, num_heads=2, seq_len=64, d_head=16,
+                         spec=spec, key_padding_lengths=np.array([32, 64]))
+        out = block.forward(q, k, v)
+        scores = np.matmul(q, np.swapaxes(k, 1, 2), dtype=np.float32) / 4.0
+        causal = np.triu(np.full((64, 64), -np.inf, dtype=np.float32), k=1)
+        scores = scores + causal
+        scores[:2, :, 32:] = -np.inf
+        expected = np.matmul(safe_softmax(scores), v, dtype=np.float32)
+        np.testing.assert_allclose(out, expected, atol=5e-3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError, match="key_padding_lengths"):
+            SDABlock(batch=2, num_heads=2, seq_len=64, d_head=16,
+                     spec=SPEC, key_padding_lengths=np.array([64]))
+
+    def test_unsupported_plans_rejected(self):
+        for plan in ("flash", "fused-mha"):
+            with pytest.raises(PlanError, match="padding"):
+                make_block(plan)
+        with pytest.raises(PlanError, match="padding"):
+            SDABlock(batch=2, num_heads=2, seq_len=256, d_head=16,
+                     spec=AttentionSpec(kind=AttentionKind.BIGBIRD,
+                                        block_size=16, global_blocks=1),
+                     key_padding_lengths=np.array([128, 256]))

@@ -1,0 +1,129 @@
+"""Tests for the interconnect model and tensor-parallel inference."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.gpu.interconnect import NVLINK3, PCIE4, allreduce_time
+from repro.models import BERT_LARGE, InferenceSession
+from repro.models.parallel import TensorParallelSession
+
+
+class TestAllReduce:
+    def test_single_gpu_free(self):
+        assert allreduce_time(NVLINK3, 1e9, 1) == 0.0
+
+    def test_zero_bytes_free(self):
+        assert allreduce_time(NVLINK3, 0, 8) == 0.0
+
+    def test_ring_volume(self):
+        """2 (n-1)/n of the buffer per GPU."""
+        t2 = allreduce_time(NVLINK3, 1e9, 2)
+        expected = (2 * 0.5 * 1e9) / NVLINK3.link_bandwidth \
+            + 2 * NVLINK3.hop_latency
+        assert t2 == pytest.approx(expected)
+
+    def test_more_gpus_more_volume(self):
+        assert allreduce_time(NVLINK3, 1e9, 8) > allreduce_time(NVLINK3, 1e9, 2)
+
+    def test_pcie_slower(self):
+        assert allreduce_time(PCIE4, 1e8, 4) > allreduce_time(NVLINK3, 1e8, 4)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigError):
+            allreduce_time(NVLINK3, 1e9, 0)
+
+
+class TestTensorParallel:
+    def test_scaling_reduces_latency(self):
+        single = InferenceSession(BERT_LARGE, plan="baseline").simulate()
+        tp2 = TensorParallelSession(BERT_LARGE, n_gpus=2).simulate()
+        tp4 = TensorParallelSession(BERT_LARGE, n_gpus=4).simulate()
+        assert tp2.total_time < single.total_time
+        assert tp4.total_time < tp2.total_time
+        # Sub-linear: communication and un-sharded work cap the gain.
+        assert tp4.total_time > single.total_time / 4.5
+
+    def test_comm_share_grows_with_gpus(self):
+        tp2 = TensorParallelSession(BERT_LARGE, n_gpus=2).simulate()
+        tp8 = TensorParallelSession(BERT_LARGE, n_gpus=8).simulate()
+        assert tp8.comm_fraction > tp2.comm_fraction
+        assert 0 < tp2.comm_fraction < 0.5
+
+    def test_recomposition_survives_tp(self):
+        """Each shard runs the same SDA pipeline over H/n heads."""
+        base = TensorParallelSession(BERT_LARGE, n_gpus=4,
+                                     plan="baseline").simulate()
+        sdf = TensorParallelSession(BERT_LARGE, n_gpus=4,
+                                    plan="sdf").simulate()
+        speedup = base.total_time / sdf.total_time
+        assert speedup > 1.12
+
+    def test_pcie_hurts(self):
+        from repro.gpu.interconnect import PCIE4
+
+        nvlink = TensorParallelSession(BERT_LARGE, n_gpus=4).simulate()
+        pcie = TensorParallelSession(BERT_LARGE, n_gpus=4,
+                                     interconnect=PCIE4).simulate()
+        assert pcie.total_time > nvlink.total_time
+        assert pcie.comm_fraction > 2 * nvlink.comm_fraction
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ConfigError, match="heads"):
+            TensorParallelSession(BERT_LARGE, n_gpus=3)
+
+    def test_two_allreduces_per_layer(self):
+        tp = TensorParallelSession(BERT_LARGE, n_gpus=2).simulate()
+        comm_records = [r for r in tp.result.profile
+                        if r.category == "comm"]
+        assert len(comm_records) == 2 * BERT_LARGE.num_layers
+
+
+class TestPipelineParallel:
+    from repro.models.parallel import PipelineParallelSession
+
+    def make(self, **kw):
+        from repro.models.parallel import PipelineParallelSession
+
+        defaults = dict(n_stages=4, microbatches=4, batch=4, seq_len=2048)
+        defaults.update(kw)
+        return PipelineParallelSession(BERT_LARGE, **defaults)
+
+    def test_bubble_fraction(self):
+        result = self.make(n_stages=4, microbatches=4).simulate()
+        assert result.bubble_fraction == pytest.approx(3 / 7)
+        assert result.throughput_efficiency == pytest.approx(4 / 7)
+
+    def test_more_microbatches_shrink_bubble(self):
+        few = self.make(microbatches=2, batch=4).simulate()
+        many = self.make(microbatches=4, batch=4).simulate()
+        assert many.bubble_fraction < few.bubble_fraction
+
+    def test_single_stage_no_bubble(self):
+        result = self.make(n_stages=1, microbatches=1, batch=4).simulate()
+        assert result.bubble_fraction == 0.0
+
+    def test_layers_must_split(self):
+        from repro.common import ConfigError
+
+        with pytest.raises(ConfigError, match="layers"):
+            self.make(n_stages=5)
+
+    def test_batch_must_split(self):
+        from repro.common import ConfigError
+
+        with pytest.raises(ConfigError, match="microbatches"):
+            self.make(microbatches=3, batch=4)
+
+    def test_pipelining_beats_sequential_throughput(self):
+        """4 stages with 8 microbatches finish the batch faster than
+        one GPU running it alone (but slower than 4x)."""
+        single = InferenceSession(BERT_LARGE, seq_len=2048,
+                                  batch=8).simulate()
+        piped = self.make(n_stages=4, microbatches=8, batch=8).simulate()
+        assert piped.total_time < single.total_time
+        assert piped.total_time > single.total_time / 4
+
+    def test_recomposition_composes_with_pipelining(self):
+        base = self.make(plan="baseline").simulate()
+        sdf = self.make(plan="sdf").simulate()
+        assert sdf.total_time < base.total_time

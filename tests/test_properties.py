@@ -1,0 +1,257 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Covers the occupancy calculator, the cost model, the block-sparse
+round trip, and the mathematical identities the recomposition relies
+on — across randomly drawn shapes and magnitudes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.common import DType
+from repro.gpu import A100, RTX3090, T4, TBResources, compute_occupancy
+from repro.gpu.costmodel import KernelLaunch, WorkloadShape, time_kernel
+from repro.kernels import MatMulKernel
+from repro.kernels.softmax import safe_softmax
+from repro.core import decomposed_softmax, online_softmax, softmax_backward
+from repro.sparse import BlockSparseLayout, BlockSparseMatrix
+
+GPUS = (A100, RTX3090, T4)
+
+threads_strategy = st.sampled_from([32, 64, 128, 256, 512, 1024])
+smem_strategy = st.integers(0, 64) .map(lambda k: k * 1024)
+
+
+class TestOccupancyProperties:
+    @given(threads=threads_strategy, smem=smem_strategy,
+           gpu=st.sampled_from(range(3)))
+    @settings(max_examples=120, deadline=None)
+    def test_occupancy_within_device_limits(self, threads, smem, gpu):
+        spec = GPUS[gpu]
+        try:
+            occ = compute_occupancy(spec, TBResources(threads=threads,
+                                                      shared_mem=smem))
+        except Exception:
+            assume(False)
+        assert 1 <= occ.tbs_per_sm <= spec.max_tbs_per_sm
+        assert occ.warps_per_sm <= spec.max_warps_per_sm
+        assert occ.tbs_per_sm * threads <= spec.max_threads_per_sm
+        if smem:
+            assert occ.tbs_per_sm * smem <= spec.max_shared_mem_per_sm
+        assert 0 < occ.fraction <= 1.0
+
+    @given(threads=threads_strategy, gpu=st.sampled_from(range(3)))
+    @settings(max_examples=60, deadline=None)
+    def test_more_registers_never_increase_occupancy(self, threads, gpu):
+        spec = GPUS[gpu]
+        low = compute_occupancy(
+            spec, TBResources(threads=threads, registers_per_thread=32))
+        high = compute_occupancy(
+            spec, TBResources(threads=threads, registers_per_thread=64))
+        assert high.tbs_per_sm <= low.tbs_per_sm
+
+
+class TestCostModelProperties:
+    def make_launch(self, read, write, tensor, grid):
+        return KernelLaunch(
+            name="p", category="x",
+            tb=TBResources(threads=256),
+            shape=WorkloadShape(grid=grid),
+            dram_read_bytes=read, dram_write_bytes=write,
+            tensor_flops=tensor,
+        )
+
+    @given(
+        read=st.floats(1e3, 1e10),
+        write=st.floats(0, 1e10),
+        tensor=st.floats(0, 1e13),
+        grid=st.integers(1, 10**6),
+        gpu=st.sampled_from(range(3)),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_timing_invariants(self, read, write, tensor, grid, gpu):
+        spec = GPUS[gpu]
+        timing = time_kernel(spec, self.make_launch(read, write, tensor, grid))
+        assert timing.time >= spec.kernel_launch_overhead
+        assert timing.time >= max(timing.compute_time, timing.memory_time)
+        assert 0 <= timing.bandwidth_utilization <= spec.streaming_efficiency
+        assert timing.imbalance_penalty >= 1.0
+
+    @given(
+        bytes1=st.floats(1e6, 1e9),
+        scale=st.floats(1.5, 10.0),
+        gpu=st.sampled_from(range(3)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_time_monotone_in_traffic(self, bytes1, scale, gpu):
+        spec = GPUS[gpu]
+        small = time_kernel(spec, self.make_launch(bytes1, 0, 0, 10_000))
+        large = time_kernel(spec, self.make_launch(bytes1 * scale, 0, 0,
+                                                   10_000))
+        assert large.time >= small.time
+
+    @given(flops=st.floats(1e9, 1e13), gpu=st.sampled_from(range(3)))
+    @settings(max_examples=60, deadline=None)
+    def test_compute_time_never_beats_ideal(self, flops, gpu):
+        spec = GPUS[gpu]
+        timing = time_kernel(spec, self.make_launch(1e3, 0, flops, 10_000))
+        ideal = flops / spec.fp16_tensor_flops
+        assert timing.compute_time >= ideal
+
+
+class TestMatMulProperties:
+    @given(
+        m=st.integers(1, 512), n=st.integers(1, 512), k=st.integers(1, 256),
+        batch=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_traffic_at_least_operand_sizes(self, m, n, k, batch):
+        kernel = MatMulKernel(batch=batch, m=m, n=n, k=k, dtype=DType.FP16)
+        launch = kernel.launch_spec(A100)
+        assert launch.dram_read_bytes >= batch * (m * k + k * n) * 2
+        assert launch.dram_write_bytes == batch * m * n * 2
+        assert launch.tensor_flops == 2 * batch * m * n * k
+
+    @given(m=st.integers(2, 40), n=st.integers(2, 40), k=st.integers(2, 40),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_numerics_match_numpy(self, m, n, k, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((1, m, k)).astype(np.float32)
+        b = rng.standard_normal((1, k, n)).astype(np.float32)
+        kernel = MatMulKernel(batch=1, m=m, n=n, k=k, dtype=DType.FP32)
+        np.testing.assert_allclose(kernel.compute(a, b), a @ b,
+                                   rtol=1e-5, atol=1e-5)
+
+
+class TestBlockSparseProperties:
+    @given(
+        n=st.integers(2, 10),
+        bs=st.sampled_from([4, 8, 16]),
+        density_seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, n, bs, density_seed):
+        rng = np.random.default_rng(density_seed)
+        mask = rng.random((n, n)) < 0.5
+        mask[0, 0] = True  # ensure non-empty
+        layout = BlockSparseLayout(mask, bs)
+        data = rng.standard_normal(
+            (2, layout.nnz_blocks, bs, bs)).astype(np.float32)
+        matrix = BlockSparseMatrix(layout, data)
+        back = BlockSparseMatrix.from_dense(matrix.to_dense(), layout)
+        np.testing.assert_array_equal(back.data, data)
+
+    @given(n=st.integers(2, 10), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_statistics_consistent(self, n, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((n, n)) < 0.4
+        mask[0, 0] = True
+        layout = BlockSparseLayout(mask, 8)
+        assert layout.nnz_blocks == layout.row_nnz_blocks().sum()
+        assert layout.max_row_nnz >= layout.mean_row_nnz
+        assert 0 < layout.density <= 1
+
+
+class TestMathProperties:
+    @given(
+        length=st.sampled_from([8, 16, 32, 64]),
+        t=st.sampled_from([1, 2, 4, 8]),
+        seed=st.integers(0, 2**31 - 1),
+        shift=st.floats(-100, 100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_decomposition_shift_invariant(self, length, t, seed, shift):
+        x = np.random.default_rng(seed).standard_normal(
+            (3, length)).astype(np.float32)
+        a = decomposed_softmax(x, t)
+        b = decomposed_softmax(x + np.float32(shift), t)
+        np.testing.assert_allclose(a, b, atol=1e-4)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_three_softmaxes_agree(self, seed):
+        x = np.random.default_rng(seed).standard_normal(
+            (2, 32)).astype(np.float32) * 10
+        reference = safe_softmax(x)
+        np.testing.assert_allclose(decomposed_softmax(x, 8), reference,
+                                   atol=1e-5)
+        np.testing.assert_allclose(online_softmax(x), reference, atol=1e-5)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_backward_rows_sum_to_zero(self, seed):
+        rng = np.random.default_rng(seed)
+        y = safe_softmax(rng.standard_normal((4, 16)).astype(np.float32))
+        g = softmax_backward(y, rng.standard_normal((4, 16)).astype(np.float32))
+        np.testing.assert_allclose(g.sum(axis=-1), 0.0, atol=1e-5)
+
+
+class TestFlashProperties:
+    """FlashAttention's tiled recurrence equals reference softmax
+    attention for arbitrary shapes, scales, and tile boundaries."""
+
+    @given(
+        length=st.integers(4, 200),
+        d=st.sampled_from([4, 8, 16]),
+        scale=st.floats(0.05, 3.0),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flash_matches_reference(self, length, d, scale, seed):
+        from repro.kernels.flash import FlashAttentionKernel
+
+        rng = np.random.default_rng(seed)
+        q, k, v = (rng.standard_normal((2, length, d)).astype(np.float32)
+                   for _ in range(3))
+        kernel = FlashAttentionKernel(2, length, d, scale=scale,
+                                      dtype=DType.FP32)
+        scores = np.matmul(q, np.swapaxes(k, 1, 2),
+                           dtype=np.float32) * np.float32(scale)
+        expected = np.matmul(safe_softmax(scores), v, dtype=np.float32)
+        np.testing.assert_allclose(kernel.compute(q, k, v), expected,
+                                   rtol=1e-4, atol=1e-4)
+
+    @given(length=st.sampled_from([32, 96, 160]),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_flash_causal_matches_reference(self, length, seed):
+        from repro.kernels.flash import FlashAttentionKernel
+
+        rng = np.random.default_rng(seed)
+        q, k, v = (rng.standard_normal((1, length, 8)).astype(np.float32)
+                   for _ in range(3))
+        kernel = FlashAttentionKernel(1, length, 8, scale=1.0, causal=True,
+                                      dtype=DType.FP32)
+        scores = np.matmul(q, np.swapaxes(k, 1, 2), dtype=np.float32)
+        mask = np.triu(np.full((length, length), -np.inf, dtype=np.float32),
+                       k=1)
+        expected = np.matmul(safe_softmax(scores + mask), v,
+                             dtype=np.float32)
+        np.testing.assert_allclose(kernel.compute(q, k, v), expected,
+                                   rtol=1e-4, atol=1e-4)
+
+
+class TestPatternProperties:
+    @given(
+        n=st.sampled_from([8, 16, 32]),
+        window=st.sampled_from([1, 3, 5]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_window_contains_diagonal(self, n, window):
+        from repro.sparse import sliding_window_layout
+
+        layout = sliding_window_layout(n * 16, 16, window_blocks=window)
+        assert all(layout.mask[i, i] for i in range(n))
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_bigbird_superset_of_window_and_global(self, seed):
+        from repro.sparse import bigbird_layout, sliding_window_layout
+
+        layout = bigbird_layout(1024, 64, seed=seed)
+        window = sliding_window_layout(1024, 64, window_blocks=3)
+        assert (layout.mask | window.mask == layout.mask).all()
+        assert layout.mask[0].all() and layout.mask[:, 0].all()

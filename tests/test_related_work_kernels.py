@@ -1,0 +1,85 @@
+"""Tests for the related-work softmax implementations (Section 7):
+online softmax [21], TurboTransformers batched softmax [9]."""
+
+import numpy as np
+import pytest
+
+from repro.common import KernelError
+from repro.gpu import A100, Device
+from repro.gpu.costmodel import time_kernel
+from repro.kernels.softmax import (
+    BatchedRowSoftmaxKernel,
+    OnlineRowSoftmaxKernel,
+    RowSoftmaxKernel,
+)
+from repro.models import AttentionKind, AttentionSpec, SDABlock
+
+
+class TestBatchedSoftmax:
+    def test_numerics_equal_baseline(self):
+        x = np.random.default_rng(0).standard_normal((8, 256)).astype(np.float32)
+        batched = BatchedRowSoftmaxKernel(rows=8, length=256)
+        baseline = RowSoftmaxKernel(rows=8, length=256)
+        np.testing.assert_array_equal(batched.compute(x), baseline.compute(x))
+
+    def test_same_traffic_as_baseline(self):
+        """[9] 'does not reduce the number of memory accesses'."""
+        batched = BatchedRowSoftmaxKernel(rows=65536, length=1024)
+        baseline = RowSoftmaxKernel(rows=65536, length=1024)
+        lb = batched.launch_spec(A100)
+        lm = baseline.launch_spec(A100)
+        assert lb.dram_bytes == lm.dram_bytes
+
+    def test_higher_utilization_than_baseline(self):
+        """Batching rows per thread block raises SM utilisation."""
+        batched = BatchedRowSoftmaxKernel(rows=65536, length=1024)
+        baseline = RowSoftmaxKernel(rows=65536, length=1024)
+        ub = time_kernel(A100, batched.launch_spec(A100)).bandwidth_utilization
+        um = time_kernel(A100, baseline.launch_spec(A100)).bandwidth_utilization
+        assert ub > um
+
+    def test_length_cap(self):
+        """'The method supports sequence lengths up to 1,024'."""
+        BatchedRowSoftmaxKernel(rows=16, length=1024).launch_spec(A100)
+        with pytest.raises(KernelError, match="1024"):
+            BatchedRowSoftmaxKernel(rows=16, length=2048).launch_spec(A100)
+
+    def test_fewer_thread_blocks(self):
+        batched = BatchedRowSoftmaxKernel(rows=1000, length=512)
+        launch = batched.launch_spec(A100)
+        assert launch.shape.grid == 250  # 4 rows per thread block
+
+
+class TestOnlineVsBatchedVsSDF:
+    """The Section 7 positioning: both related-work kernels improve the
+    standalone softmax but keep its 2 sweeps; SDF removes them."""
+
+    def sda_time(self, plan, seq_len):
+        device = Device("A100")
+        SDABlock(batch=1, num_heads=16, seq_len=seq_len, d_head=64,
+                 spec=AttentionSpec(kind=AttentionKind.DENSE),
+                 plan=plan).simulate(device)
+        return device.profile.total_time()
+
+    def test_ordering_at_short_length(self):
+        times = {plan: self.sda_time(plan, 1024)
+                 for plan in ("baseline", "online", "turbo", "sdf")}
+        assert times["online"] < times["baseline"]
+        assert times["turbo"] < times["baseline"]
+        assert times["sdf"] < times["online"]
+        assert times["sdf"] < times["turbo"]
+
+    def test_turbo_unavailable_at_long_length(self):
+        with pytest.raises(KernelError):
+            self.sda_time("turbo", 4096)
+
+    def test_online_available_but_loses_at_long_length(self):
+        online = self.sda_time("online", 4096)
+        sdf = self.sda_time("sdf", 4096)
+        assert sdf < 0.8 * online
+
+    def test_online_duty_above_baseline(self):
+        online = OnlineRowSoftmaxKernel(rows=1000, length=1024)
+        baseline = RowSoftmaxKernel(rows=1000, length=1024)
+        assert (online.launch_spec(A100).issue_fraction
+                > baseline.launch_spec(A100).issue_fraction)

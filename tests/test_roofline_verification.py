@@ -1,0 +1,108 @@
+"""Tests for the roofline analysis and the reproduction verifier."""
+
+import pytest
+
+from repro.gpu import A100, T4, get_gpu
+from repro.gpu.roofline import (
+    analyze,
+    machine_balance,
+    render_roofline,
+    roofline_at,
+    summary_table,
+)
+from repro.models import BERT_LARGE, InferenceSession
+
+
+@pytest.fixture(scope="module")
+def bert_profile():
+    return InferenceSession(BERT_LARGE, seq_len=2048).simulate().profile
+
+
+class TestRoofline:
+    def test_machine_balance_above_25(self):
+        """Section 3.1: 'the maximum FLOPS compared to the maximum
+        off-chip memory bandwidth exceeds 25 FLOP/B' on modern GPUs."""
+        for name in ("a100", "rtx3090", "t4"):
+            assert machine_balance(get_gpu(name)) > 25
+
+    def test_roofline_shape(self):
+        balance = machine_balance(A100)
+        assert roofline_at(A100, balance / 10) == pytest.approx(
+            A100.mem_bandwidth * balance / 10
+        )
+        assert roofline_at(A100, balance * 10) == A100.fp16_tensor_flops
+
+    def test_softmax_point_memory_bound(self, bert_profile):
+        points = {p.name: p for p in analyze(bert_profile, A100)}
+        softmax = points["softmax"]
+        # The paper's 2.5 Op/B counts 5 ops per 2 input bytes; against
+        # total (read + write) traffic that is 1.25 FLOP/B — either
+        # way, orders of magnitude below machine balance.
+        assert softmax.intensity == pytest.approx(1.25, rel=0.2)
+        assert softmax.intensity < machine_balance(A100) / 20
+
+    def test_fc_point_compute_side(self, bert_profile):
+        points = {p.name: p for p in analyze(bert_profile, A100)}
+        # FC GEMMs sit far to the right of softmax.
+        assert points["fc"].intensity > 20 * points["softmax"].intensity
+
+    def test_efficiency_bounded(self, bert_profile):
+        for point in analyze(bert_profile, A100):
+            assert 0 < point.efficiency <= 1.0
+
+    def test_per_kernel_mode(self, bert_profile):
+        by_cat = analyze(bert_profile, A100, by_category=True)
+        by_kernel = analyze(bert_profile, A100, by_category=False)
+        assert len(by_kernel) >= len(by_cat)
+
+    def test_render_contains_points_and_balance(self, bert_profile):
+        points = analyze(bert_profile, A100)
+        text = render_roofline(points, A100)
+        assert "machine balance" in text
+        assert "A=" in text
+
+    def test_render_empty(self):
+        assert render_roofline([], A100) == "(no points)"
+
+    def test_summary_table_regimes(self, bert_profile):
+        text = summary_table(analyze(bert_profile, A100), A100)
+        assert "memory" in text and "compute" in text
+
+
+class TestVerification:
+    def test_quick_verification_passes(self):
+        from repro.analysis.verification import verify_reproduction
+
+        report = verify_reproduction(quick=True)
+        assert len(report.results) == 4
+        assert report.all_passed, report.render()
+
+    def test_full_verification_mostly_passes(self):
+        """The full suite includes the documented deviations (dense SD
+        point); everything else must pass."""
+        from repro.analysis.verification import verify_reproduction
+
+        report = verify_reproduction()
+        assert len(report.results) == 13
+        failing = [r.target.name for r in report.results if not r.passed]
+        # Only the documented dense-SD deviation may fail.
+        assert set(failing) <= {"SD-only speedup, bert-large"}, failing
+
+    def test_report_rendering(self):
+        from repro.analysis.verification import verify_reproduction
+
+        report = verify_reproduction(quick=True)
+        text = report.render()
+        assert "Fig. 8(a)" in text
+        assert "PASS" in text
+        assert f"{report.pass_count}/4" in text
+
+    def test_deviation_computation(self):
+        from repro.analysis.verification import CheckResult, PaperTarget
+
+        target = PaperTarget(name="x", source="s", paper_value=2.0,
+                             rel_tol=0.1, measure=lambda: 2.1)
+        result = CheckResult(target=target, measured=2.1)
+        assert result.deviation == pytest.approx(0.05)
+        assert result.passed
+        assert not CheckResult(target=target, measured=2.5).passed

@@ -1,0 +1,147 @@
+"""Tests for the encoder-decoder transformer and cross-attention."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError, DType, PlanError, ShapeError
+from repro.kernels.softmax import safe_softmax
+from repro.models import AttentionKind, AttentionSpec, SDABlock
+from repro.models.seq2seq import (
+    Seq2SeqConfig,
+    Seq2SeqSession,
+    VANILLA_TRANSFORMER_BASE,
+    VANILLA_TRANSFORMER_BIG,
+    make_decoder_weights,
+)
+
+TINY = Seq2SeqConfig(name="tiny-s2s", num_encoder_layers=1,
+                     num_decoder_layers=1, d_model=32, num_heads=2,
+                     d_ff=64)
+
+
+class TestCrossAttentionSDA:
+    """Rectangular (L_q x L_kv) attention through SDABlock."""
+
+    def reference(self, q, k, v):
+        d = q.shape[-1]
+        scores = np.matmul(q, np.swapaxes(k, 1, 2),
+                           dtype=np.float32) / np.sqrt(d)
+        return np.matmul(safe_softmax(scores), v, dtype=np.float32)
+
+    @pytest.mark.parametrize("plan", ["baseline", "sd", "sdf"])
+    def test_rectangular_attention_matches_reference(self, plan):
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal((4, 32, 16)).astype(np.float32)
+        k = rng.standard_normal((4, 64, 16)).astype(np.float32)
+        v = rng.standard_normal((4, 64, 16)).astype(np.float32)
+        block = SDABlock(batch=2, num_heads=2, seq_len=32, kv_seq_len=64,
+                         d_head=16, plan=plan, t=16,
+                         spec=AttentionSpec(kind=AttentionKind.DENSE))
+        np.testing.assert_allclose(
+            block.forward(q, k, v), self.reference(q, k, v), atol=5e-3
+        )
+
+    def test_kv_shape_validated(self):
+        block = SDABlock(batch=1, num_heads=2, seq_len=32, kv_seq_len=64,
+                         d_head=16,
+                         spec=AttentionSpec(kind=AttentionKind.DENSE))
+        q = np.zeros((2, 32, 16), dtype=np.float32)
+        with pytest.raises(ShapeError):
+            block.forward(q, q, q)  # K/V must be 64 long
+
+    def test_cross_attention_traffic_rectangular(self):
+        from repro.gpu import A100
+
+        block = SDABlock(batch=1, num_heads=16, seq_len=1024,
+                         kv_seq_len=4096, d_head=64, plan="baseline",
+                         spec=AttentionSpec(kind=AttentionKind.DENSE))
+        softmax = block.kernels[1]
+        launch = softmax.launch_spec(A100)
+        # 16 heads x 1024 query rows, each 4096 long.
+        assert launch.dram_read_bytes == 16 * 1024 * 4096 * 2
+
+    def test_sparse_cross_attention_rejected(self):
+        with pytest.raises(PlanError, match="cross-attention must be dense"):
+            SDABlock(batch=1, num_heads=2, seq_len=128, kv_seq_len=256,
+                     d_head=16,
+                     spec=AttentionSpec(kind=AttentionKind.BIGBIRD,
+                                        block_size=16, global_blocks=1))
+
+    def test_fully_fused_cross_attention_rejected(self):
+        with pytest.raises(PlanError, match="cross-attention"):
+            SDABlock(batch=1, num_heads=2, seq_len=128, kv_seq_len=256,
+                     d_head=16, plan="fused-mha",
+                     spec=AttentionSpec(kind=AttentionKind.DENSE))
+
+
+class TestSeq2SeqConfig:
+    def test_vanilla_base(self):
+        assert VANILLA_TRANSFORMER_BASE.d_model == 512
+        assert VANILLA_TRANSFORMER_BASE.d_head == 64
+        assert VANILLA_TRANSFORMER_BIG.d_ff == 4096
+
+    def test_encoder_config_dense(self):
+        enc = VANILLA_TRANSFORMER_BASE.encoder_config()
+        assert enc.num_layers == 6
+        assert not enc.layer_attention(0).is_causal
+
+    def test_decoder_self_config_causal(self):
+        dec = VANILLA_TRANSFORMER_BASE.decoder_self_config()
+        assert dec.layer_attention(0).is_causal
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            Seq2SeqConfig(name="bad", num_encoder_layers=0,
+                          num_decoder_layers=1, d_model=64, num_heads=4,
+                          d_ff=128)
+
+
+class TestSeq2SeqSession:
+    def test_simulation_counts(self):
+        result = Seq2SeqSession(TINY, src_len=4096, tgt_len=2048).simulate()
+        # encoder layer: 14 kernels; decoder: self (7+2) + cross (7+2)
+        # + ff (3+2) = 23.
+        assert len(result.profile) == 1 * 14 + 1 * 23
+        assert result.total_time > 0
+
+    def test_recomposition_speeds_up_seq2seq(self):
+        base = Seq2SeqSession(VANILLA_TRANSFORMER_BIG, src_len=4096,
+                              tgt_len=4096, plan="baseline").simulate()
+        sdf = Seq2SeqSession(VANILLA_TRANSFORMER_BIG, src_len=4096,
+                             tgt_len=4096, plan="sdf").simulate()
+        assert base.total_time / sdf.total_time > 1.15
+
+    def test_numeric_forward_plans_agree(self):
+        rng = np.random.default_rng(1)
+        src = rng.standard_normal((1, 64, 32)).astype(np.float32) * 0.1
+        tgt = rng.standard_normal((1, 32, 32)).astype(np.float32) * 0.1
+        out_base = Seq2SeqSession(TINY, src_len=64, tgt_len=32, t=16,
+                                  plan="baseline").forward(src, tgt)
+        out_sdf = Seq2SeqSession(TINY, src_len=64, tgt_len=32, t=16,
+                                 plan="sdf").forward(src, tgt)
+        assert out_base.shape == (1, 32, 32)
+        np.testing.assert_allclose(out_sdf, out_base, atol=5e-3)
+
+    def test_decoder_attends_to_encoder(self):
+        """Changing the source changes the decoder output (via cross
+        attention only)."""
+        rng = np.random.default_rng(2)
+        src1 = rng.standard_normal((1, 32, 32)).astype(np.float32) * 0.1
+        src2 = src1 + 0.5
+        tgt = rng.standard_normal((1, 32, 32)).astype(np.float32) * 0.1
+        session = Seq2SeqSession(TINY, src_len=32, tgt_len=32, t=16)
+        out1 = session.forward(src1, tgt)
+        out2 = session.forward(src2, tgt)
+        assert not np.allclose(out1, out2)
+
+    def test_shape_validation(self):
+        session = Seq2SeqSession(TINY, src_len=32, tgt_len=32)
+        with pytest.raises(ConfigError):
+            session.forward(np.zeros((1, 16, 32), dtype=np.float32),
+                            np.zeros((1, 32, 32), dtype=np.float32))
+
+    def test_decoder_weights_deterministic(self):
+        a = make_decoder_weights(TINY, 0, seed=5)
+        b = make_decoder_weights(TINY, 0, seed=5)
+        np.testing.assert_array_equal(a.cross_wq, b.cross_wq)
+        assert a.cross_wq.shape == (32, 32)

@@ -1,0 +1,103 @@
+"""Tests for model JSON serialisation and the fp16 fidelity analysis."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.models import (
+    AttentionKind,
+    BERT_LARGE,
+    BIGBIRD_LARGE,
+    GPT_NEO_1_3B,
+)
+from repro.models.serialization import (
+    config_from_json,
+    config_to_json,
+    load_config,
+)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("config", [BERT_LARGE, GPT_NEO_1_3B,
+                                        BIGBIRD_LARGE])
+    def test_roundtrip(self, config):
+        restored = config_from_json(config_to_json(config))
+        assert restored == config
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text(config_to_json(BIGBIRD_LARGE))
+        assert load_config(str(path)) == BIGBIRD_LARGE
+
+    def test_custom_model_runs(self):
+        text = """
+        {"name": "custom", "num_layers": 2, "d_model": 128,
+         "num_heads": 4, "d_ff": 256,
+         "attention": [{"kind": "dense"}]}
+        """
+        config = config_from_json(text)
+        from repro.models import InferenceSession
+
+        result = InferenceSession(config, seq_len=512).simulate()
+        assert result.total_time > 0
+
+    def test_missing_fields(self):
+        with pytest.raises(ConfigError, match="missing fields"):
+            config_from_json('{"name": "x"}')
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            config_from_json(
+                '{"name": "x", "num_layers": 1, "d_model": 64,'
+                ' "num_heads": 4, "d_ff": 128,'
+                ' "attention": [{"kind": "flash"}]}'
+            )
+
+    def test_unknown_spec_field(self):
+        with pytest.raises(ConfigError, match="unknown attention-spec"):
+            config_from_json(
+                '{"name": "x", "num_layers": 1, "d_model": 64,'
+                ' "num_heads": 4, "d_ff": 128,'
+                ' "attention": [{"kind": "dense", "sparsity": 0.5}]}'
+            )
+
+    def test_invalid_json(self):
+        with pytest.raises(ConfigError, match="invalid model JSON"):
+            config_from_json("{not json")
+
+    def test_sparse_kind_roundtrip(self):
+        spec = BIGBIRD_LARGE.attention[0]
+        restored = config_from_json(config_to_json(BIGBIRD_LARGE)) \
+            .attention[0]
+        assert restored.kind is AttentionKind.BIGBIRD
+        assert restored.random_blocks == spec.random_blocks
+
+
+class TestNumericsFidelity:
+    def test_decomposition_adds_no_fp16_error(self):
+        from repro.analysis.numerics import softmax_fidelity
+
+        stats = softmax_fidelity(rows=32, length=1024, t=64)
+        mono = stats["monolithic"]
+        deco = stats["decomposed"]
+        # Both schedules round at fp16 resolution...
+        assert mono.max_abs_error < 1e-3
+        assert deco.max_abs_error < 1e-3
+        # ...and decomposition is not meaningfully worse.
+        assert deco.max_abs_error < 3 * mono.max_abs_error
+        assert deco.mean_abs_error < 3 * mono.mean_abs_error
+
+    def test_rows_normalised(self):
+        from repro.analysis.numerics import softmax_fidelity
+
+        stats = softmax_fidelity(rows=16, length=512, t=32)
+        assert stats["decomposed"].max_row_sum_error < 5e-3
+
+    def test_scale_sensitivity(self):
+        """Larger logit magnitudes worsen fp16 error for both
+        schedules alike."""
+        from repro.analysis.numerics import softmax_fidelity
+
+        small = softmax_fidelity(rows=16, length=512, scale=1.0)
+        large = softmax_fidelity(rows=16, length=512, scale=10.0)
+        assert (large["decomposed"].max_abs_error
+                >= small["decomposed"].max_abs_error * 0.5)

@@ -1,0 +1,272 @@
+"""Tests for block-sparse MatMul and softmax kernels.
+
+Ground truth throughout: the block-sparse pipeline must agree with the
+dense pipeline evaluated under the layout's element mask.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import DType, ShapeError
+from repro.gpu import A100
+from repro.kernels.softmax import safe_softmax
+from repro.sparse import (
+    BlockSparseGS,
+    BlockSparseIR,
+    BlockSparseLS,
+    BlockSparseMatMulDSD,
+    BlockSparseMatMulSDD,
+    BlockSparseMatrix,
+    BlockSparseRowSoftmax,
+    FusedBSGSMatMulDSD,
+    FusedBSMatMulLSSDD,
+    bigbird_layout,
+    dense_layout,
+    longformer_layout,
+    sliding_window_layout,
+)
+
+
+BATCH, D = 2, 16
+
+
+def make_inputs(layout, seed=0):
+    rng = np.random.default_rng(seed)
+    L = layout.seq_len
+    q = rng.standard_normal((BATCH, L, D)).astype(np.float32)
+    k = rng.standard_normal((BATCH, L, D)).astype(np.float32)
+    v = rng.standard_normal((BATCH, L, D)).astype(np.float32)
+    return q, k, v
+
+
+def dense_masked_attention(q, k, v, layout, scale=1.0):
+    """Reference: dense fp32 attention with -inf outside the layout."""
+    scores = np.matmul(q, np.swapaxes(k, 1, 2), dtype=np.float32) * scale
+    mask = layout.element_mask()
+    scores = np.where(mask, scores, -np.inf)
+    return np.matmul(safe_softmax(scores), v, dtype=np.float32)
+
+
+class TestSDD:
+    def test_matches_dense_at_nonzero_blocks(self):
+        layout = sliding_window_layout(128, 16, window_blocks=3)
+        q, k, _ = make_inputs(layout)
+        kernel = BlockSparseMatMulSDD(layout, BATCH, D, dtype=DType.FP32)
+        sparse = kernel.compute(q, k).to_dense()
+        dense = np.matmul(q, np.swapaxes(k, 1, 2), dtype=np.float32)
+        mask = layout.element_mask()
+        np.testing.assert_allclose(
+            sparse[:, mask], dense[:, mask], rtol=1e-4, atol=1e-5
+        )
+        assert (sparse[:, ~mask] == 0).all()
+
+    def test_epilogue_receives_layout(self):
+        layout = dense_layout(32, 16)
+        q, k, _ = make_inputs(layout)
+        seen = {}
+
+        def epilogue(scores, lay):
+            seen["layout"] = lay
+            return scores * 0.5
+
+        kernel = BlockSparseMatMulSDD(
+            layout, BATCH, D, dtype=DType.FP32, epilogue=epilogue
+        )
+        kernel.compute(q, k)
+        assert seen["layout"] is layout
+
+    def test_flops_proportional_to_nnz(self):
+        sparse = bigbird_layout(4096, 64)
+        dense = dense_layout(4096, 64)
+        k_sparse = BlockSparseMatMulSDD(sparse, 16, 64)
+        k_dense = BlockSparseMatMulSDD(dense, 16, 64)
+        assert k_sparse.flops() / k_dense.flops() == pytest.approx(
+            sparse.density
+        )
+
+    def test_writes_only_nonzero_blocks(self):
+        layout = bigbird_layout(4096, 64)
+        kernel = BlockSparseMatMulSDD(layout, 16, 64)
+        launch = kernel.launch_spec(A100)
+        assert launch.dram_write_bytes == 16 * layout.nnz_elements() * 2
+
+    def test_rejects_wrong_operand_shape(self):
+        layout = dense_layout(32, 16)
+        kernel = BlockSparseMatMulSDD(layout, BATCH, D)
+        with pytest.raises(ShapeError):
+            kernel.compute(np.zeros((BATCH, 32, D + 1)), np.zeros((BATCH, 32, D)))
+
+
+class TestDSD:
+    def test_matches_dense_masked_matmul(self):
+        layout = sliding_window_layout(128, 16, window_blocks=3)
+        q, k, v = make_inputs(layout)
+        sdd = BlockSparseMatMulSDD(layout, BATCH, D, dtype=DType.FP32)
+        dsd = BlockSparseMatMulDSD(layout, BATCH, D, dtype=DType.FP32)
+        out = dsd.compute(sdd.compute(q, k), v)
+        scores = np.matmul(q, np.swapaxes(k, 1, 2), dtype=np.float32)
+        masked = np.where(layout.element_mask(), scores, 0.0)
+        np.testing.assert_allclose(out, masked @ v, rtol=1e-4, atol=1e-4)
+
+    def test_load_imbalance_from_layout(self):
+        layout = bigbird_layout(4096, 64)
+        kernel = BlockSparseMatMulDSD(layout, 16, 64)
+        launch = kernel.launch_spec(A100)
+        assert launch.shape.mean_work == pytest.approx(layout.mean_row_nnz)
+        assert launch.shape.max_work == layout.max_row_nnz
+
+    def test_batch_reduces_imbalance_penalty(self):
+        """Fig. 9(b): more thread blocks -> smoother last wave."""
+        from repro.gpu.costmodel import time_kernel
+
+        layout = bigbird_layout(4096, 64)
+        p1 = time_kernel(
+            A100, BlockSparseMatMulDSD(layout, 16, 64).launch_spec(A100)
+        ).imbalance_penalty
+        p8 = time_kernel(
+            A100, BlockSparseMatMulDSD(layout, 128, 64).launch_spec(A100)
+        ).imbalance_penalty
+        assert p8 < p1
+
+    def test_layout_mismatch_rejected(self):
+        layout = dense_layout(32, 16)
+        other = sliding_window_layout(32, 16, window_blocks=1)
+        kernel = BlockSparseMatMulDSD(layout, BATCH, D)
+        s = BlockSparseMatrix(
+            other, np.zeros((BATCH, other.nnz_blocks, 16, 16), dtype=np.float32)
+        )
+        with pytest.raises(ShapeError):
+            kernel.compute(s, np.zeros((BATCH, 32, D), dtype=np.float32))
+
+
+class TestBlockSparseSoftmax:
+    @pytest.mark.parametrize("make_layout", [
+        lambda: sliding_window_layout(128, 16, window_blocks=3),
+        lambda: bigbird_layout(256, 16, window_blocks=3, random_blocks=2,
+                               global_blocks=1, seed=3),
+        lambda: longformer_layout(256, 16, window=32, global_blocks=1),
+    ])
+    def test_monolithic_matches_dense_masked(self, make_layout):
+        layout = make_layout()
+        q, k, _ = make_inputs(layout)
+        sdd = BlockSparseMatMulSDD(layout, BATCH, D, dtype=DType.FP32)
+        softmax = BlockSparseRowSoftmax(layout, BATCH, dtype=DType.FP32)
+        result = softmax.compute(sdd.compute(q, k)).to_dense()
+
+        scores = np.matmul(q, np.swapaxes(k, 1, 2), dtype=np.float32)
+        masked = np.where(layout.element_mask(), scores, -np.inf)
+        expected = safe_softmax(masked)
+        np.testing.assert_allclose(result, expected, atol=1e-5)
+
+    def test_decomposed_matches_monolithic(self):
+        layout = bigbird_layout(256, 16, window_blocks=3, random_blocks=2,
+                                global_blocks=1, seed=5)
+        q, k, _ = make_inputs(layout, seed=5)
+        sdd = BlockSparseMatMulSDD(layout, BATCH, D, dtype=DType.FP32)
+        s = sdd.compute(q, k)
+
+        mono = BlockSparseRowSoftmax(layout, BATCH, dtype=DType.FP32)
+        ls = BlockSparseLS(layout, BATCH, dtype=DType.FP32)
+        ir = BlockSparseIR(layout, BATCH)
+        gs = BlockSparseGS(layout, BATCH, dtype=DType.FP32)
+
+        x_prime, m_prime, d_prime = ls.compute(s)
+        r_prime = ir.compute(m_prime, d_prime)
+        decomposed = gs.compute(x_prime, r_prime)
+        np.testing.assert_allclose(
+            decomposed.to_dense(), mono.compute(s).to_dense(), atol=1e-5
+        )
+
+    def test_rows_sum_to_one(self):
+        layout = bigbird_layout(256, 16, window_blocks=3, random_blocks=2,
+                                global_blocks=1, seed=9)
+        q, k, _ = make_inputs(layout, seed=9)
+        sdd = BlockSparseMatMulSDD(layout, BATCH, D, dtype=DType.FP32)
+        softmax = BlockSparseRowSoftmax(layout, BATCH, dtype=DType.FP32)
+        probs = softmax.compute(sdd.compute(q, k)).to_dense()
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_baseline_issue_fraction_scales_with_density(self):
+        """Section 5.1: conservative allocation idles warps as density falls."""
+        sparse = bigbird_layout(4096, 64)
+        spec_sparse = BlockSparseRowSoftmax(sparse, 16).launch_spec(A100)
+        spec_dense = BlockSparseRowSoftmax(dense_layout(4096, 64), 16).launch_spec(A100)
+        ratio = spec_sparse.issue_fraction / spec_dense.issue_fraction
+        assert ratio == pytest.approx(sparse.mean_row_nnz / sparse.n_block_cols,
+                                      rel=1e-6)
+
+    def test_ls_traffic_covers_only_nonzeros(self):
+        layout = bigbird_layout(4096, 64)
+        ls = BlockSparseLS(layout, 16)
+        launch = ls.launch_spec(A100)
+        nnz_bytes = 16 * layout.nnz_elements() * 2
+        assert launch.dram_read_bytes == nnz_bytes
+
+    def test_decomposition_restores_bandwidth(self):
+        """The headline Section 5.1 effect, end to end in the model."""
+        from repro.gpu.costmodel import time_kernel
+
+        layout = bigbird_layout(4096, 64)
+        base = BlockSparseRowSoftmax(layout, 16)
+        ls = BlockSparseLS(layout, 16)
+        util_base = time_kernel(A100, base.launch_spec(A100)).bandwidth_utilization
+        util_ls = time_kernel(A100, ls.launch_spec(A100)).bandwidth_utilization
+        assert util_ls > 5 * util_base
+
+
+class TestFusedBlockSparse:
+    def test_fused_pipeline_matches_reference(self):
+        layout = bigbird_layout(256, 16, window_blocks=3, random_blocks=2,
+                                global_blocks=1, seed=11)
+        q, k, v = make_inputs(layout, seed=11)
+        scale = 1.0 / np.sqrt(D)
+
+        sdd_ls = FusedBSMatMulLSSDD(
+            layout, BATCH, D, dtype=DType.FP32,
+            epilogue=lambda s, lay: s * scale,
+        )
+        ir = BlockSparseIR(layout, BATCH)
+        gs_dsd = FusedBSGSMatMulDSD(layout, BATCH, D, dtype=DType.FP32)
+
+        x_prime, m_prime, d_prime = sdd_ls.compute(q, k)
+        r_prime = ir.compute(m_prime, d_prime)
+        out = gs_dsd.compute(x_prime, r_prime, v)
+
+        expected = dense_masked_attention(q, k, v, layout, scale)
+        np.testing.assert_allclose(out, expected, atol=1e-4, rtol=1e-4)
+
+    def test_fusion_removes_softmax_sweeps(self):
+        """Fused sparse SDA touches the block data twice (write + read)."""
+        layout = bigbird_layout(4096, 64)
+        batch = 16
+        block_bytes = batch * layout.nnz_elements() * 2
+
+        fused = [
+            FusedBSMatMulLSSDD(layout, batch, 64),
+            BlockSparseIR(layout, batch),
+            FusedBSGSMatMulDSD(layout, batch, 64),
+        ]
+        unfused = [
+            BlockSparseMatMulSDD(layout, batch, 64),
+            BlockSparseLS(layout, batch),
+            BlockSparseIR(layout, batch),
+            BlockSparseGS(layout, batch),
+            BlockSparseMatMulDSD(layout, batch, 64),
+        ]
+        fused_bytes = sum(k.launch_spec(A100).dram_bytes for k in fused)
+        unfused_bytes = sum(k.launch_spec(A100).dram_bytes for k in unfused)
+        assert unfused_bytes > 5 * block_bytes
+        # Fused: block data written once, read once, plus Q/K/V and the
+        # 1/T-sized statistics (relatively larger than in the dense
+        # case because the block data itself is small).
+        assert fused_bytes < 2.7 * block_bytes
+        assert fused_bytes < 0.45 * unfused_bytes
+
+    def test_fused_r_prime_shape_validation(self):
+        layout = dense_layout(64, 16)
+        kernel = FusedBSGSMatMulDSD(layout, BATCH, D)
+        x = BlockSparseMatrix(
+            layout, np.zeros((BATCH, layout.nnz_blocks, 16, 16), dtype=np.float32)
+        )
+        with pytest.raises(ShapeError):
+            kernel.compute(x, np.zeros((BATCH, 3, 16)), np.zeros((BATCH, 64, D)))

@@ -1,0 +1,150 @@
+"""Tests for block-sparse layouts and pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError, ShapeError
+from repro.sparse import (
+    BlockSparseLayout,
+    BlockSparseMatrix,
+    bigbird_layout,
+    causal_layout,
+    dense_layout,
+    gpt_neo_local_layout,
+    longformer_layout,
+    sliding_window_layout,
+    strided_layout,
+)
+
+
+class TestLayout:
+    def test_basic_statistics(self):
+        mask = np.array([[1, 0], [1, 1]], dtype=bool)
+        layout = BlockSparseLayout(mask, block_size=4)
+        assert layout.nnz_blocks == 3
+        assert layout.density == pytest.approx(0.75)
+        assert layout.seq_len == 8
+        assert list(layout.row_nnz_blocks()) == [1, 2]
+        assert layout.mean_row_nnz == pytest.approx(1.5)
+        assert layout.max_row_nnz == 2
+
+    def test_nnz_elements_and_storage(self):
+        layout = BlockSparseLayout(np.ones((4, 4), dtype=bool), block_size=8)
+        assert layout.nnz_elements() == 16 * 64
+        assert layout.storage_bytes() == 16 * 64 * 2
+
+    def test_element_mask_expands_blocks(self):
+        mask = np.array([[1, 0], [0, 1]], dtype=bool)
+        layout = BlockSparseLayout(mask, block_size=2)
+        element = layout.element_mask()
+        assert element.shape == (4, 4)
+        assert element[:2, :2].all() and element[2:, 2:].all()
+        assert not element[:2, 2:].any() and not element[2:, :2].any()
+
+    def test_rejects_empty_mask(self):
+        with pytest.raises(ConfigError):
+            BlockSparseLayout(np.zeros((2, 2), dtype=bool), block_size=4)
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ShapeError):
+            BlockSparseLayout(np.ones(4, dtype=bool), block_size=4)
+
+    def test_equality(self):
+        a = dense_layout(64, 16)
+        b = dense_layout(64, 16)
+        c = dense_layout(64, 32)
+        assert a == b
+        assert a != c
+
+
+class TestRoundTrip:
+    def test_dense_roundtrip(self):
+        layout = bigbird_layout(256, 32, seed=1)
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal(
+            (2, layout.nnz_blocks, 32, 32)
+        ).astype(np.float32)
+        matrix = BlockSparseMatrix(layout, data)
+        dense = matrix.to_dense()
+        back = BlockSparseMatrix.from_dense(dense, layout)
+        np.testing.assert_array_equal(back.data, data)
+
+    def test_to_dense_fill(self):
+        layout = sliding_window_layout(64, 16, window_blocks=1)
+        data = np.ones((1, layout.nnz_blocks, 16, 16), dtype=np.float32)
+        dense = BlockSparseMatrix(layout, data).to_dense(fill=-np.inf)
+        assert np.isneginf(dense[0, 0, -1])
+        assert dense[0, 0, 0] == 1.0
+
+    def test_matrix_shape_validation(self):
+        layout = dense_layout(32, 16)
+        with pytest.raises(ShapeError):
+            BlockSparseMatrix(layout, np.zeros((1, 3, 16, 16)))
+
+
+class TestPatterns:
+    def test_dense_layout_full(self):
+        layout = dense_layout(256, 64)
+        assert layout.density == 1.0
+        assert layout.nnz_blocks == 16
+
+    def test_causal_layout_triangular(self):
+        layout = causal_layout(256, 64)
+        assert layout.nnz_blocks == 4 * 5 // 2
+        assert not layout.mask[0, 1]
+        assert layout.mask[3, 0]
+
+    def test_sliding_window_band(self):
+        layout = sliding_window_layout(512, 64, window_blocks=3)
+        assert layout.mask[4, 3] and layout.mask[4, 4] and layout.mask[4, 5]
+        assert not layout.mask[4, 6] and not layout.mask[4, 2]
+
+    def test_causal_window(self):
+        layout = sliding_window_layout(512, 64, window_blocks=3, causal=True)
+        assert not layout.mask[4, 5]
+        assert layout.mask[4, 2] and layout.mask[4, 4]
+
+    def test_bigbird_has_global_rows_and_cols(self):
+        layout = bigbird_layout(4096, 64, global_blocks=2)
+        assert layout.mask[0].all() and layout.mask[1].all()
+        assert layout.mask[:, 0].all() and layout.mask[:, 1].all()
+        # Worst-case row is dense while the mean row is sparse: this is
+        # the conservative-allocation scenario of Section 5.1.
+        assert layout.max_row_nnz == layout.n_block_cols
+        assert layout.mean_row_nnz < 0.25 * layout.n_block_cols
+
+    def test_bigbird_density_linear_in_length(self):
+        """Sparse attention is O(L): density falls as ~1/L (Section 2.2)."""
+        d1 = bigbird_layout(2048, 64).density
+        d2 = bigbird_layout(8192, 64).density
+        assert d2 < d1 / 2.5
+
+    def test_bigbird_deterministic_per_seed(self):
+        a = bigbird_layout(1024, 64, seed=7)
+        b = bigbird_layout(1024, 64, seed=7)
+        c = bigbird_layout(1024, 64, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_bigbird_rejects_tiny_sequences(self):
+        with pytest.raises(ConfigError):
+            bigbird_layout(128, 64, window_blocks=3, global_blocks=2)
+
+    def test_longformer_window_width(self):
+        layout = longformer_layout(4096, 64, window=512)
+        inner = layout.row_nnz_blocks()[16]  # away from edges/global rows
+        assert inner == pytest.approx(8 + 1, abs=1)  # window blocks + global
+
+    def test_gpt_neo_local_is_causal(self):
+        layout = gpt_neo_local_layout(1024, 64, window=256)
+        assert not np.triu(layout.mask, k=1).any()
+        assert layout.row_nnz_blocks()[8] == 4  # 256/64 window blocks
+
+    def test_strided_layout_causal(self):
+        layout = strided_layout(1024, 64, stride_blocks=4)
+        assert not np.triu(layout.mask, k=1).any()
+        assert layout.mask[10, 3] and layout.mask[10, 7]
+
+    def test_window_must_divide_block_size(self):
+        with pytest.raises(ShapeError):
+            longformer_layout(4096, 64, window=100)

@@ -1,0 +1,131 @@
+"""Tests for the synthetic TriviaQA workload."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError
+from repro.workloads import Document, SyntheticTriviaQA, embed_tokens
+
+
+class TestDataset:
+    def test_deterministic(self):
+        a = SyntheticTriviaQA(num_documents=16, seed=3)
+        b = SyntheticTriviaQA(num_documents=16, seed=3)
+        np.testing.assert_array_equal(a.lengths(), b.lengths())
+        doc_a = next(a.documents(max_length=512))
+        doc_b = next(b.documents(max_length=512))
+        np.testing.assert_array_equal(doc_a.tokens, doc_b.tokens)
+
+    def test_long_document_regime(self):
+        """Mean length is thousands of tokens: a 512-token model
+        truncates most documents (the Section 2.2 motivation)."""
+        data = SyntheticTriviaQA(num_documents=512, seed=0)
+        assert 2_000 < data.mean_length() < 12_000
+        assert data.truncation_rate(512) > 0.9
+        assert data.truncation_rate(4096) < data.truncation_rate(512)
+
+    def test_truncation_to_first_tokens(self):
+        data = SyntheticTriviaQA(num_documents=8, seed=1)
+        long_docs = {d.original_length: d.tokens
+                     for d in data.documents(max_length=100_000)}
+        for doc in data.documents(max_length=64):
+            assert len(doc) <= 64
+            np.testing.assert_array_equal(
+                doc.tokens, long_docs[doc.original_length][: len(doc)]
+            )
+
+    def test_token_ids_in_vocab(self):
+        data = SyntheticTriviaQA(num_documents=4, vocab_size=1000, seed=2)
+        for doc in data.documents(max_length=256):
+            assert doc.tokens.min() >= 0
+            assert doc.tokens.max() < 1000
+
+    def test_batches_shape(self):
+        data = SyntheticTriviaQA(num_documents=10, seed=0)
+        batches = list(data.batches(batch_size=4, seq_len=128))
+        assert len(batches) == 2  # 10 docs -> 2 full batches of 4
+        for batch in batches:
+            assert batch.shape == (4, 128)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SyntheticTriviaQA(num_documents=0)
+        data = SyntheticTriviaQA(num_documents=4)
+        with pytest.raises(ConfigError):
+            data.truncation_rate(0)
+
+
+class TestEmbedding:
+    def test_shape_and_determinism(self):
+        tokens = np.array([[1, 2, 3], [3, 2, 1]])
+        a = embed_tokens(tokens, d_model=16, seed=0)
+        b = embed_tokens(tokens, d_model=16, seed=0)
+        assert a.shape == (2, 3, 16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_same_token_same_vector(self):
+        tokens = np.array([[5, 5, 7]])
+        out = embed_tokens(tokens, d_model=8)
+        np.testing.assert_array_equal(out[0, 0], out[0, 1])
+        assert not np.array_equal(out[0, 0], out[0, 2])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigError):
+            embed_tokens(np.zeros(4, dtype=np.int64), d_model=8)
+
+    def test_feeds_inference_session(self):
+        """End-to-end: tokens -> embeddings -> tiny model forward."""
+        from repro.models import AttentionKind, AttentionSpec, \
+            InferenceSession, ModelConfig
+
+        config = ModelConfig(
+            name="tiny", num_layers=1, d_model=32, num_heads=2, d_ff=64,
+            attention=(AttentionSpec(kind=AttentionKind.DENSE),),
+        )
+        data = SyntheticTriviaQA(num_documents=2, seed=0)
+        batch = next(data.batches(batch_size=2, seq_len=64))
+        hidden = embed_tokens(batch, d_model=32)
+        out = InferenceSession(config, seq_len=64, batch=2,
+                               t=16).forward(hidden)
+        assert out.shape == (2, 64, 32)
+        assert np.all(np.isfinite(out))
+
+
+class TestGenomics:
+    def test_long_context_regime(self):
+        from repro.workloads import SyntheticGenomics
+
+        data = SyntheticGenomics(num_sequences=64, seed=0)
+        # Tens of thousands of tokens: even a 4096-token model truncates
+        # most sequences (BigBird's genomics motivation).
+        assert data.mean_length() > 10_000
+        assert data.truncation_rate(4096) > 0.9
+
+    def test_kmer_tokens_overlap(self):
+        from repro.workloads import SyntheticGenomics
+        from repro.workloads.genomics import KMER
+
+        data = SyntheticGenomics(num_sequences=2, seed=1)
+        doc = next(data.documents(max_length=128))
+        assert doc.tokens.max() < 4 ** KMER
+        # Consecutive k-mers share k-1 bases: token[i+1]'s low digits
+        # equal token[i]'s high digits.
+        t = doc.tokens
+        assert ((t[1:] % 4 ** (KMER - 1)) == (t[:-1] // 4)).all()
+
+    def test_deterministic(self):
+        from repro.workloads import SyntheticGenomics
+        import numpy as np
+
+        a = next(SyntheticGenomics(4, seed=5).documents(64))
+        b = next(SyntheticGenomics(4, seed=5).documents(64))
+        np.testing.assert_array_equal(a.tokens, b.tokens)
+
+    def test_feeds_dataset_benchmark(self):
+        from repro.workloads import SyntheticGenomics
+        from repro.workloads.driver import DatasetBenchmark
+
+        data = SyntheticGenomics(num_sequences=8, seed=0)
+        report = DatasetBenchmark(data, "bigbird-large", max_seq_len=4096,
+                                  bucket=1024).run()
+        assert report.num_documents == 8
