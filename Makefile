@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/bench_selfperf.py
+
+verify:
+	$(PYTHON) -m repro verify

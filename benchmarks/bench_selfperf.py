@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Benchmark the simulator itself: baseline path vs fast path.
+
+Runs the Fig. 9(a) sequence-length sweep and the 128-document dataset
+latency driver ``--repetitions`` times each, once with the simulation
+caches disabled (the pre-PR execution model) and once with the fast
+path, verifying outputs are float-identical, and writes the timings to
+``BENCH_selfperf.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_selfperf.py [--repetitions N]
+        [--jobs N] [--output PATH]
+
+or equivalently ``python -m repro selfbench`` / ``make bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.selfperf import run_selfbench  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repetitions", type=int, default=5,
+                        help="times each workload repeats (default 5)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the fast path's sweeps")
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / "BENCH_selfperf.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run_selfbench(repetitions=args.repetitions, jobs=args.jobs)
+    print(report.render())
+    pathlib.Path(args.output).write_text(
+        json.dumps(report.to_json(), indent=2) + "\n"
+    )
+    print(f"\nwrote {args.output}")
+    if not report.outputs_identical:
+        print("ERROR: fast path changed simulation outputs", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

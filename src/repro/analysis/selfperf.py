@@ -1,0 +1,225 @@
+"""Benchmarking the simulator itself.
+
+This PR's fast path (memoized cost model, vectorized numeric kernels,
+parallel sweeps) claims a wall-clock win with *unchanged outputs*.
+:func:`run_selfbench` measures exactly that claim on the two
+simulation workloads the repo leans on hardest:
+
+- the Fig. 9(a) sequence-length sweep (every model x L x
+  baseline/SDF), and
+- the dataset latency driver over a 128-document TriviaQA corpus.
+
+Each workload runs ``repetitions`` times under the pre-PR execution
+model (caches disabled via ``REPRO_SIMCACHE=0``, serial) and again
+under the fast path (caches warm after the first repetition), checking
+on the way that both paths produce float-identical latencies — the
+speedup is only meaningful if the answers did not move.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.analysis.reporting import render_table
+from repro.gpu import simcache
+
+
+@contextmanager
+def _simcache_enabled(enabled: bool):
+    """Temporarily force the simulation caches on or off (and empty)."""
+    previous = os.environ.get(simcache.ENV_VAR)
+    os.environ[simcache.ENV_VAR] = "1" if enabled else "0"
+    simcache.invalidate()
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(simcache.ENV_VAR, None)
+        else:
+            os.environ[simcache.ENV_VAR] = previous
+
+
+@dataclass(frozen=True)
+class WorkloadTiming:
+    """Baseline-vs-fast wall-clock for one self-benchmark workload."""
+
+    name: str
+    points: int
+    repetitions: int
+    baseline_s: float
+    fast_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock reduction of the fast path."""
+        return self.baseline_s / self.fast_s if self.fast_s > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class SelfBenchReport:
+    """Outcome of :func:`run_selfbench`."""
+
+    workloads: "tuple[WorkloadTiming, ...]"
+    #: Cache counters accumulated over the fast-path repetitions.
+    cache_stats: "dict[str, dict]"
+    #: True iff baseline and fast paths agreed to the last ulp.
+    outputs_identical: bool
+    repetitions: int
+    jobs: int
+
+    @property
+    def min_speedup(self) -> float:
+        """The weakest workload's speedup (the headline claim)."""
+        return min(w.speedup for w in self.workloads)
+
+    def render(self) -> str:
+        rows = [
+            [w.name, w.points, w.repetitions,
+             f"{w.baseline_s * 1e3:.1f} ms", f"{w.fast_s * 1e3:.1f} ms",
+             f"{w.speedup:.1f}x"]
+            for w in self.workloads
+        ]
+        cache_lines = [
+            f"{name} cache: {stats['hits']} hits / {stats['lookups']} "
+            f"lookups ({stats['hit_rate']:.0%})"
+            for name, stats in self.cache_stats.items()
+        ]
+        return "\n".join([
+            render_table(
+                ["workload", "points", "reps", "baseline", "fast", "speedup"],
+                rows,
+            ),
+            "",
+            *cache_lines,
+            f"outputs identical: {self.outputs_identical}",
+        ])
+
+    def to_json(self) -> dict:
+        return {
+            "repetitions": self.repetitions,
+            "jobs": self.jobs,
+            "outputs_identical": self.outputs_identical,
+            "min_speedup": self.min_speedup,
+            "cache_stats": self.cache_stats,
+            "workloads": [
+                {
+                    "name": w.name,
+                    "points": w.points,
+                    "repetitions": w.repetitions,
+                    "baseline_s": w.baseline_s,
+                    "fast_s": w.fast_s,
+                    "speedup": w.speedup,
+                }
+                for w in self.workloads
+            ],
+        }
+
+
+def _fig9a_sweep(seq_lens, jobs: int):
+    """One pass of the Fig. 9(a) sweep; returns per-point latencies."""
+    from repro.core.plan import AttentionPlan
+    from repro.gpu.specs import get_gpu
+    from repro.models import all_models
+    from repro.workloads.sweep import SweepPoint, SweepRunner
+
+    gpu = get_gpu("A100")
+    points = [
+        SweepPoint(model=model, gpu=gpu, plan=plan, seq_len=seq_len)
+        for model in all_models()
+        for seq_len in seq_lens
+        for plan in (AttentionPlan.BASELINE, AttentionPlan.RECOMPOSED)
+    ]
+    runner = SweepRunner(jobs=jobs)
+    return [result.total_time for result in runner.run(points)]
+
+
+def _driver_run(num_documents: int, max_seq_len: int, jobs: int):
+    """One pass of the dataset driver; returns per-bucket latencies."""
+    from repro.workloads import DatasetBenchmark, SyntheticTriviaQA
+
+    dataset = SyntheticTriviaQA(num_documents=num_documents, seed=7)
+    report = DatasetBenchmark(
+        dataset, "bigbird-large", plan="sdf",
+        max_seq_len=max_seq_len, jobs=jobs,
+    ).run()
+    return [report.bucket_latency[k] for k in sorted(report.bucket_latency)]
+
+
+def _time_repetitions(fn, repetitions: int) -> "tuple[float, list]":
+    start = time.perf_counter()
+    outputs = None
+    for _ in range(repetitions):
+        outputs = fn()
+    return time.perf_counter() - start, outputs
+
+
+def run_selfbench(
+    *,
+    repetitions: int = 5,
+    jobs: int = 1,
+    seq_lens=(1024, 2048, 4096, 8192, 16384),
+    num_documents: int = 128,
+    max_seq_len: int = 4096,
+) -> SelfBenchReport:
+    """Measure the simulator's own speed, baseline path vs fast path.
+
+    The baseline path is the pre-PR execution model: simulation caches
+    disabled, serial evaluation.  The fast path leaves the caches on
+    (cold for the first repetition, warm after) and fans sweep points
+    across ``jobs`` processes.  Per-point outputs are compared exactly
+    — any drift fails the run's ``outputs_identical`` flag.
+    """
+    from repro.common.validation import require_positive
+
+    require_positive("repetitions", repetitions)
+    require_positive("jobs", jobs)
+
+    workloads = [
+        ("fig9a-seqlen-sweep",
+         lambda: _fig9a_sweep(seq_lens, 1),
+         lambda: _fig9a_sweep(seq_lens, jobs)),
+        (f"triviaqa-driver-{num_documents}doc",
+         lambda: _driver_run(num_documents, max_seq_len, 1),
+         lambda: _driver_run(num_documents, max_seq_len, jobs)),
+    ]
+
+    timings = []
+    identical = True
+    cache_stats: "dict[str, dict]" = {}
+    for name, baseline_fn, fast_fn in workloads:
+        with _simcache_enabled(False):
+            baseline_s, baseline_out = _time_repetitions(
+                baseline_fn, repetitions
+            )
+        with _simcache_enabled(True):
+            fast_s, fast_out = _time_repetitions(fast_fn, repetitions)
+            for cache_name, stats in simcache.stats().items():
+                entry = cache_stats.setdefault(
+                    cache_name, {"hits": 0, "misses": 0, "lookups": 0}
+                )
+                entry["hits"] += stats.hits
+                entry["misses"] += stats.misses
+                entry["lookups"] += stats.lookups
+        # Exact float equality: the fast path must not move any output.
+        identical = identical and baseline_out == fast_out
+        timings.append(WorkloadTiming(
+            name=name,
+            points=len(baseline_out),
+            repetitions=repetitions,
+            baseline_s=baseline_s,
+            fast_s=fast_s,
+        ))
+    for entry in cache_stats.values():
+        entry["hit_rate"] = (
+            entry["hits"] / entry["lookups"] if entry["lookups"] else 0.0
+        )
+    return SelfBenchReport(
+        workloads=tuple(timings),
+        cache_stats=cache_stats,
+        outputs_identical=identical,
+        repetitions=repetitions,
+        jobs=jobs,
+    )

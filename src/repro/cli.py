@@ -13,6 +13,7 @@ Commands
 ``roofline``   roofline plot of one inference's kernel categories
 ``footprint``  peak device-memory footprint per plan
 ``verify``     run the automated paper-target verification
+``selfbench``  benchmark the simulator itself (fast path vs baseline)
 """
 
 from __future__ import annotations
@@ -114,15 +115,20 @@ def cmd_libraries(args: argparse.Namespace) -> str:
 
 
 def cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.workloads.sweep import SweepPoint, SweepRunner
+
     values = [int(v) for v in args.values.split(",")]
-    rows = []
+    points = []
     for value in values:
         kwargs = dict(seq_len=args.seq_len, batch=args.batch)
         kwargs["seq_len" if args.axis == "seq-len" else "batch"] = value
-        base = InferenceSession(args.model, gpu=args.gpu, plan="baseline",
-                                **kwargs).simulate()
-        sdf = InferenceSession(args.model, gpu=args.gpu, plan="sdf",
-                               **kwargs).simulate()
+        for plan in ("baseline", "sdf"):
+            points.append(SweepPoint.make(
+                _resolve_model(args), gpu=args.gpu, plan=plan, **kwargs,
+            ))
+    results = SweepRunner(jobs=args.jobs).run(points)
+    rows = []
+    for value, base, sdf in zip(values, results[::2], results[1::2]):
         rows.append([value, f"{base.total_time * 1e3:.2f} ms",
                      f"{base.total_time / sdf.total_time:.2f}x"])
     return render_table([args.axis, "baseline latency", "SDF speedup"], rows)
@@ -231,6 +237,22 @@ def cmd_verify(args: argparse.Namespace) -> str:
     return verify_reproduction(quick=args.quick).render()
 
 
+def cmd_selfbench(args: argparse.Namespace) -> str:
+    import json
+    import pathlib
+
+    from repro.analysis.selfperf import run_selfbench
+
+    report = run_selfbench(repetitions=args.repetitions, jobs=args.jobs)
+    lines = [report.render()]
+    if args.output:
+        pathlib.Path(args.output).write_text(
+            json.dumps(report.to_json(), indent=2) + "\n"
+        )
+        lines.append(f"\nwrote {args.output}")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -260,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--axis", choices=("seq-len", "batch"),
                        default="seq-len")
     p_swp.add_argument("--values", default="1024,2048,4096,8192")
+    p_swp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (1 = serial; "
+                            "results are identical either way)")
     p_swp.set_defaults(func=cmd_sweep)
 
     p_gen = sub.add_parser("generate", help="prefill + KV-cache decode")
@@ -290,6 +315,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("--quick", action="store_true",
                        help="headline targets only")
     p_ver.set_defaults(func=cmd_verify)
+
+    p_sbn = sub.add_parser("selfbench",
+                           help="benchmark the simulator itself "
+                                "(cache + vectorization fast path)")
+    p_sbn.add_argument("--repetitions", type=int, default=5)
+    p_sbn.add_argument("--jobs", type=int, default=1)
+    p_sbn.add_argument("--output", default=None,
+                       help="optional path for the JSON report")
+    p_sbn.set_defaults(func=cmd_selfbench)
 
     p_trc = sub.add_parser("trace", help="export a Chrome trace")
     _add_common(p_trc)

@@ -24,6 +24,15 @@ from repro.gpu.device import Device
 from repro.gpu.energy import EnergyModel
 from repro.gpu.occupancy import Occupancy, TBResources, compute_occupancy
 from repro.gpu.profiler import KernelRecord, Profile
+from repro.gpu.simcache import (
+    CacheStats,
+    SimCache,
+    caching_enabled,
+    invalidate,
+    kernel_cache,
+    simulate_cache,
+    stats,
+)
 from repro.gpu.specs import A100, GPUSpec, H100, RTX3090, T4, get_gpu
 
 # NOTE: repro.gpu.roofline and repro.gpu.trace are intentionally not
@@ -48,4 +57,11 @@ __all__ = [
     "EnergyModel",
     "KernelRecord",
     "Profile",
+    "CacheStats",
+    "SimCache",
+    "caching_enabled",
+    "invalidate",
+    "kernel_cache",
+    "simulate_cache",
+    "stats",
 ]

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from repro.common.errors import KernelError
 from repro.common.validation import require_non_negative, require_positive
 from repro.gpu.occupancy import Occupancy, TBResources, compute_occupancy
+from repro.gpu.simcache import kernel_cache
 from repro.gpu.specs import GPUSpec
 
 #: Memory-level parallelism classes: in-flight DRAM bytes one warp of a
@@ -196,7 +197,24 @@ def _imbalance_penalty(spec: GPUSpec, launch: KernelLaunch, occ: Occupancy) -> f
 
 
 def time_kernel(spec: GPUSpec, launch: KernelLaunch) -> KernelTiming:
-    """Time one kernel launch on ``spec`` under the roofline model."""
+    """Time one kernel launch on ``spec`` under the roofline model.
+
+    Memoized: ``spec`` and ``launch`` are frozen dataclasses whose
+    fields fully determine the timing, so the pair is a content
+    address.  The returned :class:`KernelTiming` is immutable and may
+    be shared between callers.  Set ``REPRO_SIMCACHE=0`` to disable.
+    """
+    key = (spec, launch)
+    cached = kernel_cache.get(key)
+    if cached is not None:
+        return cached
+    timing = _time_kernel_uncached(spec, launch)
+    kernel_cache.put(key, timing)
+    return timing
+
+
+def _time_kernel_uncached(spec: GPUSpec, launch: KernelLaunch) -> KernelTiming:
+    """The un-memoized roofline evaluation behind :func:`time_kernel`."""
     occ = compute_occupancy(spec, launch.tb)
 
     compute_util = min(

@@ -29,14 +29,22 @@ class Device:
         self.spec = spec
         self.profile = Profile()
         self.energy_model = EnergyModel(spec)
+        #: Memoized :meth:`offchip_energy` of the *current* profile;
+        #: cleared by every launch/reset/take_profile so a device
+        #: reused across plans (generation decode, training steps,
+        #: tensor-parallel shards) can never serve a stale value.
+        self._energy_cache: "float | None" = None
 
     def reset(self) -> None:
-        """Discard all recorded kernels and start a fresh profile."""
+        """Discard all recorded kernels and any cached per-profile
+        state (energy), starting completely fresh."""
         self.profile = Profile()
+        self._energy_cache = None
 
     def launch(self, launch: KernelLaunch) -> KernelTiming:
         """Time ``launch`` and record it in the active profile."""
         timing = time_kernel(self.spec, launch)
+        self._energy_cache = None
         self.profile.add(
             KernelRecord(
                 name=launch.name,
@@ -56,11 +64,19 @@ class Device:
         """Return the active profile and start a fresh one."""
         profile = self.profile
         self.profile = Profile()
+        self._energy_cache = None
         return profile
 
     def offchip_energy(self) -> float:
-        """Off-chip access energy of the active profile, joules."""
-        return self.energy_model.offchip_energy(self.profile)
+        """Off-chip access energy of the active profile, joules.
+
+        Memoized until the profile next changes — sweep drivers poll
+        this per point and the profile integral is linear in the
+        record count.
+        """
+        if self._energy_cache is None:
+            self._energy_cache = self.energy_model.offchip_energy(self.profile)
+        return self._energy_cache
 
     def __repr__(self) -> str:
         return f"Device({self.spec.name!r}, kernels={len(self.profile)})"

@@ -41,15 +41,39 @@ class Profile:
 
     def __init__(self, records: Iterable[KernelRecord] = ()) -> None:
         self._records: list[KernelRecord] = list(records)
+        self._frozen = False
+
+    @property
+    def frozen(self) -> bool:
+        """Whether this profile rejects further mutation."""
+        return self._frozen
+
+    def freeze(self) -> "Profile":
+        """Make this profile immutable (returns self).
+
+        Frozen profiles back cached :class:`InferenceResult` objects
+        shared between callers, so ``add``/``extend`` on them raise.
+        """
+        self._frozen = True
+        return self
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise DeviceError(
+                "profile is frozen (cached results are shared; copy the "
+                "records into a new Profile to mutate)"
+            )
 
     def add(self, record: KernelRecord) -> None:
         """Append one kernel record."""
+        self._check_mutable()
         if record.time < 0:
             raise DeviceError(f"negative kernel time: {record}")
         self._records.append(record)
 
     def extend(self, other: "Profile") -> None:
         """Append all records from ``other`` (e.g. another layer's profile)."""
+        self._check_mutable()
         self._records.extend(other._records)
 
     def __len__(self) -> int:

@@ -1,0 +1,133 @@
+"""Content-addressed simulation caches (the PR-1 fast path).
+
+Every experiment in the paper re-times the same kernel graphs point by
+point: the Fig. 8 speedups, the Fig. 9 seq-len/batch sweeps, the
+Section 5.1 GPU sweep and the bucketed TriviaQA driver all rebuild and
+re-simulate identical ``(model, gpu, plan, seq_len, batch)`` tuples.
+The simulator is deterministic — the same inputs always produce the
+same :class:`~repro.gpu.costmodel.KernelTiming` and the same
+:class:`~repro.models.runtime.InferenceResult` — so those repeats are
+pure redundancy.  This module removes it, mirroring the paper's own
+thesis (do the reduction once, reuse it everywhere):
+
+- a **kernel cache** keyed by ``(GPUSpec, KernelLaunch)`` behind
+  :func:`repro.gpu.costmodel.time_kernel`.  Every field of both keys is
+  part of the content address (they are frozen dataclasses), so any
+  change to traffic, FLOPs, tiling or device is a miss by construction;
+- a **simulate cache** keyed by the full
+  :class:`~repro.models.runtime.InferenceSession` configuration,
+  returning deep-frozen :class:`~repro.models.runtime.InferenceResult`
+  objects (their profiles reject further mutation).
+
+Both caches expose hit/miss counters (:func:`stats`), explicit
+invalidation (:func:`invalidate`), and an escape hatch: set the
+environment variable ``REPRO_SIMCACHE=0`` to disable all caching and
+fall back to the pre-cache behaviour (used by ``bench_selfperf`` to
+measure the baseline path).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+#: Environment variable gating the caches; "0"/"off"/"false" disables.
+ENV_VAR = "REPRO_SIMCACHE"
+
+_DISABLED_VALUES = frozenset({"0", "off", "false", "no"})
+
+
+def caching_enabled() -> bool:
+    """Whether the simulation caches are active.
+
+    Read dynamically on every lookup so tests and benchmarks can flip
+    ``REPRO_SIMCACHE`` without re-importing the library.
+    """
+    return os.environ.get(ENV_VAR, "1").strip().lower() not in _DISABLED_VALUES
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when the cache was never consulted)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SimCache:
+    """A dict-backed memo table with hit/miss accounting.
+
+    Lookups are disabled (always miss, nothing stored) while
+    :func:`caching_enabled` is false, so the escape hatch also
+    guarantees no stale entry can be served after re-enabling with
+    different global state.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._entries: dict[Hashable, Any] = {}
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key``, or None (counts hit/miss)."""
+        if not caching_enabled():
+            self.stats.misses += 1
+            return None
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key`` (no-op while disabled)."""
+        if caching_enabled():
+            self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimCache({self.name!r}, entries={len(self)}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )
+
+
+#: ``(GPUSpec, KernelLaunch) -> KernelTiming`` memo behind
+#: :func:`repro.gpu.costmodel.time_kernel`.
+kernel_cache = SimCache("kernel")
+
+#: Session-configuration -> deep-frozen ``InferenceResult`` memo behind
+#: :meth:`repro.models.runtime.InferenceSession.simulate`.
+simulate_cache = SimCache("simulate")
+
+_ALL_CACHES = (kernel_cache, simulate_cache)
+
+
+def invalidate() -> None:
+    """Explicitly drop every cached timing and inference result."""
+    for cache in _ALL_CACHES:
+        cache.clear()
+
+
+def stats() -> dict[str, CacheStats]:
+    """Per-cache hit/miss counters, keyed by cache name."""
+    return {cache.name: cache.stats for cache in _ALL_CACHES}

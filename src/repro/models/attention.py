@@ -205,10 +205,17 @@ class SDABlock:
         scale = np.float32(self.scale)
         if self.spec.is_causal:
             def epilogue(blocks, layout):
-                blocks = blocks * scale
-                for idx in range(layout.nnz_blocks):
-                    blocks[:, idx] += _causal_block_bias(layout, idx)
-                return blocks
+                # All nonzero blocks' biases at once: same elementwise
+                # adds as the per-block loop over _causal_block_bias.
+                bs = layout.block_size
+                rows = (layout.block_rows[:, None] * bs
+                        + np.arange(bs)[None, :])
+                cols = (layout.block_cols[:, None] * bs
+                        + np.arange(bs)[None, :])
+                bias = np.where(
+                    cols[:, None, :] > rows[:, :, None], -np.inf, 0.0
+                ).astype(np.float32)
+                return blocks * scale + bias[None]
 
             return epilogue
         return lambda blocks, layout: blocks * scale

@@ -21,6 +21,7 @@ from repro.core.plan import AttentionPlan
 from repro.gpu.device import Device
 from repro.gpu.energy import EnergyModel
 from repro.gpu.profiler import Profile
+from repro.gpu.simcache import caching_enabled, simulate_cache
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
 from repro.models.layers import TransformerLayer
@@ -83,6 +84,25 @@ class InferenceResult:
         ]
 
 
+def simulate_cache_key(model, gpu, plan, seq_len, batch, *,
+                       dtype=DType.FP16, t=64, layout_seed=0):
+    """Content address of one cost-only simulation.
+
+    Shared by :meth:`InferenceSession.simulate` and the sweep engine
+    (which seeds the cache with results computed in worker processes),
+    so both always agree on what identifies a result.
+    """
+    return (model, gpu, plan, seq_len, batch, dtype, t, layout_seed)
+
+
+def freeze_result(result: InferenceResult) -> InferenceResult:
+    """Deep-freeze a result's profiles before it enters the cache."""
+    result.profile.freeze()
+    for _, _, group_profile in result.layer_groups:
+        group_profile.freeze()
+    return result
+
+
 class InferenceSession:
     """Configured model + device + plan, ready to simulate or run.
 
@@ -138,12 +158,41 @@ class InferenceSession:
             layout_seed=self.layout_seed,
         )
 
+    def _simulate_key(self):
+        """Content address of a cost-only simulation.
+
+        Everything :meth:`simulate` depends on — weights are excluded
+        on purpose (cost-only execution never touches values).
+        """
+        return simulate_cache_key(
+            self.model, self.gpu, self.plan, self.seq_len, self.batch,
+            dtype=self.dtype, t=self.t, layout_seed=self.layout_seed,
+        )
+
     def simulate(self) -> InferenceResult:
         """Cost-only inference at full scale.
 
         Layers sharing an attention spec produce identical kernels, so
         each distinct spec is simulated once and its profile replicated.
+
+        Memoized across sessions: the result is a pure function of
+        ``(model, gpu, plan, seq_len, batch, dtype, t, layout_seed)``,
+        so repeated sweep points return the *same* deep-frozen
+        :class:`InferenceResult` (its profiles reject mutation).  Set
+        ``REPRO_SIMCACHE=0`` to disable, or call
+        :func:`repro.gpu.simcache.invalidate` to flush.
         """
+        key = self._simulate_key()
+        cached = simulate_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._simulate_uncached()
+        if caching_enabled():
+            simulate_cache.put(key, freeze_result(result))
+        return result
+
+    def _simulate_uncached(self) -> InferenceResult:
+        """One full cost-only simulation (the pre-cache code path)."""
         device = Device(self.gpu)
         profile = Profile()
         layer_groups = []

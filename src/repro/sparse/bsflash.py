@@ -83,19 +83,81 @@ class BlockSparseFlashAttentionKernel(Kernel):
             # the Triton block-sparse GEMMs
         )
 
-    def compute(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
-        """The block-row online-softmax recurrence, nonzero blocks only."""
-        layout, bs, d = self.layout, self.layout.block_size, self.d_head
-        expected = (self.batch_heads, layout.seq_len, d)
+    def _check_qkv(self, q, k, v):
+        expected = (self.batch_heads, self.layout.seq_len, self.d_head)
         for label, array in (("Q", q), ("K", k), ("V", v)):
             if tuple(array.shape) != expected:
                 raise ShapeError(
                     f"{self.name}: {label} shape {array.shape}, "
                     f"expected {expected}"
                 )
-        q = self.dtype.quantize(q)
-        k = self.dtype.quantize(k)
-        v = self.dtype.quantize(v)
+        return (
+            self.dtype.quantize(q),
+            self.dtype.quantize(k),
+            self.dtype.quantize(v),
+        )
+
+    def compute(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """The block-row online-softmax recurrence, nonzero blocks only.
+
+        Block rows with the same nonzero count run their recurrences in
+        lockstep: the sequential dependence is on the block *position*
+        within a row, so position ``j`` of every row in a group is one
+        batched matmul/exp step.  Bit-identical to the per-row loop
+        (:meth:`compute_reference`), enforced by the golden tests.
+        """
+        layout, bs, d = self.layout, self.layout.block_size, self.d_head
+        q, k, v = self._check_qkv(q, k, v)
+        bh = self.batch_heads
+        scale = np.float32(self.scale)
+
+        q_blocks = q.reshape(bh, layout.n_block_rows, bs, d)
+        k_blocks = k.reshape(bh, layout.n_block_cols, bs, d)
+        v_blocks = v.reshape(bh, layout.n_block_cols, bs, d)
+        out = np.zeros((bh, layout.n_block_rows, bs, d), dtype=np.float32)
+
+        for rows, block_idx in layout.rows_by_nnz():
+            r = len(rows)
+            q_tiles = q_blocks[:, rows]                    # (bh, r, bs, d)
+            cols = layout.block_cols[block_idx]            # (r, k)
+            m = np.full((bh, r, bs), -np.inf, dtype=np.float32)
+            l = np.zeros((bh, r, bs), dtype=np.float32)
+            acc = np.zeros((bh, r, bs, d), dtype=np.float32)
+            for j in range(block_idx.shape[1]):
+                kv = cols[:, j]                            # (r,)
+                k_tile = k_blocks[:, kv]                   # (bh, r, bs, d)
+                s = np.matmul(q_tiles, np.swapaxes(k_tile, 2, 3),
+                              dtype=np.float32) * scale
+                if self.causal:
+                    qi = (rows[:, None] * bs
+                          + np.arange(bs)[None, :])[:, :, None]
+                    kj = (kv[:, None] * bs
+                          + np.arange(bs)[None, :])[:, None, :]
+                    s = np.where(kj > qi, -np.inf, s)
+                tile_max = s.max(axis=-1)
+                m_new = np.maximum(m, tile_max)
+                safe_m = np.where(np.isfinite(m_new), m_new, 0.0)
+                p = np.where(np.isfinite(s), np.exp(s - safe_m[..., None]),
+                             0.0)
+                correction = np.where(np.isfinite(m), np.exp(m - safe_m), 0.0)
+                l = l * correction + p.sum(axis=-1)
+                acc = acc * correction[..., None] + np.matmul(
+                    p, v_blocks[:, kv], dtype=np.float32
+                )
+                m = m_new
+            out[:, rows] = np.divide(
+                acc, l[..., None], out=np.zeros_like(acc),
+                where=l[..., None] > 0,
+            )
+        return self.dtype.quantize(out.reshape(bh, layout.seq_len, d))
+
+    def compute_reference(
+        self, q: np.ndarray, k: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        """Pre-vectorization per-block-row recurrence, kept as the
+        golden reference for the batched :meth:`compute`."""
+        layout, bs, d = self.layout, self.layout.block_size, self.d_head
+        q, k, v = self._check_qkv(q, k, v)
         bh = self.batch_heads
         scale = np.float32(self.scale)
         out = np.zeros((bh, layout.seq_len, d), dtype=np.float32)

@@ -268,6 +268,31 @@ class BlockSparseMatMulDSD(_BlockSparseMatMulBase):
         return 0.0
 
     def _multiply(self, data: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Batched DSD: one einsum per distinct row population.
+
+        Rows with the same nonzero count contract in a single
+        ``brnij,brnjd->brid`` einsum — bit-identical to the per-row
+        ``bnij,bnjd->bid`` contraction (same per-output accumulation
+        order), which :mod:`tests.test_golden_vectorized` enforces
+        against :meth:`_multiply_reference`.
+        """
+        layout, bs = self.layout, self.layout.block_size
+        v = self._check_dense(v, "V")
+        v_blocks = v.reshape(self.batch, layout.n_block_cols, bs, self.d_head)
+        out = np.zeros(
+            (self.batch, layout.n_block_rows, bs, self.d_head), dtype=np.float32
+        )
+        for rows, block_idx in layout.rows_by_nnz():
+            cols = layout.block_cols[block_idx]
+            out[:, rows] = np.einsum(
+                "brnij,brnjd->brid", data[:, block_idx], v_blocks[:, cols],
+                dtype=np.float32,
+            )
+        return out.reshape(self.batch, layout.seq_len, self.d_head)
+
+    def _multiply_reference(self, data: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Pre-vectorization per-block-row loop, kept as the golden
+        reference for the batched :meth:`_multiply`."""
         layout, bs = self.layout, self.layout.block_size
         v = self._check_dense(v, "V")
         v_blocks = v.reshape(self.batch, layout.n_block_cols, bs, self.d_head)

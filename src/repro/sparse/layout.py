@@ -44,6 +44,7 @@ class BlockSparseLayout:
         rows, cols = np.nonzero(mask)
         self.block_rows = rows
         self.block_cols = cols
+        self._rows_by_nnz: "list[tuple[np.ndarray, np.ndarray]] | None" = None
 
     # -- shape ---------------------------------------------------------
 
@@ -113,6 +114,35 @@ class BlockSparseLayout:
         """Indices into the block-data array for one block row."""
         return np.nonzero(self.block_rows == block_row)[0]
 
+    def rows_by_nnz(self) -> "list[tuple[np.ndarray, np.ndarray]]":
+        """Nonempty block rows grouped by their nonzero count.
+
+        Returns ``(rows, block_idx)`` pairs, one per distinct per-row
+        nonzero count ``k``: ``rows`` holds the block-row indices of
+        the group and ``block_idx`` (shape ``(len(rows), k)``) their
+        blocks' indices into the block-data array, ascending within
+        each row exactly as :meth:`blocks_in_row` yields them.  This is
+        what lets the numeric kernels replace per-row Python loops with
+        one batched einsum per group — real layouts have only a handful
+        of distinct row populations (window rows vs global rows).
+        """
+        if self._rows_by_nnz is None:
+            counts = self.mask.sum(axis=1)
+            # block_rows is sorted (row-major nonzero order), so each
+            # row's block indices form a contiguous ascending run.
+            row_start = np.searchsorted(
+                self.block_rows, np.arange(self.n_block_rows)
+            )
+            groups = []
+            for k in np.unique(counts):
+                if k == 0:
+                    continue
+                rows = np.nonzero(counts == k)[0]
+                block_idx = row_start[rows][:, None] + np.arange(int(k))
+                groups.append((rows, block_idx))
+            self._rows_by_nnz = groups
+        return self._rows_by_nnz
+
     def transposed(self) -> "BlockSparseLayout":
         """The layout of the transposed matrix (used by backward-pass
         MatMuls such as ``dK = dX^T Q``)."""
@@ -159,17 +189,26 @@ class BlockSparseMatrix:
         return self.data.shape[0]
 
     def to_dense(self, fill: float = 0.0) -> np.ndarray:
-        """Materialise ``(batch, L, L)`` with ``fill`` in zero blocks."""
+        """Materialise ``(batch, L, L)`` with ``fill`` in zero blocks.
+
+        A pure scatter: one advanced-indexed assignment through a
+        ``(batch, rows, bs, cols, bs)`` view instead of a Python loop
+        over nonzero blocks.
+        """
         layout, bs = self.layout, self.layout.block_size
         dense = np.full(
             (self.batch, layout.seq_len, layout.row_length),
             fill,
             dtype=np.float32,
         )
-        for idx, (bi, bj) in enumerate(zip(layout.block_rows, layout.block_cols)):
-            dense[:, bi * bs:(bi + 1) * bs, bj * bs:(bj + 1) * bs] = (
-                self.data[:, idx]
-            )
+        blocked = dense.reshape(
+            self.batch, layout.n_block_rows, bs, layout.n_block_cols, bs
+        )
+        # Advanced indexing on the separated block axes moves the nnz
+        # dimension to the front, so the data axes move to match.
+        blocked[:, layout.block_rows, :, layout.block_cols, :] = (
+            np.moveaxis(self.data, 1, 0)
+        )
         return dense
 
     @classmethod
@@ -181,9 +220,8 @@ class BlockSparseMatrix:
             raise ShapeError(f"dense matrix must be 3-D, got {dense.shape}")
         bs = layout.block_size
         batch = dense.shape[0]
-        data = np.empty(
-            (batch, layout.nnz_blocks, bs, bs), dtype=np.float32
+        blocked = np.asarray(dense, dtype=np.float32).reshape(
+            batch, layout.n_block_rows, bs, layout.n_block_cols, bs
         )
-        for idx, (bi, bj) in enumerate(zip(layout.block_rows, layout.block_cols)):
-            data[:, idx] = dense[:, bi * bs:(bi + 1) * bs, bj * bs:(bj + 1) * bs]
-        return cls(layout, data)
+        gathered = blocked[:, layout.block_rows, :, layout.block_cols, :]
+        return cls(layout, np.ascontiguousarray(np.moveaxis(gathered, 0, 1)))

@@ -11,6 +11,7 @@ identities (substitution documented in DESIGN.md).
 
 from repro.workloads.driver import DatasetBenchmark, DatasetLatencyReport
 from repro.workloads.genomics import SyntheticGenomics
+from repro.workloads.sweep import SweepPoint, SweepRunner, simulate_point
 from repro.workloads.triviaqa import (
     Document,
     SyntheticTriviaQA,
@@ -23,5 +24,8 @@ __all__ = [
     "embed_tokens",
     "DatasetBenchmark",
     "DatasetLatencyReport",
+    "SweepPoint",
+    "SweepRunner",
+    "simulate_point",
     "SyntheticGenomics",
 ]

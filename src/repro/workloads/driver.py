@@ -90,9 +90,11 @@ class DatasetBenchmark:
         bucket: int = 512,
         batch: int = 1,
         t: int = 64,
+        jobs: int = 1,
     ) -> None:
         require_positive("max_seq_len", max_seq_len)
         require_positive("bucket", bucket)
+        require_positive("jobs", jobs)
         require_divisible("bucket", bucket, 64)
         require_divisible("max_seq_len", max_seq_len, bucket)
         self.dataset = dataset
@@ -103,6 +105,7 @@ class DatasetBenchmark:
         self.bucket = bucket
         self.batch = batch
         self.t = t
+        self.jobs = jobs
 
     def _bucketed_length(self, original_length: int) -> int:
         kept = min(original_length, self.max_seq_len)
@@ -110,18 +113,30 @@ class DatasetBenchmark:
                        -(-kept // self.bucket) * self.bucket))
 
     def run(self) -> DatasetLatencyReport:
-        """Simulate every length bucket once and aggregate."""
+        """Simulate every length bucket once and aggregate.
+
+        Buckets are independent sweep points, so ``jobs > 1`` fans them
+        across a process pool; the deterministic (sorted-bucket) merge
+        keeps the report identical to a serial run.
+        """
+        from repro.workloads.sweep import SweepPoint, SweepRunner
+
         histogram = Counter(
             self._bucketed_length(int(length))
             for length in self.dataset.lengths()
         )
-        bucket_latency: dict[int, float] = {}
-        for length in sorted(histogram):
-            result = InferenceSession(
-                self.model, gpu=self.gpu, plan=self.plan,
+        lengths = sorted(histogram)
+        results = SweepRunner(jobs=self.jobs).run(
+            SweepPoint(
+                model=self.model, gpu=self.gpu, plan=self.plan,
                 seq_len=length, batch=self.batch, t=self.t,
-            ).simulate()
-            bucket_latency[length] = result.total_time / self.batch
+            )
+            for length in lengths
+        )
+        bucket_latency = {
+            length: result.total_time / self.batch
+            for length, result in zip(lengths, results)
+        }
         return DatasetLatencyReport(
             model=self.model,
             gpu=self.gpu,

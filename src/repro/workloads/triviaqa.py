@@ -125,16 +125,14 @@ def embed_tokens(tokens: np.ndarray, d_model: int, *, seed: int = 0) -> np.ndarr
     if tokens.ndim != 2:
         raise ConfigError(f"tokens must be (batch, L), got shape {tokens.shape}")
     batch, length = tokens.shape
-    out = np.empty((batch, length, d_model), dtype=np.float32)
-    unique = np.unique(tokens)
-    table = {
-        int(tok): np.random.default_rng((seed, int(tok)))
+    unique, inverse = np.unique(tokens, return_inverse=True)
+    # One RNG stream per distinct token id (same streams as a per-token
+    # lookup), then a single gather instead of a per-position loop.
+    table = np.stack([
+        np.random.default_rng((seed, int(tok)))
         .standard_normal(d_model)
         .astype(np.float32)
         * 0.02
         for tok in unique
-    }
-    for b in range(batch):
-        for i in range(length):
-            out[b, i] = table[int(tokens[b, i])]
-    return out
+    ])
+    return table[inverse.reshape(batch, length)]

@@ -1,0 +1,172 @@
+"""Golden equivalence: vectorized kernels vs their reference loops.
+
+The PR-1 fast path replaced per-row / per-tile Python loops with
+batched numpy, keeping the original loops as ``*_reference`` methods.
+Equivalence here is *bit-identical* (``np.array_equal``, not allclose)
+— the accumulation order per output element is unchanged — and the
+cost-model counters must not move either.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.dtypes import DType
+from repro.gpu.specs import get_gpu
+from repro.kernels.flash import FlashAttentionKernel
+from repro.models.attention import SDABlock, _causal_block_bias
+from repro.sparse.bsflash import BlockSparseFlashAttentionKernel
+from repro.sparse.bsmatmul import BlockSparseMatMulDSD
+from repro.sparse.bssoftmax import BlockSparseIR
+from repro.sparse.layout import BlockSparseLayout, BlockSparseMatrix
+from repro.sparse.patterns import (
+    bigbird_layout,
+    longformer_layout,
+    sliding_window_layout,
+)
+
+RNG = np.random.default_rng(2022)
+
+
+def _layouts():
+    yield "bigbird", bigbird_layout(512, 64)
+    yield "longformer", longformer_layout(512, 64)
+    yield "window", sliding_window_layout(256, 64, window_blocks=3)
+    # Irregular: hand-built mask with an all-masked (empty) block row
+    # and rows of several distinct populations.
+    mask = np.zeros((6, 6), dtype=bool)
+    mask[0] = True                      # dense row
+    mask[1, :2] = True
+    mask[3, 2:5] = True
+    mask[4, 4] = True
+    mask[5, [0, 5]] = True              # row 2 stays empty
+    yield "ragged", BlockSparseLayout(mask, 32)
+
+
+@pytest.mark.parametrize("name,layout", list(_layouts()),
+                         ids=[n for n, _ in _layouts()])
+@pytest.mark.parametrize("dtype", [DType.FP16, DType.FP32])
+def test_dsd_matmul_bit_identical(name, layout, dtype):
+    bh, d = 2, 64
+    kernel = BlockSparseMatMulDSD(layout, bh, d, dtype=dtype)
+    bs = layout.block_size
+    data = dtype.quantize(
+        RNG.standard_normal((bh, layout.nnz_blocks, bs, bs))
+    )
+    v = dtype.quantize(RNG.standard_normal((bh, layout.seq_len, d)))
+    assert np.array_equal(kernel._multiply(data, v),
+                          kernel._multiply_reference(data, v))
+
+
+@pytest.mark.parametrize("name,layout", list(_layouts()),
+                         ids=[n for n, _ in _layouts()])
+def test_inter_reduction_bit_identical(name, layout):
+    bh = 3
+    kernel = BlockSparseIR(layout, bh)
+    bs = layout.block_size
+    m_prime = RNG.standard_normal(
+        (bh, layout.nnz_blocks, bs)).astype(np.float32)
+    d_prime = (RNG.random((bh, layout.nnz_blocks, bs)) + 0.1).astype(
+        np.float32)
+    assert np.array_equal(kernel.compute(m_prime, d_prime),
+                          kernel.compute_reference(m_prime, d_prime))
+
+
+@pytest.mark.parametrize("name,layout", list(_layouts()),
+                         ids=[n for n, _ in _layouts()])
+@pytest.mark.parametrize("causal", [False, True])
+def test_bs_flash_bit_identical(name, layout, causal):
+    bh, d = 2, 32
+    kernel = BlockSparseFlashAttentionKernel(
+        layout, bh, d, scale=1 / np.sqrt(d), causal=causal)
+    shape = (bh, layout.seq_len, d)
+    q, k, v = (RNG.standard_normal(shape).astype(np.float32)
+               for _ in range(3))
+    assert np.array_equal(kernel.compute(q, k, v),
+                          kernel.compute_reference(q, k, v))
+
+
+@pytest.mark.parametrize("seq_len", [96, 128, 130, 300, 512])
+@pytest.mark.parametrize("causal", [False, True])
+@pytest.mark.parametrize("dtype", [DType.FP16, DType.FP32])
+def test_dense_flash_bit_identical(seq_len, causal, dtype):
+    bh, d = 2, 64
+    kernel = FlashAttentionKernel(bh, seq_len, d, dtype=dtype,
+                                  scale=1 / np.sqrt(d), causal=causal)
+    shape = (bh, seq_len, d)
+    q, k, v = (RNG.standard_normal(shape).astype(np.float32)
+               for _ in range(3))
+    assert np.array_equal(kernel.compute(q, k, v),
+                          kernel.compute_reference(q, k, v))
+
+
+@pytest.mark.parametrize("name,layout", list(_layouts()),
+                         ids=[n for n, _ in _layouts()])
+def test_block_scatter_gather_round_trip(name, layout):
+    bs = layout.block_size
+    data = RNG.standard_normal(
+        (2, layout.nnz_blocks, bs, bs)).astype(np.float32)
+    matrix = BlockSparseMatrix(layout, data)
+    dense = matrix.to_dense()
+    # Reference scatter, block by block.
+    expected = np.zeros_like(dense)
+    for idx in range(layout.nnz_blocks):
+        r = int(layout.block_rows[idx]) * bs
+        c = int(layout.block_cols[idx]) * bs
+        expected[:, r:r + bs, c:c + bs] = data[:, idx]
+    assert np.array_equal(dense, expected)
+    back = BlockSparseMatrix.from_dense(dense, layout)
+    assert np.array_equal(back.data, data)
+
+
+def test_sparse_causal_epilogue_matches_per_block_bias():
+    from repro.models.config import AttentionKind, AttentionSpec
+
+    spec = AttentionSpec(kind=AttentionKind.LOCAL_CAUSAL, block_size=16,
+                         window=64)
+    block = SDABlock(batch=1, num_heads=2, seq_len=128, d_head=16,
+                     spec=spec, t=16)
+    layout = block.layout
+    epilogue = block._sparse_epilogue()
+    blocks = RNG.standard_normal(
+        (2, layout.nnz_blocks, 16, 16)).astype(np.float32)
+    # Reference: scale, then add the per-block bias one block at a time.
+    scale = np.float32(block.scale)
+    expected = blocks * scale
+    for idx in range(layout.nnz_blocks):
+        expected[:, idx] += _causal_block_bias(layout, idx)
+    assert np.array_equal(epilogue(blocks, layout), expected)
+
+
+def test_embed_tokens_matches_per_token_lookup():
+    from repro.workloads.triviaqa import embed_tokens
+
+    tokens = RNG.integers(0, 50, size=(3, 17))
+    out = embed_tokens(tokens, 32, seed=5)
+    expected = np.empty((3, 17, 32), dtype=np.float32)
+    for b in range(3):
+        for i in range(17):
+            expected[b, i] = (
+                np.random.default_rng((5, int(tokens[b, i])))
+                .standard_normal(32).astype(np.float32) * 0.02
+            )
+    assert np.array_equal(out, expected)
+
+
+@pytest.mark.parametrize("plan", ["baseline", "sdf", "flash"])
+def test_counters_unchanged_by_numeric_path(plan):
+    """Traffic/FLOP counters come from launch_spec, which the
+    vectorized numerics must not perturb."""
+    layout = bigbird_layout(512, 64)
+    spec = get_gpu("A100")
+    kernel = BlockSparseFlashAttentionKernel(layout, 2, 64)
+    before = kernel.launch_spec(spec)
+    q = RNG.standard_normal((2, layout.seq_len, 64)).astype(np.float32)
+    kernel.compute(q, q, q)
+    assert kernel.launch_spec(spec) == before
+
+    dsd = BlockSparseMatMulDSD(layout, 2, 64)
+    before = dsd.launch_spec(spec)
+    data = np.float16(RNG.standard_normal(
+        (2, layout.nnz_blocks, 64, 64))).astype(np.float32)
+    dsd._multiply(data, q)
+    assert dsd.launch_spec(spec) == before

@@ -95,3 +95,55 @@ class TestEnergyModel:
                            record(category="softmax", read=3e9, write=0.0)])
         by_cat = EnergyModel(A100).offchip_energy_by_category(profile)
         assert by_cat["softmax"] == pytest.approx(3 * by_cat["matmul"])
+
+
+class TestFrozenProfile:
+    def test_freeze_rejects_mutation(self):
+        profile = Profile([record()])
+        assert not profile.frozen
+        assert profile.freeze() is profile
+        assert profile.frozen
+        with pytest.raises(DeviceError):
+            profile.add(record())
+        with pytest.raises(DeviceError):
+            profile.extend(Profile([record()]))
+
+    def test_scaled_copy_is_mutable(self):
+        profile = Profile([record()]).freeze()
+        copy = profile.scaled(2)
+        assert not copy.frozen
+        copy.add(record())  # does not raise
+
+
+class TestDeviceEnergyCache:
+    def _device_with_launch(self):
+        from repro.gpu import Device
+        from repro.gpu.specs import get_gpu
+        from repro.kernels.matmul import MatMulKernel
+
+        device = Device(get_gpu("A100"))
+        launch = MatMulKernel(batch=2, m=128, n=128, k=64).launch_spec(
+            device.spec)
+        return device, launch
+
+    def test_reset_clears_cached_energy(self):
+        device, launch = self._device_with_launch()
+        device.launch(launch)
+        assert device.offchip_energy() > 0
+        device.reset()
+        # The regression: a stale cached energy must not survive reset.
+        assert device.offchip_energy() == 0.0
+
+    def test_launch_invalidates_cached_energy(self):
+        device, launch = self._device_with_launch()
+        device.launch(launch)
+        first = device.offchip_energy()
+        device.launch(launch)
+        assert device.offchip_energy() == pytest.approx(2 * first)
+
+    def test_take_profile_invalidates_cached_energy(self):
+        device, launch = self._device_with_launch()
+        device.launch(launch)
+        assert device.offchip_energy() > 0
+        device.take_profile()
+        assert device.offchip_energy() == 0.0

@@ -1,0 +1,66 @@
+"""Smoke tests for the simulator self-benchmark."""
+
+import json
+
+import pytest
+
+from repro.analysis.selfperf import run_selfbench
+from repro.cli import main as cli_main
+from repro.gpu import simcache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    simcache.invalidate()
+    yield
+    simcache.invalidate()
+
+
+def test_selfbench_smoke():
+    report = run_selfbench(repetitions=2, seq_lens=(512, 1024),
+                           num_documents=16, max_seq_len=1024)
+    assert report.outputs_identical
+    assert len(report.workloads) == 2
+    names = [w.name for w in report.workloads]
+    assert "fig9a-seqlen-sweep" in names
+    assert "triviaqa-driver-16doc" in names
+    for workload in report.workloads:
+        assert workload.baseline_s > 0 and workload.fast_s > 0
+    stats = report.cache_stats
+    assert stats["simulate"]["hits"] > 0
+    assert stats["kernel"]["hit_rate"] > 0
+
+
+def test_selfbench_json_round_trips():
+    report = run_selfbench(repetitions=1, seq_lens=(512,),
+                           num_documents=16, max_seq_len=1024)
+    payload = json.loads(json.dumps(report.to_json()))
+    assert payload["outputs_identical"] is True
+    assert payload["repetitions"] == 1
+    assert len(payload["workloads"]) == 2
+    rendered = report.render()
+    assert "outputs identical: True" in rendered
+
+
+def test_cli_selfbench_writes_json(tmp_path, capsys):
+    out = tmp_path / "selfperf.json"
+    cli_main(["selfbench", "--repetitions", "1", "--output", str(out)])
+    text = capsys.readouterr().out
+    assert "speedup" in text
+    payload = json.loads(out.read_text())
+    assert payload["outputs_identical"] is True
+
+
+def test_bench_script_main(tmp_path, capsys):
+    import importlib.util
+    import pathlib
+
+    script = (pathlib.Path(__file__).parent.parent
+              / "benchmarks" / "bench_selfperf.py")
+    spec = importlib.util.spec_from_file_location("bench_selfperf", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    out = tmp_path / "BENCH_selfperf.json"
+    assert module.main(["--repetitions", "1", "--output", str(out)]) == 0
+    capsys.readouterr()
+    assert json.loads(out.read_text())["workloads"]

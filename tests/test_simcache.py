@@ -1,0 +1,121 @@
+"""Simulation-cache correctness: hits, invalidation, the escape hatch."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DeviceError
+from repro.gpu import simcache
+from repro.gpu.costmodel import time_kernel
+from repro.gpu.specs import get_gpu
+from repro.kernels.matmul import MatMulKernel
+from repro.models.runtime import InferenceSession
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches(monkeypatch):
+    """Each test starts with empty, enabled caches."""
+    monkeypatch.delenv(simcache.ENV_VAR, raising=False)
+    simcache.invalidate()
+    yield
+    simcache.invalidate()
+
+
+def _launch():
+    return MatMulKernel(batch=4, m=256, n=256, k=64).launch_spec(
+        get_gpu("A100")
+    )
+
+
+class TestKernelCache:
+    def test_hit_returns_equal_timing(self):
+        spec = get_gpu("A100")
+        launch = _launch()
+        first = time_kernel(spec, launch)
+        second = time_kernel(spec, launch)
+        assert first == second
+        stats = simcache.stats()["kernel"]
+        assert stats.hits >= 1 and stats.misses >= 1
+
+    def test_distinct_keys_miss(self):
+        launch = _launch()
+        time_kernel(get_gpu("A100"), launch)
+        before = simcache.stats()["kernel"].misses
+        time_kernel(get_gpu("T4"), launch)
+        assert simcache.stats()["kernel"].misses == before + 1
+
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv(simcache.ENV_VAR, "0")
+        spec, launch = get_gpu("A100"), _launch()
+        time_kernel(spec, launch)
+        time_kernel(spec, launch)
+        stats = simcache.stats()["kernel"]
+        assert stats.hits == 0
+        assert len(simcache.kernel_cache) == 0
+
+    def test_disabled_matches_enabled(self, monkeypatch):
+        spec, launch = get_gpu("A100"), _launch()
+        cached = time_kernel(spec, launch)
+        monkeypatch.setenv(simcache.ENV_VAR, "0")
+        assert time_kernel(spec, launch) == cached
+
+
+class TestSimulateCache:
+    def test_hit_returns_same_object(self):
+        session = InferenceSession("bert-large", seq_len=512)
+        first = session.simulate()
+        second = InferenceSession("bert-large", seq_len=512).simulate()
+        assert second is first
+
+    def test_cached_result_is_frozen(self):
+        result = InferenceSession("bert-large", seq_len=512).simulate()
+        assert result.profile.frozen
+        with pytest.raises(DeviceError):
+            result.profile.extend(result.profile)
+        for _, _, group in result.layer_groups:
+            assert group.frozen
+
+    def test_key_sensitivity(self):
+        a = InferenceSession("bert-large", seq_len=512).simulate()
+        b = InferenceSession("bert-large", seq_len=1024).simulate()
+        c = InferenceSession("bert-large", seq_len=512, plan="sdf").simulate()
+        assert a is not b and a is not c
+        assert simcache.stats()["simulate"].misses == 3
+
+    def test_invalidate_clears(self):
+        InferenceSession("bert-large", seq_len=512).simulate()
+        assert len(simcache.simulate_cache) == 1
+        simcache.invalidate()
+        assert len(simcache.simulate_cache) == 0
+        assert simcache.stats()["simulate"].lookups == 0
+
+    def test_disabled_returns_fresh_unfrozen(self, monkeypatch):
+        cached = InferenceSession("bert-large", seq_len=512).simulate()
+        monkeypatch.setenv(simcache.ENV_VAR, "0")
+        fresh = InferenceSession("bert-large", seq_len=512).simulate()
+        assert fresh is not cached
+        assert not fresh.profile.frozen
+        assert fresh.total_time == cached.total_time
+        assert fresh.total_dram_bytes == cached.total_dram_bytes
+
+    def test_disabled_values_match_enabled(self, monkeypatch):
+        monkeypatch.setenv(simcache.ENV_VAR, "0")
+        off = InferenceSession("bigbird-large", seq_len=1024).simulate()
+        monkeypatch.setenv(simcache.ENV_VAR, "1")
+        on = InferenceSession("bigbird-large", seq_len=1024).simulate()
+        assert on.total_time == off.total_time
+        assert on.total_dram_bytes == off.total_dram_bytes
+        assert np.isclose(on.offchip_energy, off.offchip_energy, rtol=0)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        spec, launch = get_gpu("A100"), _launch()
+        time_kernel(spec, launch)
+        time_kernel(spec, launch)
+        time_kernel(spec, launch)
+        stats = simcache.stats()["kernel"]
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_cache_rate_zero(self):
+        assert simcache.stats()["simulate"].hit_rate == 0.0
