@@ -1,10 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench verify
+.PHONY: test bench verify lint
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Prefers ruff, falls back to pyflakes, and degrades to a syntax check
+# when neither is installed (offline environments).
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check --select E9,F src tests benchmarks examples; \
+	elif $(PYTHON) -m pyflakes --version >/dev/null 2>&1; then \
+		$(PYTHON) -m pyflakes src tests benchmarks examples; \
+	else \
+		echo "ruff/pyflakes unavailable; syntax check only"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
 
 bench:
 	$(PYTHON) benchmarks/bench_selfperf.py

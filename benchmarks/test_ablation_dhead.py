@@ -10,7 +10,6 @@ softmax-dominated SDA block.
 
 import dataclasses
 
-import pytest
 
 from repro.analysis import render_table
 from repro.models import BERT_LARGE, InferenceSession

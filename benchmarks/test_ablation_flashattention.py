@@ -9,7 +9,6 @@ trajectory: baseline (4 sweeps) -> SDF (2) -> Flash (0), end to end on
 BERT-large and GPT-Neo across sequence lengths.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.core import AttentionPlan, attention_matrix_sweeps

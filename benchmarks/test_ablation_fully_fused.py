@@ -8,7 +8,6 @@ where full fusion exists it beats SDF; at the paper's L = 4096 it
 cannot launch, and recomposition is the scalable alternative.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.common import KernelError

@@ -13,7 +13,6 @@ the dense SDA block:
   scales to long sequences and removes the softmax sweeps.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.common import KernelError

@@ -7,7 +7,6 @@ distribution under the baseline and recomposed plans — the
 workload-characterisation view of the speedup.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.workloads import SyntheticTriviaQA

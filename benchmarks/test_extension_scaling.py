@@ -10,7 +10,6 @@ Beyond the paper's single-GPU evaluation:
   storage (Section 2.2) shows up directly.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.models import BERT_LARGE, BIGBIRD_LARGE, InferenceSession

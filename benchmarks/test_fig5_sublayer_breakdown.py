@@ -5,7 +5,6 @@ Paper: LS and GS dominate both time and traffic; IR stays below 12.5%
 (the intermediates are 1/T the size of the attention matrix).
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.models import BERT_LARGE, BIGBIRD_LARGE, InferenceSession

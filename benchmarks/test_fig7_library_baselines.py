@@ -10,7 +10,7 @@ are the best; our baseline is within 1% of TensorRT on BERT and within
 import pytest
 
 from repro.analysis import render_table
-from repro.baselines import AUTOTVM, OUR_BASELINE, all_libraries, simulate_library
+from repro.baselines import AUTOTVM, all_libraries, simulate_library
 from repro.models import BERT_LARGE, BIGBIRD_LARGE
 
 

@@ -7,7 +7,6 @@ decomposition adds no numerical cost beyond ordinary fp16 rounding —
 the correctness side of the reproduction.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.analysis.numerics import softmax_fidelity

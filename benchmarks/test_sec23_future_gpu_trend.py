@@ -10,7 +10,6 @@ Table 1): machine balance grows, the baseline softmax share grows, and
 so does the recomposition payoff.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.gpu import get_gpu

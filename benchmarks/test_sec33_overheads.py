@@ -12,7 +12,6 @@ Paper:
   remaining softmax-layer kernel is only IR).
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.gpu import Device

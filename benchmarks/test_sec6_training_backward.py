@@ -11,7 +11,6 @@ the monolithic pipeline and a float64 finite-difference oracle.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import render_table
 from repro.core import decomposed_softmax, softmax_backward

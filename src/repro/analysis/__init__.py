@@ -12,6 +12,7 @@ from repro.analysis.breakdown import (
     plan_comparison,
 )
 from repro.analysis.reporting import render_bar_chart, render_stacked_bars, render_table
+from repro.analysis.serving import render_serving_comparison
 
 __all__ = [
     "normalized_time_breakdown",
@@ -20,4 +21,5 @@ __all__ = [
     "render_table",
     "render_bar_chart",
     "render_stacked_bars",
+    "render_serving_comparison",
 ]

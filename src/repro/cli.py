@@ -12,6 +12,7 @@ Commands
 ``parallel``   tensor-parallel scaling across 2-8 GPUs
 ``roofline``   roofline plot of one inference's kernel categories
 ``footprint``  peak device-memory footprint per plan
+``serve-sim``  discrete-event serving simulation (SLO metrics per plan)
 ``verify``     run the automated paper-target verification
 ``selfbench``  benchmark the simulator itself (fast path vs baseline)
 """
@@ -231,6 +232,35 @@ def cmd_footprint(args: argparse.Namespace) -> str:
     )
 
 
+def cmd_serve_sim(args: argparse.Namespace) -> str:
+    import json
+    import pathlib
+
+    from repro.analysis.serving import render_serving_comparison
+    from repro.serving import load_trace, simulate_serving
+
+    requests = None
+    if args.trace_file:
+        requests = load_trace(args.trace_file,
+                              block_tokens=args.block_tokens)
+    report = simulate_serving(
+        _resolve_model(args), args.gpu,
+        rate=args.rate, duration=args.duration, seed=args.seed,
+        plans=tuple(p.strip() for p in args.plans.split(",")),
+        requests=requests,
+        chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
+        block_tokens=args.block_tokens,
+    )
+    document = json.dumps(report.to_json(), indent=2, sort_keys=True)
+    if args.output:
+        pathlib.Path(args.output).write_text(document + "\n")
+        return (render_serving_comparison(report)
+                + f"\n\nwrote {args.output}")
+    if args.table:
+        return render_serving_comparison(report)
+    return document
+
+
 def cmd_verify(args: argparse.Namespace) -> str:
     from repro.analysis.verification import verify_reproduction
 
@@ -310,6 +340,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_fp = sub.add_parser("footprint", help="peak memory footprint")
     _add_common(p_fp)
     p_fp.set_defaults(func=cmd_footprint)
+
+    p_srv = sub.add_parser("serve-sim",
+                           help="discrete-event serving simulation")
+    p_srv.add_argument("--model", default="bert-large",
+                       help="bert-large | gpt-neo-1.3b | bigbird-large | "
+                            "longformer-large")
+    p_srv.add_argument("--model-json", default=None,
+                       help="path to a custom ModelConfig JSON file "
+                            "(overrides --model)")
+    p_srv.add_argument("--gpu", default="A100",
+                       help="A100 | RTX 3090 | T4 | V100 | H100")
+    p_srv.add_argument("--rate", type=float, default=8.0,
+                       help="Poisson arrival rate, requests/second")
+    p_srv.add_argument("--duration", type=float, default=60.0,
+                       help="arrival-window length, seconds (the run "
+                            "continues until every request drains)")
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--plans", default="baseline,sdf",
+                       help="comma-separated plans to compare "
+                            "(baseline, sd, sdf)")
+    p_srv.add_argument("--trace-file", default=None,
+                       help="JSONL request trace to replay instead of "
+                            "the synthetic Poisson workload")
+    p_srv.add_argument("--chunk-tokens", type=int, default=512,
+                       help="prefill chunk size / per-step prefill budget")
+    p_srv.add_argument("--max-batch", type=int, default=32,
+                       help="max concurrently running requests")
+    p_srv.add_argument("--block-tokens", type=int, default=64,
+                       help="KV-cache block size, tokens")
+    p_srv.add_argument("--table", action="store_true",
+                       help="print the comparison table instead of JSON")
+    p_srv.add_argument("--output", default=None,
+                       help="write the JSON report here (prints the "
+                            "table to stdout)")
+    p_srv.set_defaults(func=cmd_serve_sim)
 
     p_ver = sub.add_parser("verify", help="check all paper targets")
     p_ver.add_argument("--quick", action="store_true",

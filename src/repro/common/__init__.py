@@ -12,6 +12,7 @@ from repro.common.errors import (
     KernelError,
     PlanError,
     ReproError,
+    ServingError,
     ShapeError,
 )
 from repro.common.units import GB, GIB, KIB, MIB, TERA
@@ -24,6 +25,7 @@ __all__ = [
     "KernelError",
     "PlanError",
     "DeviceError",
+    "ServingError",
     "KIB",
     "MIB",
     "GIB",

@@ -27,3 +27,8 @@ class PlanError(ReproError):
 
 class DeviceError(ReproError):
     """The simulated device was misused (e.g. negative traffic counts)."""
+
+
+class ServingError(ReproError):
+    """The serving simulator was misconfigured or violated an
+    invariant (e.g. a KV-block double free or an over-commit)."""

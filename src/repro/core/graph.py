@@ -15,7 +15,7 @@ appears as an edge).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.common.errors import PlanError

@@ -38,7 +38,7 @@ This is the mechanism behind all of the paper's measured effects:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import KernelError
 from repro.common.validation import require_non_negative, require_positive

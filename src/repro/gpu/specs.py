@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
-from repro.common.units import GB, KIB, MIB, TERA
+from repro.common.units import GB, GIB, KIB, MIB, TERA
 from repro.common.validation import require_positive
 
 
@@ -29,6 +29,10 @@ class GPUSpec:
     name: str
     #: Peak off-chip memory bandwidth in bytes/second.
     mem_bandwidth: float
+    #: Device memory (HBM/GDDR) capacity in bytes.  Bounds what a
+    #: serving system can keep resident: weights + activations + the
+    #: KV cache (:mod:`repro.serving.memory`).
+    hbm_bytes: int
     #: Peak FP16 throughput on the CUDA cores, FLOP/s (base clock).
     fp16_cuda_flops: float
     #: Peak FP16 throughput on the tensor cores, FLOP/s (base clock).
@@ -69,6 +73,7 @@ class GPUSpec:
 
     def __post_init__(self) -> None:
         require_positive("mem_bandwidth", self.mem_bandwidth)
+        require_positive("hbm_bytes", self.hbm_bytes)
         require_positive("fp16_cuda_flops", self.fp16_cuda_flops)
         require_positive("fp16_tensor_flops", self.fp16_tensor_flops)
         require_positive("num_sms", self.num_sms)
@@ -78,6 +83,11 @@ class GPUSpec:
                 f"{self.name}: shared-memory carve-out "
                 f"({self.max_shared_mem_per_sm}) exceeds L1 size "
                 f"({self.l1_per_sm})"
+            )
+        if self.hbm_bytes <= self.l2_size:
+            raise ConfigError(
+                f"{self.name}: device memory ({self.hbm_bytes}) must "
+                f"exceed the L2 cache ({self.l2_size})"
             )
 
     @property
@@ -106,6 +116,7 @@ class GPUSpec:
 A100 = GPUSpec(
     name="A100",
     mem_bandwidth=1_555 * GB,
+    hbm_bytes=40 * GIB,
     fp16_cuda_flops=42.3 * TERA,
     fp16_tensor_flops=169 * TERA,
     l1_per_sm=192 * KIB,
@@ -125,6 +136,7 @@ A100 = GPUSpec(
 RTX3090 = GPUSpec(
     name="RTX 3090",
     mem_bandwidth=936.2 * GB,
+    hbm_bytes=24 * GIB,
     fp16_cuda_flops=29.3 * TERA,
     fp16_tensor_flops=58 * TERA,
     l1_per_sm=128 * KIB,
@@ -144,6 +156,7 @@ RTX3090 = GPUSpec(
 T4 = GPUSpec(
     name="T4",
     mem_bandwidth=320 * GB,
+    hbm_bytes=16 * GIB,
     fp16_cuda_flops=24.0 * TERA,
     fp16_tensor_flops=24.0 * TERA,
     l1_per_sm=64 * KIB,
@@ -165,6 +178,7 @@ T4 = GPUSpec(
 V100 = GPUSpec(
     name="V100",
     mem_bandwidth=900 * GB,
+    hbm_bytes=32 * GIB,
     fp16_cuda_flops=26.0 * TERA,
     fp16_tensor_flops=94.5 * TERA,
     l1_per_sm=128 * KIB,
@@ -188,6 +202,7 @@ V100 = GPUSpec(
 H100 = GPUSpec(
     name="H100",
     mem_bandwidth=3_350 * GB,
+    hbm_bytes=80 * GIB,
     fp16_cuda_flops=100 * TERA,
     fp16_tensor_flops=760 * TERA,
     l1_per_sm=256 * KIB,

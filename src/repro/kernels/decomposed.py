@@ -26,10 +26,9 @@ import numpy as np
 
 from repro.common.dtypes import DType
 from repro.common.errors import ShapeError
-from repro.common.validation import require_divisible, require_positive
+from repro.common.validation import require_positive
 from repro.gpu.costmodel import (
     KernelLaunch,
-    MLP_REDUCTION,
     MLP_STREAMING,
     WorkloadShape,
 )

@@ -32,7 +32,7 @@ import numpy as np
 from repro.common.dtypes import DType
 from repro.common.errors import ShapeError
 from repro.common.validation import require_divisible
-from repro.kernels.base import CATEGORY, ceil_div
+from repro.kernels.base import CATEGORY
 from repro.kernels.decomposed import (
     INTERMEDIATE_BYTES,
     global_scaling,

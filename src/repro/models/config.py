@@ -19,7 +19,7 @@ Longformer-large 24      1024   16     4096   block-sparse: sliding window
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import ConfigError

@@ -29,13 +29,201 @@ from repro.core.plan import AttentionPlan
 from repro.gpu.device import Device
 from repro.gpu.profiler import Profile
 from repro.gpu.specs import GPUSpec, get_gpu
-from repro.kernels.base import CATEGORY
+from repro.kernels.base import CATEGORY, ceil_div
+from repro.kernels.decomposed import (
+    GlobalScaleKernel,
+    InterReductionKernel,
+    LocalSoftmaxKernel,
+)
 from repro.kernels.elementwise import AddBiasGeluKernel, LayerNormKernel, \
     ResidualAddKernel
+from repro.kernels.fused import FusedGSMatMulKernel, FusedMatMulLSKernel
 from repro.kernels.matmul import MatMulKernel
 from repro.kernels.softmax import RowSoftmaxKernel
 from repro.models.config import AttentionKind, ModelConfig, get_model
+from repro.models.footprint import weight_bytes
 from repro.models.runtime import InferenceResult, InferenceSession
+
+
+def kv_cache_bytes_for(
+    model: ModelConfig,
+    tokens: int,
+    *,
+    batch: int = 1,
+    dtype: DType = DType.FP16,
+) -> int:
+    """Bytes of K and V cached for ``tokens`` positions of every layer."""
+    return 2 * batch * model.num_layers * tokens * model.d_model * dtype.nbytes
+
+
+def attention_step_kernels(
+    model: ModelConfig,
+    layer: int,
+    *,
+    m_tokens: int,
+    kv_len: int,
+    batch: int = 1,
+    dtype: DType = DType.FP16,
+    plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+    t: int = 64,
+    prefix: str = "dec",
+) -> list:
+    """Attention kernels of one layer step: ``m_tokens`` query rows
+    against ``kv_len`` cached keys/values.
+
+    Plan-aware for the rectangular chunked-prefill shapes
+    (``m_tokens > 1``): the decomposition plans replace the monolithic
+    softmax with LS/IR/GS (fused per the plan), padding the row length
+    up to a whole number of ``t``-sized sub-vectors.  Decode steps
+    (``m_tokens = 1``) always use the monolithic row softmax — a
+    ``1 x kv_len`` row is far too small for recomposition to matter,
+    and that honesty is the point of the decode model.  Local-causal
+    layers attend to a fixed window, short enough that they also keep
+    the monolithic kernel under every plan.
+    """
+    plan = AttentionPlan.from_name(plan)
+    heads, d_head = model.num_heads, model.d_head
+    spec = model.layer_attention(layer)
+    if spec.kind is AttentionKind.LOCAL_CAUSAL:
+        attend_len = min(kv_len, spec.window + m_tokens - 1)
+        windowed = True
+    else:
+        attend_len = kv_len
+        windowed = False
+    m = m_tokens
+    bh = batch * heads
+    tile_m = min(128, max(1, m))
+    decompose = (plan.uses_decomposition and m > 1 and not windowed)
+    # A row decomposes into whole sub-vectors; ragged tails are padded.
+    n_attend = ceil_div(attend_len, t) * t if decompose else attend_len
+    n_sv = n_attend // t
+
+    def qk():
+        return MatMulKernel(batch=bh, m=m, n=n_attend, k=d_head,
+                            dtype=dtype, tile_m=tile_m, tile_n=128,
+                            tile_k=min(64, d_head),
+                            name=f"{prefix}_qk_matmul",
+                            category=CATEGORY.MATMUL)
+
+    def av():
+        return MatMulKernel(batch=bh, m=m, n=d_head, k=n_attend,
+                            dtype=dtype, tile_m=tile_m, tile_n=64,
+                            tile_k=64, name=f"{prefix}_av_matmul",
+                            category=CATEGORY.MATMUL)
+
+    if not decompose:
+        return [qk(),
+                RowSoftmaxKernel(rows=bh * m, length=n_attend, dtype=dtype,
+                                 name=f"{prefix}_softmax"),
+                av()]
+
+    def fused_qk_ls():
+        return FusedMatMulLSKernel(batch=bh, m=m, n=n_attend, k=d_head,
+                                   t=t, dtype=dtype,
+                                   name=f"{prefix}_qk_ls_fused")
+
+    def ls():
+        return LocalSoftmaxKernel(num_subvectors=bh * m * n_sv, t=t,
+                                  dtype=dtype, name=f"{prefix}_ls")
+
+    def ir():
+        return InterReductionKernel(rows=bh * m, mean_subvectors=n_sv,
+                                    name=f"{prefix}_ir")
+
+    def gs():
+        return GlobalScaleKernel(num_subvectors=bh * m * n_sv, t=t,
+                                 dtype=dtype, name=f"{prefix}_gs")
+
+    def fused_gs_av():
+        return FusedGSMatMulKernel(batch=bh, m=m, n=d_head, k=n_attend,
+                                   t=t, dtype=dtype,
+                                   name=f"{prefix}_gs_av_fused")
+
+    if plan is AttentionPlan.RECOMPOSED:
+        return [fused_qk_ls(), ir(), fused_gs_av()]
+    if plan is AttentionPlan.DECOMPOSED:
+        return [qk(), ls(), ir(), gs(), av()]
+    if plan is AttentionPlan.FUSED_LS_ONLY:
+        return [fused_qk_ls(), ir(), gs(), av()]
+    # FUSED_GS_ONLY
+    return [qk(), ls(), ir(), fused_gs_av()]
+
+
+def layer_step_kernels(
+    model: ModelConfig,
+    layer: int,
+    *,
+    m_tokens: int,
+    kv_len: int,
+    batch: int = 1,
+    dtype: DType = DType.FP16,
+    plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+    t: int = 64,
+    prefix: str = "dec",
+) -> list:
+    """Kernel launches of one layer processing ``m_tokens`` new queries
+    against ``kv_len`` cached keys/values.
+
+    ``m_tokens = 1`` is a decode step (every GEMM is a GEMV streaming
+    the weights); ``m_tokens = C`` is one chunked-prefill step
+    (rectangular ``C x kv_len`` attention).  Shared by
+    :class:`GenerationSession` and the serving simulator's step cost
+    model (:mod:`repro.serving.costmodel`).
+    """
+    pre, post = mlp_step_kernels(model, m_tokens=m_tokens, batch=batch,
+                                 dtype=dtype, prefix=prefix)
+    return [
+        *pre,
+        *attention_step_kernels(model, layer, m_tokens=m_tokens,
+                                kv_len=kv_len, batch=batch, dtype=dtype,
+                                plan=plan, t=t, prefix=prefix),
+        *post,
+    ]
+
+
+def mlp_step_kernels(
+    model: ModelConfig,
+    *,
+    m_tokens: int,
+    batch: int = 1,
+    dtype: DType = DType.FP16,
+    prefix: str = "dec",
+) -> tuple[list, list]:
+    """The non-attention kernels of one layer step, as
+    ``(before_attention, after_attention)`` lists.
+
+    These are independent of the KV length and of the attention plan —
+    in a continuous-batching engine they run once over the step's
+    *combined* token batch, which is why the serving cost model prices
+    them separately from the per-request attention kernels.
+    """
+    d, dff = model.d_model, model.d_ff
+    m = m_tokens
+
+    def fc(n, k, name, category):
+        return MatMulKernel(batch=batch, m=m, n=n, k=k, dtype=dtype,
+                            tile_m=min(128, max(1, m)), tile_n=128,
+                            tile_k=64, b_shared=True, name=name,
+                            category=category)
+
+    pre = [
+        fc(d, d, f"{prefix}_q_proj", CATEGORY.FC),
+        fc(d, d, f"{prefix}_k_proj", CATEGORY.FC),
+        fc(d, d, f"{prefix}_v_proj", CATEGORY.FC),
+        # KV-cache append: write this step's K and V rows.
+        _CacheAppendKernel(batch * 2 * m * d, dtype),
+    ]
+    post = [
+        fc(d, d, f"{prefix}_out_proj", CATEGORY.FC),
+        ResidualAddKernel(batch * m * d, dtype=dtype),
+        LayerNormKernel(batch * m, d, dtype=dtype),
+        fc(dff, d, f"{prefix}_ff1", CATEGORY.FEEDFORWARD),
+        AddBiasGeluKernel(batch * m * dff, dtype=dtype),
+        fc(d, dff, f"{prefix}_ff2", CATEGORY.FEEDFORWARD),
+        ResidualAddKernel(batch * m * d, dtype=dtype),
+        LayerNormKernel(batch * m, d, dtype=dtype),
+    ]
+    return pre, post
 
 
 @dataclass(frozen=True)
@@ -80,8 +268,12 @@ class GenerationResult:
     def kv_cache_bytes(self) -> int:
         """KV cache size at the end of generation."""
         length = self.prompt_len + self.generated_tokens
-        return (2 * self.batch * self.model.num_layers * length
-                * self.model.d_model * 2)
+        return kv_cache_bytes_for(self.model, length, batch=self.batch)
+
+    @property
+    def kv_cache_fraction(self) -> float:
+        """KV cache size as a fraction of the device memory."""
+        return self.kv_cache_bytes / self.gpu.hbm_bytes
 
 
 class GenerationSession:
@@ -129,61 +321,31 @@ class GenerationSession:
                 f"{prefill_chunk}"
             )
         self.prefill_chunk = prefill_chunk
+        resident = (weight_bytes(self.model, dtype)
+                    + kv_cache_bytes_for(self.model,
+                                         prompt_len + generated_tokens,
+                                         batch=batch, dtype=dtype))
+        if resident > self.gpu.hbm_bytes:
+            raise ConfigError(
+                f"weights + KV cache for prompt_len={prompt_len} plus "
+                f"{generated_tokens} generated tokens at batch={batch} "
+                f"need {resident / 1e9:.2f} GB, exceeding the "
+                f"{self.gpu.name}'s {self.gpu.hbm_bytes / 1e9:.2f} GB "
+                f"device memory"
+            )
 
     # -- decode-step kernels ------------------------------------------------
 
     def _layer_kernels(self, layer: int, m_tokens: int, kv_len: int,
                        prefix: str):
-        """Kernel launches of one layer processing ``m_tokens`` new
-        queries against ``kv_len`` cached keys/values.
-
-        ``m_tokens = 1`` is a decode step (every GEMM is a GEMV
-        streaming the weights); ``m_tokens = C`` is one chunked-prefill
-        step (rectangular C x kv_len attention).
-        """
-        config, batch = self.model, self.batch
-        d, dff, heads = config.d_model, config.d_ff, config.num_heads
-        d_head = config.d_head
-        spec = config.layer_attention(layer)
-        if spec.kind is AttentionKind.LOCAL_CAUSAL:
-            attend_len = min(kv_len, spec.window + m_tokens - 1)
-        else:
-            attend_len = kv_len
-        m = m_tokens
-
-        def fc(n, k, name, category):
-            return MatMulKernel(batch=batch, m=m, n=n, k=k, dtype=self.dtype,
-                                tile_m=min(128, max(1, m)), tile_n=128,
-                                tile_k=64, b_shared=True, name=name,
-                                category=category)
-
-        return [
-            fc(d, d, f"{prefix}_q_proj", CATEGORY.FC),
-            fc(d, d, f"{prefix}_k_proj", CATEGORY.FC),
-            fc(d, d, f"{prefix}_v_proj", CATEGORY.FC),
-            # KV-cache append: write this step's K and V rows.
-            _CacheAppendKernel(batch * 2 * m * d, self.dtype),
-            # Attention: m query rows against the cache.
-            MatMulKernel(batch=batch * heads, m=m, n=attend_len, k=d_head,
-                         dtype=self.dtype, tile_m=min(128, max(1, m)),
-                         tile_n=128, tile_k=min(64, d_head),
-                         name=f"{prefix}_qk_matmul",
-                         category=CATEGORY.MATMUL),
-            RowSoftmaxKernel(rows=batch * heads * m, length=attend_len,
-                             dtype=self.dtype, name=f"{prefix}_softmax"),
-            MatMulKernel(batch=batch * heads, m=m, n=d_head, k=attend_len,
-                         dtype=self.dtype, tile_m=min(128, max(1, m)),
-                         tile_n=64, tile_k=64, name=f"{prefix}_av_matmul",
-                         category=CATEGORY.MATMUL),
-            fc(d, d, f"{prefix}_out_proj", CATEGORY.FC),
-            ResidualAddKernel(batch * m * d, dtype=self.dtype),
-            LayerNormKernel(batch * m, d, dtype=self.dtype),
-            fc(dff, d, f"{prefix}_ff1", CATEGORY.FEEDFORWARD),
-            AddBiasGeluKernel(batch * m * dff, dtype=self.dtype),
-            fc(d, dff, f"{prefix}_ff2", CATEGORY.FEEDFORWARD),
-            ResidualAddKernel(batch * m * d, dtype=self.dtype),
-            LayerNormKernel(batch * m, d, dtype=self.dtype),
-        ]
+        """Kernel launches of one layer step (see
+        :func:`layer_step_kernels`); chunked prefill honours the
+        session's attention plan."""
+        return layer_step_kernels(
+            self.model, layer, m_tokens=m_tokens, kv_len=kv_len,
+            batch=self.batch, dtype=self.dtype, plan=self.plan, t=self.t,
+            prefix=prefix,
+        )
 
     def _decode_layer_kernels(self, layer: int, kv_len: int):
         """Kernel launches of one layer for one decode step."""

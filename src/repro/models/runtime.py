@@ -73,6 +73,17 @@ class InferenceResult:
         """``baseline.total_time / self.total_time``."""
         return baseline.total_time / self.total_time
 
+    def hbm_fraction(self, dtype: DType = DType.FP16) -> float:
+        """Peak device-memory footprint as a fraction of the GPU's
+        ``hbm_bytes`` (weights + activations + attention state)."""
+        from repro.models.footprint import inference_footprint
+
+        footprint = inference_footprint(
+            self.model, seq_len=self.seq_len, batch=self.batch,
+            plan=self.plan, dtype=dtype,
+        )
+        return footprint.total / self.gpu.hbm_bytes
+
     def layer_summary(self) -> list[tuple[str, int, float, float]]:
         """Per-layer-group rows: (label, layer count, per-layer latency
         seconds, share of total time)."""

@@ -1,0 +1,56 @@
+"""Discrete-event LLM serving simulation.
+
+The paper measures softmax recomposition one forward pass at a time;
+this package asks the deployment question: *what does the kernel-level
+speedup buy at the serving level?*  A discrete-event simulator replays
+a request stream (Poisson arrivals or a JSONL trace) through a
+continuous-batching engine whose per-step latency comes from the same
+kernel cost model the rest of the library uses, with a vLLM-style
+block-granular KV-cache manager deciding admission and preemption.
+Reports carry the standard SLO metrics — TTFT, TPOT, sustained
+throughput, p50/p95/p99 — per attention plan, so ``baseline`` and the
+recomposed ``sdf`` plan can be compared where it matters.
+
+Quickstart::
+
+    from repro.serving import simulate_serving
+
+    report = simulate_serving("bert-large", "a100",
+                              rate=8.0, duration=60.0, seed=0)
+    print(report.speedup())   # sdf throughput over baseline
+
+See ``docs/serving.md`` for the design and its limits.
+"""
+
+from repro.serving.costmodel import SUPPORTED_PLANS, StepCostModel
+from repro.serving.memory import KVBlockManager, MemoryStats
+from repro.serving.metrics import LatencyStats, PlanReport, ServingReport
+from repro.serving.requests import (
+    Request,
+    RequestStatus,
+    ServingWorkload,
+    load_trace,
+)
+from repro.serving.scheduler import ContinuousBatchingScheduler, ScheduledStep
+from repro.serving.simulator import ServingSimulator, simulate_serving
+
+__all__ = [
+    # workload
+    "Request",
+    "RequestStatus",
+    "ServingWorkload",
+    "load_trace",
+    # engine
+    "StepCostModel",
+    "SUPPORTED_PLANS",
+    "KVBlockManager",
+    "MemoryStats",
+    "ContinuousBatchingScheduler",
+    "ScheduledStep",
+    "ServingSimulator",
+    "simulate_serving",
+    # reporting
+    "LatencyStats",
+    "PlanReport",
+    "ServingReport",
+]

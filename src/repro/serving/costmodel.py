@@ -1,0 +1,143 @@
+"""Per-step latency from the kernel-level cost model.
+
+A continuous-batching engine step runs every layer once over the
+step's *combined* token batch: the projections, feed-forward and
+element-wise kernels see the concatenation of all tokens in the step,
+while attention runs per request (each request attends to its own KV
+cache).  :class:`StepCostModel` prices a step accordingly:
+
+``step = num_layers * mlp(M) + sum_r attention(m_r, kv_r)``
+
+where ``M`` is the step's total token count.  Both components come
+from the same kernels :class:`~repro.models.generation.GenerationSession`
+simulates — the serving layer adds no new timing model, only the
+composition — and both are memoized, because a simulation replays the
+same shapes millions of times.  Decode KV lengths are bucketed up to
+the KV block size before lookup: the cache is read at block
+granularity, so the padded length is what the kernel actually streams.
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import DType
+from repro.common.errors import ServingError
+from repro.core.plan import AttentionPlan
+from repro.gpu.device import Device
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.models.config import ModelConfig, get_model
+from repro.models.generation import attention_step_kernels, mlp_step_kernels
+
+#: Plans the serving simulator supports: the paper's headline
+#: comparison.  The related-work plans (online/turbo/flash/fused-mha)
+#: have no rectangular chunked-prefill kernels in this library.
+SUPPORTED_PLANS = (
+    AttentionPlan.BASELINE,
+    AttentionPlan.DECOMPOSED,
+    AttentionPlan.RECOMPOSED,
+)
+
+
+class StepCostModel:
+    """Memoized engine-step latency for one (model, gpu, plan).
+
+    >>> cost = StepCostModel("gpt-neo-1.3b", "a100", plan="sdf")
+    >>> cost.step_time(prefill=[(512, 512)], decode_kv=[700, 1400]) > 0
+    True
+    """
+
+    def __init__(
+        self,
+        model: "ModelConfig | str",
+        gpu: "GPUSpec | str",
+        *,
+        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        dtype: DType = DType.FP16,
+        t: int = 64,
+        kv_bucket: int = 64,
+    ) -> None:
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.plan = AttentionPlan.from_name(plan)
+        if self.plan not in SUPPORTED_PLANS:
+            supported = ", ".join(p.value for p in SUPPORTED_PLANS)
+            raise ServingError(
+                f"serving simulation supports plans {supported}; got "
+                f"{self.plan.value!r}"
+            )
+        self.dtype = dtype
+        self.t = t
+        self.kv_bucket = kv_bucket
+        self._device = Device(self.gpu)
+        # One representative layer index per distinct attention spec.
+        layer_of_spec = {
+            self.model.layer_attention(layer): layer
+            for layer in range(self.model.num_layers)
+        }
+        self._groups = [
+            (layer_of_spec[spec], count)
+            for spec, count in self.model.unique_layer_specs()
+        ]
+        self._mlp_cache: dict[int, float] = {}
+        self._attn_cache: dict[tuple[int, int, int], float] = {}
+
+    def _simulate(self, kernels) -> float:
+        self._device.reset()
+        for kernel in kernels:
+            kernel.simulate(self._device)
+        return self._device.profile.total_time()
+
+    def mlp_time(self, m_tokens: int) -> float:
+        """One layer's non-attention time for ``m_tokens`` batched tokens."""
+        cached = self._mlp_cache.get(m_tokens)
+        if cached is None:
+            pre, post = mlp_step_kernels(self.model, m_tokens=m_tokens,
+                                         dtype=self.dtype, prefix="step")
+            cached = self._simulate(pre + post)
+            self._mlp_cache[m_tokens] = cached
+        return cached
+
+    def attention_time(self, layer: int, m_tokens: int, kv_len: int) -> float:
+        """One layer's attention time: ``m_tokens`` queries vs ``kv_len``."""
+        key = (layer, m_tokens, kv_len)
+        cached = self._attn_cache.get(key)
+        if cached is None:
+            cached = self._simulate(attention_step_kernels(
+                self.model, layer, m_tokens=m_tokens, kv_len=kv_len,
+                dtype=self.dtype, plan=self.plan, t=self.t, prefix="step",
+            ))
+            self._attn_cache[key] = cached
+        return cached
+
+    def _bucketed(self, kv_len: int) -> int:
+        return -(-kv_len // self.kv_bucket) * self.kv_bucket
+
+    def step_time(
+        self,
+        *,
+        prefill: "list[tuple[int, int]] | None" = None,
+        decode_kv: "list[int] | None" = None,
+    ) -> float:
+        """Latency of one engine step, in seconds.
+
+        ``prefill`` lists ``(chunk_tokens, kv_len_after_chunk)`` per
+        prefilling request; ``decode_kv`` lists the KV length *after*
+        the step (cache including the token being generated) per
+        decoding request.
+        """
+        prefill = prefill or []
+        decode_kv = decode_kv or []
+        total_tokens = sum(m for m, _ in prefill) + len(decode_kv)
+        if total_tokens == 0:
+            return 0.0
+        time = self.model.num_layers * self.mlp_time(total_tokens)
+        for layer, count in self._groups:
+            for m_tokens, kv_len in prefill:
+                time += count * self.attention_time(layer, m_tokens, kv_len)
+            for kv_len in decode_kv:
+                time += count * self.attention_time(
+                    layer, 1, self._bucketed(kv_len))
+        return time
+
+    def cache_sizes(self) -> tuple[int, int]:
+        """(mlp entries, attention entries) — for diagnostics."""
+        return len(self._mlp_cache), len(self._attn_cache)

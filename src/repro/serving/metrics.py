@@ -1,0 +1,194 @@
+"""SLO metrics for simulated serving runs.
+
+A serving system is judged on tail latency and sustained throughput,
+not on any single forward pass.  This module distills a finished
+simulation into the standard numbers:
+
+- **TTFT** — time to first token: arrival until the prefill's output
+  token is emitted.  Dominated by queueing plus prefill compute.
+- **TPOT** — time per output token after the first: the decode cadence
+  a streaming client observes.
+- **throughput** — generated tokens (and finished requests) per second
+  of makespan: the capacity number that decides how many GPUs a
+  deployment needs.
+
+Latency metrics report p50/p95/p99 and the mean; percentiles use the
+linear-interpolation definition (:func:`numpy.percentile` default) so
+reports are reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.memory import MemoryStats
+from repro.serving.requests import Request
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (0 if empty)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Distribution summary of one latency metric, in seconds."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_values(cls, values: "list[float]") -> "LatencyStats":
+        """Summarize ``values``; all-zero when no samples exist."""
+        if not values:
+            return cls(mean=0.0, p50=0.0, p95=0.0, p99=0.0)
+        return cls(
+            mean=float(np.mean(values)),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+        )
+
+    def to_json(self) -> "dict[str, float]":
+        """JSON-ready mapping."""
+        return {"mean": self.mean, "p50": self.p50,
+                "p95": self.p95, "p99": self.p99}
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """Serving-level results of one plan's simulation run."""
+
+    plan: str
+    num_requests: int
+    finished: int
+    rejected: int
+    preemption_events: int
+    preempted_requests: int
+    makespan: float
+    busy_time: float
+    steps: int
+    generated_tokens: int
+    prefill_tokens: int
+    ttft: LatencyStats
+    tpot: LatencyStats
+    e2e: LatencyStats
+    throughput_tokens_per_s: float
+    throughput_requests_per_s: float
+    mean_step_tokens: float
+    kv_peak_blocks: int
+    kv_total_blocks: int
+    kv_peak_bytes: int
+    kv_peak_fraction: float
+
+    @classmethod
+    def from_run(
+        cls,
+        *,
+        plan: str,
+        requests: "list[Request]",
+        memory: MemoryStats,
+        hbm_bytes: int,
+        makespan: float,
+        busy_time: float,
+        steps: int,
+        prefill_tokens: int,
+        preemption_events: int,
+    ) -> "PlanReport":
+        """Aggregate per-request records into a report."""
+        done = [r for r in requests if r.finish_time is not None]
+        rejected = sum(1 for r in requests if r.finish_time is None)
+        generated = sum(r.generated for r in done)
+        span = makespan if makespan > 0 else 1.0
+        return cls(
+            plan=plan,
+            num_requests=len(requests),
+            finished=len(done),
+            rejected=rejected,
+            preemption_events=preemption_events,
+            preempted_requests=sum(1 for r in done if r.preemptions),
+            makespan=makespan,
+            busy_time=busy_time,
+            steps=steps,
+            generated_tokens=generated,
+            prefill_tokens=prefill_tokens,
+            ttft=LatencyStats.from_values([r.ttft for r in done]),
+            tpot=LatencyStats.from_values([r.tpot for r in done]),
+            e2e=LatencyStats.from_values([r.e2e_latency for r in done]),
+            throughput_tokens_per_s=generated / span,
+            throughput_requests_per_s=len(done) / span,
+            mean_step_tokens=(
+                (prefill_tokens + generated) / steps if steps else 0.0),
+            kv_peak_blocks=memory.peak_blocks,
+            kv_total_blocks=memory.total_blocks,
+            kv_peak_bytes=memory.peak_bytes,
+            kv_peak_fraction=memory.peak_bytes / hbm_bytes,
+        )
+
+    def to_json(self) -> "dict[str, object]":
+        """JSON-ready mapping (plain scalars and nested dicts only)."""
+        return {
+            "plan": self.plan,
+            "num_requests": self.num_requests,
+            "finished": self.finished,
+            "rejected": self.rejected,
+            "preemption_events": self.preemption_events,
+            "preempted_requests": self.preempted_requests,
+            "makespan_s": self.makespan,
+            "busy_time_s": self.busy_time,
+            "steps": self.steps,
+            "generated_tokens": self.generated_tokens,
+            "prefill_tokens": self.prefill_tokens,
+            "ttft_s": self.ttft.to_json(),
+            "tpot_s": self.tpot.to_json(),
+            "e2e_s": self.e2e.to_json(),
+            "throughput_tokens_per_s": self.throughput_tokens_per_s,
+            "throughput_requests_per_s": self.throughput_requests_per_s,
+            "mean_step_tokens": self.mean_step_tokens,
+            "kv_peak_blocks": self.kv_peak_blocks,
+            "kv_total_blocks": self.kv_total_blocks,
+            "kv_peak_bytes": self.kv_peak_bytes,
+            "kv_peak_fraction": self.kv_peak_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Full report of one ``serve-sim`` invocation: config + per-plan
+    results, serializable to a deterministic JSON document."""
+
+    model: str
+    gpu: str
+    rate: float
+    duration: float
+    seed: int
+    num_requests: int
+    plans: "dict[str, PlanReport]"
+
+    def to_json(self) -> "dict[str, object]":
+        """JSON-ready mapping; key order is fixed by ``sort_keys``."""
+        return {
+            "model": self.model,
+            "gpu": self.gpu,
+            "rate": self.rate,
+            "duration_s": self.duration,
+            "seed": self.seed,
+            "num_requests": self.num_requests,
+            "plans": {name: report.to_json()
+                      for name, report in self.plans.items()},
+        }
+
+    def speedup(self, baseline: str = "baseline",
+                candidate: str = "sdf") -> float:
+        """Sustained-throughput ratio of ``candidate`` over ``baseline``."""
+        base = self.plans[baseline].throughput_tokens_per_s
+        cand = self.plans[candidate].throughput_tokens_per_s
+        if base == 0:
+            return 0.0
+        return cand / base

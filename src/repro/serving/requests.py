@@ -1,0 +1,233 @@
+"""Serving requests and arrival-stream generation.
+
+A serving workload is a stream of :class:`Request` objects: an arrival
+time, a prompt length, and an output length.  :class:`ServingWorkload`
+generates the stream synthetically — Poisson arrivals at a configured
+rate, prompt lengths drawn from the TriviaQA-like corpus distribution
+(:mod:`repro.workloads.triviaqa`), output lengths from a geometric
+distribution — or replays a JSONL trace file, so measured production
+traces and synthetic load use the same simulator.
+
+Prompt lengths are rounded up to the KV block size: serving systems
+allocate the cache at block granularity, and the padded shape is what
+the kernels actually run (exactly the bucketed-serving argument of
+:mod:`repro.workloads.driver`).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ServingError
+from repro.common.validation import require_positive
+from repro.workloads.triviaqa import SyntheticTriviaQA
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of one serving request."""
+
+    WAITING = "waiting"        #: arrived, not yet admitted (or preempted)
+    PREFILL = "prefill"        #: admitted, prompt chunks still running
+    DECODE = "decode"          #: emitting one token per engine step
+    FINISHED = "finished"      #: all output tokens emitted
+    REJECTED = "rejected"      #: can never fit on the device
+
+
+@dataclass
+class Request:
+    """One request flowing through the simulated serving engine.
+
+    The scheduler mutates the runtime state; ``prompt_len`` and
+    ``output_len`` are fixed at arrival.  ``prefill_target`` normally
+    equals ``prompt_len`` but grows after a preemption: evict-and-
+    recompute must rebuild the KV entries of every token generated so
+    far before decode can continue.
+    """
+
+    request_id: int
+    arrival_time: float
+    prompt_len: int
+    output_len: int
+
+    # -- runtime state, owned by the scheduler --------------------------
+    status: RequestStatus = RequestStatus.WAITING
+    #: Tokens whose KV entries must exist before decode (re)starts.
+    prefill_target: int = field(default=0)
+    #: Tokens prefilled since (re-)admission.
+    prefilled: int = 0
+    #: Output tokens emitted so far (survives preemption).
+    generated: int = 0
+    #: Tokens currently resident in the KV cache.
+    kv_tokens: int = 0
+    #: Times this request was preempted (evict-and-recompute).
+    preemptions: int = 0
+
+    # -- timestamps -----------------------------------------------------
+    admitted_time: "float | None" = None
+    first_token_time: "float | None" = None
+    finish_time: "float | None" = None
+
+    def __post_init__(self) -> None:
+        require_positive("prompt_len", self.prompt_len)
+        require_positive("output_len", self.output_len)
+        if self.arrival_time < 0:
+            raise ServingError(
+                f"request {self.request_id}: negative arrival time "
+                f"{self.arrival_time}"
+            )
+        if self.prefill_target == 0:
+            self.prefill_target = self.prompt_len
+
+    @property
+    def total_tokens(self) -> int:
+        """KV footprint when the request completes, in tokens."""
+        return self.prompt_len + self.output_len
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token, seconds (arrival to first emission)."""
+        if self.first_token_time is None:
+            raise ServingError(
+                f"request {self.request_id} has not produced a token"
+            )
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def tpot(self) -> float:
+        """Mean time per output token after the first, seconds.
+
+        Zero for single-token requests (no decode steps).
+        """
+        if self.finish_time is None:
+            raise ServingError(f"request {self.request_id} not finished")
+        if self.output_len == 1:
+            return 0.0
+        return ((self.finish_time - self.first_token_time)
+                / (self.output_len - 1))
+
+    @property
+    def e2e_latency(self) -> float:
+        """Arrival-to-completion latency, seconds."""
+        if self.finish_time is None:
+            raise ServingError(f"request {self.request_id} not finished")
+        return self.finish_time - self.arrival_time
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+class ServingWorkload:
+    """Deterministic synthetic request stream.
+
+    Arrivals are Poisson with ``rate`` requests/second over
+    ``duration`` seconds.  Prompt lengths reuse the TriviaQA corpus
+    length distribution (truncated to ``max_prompt`` and rounded up to
+    ``block_tokens``); output lengths are geometric with mean
+    ``mean_output``, the heavy-one-sided spread of production decode
+    lengths.
+
+    >>> stream = ServingWorkload(rate=4.0, duration=10.0, seed=0)
+    >>> reqs = stream.requests()
+    >>> all(r.prompt_len % 64 == 0 for r in reqs)
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float,
+        duration: float,
+        seed: int = 0,
+        max_prompt: int = 4096,
+        mean_output: int = 64,
+        max_output: int = 0,
+        block_tokens: int = 64,
+    ) -> None:
+        require_positive("rate", rate)
+        require_positive("duration", duration)
+        require_positive("max_prompt", max_prompt)
+        require_positive("mean_output", mean_output)
+        require_positive("block_tokens", block_tokens)
+        if max_prompt % block_tokens != 0:
+            raise ServingError(
+                f"max_prompt {max_prompt} not a multiple of the KV block "
+                f"size {block_tokens}"
+            )
+        self.rate = rate
+        self.duration = duration
+        self.seed = seed
+        self.max_prompt = max_prompt
+        self.mean_output = mean_output
+        self.max_output = max_output or 4 * mean_output
+        self.block_tokens = block_tokens
+
+    def requests(self) -> list[Request]:
+        """The request stream, sorted by arrival time."""
+        rng = np.random.default_rng((self.seed, 0xA221))
+        gaps = rng.exponential(1.0 / self.rate, size=max(
+            16, int(self.rate * self.duration * 2) + 16))
+        arrivals = np.cumsum(gaps)
+        while arrivals[-1] < self.duration:
+            more = rng.exponential(1.0 / self.rate, size=len(arrivals))
+            arrivals = np.concatenate(
+                [arrivals, arrivals[-1] + np.cumsum(more)])
+        arrivals = arrivals[arrivals < self.duration]
+
+        corpus = SyntheticTriviaQA(num_documents=max(1, len(arrivals)),
+                                   seed=self.seed)
+        prompts = np.minimum(corpus.lengths(), self.max_prompt)
+        out_rng = np.random.default_rng((self.seed, 0x0CF7))
+        outputs = np.minimum(
+            out_rng.geometric(1.0 / self.mean_output, size=len(arrivals)),
+            self.max_output,
+        )
+        return [
+            Request(
+                request_id=i,
+                arrival_time=float(arrivals[i]),
+                prompt_len=_round_up(int(prompts[i]), self.block_tokens),
+                output_len=int(outputs[i]),
+            )
+            for i in range(len(arrivals))
+        ]
+
+
+def load_trace(path: str, *, block_tokens: int = 64) -> list[Request]:
+    """Load a request stream from a JSONL trace file.
+
+    Each line is an object with ``arrival_time`` (seconds),
+    ``prompt_len`` and ``output_len`` (tokens).  Prompt lengths are
+    rounded up to ``block_tokens``; requests are sorted by arrival.
+    """
+    requests = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                requests.append((
+                    float(record["arrival_time"]),
+                    int(record["prompt_len"]),
+                    int(record["output_len"]),
+                ))
+            except (KeyError, ValueError, TypeError) as error:
+                raise ServingError(
+                    f"{path}:{lineno + 1}: bad trace record: {error}"
+                ) from None
+    requests.sort()
+    return [
+        Request(
+            request_id=i,
+            arrival_time=arrival,
+            prompt_len=_round_up(prompt, block_tokens),
+            output_len=output,
+        )
+        for i, (arrival, prompt, output) in enumerate(requests)
+    ]

@@ -1,0 +1,210 @@
+"""Continuous batching with admission control and preemption.
+
+The scheduler implements the iteration-level batching of Orca/vLLM:
+every engine step carries one decode token for each running request
+plus a bounded budget of prompt-prefill tokens (chunked prefill), so
+long prompts never stall the decode stream and new requests join the
+batch the moment memory admits them — no waiting for the whole batch
+to drain.
+
+Memory policy:
+
+- **admission control** — a request is admitted only when the KV pool
+  can hold its entire prefill target; requests whose prompt + output
+  could never fit are rejected outright;
+- **preemption (evict-and-recompute)** — when a decode step needs a
+  new KV block and the pool is exhausted, the most recently admitted
+  request is evicted: its blocks are freed and it re-queues at the
+  head of the waiting line with a prefill target covering the prompt
+  *plus every token it had already generated* (the recompute cost).
+  Evicting the newest request first keeps FCFS completion order and
+  bounds each request's preemption count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.common.errors import ServingError
+from repro.common.validation import require_positive
+from repro.serving.memory import KVBlockManager
+from repro.serving.requests import Request, RequestStatus
+
+
+@dataclass
+class ScheduledStep:
+    """One engine iteration: what runs and over which KV lengths."""
+
+    #: (request, chunk tokens, KV length once the chunk lands).
+    prefill: list[tuple[Request, int, int]] = field(default_factory=list)
+    #: (request, KV length including the token being generated).
+    decode: list[tuple[Request, int]] = field(default_factory=list)
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens the step pushes through the non-attention kernels."""
+        return sum(chunk for _, chunk, _ in self.prefill) + len(self.decode)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the step carries no work."""
+        return not self.prefill and not self.decode
+
+
+class ContinuousBatchingScheduler:
+    """Iteration-level scheduler over a :class:`KVBlockManager`.
+
+    Parameters
+    ----------
+    memory:
+        The KV block pool; the scheduler is its only writer.
+    chunk_tokens:
+        Prefill chunk size *and* per-step prefill token budget.  Must
+        be a multiple of the memory manager's block size so chunk
+        boundaries land on KV blocks.
+    max_batch:
+        Maximum concurrently admitted (running) requests.
+    """
+
+    def __init__(
+        self,
+        memory: KVBlockManager,
+        *,
+        chunk_tokens: int = 512,
+        max_batch: int = 32,
+    ) -> None:
+        require_positive("chunk_tokens", chunk_tokens)
+        require_positive("max_batch", max_batch)
+        if chunk_tokens % memory.block_tokens != 0:
+            raise ServingError(
+                f"chunk_tokens {chunk_tokens} not a multiple of the KV "
+                f"block size {memory.block_tokens}"
+            )
+        self.memory = memory
+        self.chunk_tokens = chunk_tokens
+        self.max_batch = max_batch
+        self.waiting: deque[Request] = deque()
+        #: Admitted requests, oldest first (preemption picks the tail).
+        self.running: list[Request] = []
+        self.preemption_events = 0
+
+    # -- intake ---------------------------------------------------------
+
+    def submit(self, request: Request) -> bool:
+        """Queue an arriving request; rejects ones that can never fit."""
+        if not self.memory.fits_at_all(request.total_tokens):
+            request.status = RequestStatus.REJECTED
+            return False
+        request.status = RequestStatus.WAITING
+        self.waiting.append(request)
+        return True
+
+    def _admit(self, now: float) -> None:
+        while self.waiting and len(self.running) < self.max_batch:
+            head = self.waiting[0]
+            needed = self.memory.blocks_for_tokens(head.prefill_target)
+            if not self.memory.can_allocate(needed):
+                return
+            self.waiting.popleft()
+            self.memory.grow(head.request_id, head.prefill_target)
+            head.status = RequestStatus.PREFILL
+            head.admitted_time = now
+            self.running.append(head)
+
+    # -- preemption -----------------------------------------------------
+
+    def _preempt_tail(self) -> Request:
+        victim = self.running.pop()
+        self.memory.release(victim.request_id)
+        victim.kv_tokens = 0
+        victim.prefilled = 0
+        victim.prefill_target = victim.prompt_len + victim.generated
+        victim.status = RequestStatus.WAITING
+        victim.preemptions += 1
+        self.preemption_events += 1
+        self.waiting.appendleft(victim)
+        return victim
+
+    # -- step construction ----------------------------------------------
+
+    def schedule(self, now: float) -> ScheduledStep:
+        """Admit what fits, then build the next engine step.
+
+        Decode comes first (running requests keep their token cadence);
+        the prefill budget fills with chunks of still-prefilling
+        requests afterwards.  All memory growth happens here, before
+        the step notionally executes, so the pool can never be
+        over-committed mid-step.
+        """
+        self._admit(now)
+        step = ScheduledStep()
+        for request in list(self.running):
+            if request not in self.running:
+                continue  # preempted by an earlier iteration
+            if request.prefilled < request.prefill_target:
+                continue  # still prefilling
+            while True:
+                try:
+                    self.memory.grow(request.request_id,
+                                     request.kv_tokens + 1)
+                    break
+                except ServingError:
+                    victim = self._preempt_tail()
+                    if victim is request:
+                        break  # evicted itself; skip this step
+            if request in self.running:
+                step.decode.append((request, request.kv_tokens + 1))
+
+        budget = self.chunk_tokens
+        for request in list(self.running):
+            if budget <= 0:
+                break
+            if request.prefilled >= request.prefill_target:
+                continue
+            chunk = min(self.chunk_tokens,
+                        request.prefill_target - request.prefilled,
+                        budget)
+            budget -= chunk
+            step.prefill.append((request, chunk, request.prefilled + chunk))
+        return step
+
+    # -- step completion -------------------------------------------------
+
+    def complete_step(self, step: ScheduledStep, now: float) -> list[Request]:
+        """Apply a step's effects at its completion time ``now``.
+
+        Returns the requests that finished during this step.
+        """
+        finished = []
+        for request, chunk, kv_after in step.prefill:
+            request.prefilled += chunk
+            request.kv_tokens = kv_after
+            if request.prefilled >= request.prefill_target:
+                request.status = RequestStatus.DECODE
+                if request.generated == 0:
+                    # The final prefill chunk's forward pass emits the
+                    # first output token.
+                    request.first_token_time = now
+                    request.generated = 1
+                    if request.generated >= request.output_len:
+                        self._finish(request, now)
+                        finished.append(request)
+        for request, kv_after in step.decode:
+            request.generated += 1
+            request.kv_tokens = kv_after
+            if request.generated >= request.output_len:
+                self._finish(request, now)
+                finished.append(request)
+        return finished
+
+    def _finish(self, request: Request, now: float) -> None:
+        request.status = RequestStatus.FINISHED
+        request.finish_time = now
+        self.memory.release(request.request_id)
+        self.running.remove(request)
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any request is admitted or waiting."""
+        return bool(self.running or self.waiting)

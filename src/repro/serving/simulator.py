@@ -1,0 +1,189 @@
+"""Discrete-event serving simulator.
+
+The simulator advances a clock one engine step at a time: the
+scheduler builds a step (decode tokens + prefill chunks), the
+:class:`~repro.serving.costmodel.StepCostModel` prices it from the
+kernel-level GPU model, the clock jumps by that latency, and the
+step's effects (tokens emitted, requests finished) land at the step's
+completion time.  When no request is resident the clock fast-forwards
+to the next arrival — idle time costs nothing to simulate.
+
+Determinism: the only randomness is in the workload generator, which
+is seeded; the event loop itself is pure, so a fixed (model, gpu,
+plan, request stream) always yields a byte-identical report.
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import DType
+from repro.common.errors import ServingError
+from repro.core.plan import AttentionPlan
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.models.config import ModelConfig, get_model
+from repro.serving.costmodel import StepCostModel
+from repro.serving.memory import KVBlockManager
+from repro.serving.metrics import PlanReport, ServingReport
+from repro.serving.requests import Request, ServingWorkload
+from repro.serving.scheduler import ContinuousBatchingScheduler
+
+
+class ServingSimulator:
+    """Replay a request stream through a simulated serving engine.
+
+    ``run`` operates on private copies of the requests, so one stream
+    can be replayed under several plans for an apples-to-apples
+    comparison.
+
+    >>> sim = ServingSimulator("bert-large", "a100", plan="sdf",
+    ...     requests=[Request(request_id=0, arrival_time=0.0,
+    ...                       prompt_len=512, output_len=4)])
+    >>> report = sim.run()
+    >>> report.finished
+    1
+    """
+
+    def __init__(
+        self,
+        model: "ModelConfig | str",
+        gpu: "GPUSpec | str",
+        *,
+        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        requests: "list[Request] | None" = None,
+        workload: "ServingWorkload | None" = None,
+        dtype: DType = DType.FP16,
+        chunk_tokens: int = 512,
+        max_batch: int = 32,
+        block_tokens: int = 64,
+        reserve_fraction: float = 0.1,
+        max_steps: int = 2_000_000,
+    ) -> None:
+        if (requests is None) == (workload is None):
+            raise ServingError(
+                "provide exactly one of `requests` or `workload`"
+            )
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.plan = AttentionPlan.from_name(plan)
+        self.dtype = dtype
+        self.chunk_tokens = chunk_tokens
+        self.max_batch = max_batch
+        self.block_tokens = block_tokens
+        self.reserve_fraction = reserve_fraction
+        self.max_steps = max_steps
+        self._requests = sorted(
+            requests if requests is not None else workload.requests(),
+            key=lambda r: (r.arrival_time, r.request_id),
+        )
+        self.cost = StepCostModel(self.model, self.gpu, plan=self.plan,
+                                  dtype=self.dtype)
+
+    def run(self) -> PlanReport:
+        """Simulate the stream to completion and aggregate metrics."""
+        memory = KVBlockManager.for_model(
+            self.model, self.gpu, block_tokens=self.block_tokens,
+            dtype=self.dtype, reserve_fraction=self.reserve_fraction,
+        )
+        scheduler = ContinuousBatchingScheduler(
+            memory, chunk_tokens=self.chunk_tokens,
+            max_batch=self.max_batch,
+        )
+        # Fresh copies: the scheduler mutates request state, and run()
+        # must be repeatable.
+        stream = [
+            Request(request_id=r.request_id, arrival_time=r.arrival_time,
+                    prompt_len=r.prompt_len, output_len=r.output_len)
+            for r in self._requests
+        ]
+        clock = 0.0
+        busy = 0.0
+        steps = 0
+        prefill_tokens = 0
+        next_arrival = 0
+
+        while True:
+            while (next_arrival < len(stream)
+                   and stream[next_arrival].arrival_time <= clock):
+                scheduler.submit(stream[next_arrival])
+                next_arrival += 1
+
+            step = scheduler.schedule(clock)
+            if step.is_empty:
+                if next_arrival < len(stream):
+                    # Idle: fast-forward to the next arrival.
+                    clock = max(clock,
+                                stream[next_arrival].arrival_time)
+                    continue
+                if scheduler.has_work:
+                    raise ServingError(
+                        "scheduler stalled with work outstanding"
+                    )
+                break
+
+            dt = self.cost.step_time(
+                prefill=[(chunk, kv) for _, chunk, kv in step.prefill],
+                decode_kv=[kv for _, kv in step.decode],
+            )
+            clock += dt
+            busy += dt
+            steps += 1
+            prefill_tokens += sum(c for _, c, _ in step.prefill)
+            scheduler.complete_step(step, clock)
+            if steps > self.max_steps:
+                raise ServingError(
+                    f"simulation exceeded {self.max_steps} steps "
+                    f"(clock {clock:.1f}s); lower the rate or duration"
+                )
+
+        return PlanReport.from_run(
+            plan=self.plan.value,
+            requests=stream,
+            memory=memory.stats(),
+            hbm_bytes=self.gpu.hbm_bytes,
+            makespan=clock,
+            busy_time=busy,
+            steps=steps,
+            prefill_tokens=prefill_tokens,
+            preemption_events=scheduler.preemption_events,
+        )
+
+
+def simulate_serving(
+    model: "ModelConfig | str",
+    gpu: "GPUSpec | str",
+    *,
+    rate: float,
+    duration: float,
+    seed: int = 0,
+    plans: "tuple[AttentionPlan | str, ...]" = ("baseline", "sdf"),
+    requests: "list[Request] | None" = None,
+    **kwargs,
+) -> ServingReport:
+    """Run one workload under several plans and bundle the reports.
+
+    Extra keyword arguments are forwarded to :class:`ServingSimulator`
+    (``chunk_tokens``, ``max_batch``, ``block_tokens``, ...).  Pass
+    ``requests`` to replay a trace instead of the synthetic workload.
+    """
+    model = get_model(model) if isinstance(model, str) else model
+    gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    if requests is None:
+        block_tokens = kwargs.get("block_tokens", 64)
+        requests = ServingWorkload(
+            rate=rate, duration=duration, seed=seed,
+            block_tokens=block_tokens,
+        ).requests()
+    reports = {}
+    for plan in plans:
+        plan = AttentionPlan.from_name(plan)
+        sim = ServingSimulator(model, gpu, plan=plan, requests=requests,
+                               **kwargs)
+        reports[plan.value] = sim.run()
+    return ServingReport(
+        model=model.name,
+        gpu=gpu.name,
+        rate=rate,
+        duration=duration,
+        seed=seed,
+        num_requests=len(requests),
+        plans=reports,
+    )

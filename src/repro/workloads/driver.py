@@ -16,12 +16,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.common.errors import ConfigError
 from repro.common.validation import require_divisible, require_positive
 from repro.core.plan import AttentionPlan
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
-from repro.models.runtime import InferenceSession
 from repro.workloads.triviaqa import SyntheticTriviaQA
 
 

@@ -105,3 +105,75 @@ class TestCLI:
                       "--seq-len", "2048")
         assert "GPUs" in out and "comm share" in out
         assert "8" in out
+
+    def test_serve_sim_json(self, capsys):
+        out = run_cli(capsys, "serve-sim", "--model", "bert-large",
+                      "--gpu", "a100", "--rate", "4", "--duration", "4",
+                      "--seed", "0")
+        report = json.loads(out)
+        assert report["model"] == "BERT-large"
+        assert set(report["plans"]) == {"baseline", "sdf"}
+        for plan in report["plans"].values():
+            assert plan["finished"] + plan["rejected"] \
+                == plan["num_requests"]
+            assert "p99" in plan["ttft_s"]
+            assert plan["throughput_tokens_per_s"] > 0
+
+    def test_serve_sim_deterministic(self, capsys):
+        argv = ("serve-sim", "--rate", "4", "--duration", "4",
+                "--seed", "0")
+        assert run_cli(capsys, *argv) == run_cli(capsys, *argv)
+
+    def test_serve_sim_table(self, capsys):
+        out = run_cli(capsys, "serve-sim", "--rate", "4",
+                      "--duration", "4", "--table")
+        assert "TTFT p50/p99" in out
+        assert "sdf over baseline" in out
+
+    def test_serve_sim_output_file(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        out = run_cli(capsys, "serve-sim", "--rate", "2",
+                      "--duration", "3", "--output", str(path))
+        assert f"wrote {path}" in out
+        assert "plans" in json.loads(path.read_text())
+
+    def test_serve_sim_trace_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"arrival_time": 0.0, "prompt_len": 256, "output_len": 8}\n'
+            '{"arrival_time": 0.2, "prompt_len": 512, "output_len": 4}\n'
+        )
+        out = run_cli(capsys, "serve-sim", "--trace-file", str(path),
+                      "--plans", "sdf")
+        report = json.loads(out)
+        assert report["num_requests"] == 2
+        assert list(report["plans"]) == ["sdf"]
+
+
+class TestCLIHelp:
+    def commands(self):
+        import argparse
+
+        parser = build_parser()
+        subparsers = next(a for a in parser._actions
+                          if isinstance(a, argparse._SubParsersAction))
+        return list(subparsers.choices)
+
+    def test_every_subcommand_has_help(self, capsys):
+        for command in self.commands():
+            with pytest.raises(SystemExit) as excinfo:
+                main([command, "--help"])
+            assert excinfo.value.code == 0
+            assert command in capsys.readouterr().out
+
+    def test_every_subcommand_documented(self):
+        import repro.cli
+
+        for command in self.commands():
+            assert f"``{command}``" in repro.cli.__doc__
+
+    def test_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "serve-sim" in capsys.readouterr().out

@@ -19,7 +19,6 @@ from repro.kernels import (
     InterReductionKernel,
     LocalSoftmaxKernel,
     MatMulKernel,
-    RowSoftmaxKernel,
 )
 from repro.kernels.softmax import OnlineRowSoftmaxKernel
 from repro.models import AttentionKind, AttentionSpec, SDABlock

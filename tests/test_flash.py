@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common import DType, PlanError
-from repro.gpu import A100, Device, T4
+from repro.gpu import A100, Device
 from repro.gpu.costmodel import time_kernel
 from repro.kernels.flash import (
     FlashAttentionKernel,

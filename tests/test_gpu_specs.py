@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.common import ConfigError, GB, KIB, MIB, TERA
-from repro.gpu import A100, GPUSpec, RTX3090, T4, get_gpu
+from repro.gpu import A100, RTX3090, T4, get_gpu
 from repro.gpu.specs import all_gpus
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.common import DType, KernelError, PlanError
+from repro.common import KernelError, PlanError
 from repro.gpu import A100, Device, T4
 from repro.kernels.mha_fused import (
     FullyFusedMHAKernel,

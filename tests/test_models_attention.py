@@ -4,8 +4,7 @@ under every execution plan, dense and sparse."""
 import numpy as np
 import pytest
 
-from repro.common import DType, PlanError, ShapeError
-from repro.core import AttentionPlan
+from repro.common import PlanError, ShapeError
 from repro.gpu import Device
 from repro.kernels.softmax import safe_softmax
 from repro.models import AttentionKind, AttentionSpec, SDABlock

@@ -6,7 +6,6 @@ on — across randomly drawn shapes and magnitudes.
 """
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.common import DType

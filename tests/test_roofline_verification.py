@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu import A100, T4, get_gpu
+from repro.gpu import A100, get_gpu
 from repro.gpu.roofline import (
     analyze,
     machine_balance,

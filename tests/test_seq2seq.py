@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.common import ConfigError, DType, PlanError, ShapeError
+from repro.common import ConfigError, PlanError, ShapeError
 from repro.kernels.softmax import safe_softmax
 from repro.models import AttentionKind, AttentionSpec, SDABlock
 from repro.models.seq2seq import (

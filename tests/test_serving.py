@@ -1,0 +1,334 @@
+"""Tests for the discrete-event serving simulator.
+
+Covers the serving-level invariants the subsystem promises:
+determinism under a fixed seed, request conservation (every admitted
+request finishes, possibly after preemption), KV-block conservation
+(allocations return to the free pool), and the no-over-commit
+guarantee of the memory manager.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.dtypes import DType
+from repro.common.errors import ConfigError, ServingError
+from repro.gpu.specs import get_gpu
+from repro.models.config import get_model
+from repro.models.footprint import weight_bytes
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    KVBlockManager,
+    Request,
+    RequestStatus,
+    ServingSimulator,
+    ServingWorkload,
+    StepCostModel,
+    load_trace,
+    simulate_serving,
+)
+
+
+def tiny_gpu(model_name="bert-large", blocks=24, block_tokens=64,
+             reserve_fraction=0.1):
+    """An A100 variant whose HBM holds the weights plus ~``blocks``
+    KV blocks — small enough to force admission queuing/preemption."""
+    model = get_model(model_name)
+    bytes_per_token = 2 * model.num_layers * model.d_model * 2
+    pool = blocks * block_tokens * bytes_per_token
+    weights = weight_bytes(model, DType.FP16)
+    hbm = int((pool + weights) / (1 - reserve_fraction)) + 1
+    return dataclasses.replace(get_gpu("a100"), hbm_bytes=hbm)
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        a = ServingWorkload(rate=4.0, duration=8.0, seed=7).requests()
+        b = ServingWorkload(rate=4.0, duration=8.0, seed=7).requests()
+        assert [(r.arrival_time, r.prompt_len, r.output_len) for r in a] \
+            == [(r.arrival_time, r.prompt_len, r.output_len) for r in b]
+
+    def test_seed_changes_stream(self):
+        a = ServingWorkload(rate=4.0, duration=8.0, seed=0).requests()
+        b = ServingWorkload(rate=4.0, duration=8.0, seed=1).requests()
+        assert [r.arrival_time for r in a] != [r.arrival_time for r in b]
+
+    def test_shapes(self):
+        requests = ServingWorkload(rate=8.0, duration=10.0, seed=0,
+                                   max_prompt=2048).requests()
+        assert requests
+        assert all(r.prompt_len % 64 == 0 for r in requests)
+        assert all(r.prompt_len <= 2048 for r in requests)
+        assert all(r.output_len >= 1 for r in requests)
+        arrivals = [r.arrival_time for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] < 10.0
+
+    def test_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"arrival_time": 0.5, "prompt_len": 100, "output_len": 4}\n'
+            '{"arrival_time": 0.1, "prompt_len": 64, "output_len": 2}\n'
+        )
+        requests = load_trace(str(path))
+        assert [r.arrival_time for r in requests] == [0.1, 0.5]
+        assert requests[1].prompt_len == 128  # rounded up to blocks
+
+    def test_trace_bad_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"arrival_time": 0.1}\n')
+        with pytest.raises(ServingError, match="bad trace record"):
+            load_trace(str(path))
+
+
+class TestKVBlockManager:
+    def manager(self, blocks=10):
+        return KVBlockManager(capacity_bytes=blocks * 64 * 1024,
+                              block_tokens=64, bytes_per_token=1024)
+
+    def test_grow_and_release(self):
+        mgr = self.manager()
+        assert mgr.grow(1, 100) == 2      # ceil(100/64)
+        assert mgr.grow(1, 100) == 0      # idempotent
+        assert mgr.grow(1, 129) == 1      # one more block
+        assert mgr.used_blocks == 3
+        assert mgr.release(1) == 3
+        assert mgr.used_blocks == 0
+
+    def test_over_commit_raises(self):
+        mgr = self.manager(blocks=2)
+        mgr.grow(1, 128)
+        with pytest.raises(ServingError, match="over-commit"):
+            mgr.grow(2, 64)
+        assert mgr.used_blocks == 2       # failed grow changed nothing
+
+    def test_double_free_raises(self):
+        mgr = self.manager()
+        mgr.grow(1, 64)
+        mgr.release(1)
+        with pytest.raises(ServingError, match="double free"):
+            mgr.release(1)
+
+    def test_peak_tracking(self):
+        mgr = self.manager()
+        mgr.grow(1, 64 * 4)
+        mgr.release(1)
+        mgr.grow(2, 64)
+        assert mgr.peak_blocks == 4
+        assert mgr.stats().peak_bytes == 4 * 64 * 1024
+
+    def test_fits_at_all(self):
+        mgr = self.manager(blocks=10)
+        assert mgr.fits_at_all(640)
+        assert not mgr.fits_at_all(641)
+
+    def test_for_model_capacity(self):
+        model = get_model("bert-large")
+        gpu = get_gpu("a100")
+        mgr = KVBlockManager.for_model(model, gpu)
+        pool = mgr.total_blocks * mgr.block_bytes
+        assert pool <= gpu.hbm_bytes - weight_bytes(model, DType.FP16)
+        assert mgr.bytes_per_token == 2 * model.num_layers * model.d_model * 2
+
+    def test_too_small_pool_raises(self):
+        with pytest.raises(ServingError):
+            KVBlockManager(capacity_bytes=100, block_tokens=64,
+                           bytes_per_token=1024)
+
+
+class TestScheduler:
+    def drive(self, scheduler, requests, max_steps=10_000):
+        for request in requests:
+            scheduler.submit(request)
+        now, steps = 0.0, 0
+        while scheduler.has_work:
+            step = scheduler.schedule(now)
+            assert not step.is_empty
+            now += 0.01
+            scheduler.complete_step(step, now)
+            steps += 1
+            assert steps < max_steps
+        return steps
+
+    def test_conservation_blocks_and_requests(self):
+        mgr = KVBlockManager(capacity_bytes=24 * 64 * 1024,
+                             block_tokens=64, bytes_per_token=1024)
+        sched = ContinuousBatchingScheduler(mgr, chunk_tokens=256,
+                                            max_batch=8)
+        requests = [Request(request_id=i, arrival_time=0.0,
+                            prompt_len=512, output_len=64)
+                    for i in range(6)]
+        self.drive(sched, requests)
+        assert all(r.status is RequestStatus.FINISHED for r in requests)
+        assert all(r.generated == r.output_len for r in requests)
+        assert mgr.used_blocks == 0          # every block returned
+        assert mgr.peak_blocks <= mgr.total_blocks
+
+    def test_preemption_recovers(self):
+        # 24-block pool, three 8-block prompts admitted back-to-back:
+        # decode growth must preempt and every request still finishes.
+        mgr = KVBlockManager(capacity_bytes=24 * 64 * 1024,
+                             block_tokens=64, bytes_per_token=1024)
+        sched = ContinuousBatchingScheduler(mgr, chunk_tokens=512,
+                                            max_batch=8)
+        requests = [Request(request_id=i, arrival_time=0.0,
+                            prompt_len=512, output_len=80)
+                    for i in range(3)]
+        self.drive(sched, requests)
+        assert sched.preemption_events > 0
+        assert all(r.status is RequestStatus.FINISHED for r in requests)
+        assert all(r.generated == r.output_len for r in requests)
+        assert mgr.used_blocks == 0
+        preempted = [r for r in requests if r.preemptions]
+        assert preempted
+        # Recompute covers the prompt plus any pre-eviction tokens.
+        assert all(r.prefill_target >= r.prompt_len for r in preempted)
+
+    def test_rejects_impossible_request(self):
+        mgr = KVBlockManager(capacity_bytes=4 * 64 * 1024,
+                             block_tokens=64, bytes_per_token=1024)
+        sched = ContinuousBatchingScheduler(mgr)
+        giant = Request(request_id=0, arrival_time=0.0,
+                        prompt_len=64 * 64, output_len=4)
+        assert not sched.submit(giant)
+        assert giant.status is RequestStatus.REJECTED
+        assert not sched.has_work
+
+    def test_single_token_output_finishes_at_prefill(self):
+        mgr = KVBlockManager(capacity_bytes=24 * 64 * 1024,
+                             block_tokens=64, bytes_per_token=1024)
+        sched = ContinuousBatchingScheduler(mgr, chunk_tokens=512)
+        request = Request(request_id=0, arrival_time=0.0,
+                          prompt_len=128, output_len=1)
+        self.drive(sched, [request])
+        assert request.status is RequestStatus.FINISHED
+        assert request.first_token_time == request.finish_time
+        assert request.tpot == 0.0
+
+    def test_chunk_must_align_to_blocks(self):
+        mgr = KVBlockManager(capacity_bytes=24 * 64 * 1024,
+                             block_tokens=64, bytes_per_token=1024)
+        with pytest.raises(ServingError, match="multiple"):
+            ContinuousBatchingScheduler(mgr, chunk_tokens=100)
+
+
+class TestStepCostModel:
+    def test_unsupported_plan(self):
+        with pytest.raises(ServingError, match="supports plans"):
+            StepCostModel("bert-large", "a100", plan="flash")
+
+    def test_empty_step_is_free(self):
+        cost = StepCostModel("bert-large", "a100")
+        assert cost.step_time() == 0.0
+
+    def test_memoization(self):
+        cost = StepCostModel("bert-large", "a100")
+        cost.step_time(prefill=[(512, 512)], decode_kv=[100, 130])
+        sizes = cost.cache_sizes()
+        # 100 and 130 share the 128-bucket... no: 100→128, 130→192.
+        cost.step_time(prefill=[(512, 512)], decode_kv=[101, 140])
+        assert cost.cache_sizes() == sizes   # same buckets, no new entries
+
+    def test_recomposed_prefill_is_faster(self):
+        base = StepCostModel("bert-large", "a100", plan="baseline")
+        sdf = StepCostModel("bert-large", "a100", plan="sdf")
+        chunk = base.step_time(prefill=[(512, 4096)])
+        assert sdf.step_time(prefill=[(512, 4096)]) < chunk
+
+    def test_decode_is_plan_invariant(self):
+        # m=1 attention has no softmax recomposition opportunity.
+        base = StepCostModel("bert-large", "a100", plan="baseline")
+        sdf = StepCostModel("bert-large", "a100", plan="sdf")
+        assert sdf.step_time(decode_kv=[512]) \
+            == pytest.approx(base.step_time(decode_kv=[512]))
+
+
+class TestSimulator:
+    def test_deterministic_reports(self):
+        def run():
+            report = simulate_serving("bert-large", "a100", rate=4.0,
+                                      duration=4.0, seed=3)
+            return json.dumps(report.to_json(), sort_keys=True)
+        assert run() == run()
+
+    def test_conservation_and_no_over_commit(self):
+        report = simulate_serving("bert-large", "a100", rate=6.0,
+                                  duration=6.0, seed=1)
+        for plan in report.plans.values():
+            assert plan.finished + plan.rejected == plan.num_requests
+            assert plan.rejected == 0
+            assert plan.kv_peak_blocks <= plan.kv_total_blocks
+            assert plan.kv_peak_bytes <= get_gpu("a100").hbm_bytes
+            assert plan.makespan >= plan.busy_time > 0
+            assert plan.ttft.p50 > 0
+            assert plan.tpot.p99 >= plan.tpot.p50 >= 0
+
+    def test_fused_sustains_higher_throughput_at_saturation(self):
+        report = simulate_serving("bert-large", "a100", rate=8.0,
+                                  duration=30.0, seed=0)
+        base = report.plans["baseline"]
+        sdf = report.plans["sdf"]
+        # Saturated: the engine is still draining after arrivals stop.
+        assert base.makespan > 30.0
+        assert sdf.throughput_tokens_per_s > base.throughput_tokens_per_s
+        assert report.speedup() > 1.0
+
+    def test_preemption_under_tight_memory(self):
+        gpu = tiny_gpu(blocks=40)
+        requests = [Request(request_id=i, arrival_time=0.0,
+                            prompt_len=512, output_len=96)
+                    for i in range(5)]
+        report = ServingSimulator("bert-large", gpu, plan="sdf",
+                                  requests=requests, max_batch=8).run()
+        assert report.finished == 5
+        assert report.preemption_events > 0
+        assert report.kv_peak_blocks <= report.kv_total_blocks
+
+    def test_run_is_repeatable(self):
+        requests = [Request(request_id=0, arrival_time=0.0,
+                            prompt_len=256, output_len=8)]
+        sim = ServingSimulator("bert-large", "a100", requests=requests)
+        first = sim.run()
+        second = sim.run()
+        assert first == second
+        # The caller's request objects stay untouched.
+        assert requests[0].status is RequestStatus.WAITING
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ServingError, match="exactly one"):
+            ServingSimulator("bert-large", "a100")
+
+
+class TestHBMSpec:
+    def test_all_gpus_have_hbm(self):
+        for name in ("a100", "rtx3090", "t4", "v100", "h100"):
+            gpu = get_gpu(name)
+            assert gpu.hbm_bytes > gpu.l2_size
+
+    def test_hbm_must_exceed_l2(self):
+        gpu = get_gpu("a100")
+        with pytest.raises(ConfigError):
+            dataclasses.replace(gpu, hbm_bytes=gpu.l2_size)
+        with pytest.raises(ConfigError):
+            dataclasses.replace(gpu, hbm_bytes=0)
+
+
+class TestGenerationHBM:
+    def test_kv_cache_fraction(self):
+        from repro.models.generation import GenerationSession
+
+        result = GenerationSession("gpt-neo-1.3b", gpu="a100",
+                                   prompt_len=1024,
+                                   generated_tokens=8).simulate()
+        expected = result.kv_cache_bytes / get_gpu("a100").hbm_bytes
+        assert result.kv_cache_fraction == pytest.approx(expected)
+        assert 0 < result.kv_cache_fraction < 1
+
+    def test_session_rejects_oversized_kv(self):
+        from repro.models.generation import GenerationSession
+
+        gpu = tiny_gpu("gpt-neo-1.3b", blocks=4)
+        with pytest.raises(ConfigError, match="exceeding"):
+            GenerationSession("gpt-neo-1.3b", gpu=gpu,
+                              prompt_len=2048, generated_tokens=64)

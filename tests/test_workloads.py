@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common import ConfigError
-from repro.workloads import Document, SyntheticTriviaQA, embed_tokens
+from repro.workloads import SyntheticTriviaQA, embed_tokens
 
 
 class TestDataset:
