@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench verify lint
+.PHONY: test bench verify verify-fuzz lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,3 +23,9 @@ bench:
 
 verify:
 	$(PYTHON) -m repro verify
+
+# Differential fuzzing of every registered oracle; failure artifacts
+# land in verify-artifacts/ (see docs/verification.md).
+verify-fuzz:
+	$(PYTHON) -m repro verify fuzz --cases 200 --seed 0 \
+		--artifact-dir verify-artifacts

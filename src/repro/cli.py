@@ -13,7 +13,9 @@ Commands
 ``roofline``   roofline plot of one inference's kernel categories
 ``footprint``  peak device-memory footprint per plan
 ``serve-sim``  discrete-event serving simulation (SLO metrics per plan)
-``verify``     run the automated paper-target verification
+``verify``     paper targets (default), ``verify fuzz`` differential
+               fuzzing of every registered oracle, ``verify replay``
+               re-running a failure artifact
 ``selfbench``  benchmark the simulator itself (fast path vs baseline)
 """
 
@@ -262,9 +264,44 @@ def cmd_serve_sim(args: argparse.Namespace) -> str:
 
 
 def cmd_verify(args: argparse.Namespace) -> str:
-    from repro.analysis.verification import verify_reproduction
+    if args.mode == "targets":
+        from repro.analysis.verification import verify_reproduction
 
-    return verify_reproduction(quick=args.quick).render()
+        return verify_reproduction(quick=args.quick).render()
+
+    if args.mode == "fuzz":
+        from repro.verify import fuzz_family
+        from repro.verify.cases import FAMILIES
+
+        if args.family is not None and args.family not in FAMILIES:
+            raise SystemExit(
+                f"unknown family {args.family!r}; "
+                f"choose from {', '.join(FAMILIES)}"
+            )
+        families = (args.family,) if args.family else FAMILIES
+        reports = [
+            fuzz_family(family, cases=args.cases, seed=args.seed,
+                        artifact_dir=args.artifact_dir)
+            for family in families
+        ]
+        if any(not report.ok for report in reports):
+            args._exit_code = 1
+        return "\n".join(report.render() for report in reports)
+
+    # mode == "replay"
+    import json
+
+    from repro.verify import replay_artifact
+
+    if not args.artifact:
+        raise SystemExit("verify replay requires an artifact path")
+    result = replay_artifact(args.artifact)
+    status = "FAIL" if result.failed else "PASS"
+    if result.failed:
+        args._exit_code = 1
+    return (f"[{status}] {result.oracle} on "
+            f"{json.dumps(result.params, sort_keys=True)}\n"
+            f"  {result.describe()}")
 
 
 def cmd_selfbench(args: argparse.Namespace) -> str:
@@ -376,9 +413,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "table to stdout)")
     p_srv.set_defaults(func=cmd_serve_sim)
 
-    p_ver = sub.add_parser("verify", help="check all paper targets")
+    p_ver = sub.add_parser(
+        "verify",
+        help="paper targets, differential fuzzing, artifact replay",
+    )
+    p_ver.add_argument("mode", nargs="?", default="targets",
+                       choices=("targets", "fuzz", "replay"),
+                       help="targets: check the paper's headline numbers; "
+                            "fuzz: differential-fuzz the oracle registry; "
+                            "replay: re-run a failure artifact")
+    p_ver.add_argument("artifact", nargs="?", default=None,
+                       help="failure-artifact JSON path (replay mode)")
     p_ver.add_argument("--quick", action="store_true",
-                       help="headline targets only")
+                       help="headline targets only (targets mode)")
+    p_ver.add_argument("--family", default=None,
+                       help="fuzz one family (softmax | attention | "
+                            "block_sparse | serving); default: all")
+    p_ver.add_argument("--cases", type=int, default=200,
+                       help="fuzz cases per family")
+    p_ver.add_argument("--seed", type=int, default=0,
+                       help="fuzz harness seed")
+    p_ver.add_argument("--artifact-dir", default=None,
+                       help="write failure artifacts into this directory")
     p_ver.set_defaults(func=cmd_verify)
 
     p_sbn = sub.add_parser("selfbench",
@@ -402,7 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     print(args.func(args))
-    return 0
+    return getattr(args, "_exit_code", 0)
 
 
 if __name__ == "__main__":

@@ -73,3 +73,44 @@ class SoftmaxDecomposition:
 
             raise ShapeError(f"row length {length} not divisible by T={self.t}")
         return length // self.t
+
+
+def verification_oracles():
+    """Oracle pairing the LS/IR/GS math with safe softmax (Eq. 2).
+
+    The sub-layer functions are resolved through this module's globals
+    at call time, so a monkeypatched (deliberately broken) stage is
+    what actually gets fuzzed — the injection test depends on this.
+    """
+    from repro.common.dtypes import DType
+    from repro.kernels.softmax import safe_softmax
+    from repro.verify.contracts import FP32_MATH
+    from repro.verify.invariants import SOFTMAX_INVARIANTS
+    from repro.verify.registry import OracleSpec
+
+    def run(case):
+        x = np.asarray(case.arrays["x"], dtype=np.float32)
+        t = case.params["t"]
+        x_prime, m_prime, d_prime = local_softmax(x, t)
+        r_prime = inter_reduction(m_prime, d_prime)
+        actual = global_scaling(x_prime, r_prime, t)
+        return {
+            "actual": actual,
+            "expected": safe_softmax(x),
+            "probs": actual,
+            "scores": x,
+            "r_prime": r_prime,
+            "softmax_fn": lambda arr: decomposed_softmax(arr, t),
+            "x": x,
+        }
+
+    return [
+        OracleSpec(
+            name="softmax.decomposed_math",
+            family="softmax",
+            run=run,
+            contracts={DType.FP32: FP32_MATH, DType.FP16: FP32_MATH},
+            invariants=SOFTMAX_INVARIANTS + ("reconstruction_factors",),
+            description="LS -> IR -> GS recomposition vs safe softmax",
+        ),
+    ]

@@ -66,3 +66,61 @@ def online_softmax_statistics(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         )
         m = m_new
     return m, d
+
+
+def verification_oracles():
+    """Oracles pairing the online recurrence with safe softmax."""
+    from repro.common.dtypes import DType
+    from repro.kernels.softmax import safe_softmax
+    from repro.verify.contracts import FP32_MATH
+    from repro.verify.invariants import SOFTMAX_INVARIANTS, Violation
+    from repro.verify.registry import OracleSpec
+
+    contracts = {DType.FP32: FP32_MATH, DType.FP16: FP32_MATH}
+
+    def run_softmax(case):
+        x = case.dtype.quantize(case.arrays["x"])
+        actual = online_softmax(x)
+        return {
+            "actual": actual,
+            "expected": safe_softmax(x),
+            "probs": actual,
+            "scores": x,
+            "softmax_fn": online_softmax,
+            "x": x,
+        }
+
+    def run_statistics(case):
+        x = case.dtype.quantize(case.arrays["x"])
+        m, d = online_softmax_statistics(x)
+        m_ref = np.max(x, axis=-1)
+        finite = np.where(np.isfinite(m_ref), m_ref, 0.0)
+        d_ref = np.sum(
+            np.where(np.isfinite(x), np.exp(x - finite[..., None]), 0.0),
+            axis=-1,
+        )
+        violations = []
+        if not np.array_equal(m, m_ref):
+            violations.append(Violation(
+                "online_max",
+                "running max differs from the row max",
+            ))
+        return {"actual": d, "expected": d_ref, "violations": violations}
+
+    return [
+        OracleSpec(
+            name="softmax.online_math",
+            family="softmax",
+            run=run_softmax,
+            contracts=contracts,
+            invariants=SOFTMAX_INVARIANTS,
+            description="single-pass online softmax vs safe softmax",
+        ),
+        OracleSpec(
+            name="softmax.online_statistics",
+            family="softmax",
+            run=run_statistics,
+            contracts=contracts,
+            description="online (m, d) vs the safe-softmax reductions",
+        ),
+    ]

@@ -271,3 +271,54 @@ class GlobalScaleKernel(Kernel):
         """Scale ``x'`` (fp16 storage) by ``r'`` along the last axis."""
         x_prime = self.dtype.quantize(x_prime)
         return self.dtype.quantize(global_scaling(x_prime, r_prime, self.t))
+
+
+def verification_oracles():
+    """Oracle running the LS/IR/GS *kernel* pipeline (with its fp16
+    storage round-trips) against the monolithic row-softmax kernel."""
+    from repro.common.dtypes import DType
+    from repro.kernels.softmax import RowSoftmaxKernel
+    from repro.verify.contracts import FP16_STORAGE, FP32_MATH
+    from repro.verify.invariants import SOFTMAX_INVARIANTS
+    from repro.verify.registry import OracleSpec
+
+    def run(case):
+        x = case.arrays["x"]
+        t = case.params["t"]
+        rows = x.shape[0] * x.shape[1]
+        length = x.shape[-1]
+        num_subvectors = rows * (length // t)
+        ls = LocalSoftmaxKernel(num_subvectors, t, dtype=case.dtype)
+        ir = InterReductionKernel(rows, mean_subvectors=length / t)
+        gs = GlobalScaleKernel(num_subvectors, t, dtype=case.dtype)
+
+        def pipeline(arr):
+            x_prime, m_prime, d_prime = ls.compute(arr)
+            r_prime = ir.compute(m_prime, d_prime)
+            return gs.compute(x_prime, r_prime)
+
+        reference = RowSoftmaxKernel(rows=rows, length=length,
+                                     dtype=case.dtype)
+        x_prime, m_prime, d_prime = ls.compute(x)
+        r_prime = ir.compute(m_prime, d_prime)
+        actual = gs.compute(x_prime, r_prime)
+        return {
+            "actual": actual,
+            "expected": reference.compute(x),
+            "probs": actual,
+            "scores": case.dtype.quantize(x),
+            "r_prime": r_prime,
+            "softmax_fn": pipeline,
+            "x": np.asarray(x, dtype=np.float32),
+        }
+
+    return [
+        OracleSpec(
+            name="softmax.decomposed_kernel_pipeline",
+            family="softmax",
+            run=run,
+            contracts={DType.FP32: FP32_MATH, DType.FP16: FP16_STORAGE},
+            invariants=SOFTMAX_INVARIANTS + ("reconstruction_factors",),
+            description="LS/IR/GS kernel chain vs monolithic softmax kernel",
+        ),
+    ]

@@ -259,3 +259,58 @@ def flash_shared_mem(d_head: int, dtype: DType = DType.FP16) -> int:
     which is why FlashAttention scales where the fused MHA kernel of
     Section 7 cannot."""
     return (TILE_Q * d_head + 4 * TILE_KV * d_head) * dtype.nbytes
+
+
+def verification_oracles():
+    """Oracles for the dense FlashAttention kernel: the textbook dense
+    reference plus the vectorized-vs-tile-loop golden pair."""
+    from repro.common.dtypes import DType
+    from repro.verify.contracts import EXACT, FP16_ATTENTION, FP32_ATTENTION
+    from repro.verify.refs import accumulation_slack, dense_attention
+    from repro.verify.registry import OracleSpec
+
+    def _kernel(case):
+        q = case.arrays["q_sq"]
+        bh, l_k, d = q.shape
+        return FlashAttentionKernel(
+            bh, l_k, d, dtype=case.dtype, scale=case.params["scale"],
+            causal=case.params["causal"],
+        ), q
+
+    def run_vs_dense(case):
+        kernel, q = _kernel(case)
+        k, v = case.arrays["k"], case.arrays["v"]
+        expected, scores, _ = dense_attention(
+            q, k, v, case.dtype, scale=case.params["scale"],
+            causal=case.params["causal"],
+        )
+        return {"actual": kernel.compute(q, k, v), "expected": expected,
+                "slack": accumulation_slack(scores)}
+
+    def run_golden(case):
+        kernel, q = _kernel(case)
+        k, v = case.arrays["k"], case.arrays["v"]
+        return {
+            "actual": kernel.compute(q, k, v),
+            "expected": kernel.compute_reference(q, k, v),
+        }
+
+    return [
+        OracleSpec(
+            name="attention.flash_vs_dense",
+            family="attention",
+            run=run_vs_dense,
+            contracts={DType.FP32: FP32_ATTENTION,
+                       DType.FP16: FP16_ATTENTION},
+            invariants=("finite_outputs",),
+            description="tiled online-softmax attention vs dense attention",
+        ),
+        OracleSpec(
+            name="attention.flash_golden",
+            family="attention",
+            run=run_golden,
+            contracts={DType.FP32: EXACT, DType.FP16: EXACT},
+            tags=("golden",),
+            description="vectorized flash compute vs tile-loop reference",
+        ),
+    ]

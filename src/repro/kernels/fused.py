@@ -174,3 +174,62 @@ class FusedGSMatMulKernel(MatMulKernel):
         x_prime = self.dtype.quantize(x_prime)
         scaled = global_scaling(x_prime, r_prime, self.t)
         return super().compute(scaled, v)
+
+
+def verification_oracles():
+    """Oracle running the fused SDF pipeline — MatMul∘LS, IR, GS∘MatMul
+    — against dense masked attention, on rectangular shapes."""
+    from repro.common.dtypes import DType
+    from repro.kernels.decomposed import inter_reduction
+    from repro.verify.contracts import FP16_ATTENTION, FP32_ATTENTION
+    from repro.verify.refs import (
+        accumulation_slack,
+        dense_attention,
+        rect_causal_mask,
+    )
+    from repro.verify.registry import OracleSpec
+
+    def run(case):
+        q, k, v = case.arrays["q"], case.arrays["k"], case.arrays["v"]
+        mask = case.arrays["mask"]
+        t = case.params["t"]
+        scale = np.float32(case.params["scale"])
+        bh, l_q, d = q.shape
+        l_k = k.shape[1]
+        if case.params["causal"]:
+            mask = mask & rect_causal_mask(l_q, l_k)
+
+        def epilogue(scores):
+            return np.where(mask, scores * scale, np.float32(-np.inf))
+
+        ls = FusedMatMulLSKernel(bh, l_q, l_k, d, t, dtype=case.dtype,
+                                 pre_softmax_epilogue=epilogue)
+        x_prime, m_prime, d_prime = ls.compute(q, np.swapaxes(k, 1, 2))
+        r_prime = inter_reduction(m_prime, d_prime)
+        gs = FusedGSMatMulKernel(bh, l_q, d, l_k, t, dtype=case.dtype)
+        actual = gs.compute(x_prime, r_prime, v)
+        expected, scores, _ = dense_attention(q, k, v, case.dtype,
+                                              scale=scale, mask=mask)
+        probs = global_scaling(case.dtype.quantize(x_prime), r_prime, t)
+        return {
+            "actual": actual,
+            "expected": expected,
+            "probs": probs,
+            "scores": scores,
+            "r_prime": r_prime,
+            "slack": accumulation_slack(scores),
+        }
+
+    return [
+        OracleSpec(
+            name="attention.sdf_pipeline_vs_dense",
+            family="attention",
+            run=run,
+            contracts={DType.FP32: FP32_ATTENTION,
+                       DType.FP16: FP16_ATTENTION},
+            invariants=("row_sum_one", "masked_zeros",
+                        "reconstruction_factors", "finite_outputs"),
+            description="fused MatMul∘LS → IR → GS∘MatMul vs dense "
+                        "masked attention (rectangular)",
+        ),
+    ]

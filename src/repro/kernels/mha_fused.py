@@ -130,3 +130,35 @@ class FullyFusedMHAKernel(Kernel):
         scores = np.matmul(q, np.swapaxes(k, 1, 2), dtype=np.float32)
         probs = safe_softmax(scores * np.float32(self.scale))
         return self.dtype.quantize(np.matmul(probs, v, dtype=np.float32))
+
+
+def verification_oracles():
+    """Oracle for the fully fused MHA kernel (non-causal by design)."""
+    from repro.common.dtypes import DType
+    from repro.verify.contracts import FP16_ATTENTION, FP32_ATTENTION
+    from repro.verify.refs import accumulation_slack, dense_attention
+    from repro.verify.registry import OracleSpec
+
+    def run(case):
+        q = case.arrays["q_sq"]
+        bh, l_k, d = q.shape
+        kernel = FullyFusedMHAKernel(bh, l_k, d, dtype=case.dtype,
+                                     scale=case.params["scale"])
+        k, v = case.arrays["k"], case.arrays["v"]
+        expected, scores, _ = dense_attention(q, k, v, case.dtype,
+                                              scale=case.params["scale"])
+        return {"actual": kernel.compute(q, k, v), "expected": expected,
+                "slack": accumulation_slack(scores)}
+
+    return [
+        OracleSpec(
+            name="attention.fused_mha_vs_dense",
+            family="attention",
+            run=run,
+            contracts={DType.FP32: FP32_ATTENTION,
+                       DType.FP16: FP16_ATTENTION},
+            invariants=("finite_outputs",),
+            applies=lambda case: not case.params["causal"],
+            description="single-kernel fused MHA vs dense attention",
+        ),
+    ]

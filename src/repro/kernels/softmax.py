@@ -267,3 +267,54 @@ class OnlineRowSoftmaxKernel(RowSoftmaxKernel):
                 f"{self.name}: row length {x.shape[-1]}, expected {self.length}"
             )
         return self.dtype.quantize(online_softmax(self.dtype.quantize(x)))
+
+
+def verification_oracles():
+    """Oracles pairing each row-softmax kernel variant with the base
+    monolithic :class:`RowSoftmaxKernel`."""
+    from repro.verify.contracts import EXACT, FP16_STORAGE, FP32_MATH
+    from repro.verify.invariants import SOFTMAX_INVARIANTS
+    from repro.verify.registry import OracleSpec
+
+    def _pair(candidate_cls, name, description, contracts):
+        def run(case):
+            x = case.arrays["x"]
+            rows = x.shape[0] * x.shape[1]
+            length = x.shape[-1]
+            candidate = candidate_cls(rows=rows, length=length,
+                                      dtype=case.dtype)
+            reference = RowSoftmaxKernel(rows=rows, length=length,
+                                         dtype=case.dtype)
+            actual = candidate.compute(x)
+            return {
+                "actual": actual,
+                "expected": reference.compute(x),
+                "probs": actual,
+                "scores": case.dtype.quantize(x),
+                "softmax_fn": candidate.compute,
+                "x": np.asarray(x, dtype=np.float32),
+            }
+
+        return OracleSpec(
+            name=name,
+            family="softmax",
+            run=run,
+            contracts=contracts,
+            invariants=SOFTMAX_INVARIANTS,
+            description=description,
+        )
+
+    return [
+        _pair(
+            OnlineRowSoftmaxKernel,
+            "softmax.online_kernel",
+            "online-normaliser kernel vs monolithic row softmax",
+            {DType.FP32: FP32_MATH, DType.FP16: FP16_STORAGE},
+        ),
+        _pair(
+            BatchedRowSoftmaxKernel,
+            "softmax.batched_kernel",
+            "TurboTransformers batched kernel vs monolithic row softmax",
+            {DType.FP32: EXACT, DType.FP16: EXACT},
+        ),
+    ]

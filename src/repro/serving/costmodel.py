@@ -141,3 +141,122 @@ class StepCostModel:
     def cache_sizes(self) -> tuple[int, int]:
         """(mlp entries, attention entries) — for diagnostics."""
         return len(self._mlp_cache), len(self._attn_cache)
+
+
+def verification_oracles():
+    """Oracle checking the memoized step-cost composition against a
+    direct, cache-free recomposition from the layer kernels, plus the
+    serving-specific invariants (memo stability, empty-step zero,
+    request-order invariance, KV bucketing idempotence)."""
+    import numpy as np
+
+    from repro.models.config import AttentionKind, AttentionSpec
+    from repro.verify.contracts import SERVING_COST
+    from repro.verify.invariants import Violation
+    from repro.verify.registry import OracleSpec
+
+    tiny = {
+        name: ModelConfig(name, num_layers=2, d_model=128, num_heads=4,
+                          d_ff=256, attention=specs)
+        for name, specs in (
+            ("tiny-dense", (AttentionSpec(AttentionKind.DENSE),)),
+            ("tiny-causal", (AttentionSpec(AttentionKind.DENSE_CAUSAL),)),
+            ("tiny-mixed", (AttentionSpec(AttentionKind.DENSE),
+                            AttentionSpec(AttentionKind.DENSE_CAUSAL))),
+        )
+    }
+
+    def direct_step_time(cost, prefill, decode_kv):
+        """``step_time`` recomposed without any memoization."""
+        from repro.models.generation import (
+            attention_step_kernels as attn_kernels,
+            mlp_step_kernels as mlp_kernels,
+        )
+
+        device = Device(cost.gpu)
+
+        def simulate(kernels):
+            device.reset()
+            for kernel in kernels:
+                kernel.simulate(device)
+            return device.profile.total_time()
+
+        model = cost.model
+        total_tokens = sum(m for m, _ in prefill) + len(decode_kv)
+        if total_tokens == 0:
+            return 0.0
+        pre, post = mlp_kernels(model, m_tokens=total_tokens,
+                                dtype=cost.dtype, prefix="step")
+        time = model.num_layers * simulate(pre + post)
+        layer_of_spec = {
+            model.layer_attention(layer): layer
+            for layer in range(model.num_layers)
+        }
+
+        def attention(layer, m_tokens, kv_len):
+            return simulate(attn_kernels(
+                model, layer, m_tokens=m_tokens, kv_len=kv_len,
+                dtype=cost.dtype, plan=cost.plan, t=cost.t, prefix="step",
+            ))
+
+        for spec, count in model.unique_layer_specs():
+            layer = layer_of_spec[spec]
+            for m_tokens, kv_len in prefill:
+                time += count * attention(layer, m_tokens, kv_len)
+            for kv_len in decode_kv:
+                bucketed = -(-kv_len // cost.kv_bucket) * cost.kv_bucket
+                time += count * attention(layer, 1, bucketed)
+        return time
+
+    def run(case):
+        p = case.params
+        prefill = [tuple(entry) for entry in p["prefill"]]
+        decode_kv = list(p["decode_kv"])
+        cost = StepCostModel(tiny[p["model"]], p["gpu"], plan=p["plan"],
+                             t=p["t"], kv_bucket=p["kv_bucket"])
+        first = cost.step_time(prefill=prefill, decode_kv=decode_kv)
+        violations = []
+        second = cost.step_time(prefill=prefill, decode_kv=decode_kv)
+        if second != first:
+            violations.append(Violation(
+                "memo_stable",
+                f"memoized recomputation changed: {first!r} -> {second!r}",
+            ))
+        if cost.step_time() != 0.0:
+            violations.append(Violation(
+                "empty_step_zero", "a step with no requests must cost 0"))
+        permuted = cost.step_time(prefill=list(reversed(prefill)),
+                                  decode_kv=list(reversed(decode_kv)))
+        if not np.isclose(permuted, first, rtol=1e-9, atol=1e-15):
+            violations.append(Violation(
+                "order_invariance",
+                f"request order changed the step cost: {first!r} vs "
+                f"{permuted!r}",
+            ))
+        pre_bucketed = [-(-kv // cost.kv_bucket) * cost.kv_bucket
+                        for kv in decode_kv]
+        if cost.step_time(prefill=prefill, decode_kv=pre_bucketed) != first:
+            violations.append(Violation(
+                "kv_bucketing",
+                "pre-bucketed decode KV lengths must price identically",
+            ))
+        expected = direct_step_time(cost, prefill, decode_kv)
+        if not (np.isfinite(first) and first >= 0.0):
+            violations.append(Violation(
+                "nonnegative_finite", f"step cost {first!r}"))
+        return {
+            "actual": np.float64(first),
+            "expected": np.float64(expected),
+            "violations": violations,
+        }
+
+    return [
+        OracleSpec(
+            name="serving.step_cost_vs_direct",
+            family="serving",
+            run=run,
+            contracts={DType.FP32: SERVING_COST, DType.FP16: SERVING_COST},
+            description="memoized StepCostModel.step_time vs direct "
+                        "cache-free kernel composition",
+        ),
+    ]

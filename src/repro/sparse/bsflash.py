@@ -193,3 +193,59 @@ class BlockSparseFlashAttentionKernel(Kernel):
                 where=l[..., None] > 0,
             )
         return self.dtype.quantize(out)
+
+
+def verification_oracles():
+    """Oracles for block-sparse FlashAttention: the batched-vs-per-row
+    golden pair and the masked dense attention reference."""
+    from repro.verify.contracts import EXACT, FP16_ATTENTION, FP32_ATTENTION
+    from repro.verify.refs import accumulation_slack, dense_attention
+    from repro.verify.registry import OracleSpec
+
+    def _kernel(case):
+        layout = case.aux["layout"]
+        d = case.params["d"]
+        return BlockSparseFlashAttentionKernel(
+            layout, case.params["bh"], d, dtype=case.dtype,
+            scale=1.0 / float(np.sqrt(d)), causal=case.params["causal"],
+        )
+
+    def run_golden(case):
+        kernel = _kernel(case)
+        q, k, v = case.arrays["q"], case.arrays["k"], case.arrays["v"]
+        return {
+            "actual": kernel.compute(q, k, v),
+            "expected": kernel.compute_reference(q, k, v),
+        }
+
+    def run_vs_dense(case):
+        kernel = _kernel(case)
+        layout = case.aux["layout"]
+        q, k, v = case.arrays["q"], case.arrays["k"], case.arrays["v"]
+        expected, scores, _ = dense_attention(
+            q, k, v, case.dtype, scale=kernel.scale,
+            mask=layout.element_mask(), causal=case.params["causal"],
+        )
+        return {"actual": kernel.compute(q, k, v), "expected": expected,
+                "slack": accumulation_slack(scores)}
+
+    return [
+        OracleSpec(
+            name="block_sparse.flash_golden",
+            family="block_sparse",
+            run=run_golden,
+            contracts={DType.FP32: EXACT, DType.FP16: EXACT},
+            tags=("golden",),
+            description="lockstep block-sparse flash vs per-row recurrence",
+        ),
+        OracleSpec(
+            name="block_sparse.flash_vs_dense",
+            family="block_sparse",
+            run=run_vs_dense,
+            contracts={DType.FP32: FP32_ATTENTION,
+                       DType.FP16: FP16_ATTENTION},
+            invariants=("finite_outputs",),
+            description="block-sparse flash attention vs dense masked "
+                        "attention",
+        ),
+    ]

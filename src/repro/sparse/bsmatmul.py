@@ -357,3 +357,102 @@ class FusedBSGSMatMulDSD(BlockSparseMatMulDSD):
         data = self.dtype.quantize(x_prime.data)
         scaled = data * np.asarray(r_prime, dtype=np.float32)[..., None]
         return self.dtype.quantize(self._multiply(scaled, v))
+
+
+def verification_oracles():
+    """Oracles for the block-sparse MatMul family: the DSD golden pair,
+    SDD vs the masked dense GEMM, and the full fused sparse attention
+    pipeline vs dense masked attention."""
+    import numpy as np
+
+    from repro.sparse.bssoftmax import BlockSparseIR
+    from repro.verify.contracts import EXACT, FP16_ATTENTION, FP32_ACCUM, \
+        FP32_ATTENTION
+    from repro.verify.refs import accumulation_slack, masked_scores
+    from repro.verify.registry import OracleSpec
+    from repro.kernels.softmax import safe_softmax
+
+    def run_dsd_golden(case):
+        layout = case.aux["layout"]
+        bh, d = case.params["bh"], case.params["d"]
+        kernel = BlockSparseMatMulDSD(layout, bh, d, dtype=case.dtype)
+        blocks = case.arrays["blocks"]
+        data = np.where(np.isfinite(blocks), blocks, 0.0).astype(np.float32)
+        v = case.arrays["v"]
+        quantized = case.dtype.quantize(data)
+        return {
+            "actual": kernel.compute(BlockSparseMatrix(layout, data), v),
+            "expected": case.dtype.quantize(
+                kernel._multiply_reference(quantized, v)),
+        }
+
+    def run_sdd_vs_dense(case):
+        layout = case.aux["layout"]
+        bh, d = case.params["bh"], case.params["d"]
+        kernel = BlockSparseMatMulSDD(layout, bh, d, dtype=case.dtype)
+        q, k = case.arrays["q"], case.arrays["k"]
+        out = kernel.compute(q, k).to_dense(fill=0.0)
+        qq, kq = case.dtype.quantize(q), case.dtype.quantize(k)
+        dense = np.matmul(qq, np.swapaxes(kq, 1, 2), dtype=np.float32)
+        expected = case.dtype.quantize(
+            np.where(layout.element_mask(), dense, 0.0))
+        return {"actual": out, "expected": expected}
+
+    def run_fused_pipeline(case):
+        layout = case.aux["layout"]
+        bh, d = case.params["bh"], case.params["d"]
+        q, k, v = case.arrays["q"], case.arrays["k"], case.arrays["v"]
+        scale = np.float32(1.0 / np.sqrt(d))
+        ls = FusedBSMatMulLSSDD(
+            layout, bh, d, dtype=case.dtype,
+            epilogue=lambda scores, _layout: scores * scale,
+        )
+        x_prime, m_prime, d_prime = ls.compute(q, k)
+        r_prime = BlockSparseIR(layout, bh).compute(m_prime, d_prime)
+        gs = FusedBSGSMatMulDSD(layout, bh, d, dtype=case.dtype)
+        actual = gs.compute(x_prime, r_prime, v)
+
+        qq, kq = case.dtype.quantize(q), case.dtype.quantize(k)
+        scores = masked_scores(qq, kq, scale=scale,
+                               mask=layout.element_mask())
+        ref_probs = safe_softmax(scores)
+        expected = case.dtype.quantize(
+            np.matmul(ref_probs, v, dtype=np.float32))
+        probs_blocks = case.dtype.quantize(x_prime.data) * np.asarray(
+            r_prime, dtype=np.float32)[..., None]
+        probs = BlockSparseMatrix(layout, probs_blocks).to_dense(fill=0.0)
+        return {
+            "actual": actual,
+            "expected": expected,
+            "probs": probs,
+            "scores": scores,
+            "slack": accumulation_slack(scores),
+        }
+
+    return [
+        OracleSpec(
+            name="block_sparse.dsd_golden",
+            family="block_sparse",
+            run=run_dsd_golden,
+            contracts={DType.FP32: EXACT, DType.FP16: EXACT},
+            tags=("golden",),
+            description="vectorized DSD MatMul vs per-block-row reference",
+        ),
+        OracleSpec(
+            name="block_sparse.sdd_vs_dense",
+            family="block_sparse",
+            run=run_sdd_vs_dense,
+            contracts={DType.FP32: FP32_ACCUM, DType.FP16: FP32_ACCUM},
+            description="block-sparse SDD scores vs masked dense GEMM",
+        ),
+        OracleSpec(
+            name="block_sparse.fused_pipeline_vs_dense",
+            family="block_sparse",
+            run=run_fused_pipeline,
+            contracts={DType.FP32: FP32_ATTENTION,
+                       DType.FP16: FP16_ATTENTION},
+            invariants=("row_sum_one", "masked_zeros", "finite_outputs"),
+            description="fused block-sparse SDD∘LS → IR → GS∘DSD vs "
+                        "dense masked attention",
+        ),
+    ]

@@ -210,3 +210,81 @@ class BlockSparseGS(_BlockSparseKernelBase):
         r_prime = self._check_stats(r_prime, "r'")
         scaled = data * r_prime[..., None]
         return BlockSparseMatrix(self.layout, self.dtype.quantize(scaled))
+
+
+def verification_oracles():
+    """Oracles for the block-sparse softmax path: the decomposed
+    LS/IR/GS pipeline vs the monolithic kernel, the batched-IR golden
+    pair, and the monolithic kernel vs a dense gather reference."""
+    from repro.verify.contracts import EXACT, FP16_STORAGE, FP32_MATH
+    from repro.verify.registry import OracleSpec
+
+    def run_decomposed(case):
+        layout = case.aux["layout"]
+        bh = case.params["bh"]
+        blocks = np.asarray(case.arrays["blocks"], dtype=np.float32)
+        s = BlockSparseMatrix(layout, blocks)
+        monolithic = BlockSparseRowSoftmax(layout, bh, dtype=case.dtype)
+        x_prime, m_prime, d_prime = BlockSparseLS(
+            layout, bh, dtype=case.dtype).compute(s)
+        r_prime = BlockSparseIR(layout, bh).compute(m_prime, d_prime)
+        result = BlockSparseGS(layout, bh, dtype=case.dtype).compute(
+            x_prime, r_prime)
+        scores = BlockSparseMatrix(
+            layout, case.dtype.quantize(blocks)).to_dense(fill=-np.inf)
+        return {
+            "actual": result.data,
+            "expected": monolithic.compute(s).data,
+            "probs": result.to_dense(fill=0.0),
+            "scores": scores,
+        }
+
+    def run_ir_golden(case):
+        layout = case.aux["layout"]
+        ir = BlockSparseIR(layout, case.params["bh"])
+        m_prime = case.arrays["m_prime"]
+        d_prime = case.arrays["d_prime"]
+        return {
+            "actual": ir.compute(m_prime, d_prime),
+            "expected": ir.compute_reference(m_prime, d_prime),
+        }
+
+    def run_monolithic(case):
+        layout = case.aux["layout"]
+        bh = case.params["bh"]
+        blocks = np.asarray(case.arrays["blocks"], dtype=np.float32)
+        out = BlockSparseRowSoftmax(layout, bh, dtype=case.dtype).compute(
+            BlockSparseMatrix(layout, blocks))
+        scores = BlockSparseMatrix(
+            layout, case.dtype.quantize(blocks)).to_dense(fill=-np.inf)
+        probs = case.dtype.quantize(safe_softmax(scores, axis=-1))
+        expected = BlockSparseMatrix.from_dense(probs, layout).data
+        return {"actual": out.data, "expected": expected}
+
+    return [
+        OracleSpec(
+            name="block_sparse.decomposed_vs_monolithic",
+            family="block_sparse",
+            run=run_decomposed,
+            contracts={DType.FP32: FP32_MATH, DType.FP16: FP16_STORAGE},
+            invariants=("row_sum_one", "masked_zeros", "finite_outputs"),
+            description="block-sparse LS/IR/GS pipeline vs monolithic "
+                        "block-sparse row softmax",
+        ),
+        OracleSpec(
+            name="block_sparse.ir_golden",
+            family="block_sparse",
+            run=run_ir_golden,
+            contracts={DType.FP32: EXACT, DType.FP16: EXACT},
+            tags=("golden",),
+            description="batched block-sparse IR vs per-row reference loop",
+        ),
+        OracleSpec(
+            name="block_sparse.monolithic_vs_dense",
+            family="block_sparse",
+            run=run_monolithic,
+            contracts={DType.FP32: EXACT, DType.FP16: EXACT},
+            description="monolithic block-sparse softmax vs dense "
+                        "fill/gather round trip",
+        ),
+    ]

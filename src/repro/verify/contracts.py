@@ -1,0 +1,187 @@
+"""Tolerance contracts: how close two implementations must agree.
+
+Every oracle in the registry carries one :class:`ToleranceContract`
+per storage dtype.  A contract combines the familiar ``atol``/``rtol``
+pair with a **ULP bound** measured in the storage format — the natural
+unit for "these two kernels reassociate the same math" claims (see
+Vasyltsov & Chang's softmax approximation error analysis): an
+absolute tolerance that looks tight at magnitude 1 is meaningless at
+magnitude 1e4, while a ULP budget is scale-free.
+
+The special :data:`EXACT` contract (``max_ulp = 0``) encodes the PR-1
+golden guarantee — a vectorized kernel and its ``*_reference`` loop
+must agree *bit for bit*, because the per-output accumulation order is
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.dtypes import DType
+
+
+def _ordered_int_bits(array: np.ndarray, dtype: DType) -> np.ndarray:
+    """Map floats to integers whose difference is the ULP distance.
+
+    Uses the standard sign-magnitude-to-biased trick: reinterpret the
+    float bits as a signed integer, then flip negative values so the
+    integer order matches the float order.  Works for any finite value
+    including denormals (adjacent denormals are 1 apart).
+    """
+    if dtype is DType.FP16:
+        bits = np.asarray(array, dtype=np.float16).view(np.int16).astype(np.int64)
+        sign_bit = np.int64(0x8000)
+    else:
+        bits = np.asarray(array, dtype=np.float32).view(np.int32).astype(np.int64)
+        sign_bit = np.int64(0x8000_0000)
+    # Negative floats: bits grow with magnitude, so negate the magnitude
+    # to restore numeric order (and map -0.0 onto +0.0).
+    return np.where(bits < 0, -(bits + sign_bit), bits)
+
+
+def ulp_distance(a: np.ndarray, b: np.ndarray, dtype: DType = DType.FP32) -> np.ndarray:
+    """Element-wise ULP distance between ``a`` and ``b`` in ``dtype``.
+
+    Positions where exactly one side is non-finite (or the sides are
+    different infinities / NaN) report ``np.iinfo(int64).max``; equal
+    infinities and ``NaN == NaN`` positions report 0 so that an oracle
+    whose reference deliberately produces ``inf`` still passes.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a, b = np.broadcast_arrays(a, b)
+    finite = np.isfinite(a) & np.isfinite(b)
+    dist = np.zeros(a.shape, dtype=np.int64)
+    if finite.any():
+        dist[finite] = np.abs(
+            _ordered_int_bits(a[finite], dtype) - _ordered_int_bits(b[finite], dtype)
+        )
+    both_nan = np.isnan(a) & np.isnan(b)
+    same_inf = np.isinf(a) & np.isinf(b) & (np.sign(a) == np.sign(b))
+    mismatched = ~finite & ~both_nan & ~same_inf
+    dist[mismatched] = np.iinfo(np.int64).max
+    return dist
+
+
+@dataclass(frozen=True)
+class ToleranceContract:
+    """Agreement requirement between a candidate and its reference.
+
+    A comparison passes when **either** the ``atol``/``rtol`` bound or
+    the ULP bound holds element-wise (``max_ulp=None`` disables the ULP
+    escape hatch; ``atol=rtol=0`` with ``max_ulp=0`` demands
+    bit-identical outputs).
+    """
+
+    atol: float = 0.0
+    rtol: float = 0.0
+    max_ulp: "int | None" = 0
+
+    @property
+    def exact(self) -> bool:
+        """Whether this contract demands bit-identical agreement."""
+        return self.atol == 0.0 and self.rtol == 0.0 and self.max_ulp == 0
+
+    def describe(self) -> str:
+        if self.exact:
+            return "bit-identical"
+        parts = [f"atol={self.atol:g}", f"rtol={self.rtol:g}"]
+        if self.max_ulp is not None:
+            parts.append(f"ulp<={self.max_ulp}")
+        return ", ".join(parts)
+
+
+#: Bit-identical (the golden vectorized-vs-reference guarantee).
+EXACT = ToleranceContract(atol=0.0, rtol=0.0, max_ulp=0)
+
+#: Pure-fp32 softmax math paths that reassociate the same reductions.
+FP32_MATH = ToleranceContract(atol=1e-6, rtol=1e-5, max_ulp=256)
+
+#: fp16-storage kernel paths (fp32 accumulate, fp16 round-trips).
+FP16_STORAGE = ToleranceContract(atol=2e-3, rtol=2e-2, max_ulp=8)
+
+#: Reassociated fp32 accumulation (einsum vs BLAS matmul): the
+#: absolute term absorbs cancellation near zero, which scales with the
+#: operand magnitudes the fuzz regimes produce (up to ~16 sigma).
+FP32_ACCUM = ToleranceContract(atol=1e-2, rtol=1e-4, max_ulp=512)
+
+#: Attention outputs in fp32: softmax error integrated over a row.
+FP32_ATTENTION = ToleranceContract(atol=1e-4, rtol=1e-4, max_ulp=4096)
+
+#: Attention outputs with fp16-quantized operands and intermediates.
+FP16_ATTENTION = ToleranceContract(atol=5e-2, rtol=5e-2, max_ulp=64)
+
+#: Scalar step-cost comparisons (same float ops, same order).
+SERVING_COST = ToleranceContract(atol=1e-12, rtol=1e-9, max_ulp=16)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Result of checking a candidate against its reference."""
+
+    ok: bool
+    max_abs_err: float
+    max_rel_err: float
+    max_ulp: int
+    worst_index: "tuple[int, ...]"
+    detail: str = ""
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"{status}: max_abs={self.max_abs_err:.3e} "
+            f"max_rel={self.max_rel_err:.3e} max_ulp={self.max_ulp} "
+            f"at {list(self.worst_index)}{self.detail}"
+        )
+
+
+def compare_arrays(
+    actual: np.ndarray,
+    expected: np.ndarray,
+    contract: ToleranceContract,
+    dtype: DType = DType.FP32,
+) -> Comparison:
+    """Check ``actual`` against ``expected`` under ``contract``.
+
+    Shape mismatch is an immediate failure.  Non-finite positions must
+    match exactly (same infinity, or NaN on both sides) regardless of
+    tolerance — a candidate that turns a number into NaN never passes.
+    """
+    actual = np.asarray(actual, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if actual.shape != expected.shape:
+        return Comparison(
+            ok=False, max_abs_err=np.inf, max_rel_err=np.inf,
+            max_ulp=np.iinfo(np.int64).max, worst_index=(),
+            detail=f" (shape {actual.shape} vs {expected.shape})",
+        )
+    if actual.size == 0:
+        return Comparison(True, 0.0, 0.0, 0, ())
+
+    ulp = ulp_distance(actual, expected, dtype)
+    abs_err = np.abs(actual - expected)
+    abs_err = np.where(np.isnan(abs_err) & (ulp == 0), 0.0, abs_err)
+    rel_err = abs_err / np.maximum(np.abs(expected), np.finfo(np.float64).tiny)
+
+    within_tol = abs_err <= contract.atol + contract.rtol * np.abs(expected)
+    if contract.max_ulp is not None:
+        within_tol |= ulp <= contract.max_ulp
+    # Non-finite disagreement (ulp = int64 max) always fails.
+    within_tol &= ulp < np.iinfo(np.int64).max
+
+    finite_err = np.where(np.isfinite(abs_err), abs_err, np.inf)
+    worst_flat = int(np.argmax(np.where(within_tol, -1.0, finite_err)))
+    if bool(within_tol.all()):
+        worst_flat = int(np.argmax(finite_err))
+    worst = np.unravel_index(worst_flat, actual.shape)
+    return Comparison(
+        ok=bool(within_tol.all()),
+        max_abs_err=float(np.max(finite_err, initial=0.0)),
+        max_rel_err=float(np.max(np.where(np.isfinite(rel_err), rel_err, np.inf),
+                                 initial=0.0)),
+        max_ulp=int(ulp.max(initial=0)),
+        worst_index=tuple(int(i) for i in worst),
+    )

@@ -1,0 +1,282 @@
+"""Metamorphic invariant catalog for the softmax/attention families.
+
+Differential comparison catches a candidate that drifts from *its*
+reference; metamorphic invariants catch the case where candidate and
+reference drift *together* (or where no independent reference exists).
+Each invariant encodes an identity of Eq. 1/Eq. 2 of the paper:
+
+``row_sum_one``
+    ``sum_i softmax(x)_i = 1`` for any row with at least one unmasked
+    element; exactly 0 for fully masked rows (the repo-wide contract
+    for ``-inf`` rows).
+``masked_zeros``
+    ``x_i = -inf  =>  softmax(x)_i = 0`` — masked positions never leak
+    probability mass.
+``shift_invariance``
+    ``softmax(x + c) = softmax(x)`` — the identity safe softmax (and
+    its LS/IR/GS recomposition) exists to preserve.
+``permutation_equivariance``
+    ``softmax(P x) = P softmax(x)`` for any permutation ``P`` of the
+    row — softmax has no positional preference.
+``reconstruction_factors``
+    The IR outputs satisfy ``r'_k in [0, 1]`` and ``sum_k r'_k = 1``
+    per row with any live sub-vector (Section 3.2: the factors are a
+    convex reweighting of the local softmaxes).
+``finite_outputs``
+    No NaN and no ``inf`` ever appears in a probability output.
+
+Invariant functions take ``(case, outputs, contract)`` and return a
+list of :class:`Violation` (empty = pass).  They are checked on every
+differential run by :mod:`repro.verify.fuzz`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.verify.contracts import (
+    FP16_STORAGE,
+    FP32_MATH,
+    ToleranceContract,
+    compare_arrays,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant."""
+
+    invariant: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+
+def _storage_eps(dtype: DType) -> float:
+    """Relative rounding error of one storage round-trip."""
+    return 2.0 ** -11 if dtype is DType.FP16 else 2.0 ** -24
+
+
+def _math_contract(contract: ToleranceContract,
+                   dtype: DType) -> ToleranceContract:
+    """Loosen ``contract`` to at least the dtype's math tolerance.
+
+    The metamorphic identities hold *mathematically*; re-evaluating a
+    candidate on a transformed input reassociates its reductions, so
+    even a bit-identical (golden) differential pair can only satisfy
+    them to ordinary floating-point tolerance.
+    """
+    floor = FP16_STORAGE if dtype is DType.FP16 else FP32_MATH
+    if contract.max_ulp is None or floor.max_ulp is None:
+        max_ulp = None
+    else:
+        max_ulp = max(contract.max_ulp, floor.max_ulp)
+    return ToleranceContract(
+        atol=max(contract.atol, floor.atol),
+        rtol=max(contract.rtol, floor.rtol),
+        max_ulp=max_ulp,
+    )
+
+
+def _row_live_mask(scores: "np.ndarray | None", probs: np.ndarray):
+    """Boolean (rows,) mask of rows with at least one unmasked input."""
+    if scores is not None:
+        return np.isfinite(scores).any(axis=-1)
+    # Without scores, infer: a fully masked row produces all zeros.
+    return probs.sum(axis=-1) > 0
+
+
+def row_sum_one(case, outputs, contract) -> "list[Violation]":
+    probs = outputs.get("probs")
+    if probs is None:
+        return []
+    sums = np.asarray(probs, dtype=np.float64).sum(axis=-1)
+    live = _row_live_mask(outputs.get("scores"), np.asarray(probs))
+    # Each stored probability may carry one storage round-off; the row
+    # sum accumulates up to L of them.
+    tol = max(contract.atol, _storage_eps(case.dtype)) * probs.shape[-1] + 1e-5
+    bad_live = live & (np.abs(sums - 1.0) > tol)
+    bad_dead = ~live & (sums != 0.0)
+    out = []
+    if bad_live.any():
+        idx = tuple(int(i) for i in
+                    np.argwhere(bad_live)[0])
+        out.append(Violation(
+            "row_sum_one",
+            f"live row {idx} sums to {sums[bad_live][0]:.6f} (tol {tol:g})",
+        ))
+    if bad_dead.any():
+        idx = tuple(int(i) for i in np.argwhere(bad_dead)[0])
+        out.append(Violation(
+            "row_sum_one",
+            f"fully masked row {idx} sums to {sums[bad_dead][0]:.6f}, "
+            f"expected exactly 0",
+        ))
+    return out
+
+
+def masked_zeros(case, outputs, contract) -> "list[Violation]":
+    probs, scores = outputs.get("probs"), outputs.get("scores")
+    if probs is None or scores is None:
+        return []
+    masked = np.isneginf(scores)
+    if not masked.any():
+        return []
+    leaked = masked & (np.asarray(probs) != 0.0)
+    if leaked.any():
+        idx = tuple(int(i) for i in np.argwhere(leaked)[0])
+        return [Violation(
+            "masked_zeros",
+            f"masked position {idx} got probability "
+            f"{np.asarray(probs)[idx]!r}, expected exactly 0",
+        )]
+    return []
+
+
+def shift_invariance(case, outputs, contract) -> "list[Violation]":
+    fn, x = outputs.get("softmax_fn"), outputs.get("x")
+    if fn is None or x is None:
+        return []
+    base = np.asarray(outputs.get("probs", fn(x)))
+    finite = np.isfinite(x)
+    magnitude = float(np.abs(x[finite]).max()) if finite.any() else 0.0
+    out = []
+    for shift in (7.5, -3.25):
+        # Rounding x + c in the storage dtype perturbs each score by up
+        # to ~1 ulp at the shifted magnitude, and softmax turns a score
+        # perturbation directly into a relative probability error — so
+        # the identity can only hold to that slack.
+        slack = 8.0 * _storage_eps(case.dtype) * max(
+            magnitude + abs(shift), 1.0
+        )
+        loose = _math_contract(contract, case.dtype)
+        widened = ToleranceContract(
+            atol=loose.atol + slack,
+            rtol=loose.rtol + slack,
+            max_ulp=loose.max_ulp,
+        )
+        shifted = fn(np.where(np.isfinite(x), x + np.float32(shift), x))
+        cmp = compare_arrays(shifted, base, widened, case.dtype)
+        if not cmp.ok:
+            out.append(Violation(
+                "shift_invariance",
+                f"softmax(x + {shift}) deviates: {cmp.describe()}",
+            ))
+    return out
+
+
+def permutation_equivariance(case, outputs, contract) -> "list[Violation]":
+    fn, x = outputs.get("softmax_fn"), outputs.get("x")
+    if fn is None or x is None:
+        return []
+    length = x.shape[-1]
+    perm = np.random.default_rng(case.seed ^ 0xA5A5).permutation(length)
+    base = np.asarray(outputs.get("probs", fn(x)))
+    permuted = fn(x[..., perm])
+    cmp = compare_arrays(permuted, base[..., perm],
+                         _math_contract(contract, case.dtype), case.dtype)
+    if not cmp.ok:
+        return [Violation(
+            "permutation_equivariance",
+            f"softmax(perm(x)) != perm(softmax(x)): {cmp.describe()}",
+        )]
+    return []
+
+
+def reconstruction_factors(case, outputs, contract) -> "list[Violation]":
+    r_prime = outputs.get("r_prime")
+    if r_prime is None:
+        return []
+    r = np.asarray(r_prime, dtype=np.float64)
+    out = []
+    if not np.isfinite(r).all():
+        idx = tuple(int(i) for i in np.argwhere(~np.isfinite(r))[0])
+        out.append(Violation(
+            "reconstruction_factors", f"non-finite r' at {idx}"))
+        return out
+    if (r < 0).any() or (r > 1).any():
+        bad = (r < 0) | (r > 1)
+        idx = tuple(int(i) for i in np.argwhere(bad)[0])
+        out.append(Violation(
+            "reconstruction_factors",
+            f"r'{idx} = {r[bad][0]:.6g} outside [0, 1]",
+        ))
+    sums = r.sum(axis=-1)
+    live = sums > 0  # rows with every sub-vector masked sum to 0
+    tol = 1e-4 * r.shape[-1] + 1e-5
+    bad = live & (np.abs(sums - 1.0) > tol)
+    if bad.any():
+        idx = tuple(int(i) for i in np.argwhere(bad)[0])
+        out.append(Violation(
+            "reconstruction_factors",
+            f"row {idx}: sum_k r'_k = {sums[bad][0]:.6f}, expected 1",
+        ))
+    return out
+
+
+def finite_outputs(case, outputs, contract) -> "list[Violation]":
+    for key in ("probs", "actual"):
+        value = outputs.get(key)
+        if value is None:
+            continue
+        value = np.asarray(value, dtype=np.float64)
+        if not np.isfinite(value).all():
+            idx = tuple(int(i) for i in np.argwhere(~np.isfinite(value))[0])
+            return [Violation(
+                "finite_outputs",
+                f"{key}[{idx}] = {value[idx]!r}",
+            )]
+    return []
+
+
+#: The catalog: name -> checker.
+INVARIANTS = {
+    "row_sum_one": row_sum_one,
+    "masked_zeros": masked_zeros,
+    "shift_invariance": shift_invariance,
+    "permutation_equivariance": permutation_equivariance,
+    "reconstruction_factors": reconstruction_factors,
+    "finite_outputs": finite_outputs,
+}
+
+#: The standard set for any row-softmax candidate.
+SOFTMAX_INVARIANTS = (
+    "row_sum_one",
+    "masked_zeros",
+    "shift_invariance",
+    "permutation_equivariance",
+    "finite_outputs",
+)
+
+
+def check_invariants(names, case, outputs, contract) -> "list[Violation]":
+    """Run the named invariants plus any pre-computed violations."""
+    violations = list(outputs.get("violations", ()))
+    for name in names:
+        try:
+            checker = INVARIANTS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown invariant {name!r}; known: {sorted(INVARIANTS)}"
+            ) from None
+        violations.extend(checker(case, outputs, contract))
+    return violations
+
+
+def check_softmax_function(fn, x, contract: ToleranceContract,
+                           *, case_seed: int = 0) -> "list[Violation]":
+    """Convenience: run the full softmax invariant set on ``fn`` at ``x``.
+
+    Used by the property-based tests to route arbitrary (rectangular,
+    batched) shapes through the same invariant layer the fuzzer uses.
+    """
+    from repro.verify.cases import Case
+
+    x = np.asarray(x, dtype=np.float32)
+    case = Case("softmax", {"case_seed": case_seed, "dtype": "fp32"})
+    outputs = {"probs": fn(x), "scores": x, "softmax_fn": fn, "x": x}
+    return check_invariants(SOFTMAX_INVARIANTS, case, outputs, contract)

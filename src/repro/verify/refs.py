@@ -1,0 +1,90 @@
+"""Shared reference implementations for the oracle hooks.
+
+The attention-family oracles all compare against the same textbook
+formulation — quantize the operands, form the masked score matrix in
+fp32, safe-softmax it, and contract with ``V`` — so it lives here once
+instead of being re-derived inside every ``verification_oracles()``
+hook (the duplication the harness exists to remove).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.kernels.softmax import safe_softmax
+
+
+def rect_causal_mask(l_q: int, l_k: int) -> np.ndarray:
+    """Boolean ``(l_q, l_k)`` mask with the diagonals aligned at the end.
+
+    Query ``i`` sits at absolute position ``l_k - l_q + i`` — the
+    chunked-prefill convention, reducing to the ordinary lower triangle
+    when ``l_q == l_k``.  Rows whose absolute position is negative come
+    out fully masked.
+    """
+    qi = np.arange(l_q)[:, None] + (l_k - l_q)
+    return np.arange(l_k)[None, :] <= qi
+
+
+def masked_scores(
+    q: np.ndarray,
+    k: np.ndarray,
+    *,
+    scale: float = 1.0,
+    mask: "np.ndarray | None" = None,
+    causal: bool = False,
+) -> np.ndarray:
+    """``Q @ K^T`` in fp32 with scale and ``-inf`` masking applied."""
+    scores = np.matmul(q, np.swapaxes(k, -2, -1), dtype=np.float32)
+    scores = scores * np.float32(scale)
+    if causal:
+        keep = rect_causal_mask(scores.shape[-2], scores.shape[-1])
+        scores = np.where(keep, scores, np.float32(-np.inf))
+    if mask is not None:
+        scores = np.where(mask, scores, np.float32(-np.inf))
+    return scores
+
+
+def accumulation_slack(scores: np.ndarray) -> float:
+    """Tolerance slack for comparing differently-accumulated score paths.
+
+    A reassociated fp32 reduction (blocked vs. monolithic matmul) can
+    move a score by a few ulp *at the score's magnitude*, and softmax
+    turns a score perturbation of ``delta`` into a relative probability
+    error of up to ``e^delta - 1 ~= delta``.  The differential
+    tolerance therefore has to grow linearly with the largest finite
+    score; for ordinary-magnitude scores this stays near 1e-5.
+    """
+    finite = np.isfinite(scores)
+    if not finite.any():
+        return 0.0
+    magnitude = float(np.abs(scores[finite]).max())
+    return 256.0 * 2.0 ** -24 * max(magnitude, 1.0)
+
+
+def dense_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    dtype: DType,
+    *,
+    scale: float = 1.0,
+    mask: "np.ndarray | None" = None,
+    causal: bool = False,
+    quantize_v: bool = True,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """The family reference: ``(output, scores, probs)``.
+
+    Fully masked rows produce all-zero probability rows and therefore
+    all-zero output rows — the repo-wide ``-inf`` contract every
+    candidate must share.  ``quantize_v=False`` matches kernels that
+    stream ``V`` without a storage round-trip.
+    """
+    q, k = dtype.quantize(q), dtype.quantize(k)
+    if quantize_v:
+        v = dtype.quantize(v)
+    scores = masked_scores(q, k, scale=scale, mask=mask, causal=causal)
+    probs = safe_softmax(scores)
+    out = np.matmul(probs, v, dtype=np.float32)
+    return dtype.quantize(out), scores, probs

@@ -1,0 +1,108 @@
+"""The oracle registry: every implementation paired with its reference.
+
+An :class:`OracleSpec` names one *differential pair* — a candidate
+implementation and the reference it must agree with — plus the
+tolerance contract per storage dtype and the metamorphic invariants to
+check on every run.  Implementation modules register themselves
+through a module-level ``verification_oracles()`` hook (collected by
+:func:`repro.verify.oracles.build_registry`), so adding a new kernel
+variant is one hook entry away from being fuzzed.
+
+The ``run`` callable receives a :class:`~repro.verify.cases.Case` and
+returns an *outputs* dict.  Recognised keys:
+
+``actual`` / ``expected``
+    The differential pair, compared under the dtype's contract.
+``probs``
+    A probability tensor (last axis a distribution) for the
+    distribution invariants (row sums, masked zeros).
+``scores``
+    The pre-softmax scores that produced ``probs`` (for masked-zero
+    checks; ``-inf`` marks masked positions).
+``r_prime``
+    Reconstruction factors for the ``reconstruction_factors``
+    invariant.
+``softmax_fn`` / ``x``
+    A recomputation closure and its input, for the metamorphic
+    invariants that need to re-evaluate the candidate (shift
+    invariance, permutation equivariance).
+``violations``
+    Pre-computed :class:`~repro.verify.invariants.Violation` list for
+    oracle-specific checks that do not fit the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.common.dtypes import DType
+from repro.verify.contracts import ToleranceContract
+
+
+@dataclass(frozen=True)
+class OracleSpec:
+    """One differential-testing oracle."""
+
+    name: str
+    family: str
+    run: "Callable[[Any], dict]"
+    contracts: "Mapping[DType, ToleranceContract]"
+    invariants: "tuple[str, ...]" = ()
+    tags: "tuple[str, ...]" = ()
+    description: str = ""
+    applies: "Optional[Callable[[Any], bool]]" = None
+
+    def contract_for(self, dtype: DType) -> ToleranceContract:
+        try:
+            return self.contracts[dtype]
+        except KeyError:
+            raise KeyError(
+                f"oracle {self.name!r} has no contract for {dtype}"
+            ) from None
+
+    def applicable(self, case) -> bool:
+        return self.applies is None or bool(self.applies(case))
+
+
+@dataclass
+class OracleRegistry:
+    """Oracles grouped by family, with unique names."""
+
+    _oracles: "dict[str, OracleSpec]" = field(default_factory=dict)
+
+    def register(self, spec: OracleSpec) -> OracleSpec:
+        if spec.name in self._oracles:
+            raise ValueError(f"duplicate oracle name {spec.name!r}")
+        self._oracles[spec.name] = spec
+        return spec
+
+    def register_all(self, specs) -> None:
+        for spec in specs:
+            self.register(spec)
+
+    def get(self, name: str) -> OracleSpec:
+        try:
+            return self._oracles[name]
+        except KeyError:
+            raise KeyError(
+                f"no oracle named {name!r}; known: {sorted(self._oracles)}"
+            ) from None
+
+    def family(self, family: str) -> "list[OracleSpec]":
+        return [o for o in self._oracles.values() if o.family == family]
+
+    def families(self) -> "list[str]":
+        return sorted({o.family for o in self._oracles.values()})
+
+    def tagged(self, tag: str) -> "list[OracleSpec]":
+        return [o for o in self._oracles.values() if tag in o.tags]
+
+    def names(self) -> "list[str]":
+        return sorted(self._oracles)
+
+    def __len__(self) -> int:
+        return len(self._oracles)
+
+    def __iter__(self):
+        return iter(self._oracles.values())

@@ -2,21 +2,25 @@
 
 The PR-1 fast path replaced per-row / per-tile Python loops with
 batched numpy, keeping the original loops as ``*_reference`` methods.
-Equivalence here is *bit-identical* (``np.array_equal``, not allclose)
-— the accumulation order per output element is unchanged — and the
-cost-model counters must not move either.
+Equivalence is *bit-identical* — the accumulation order per output
+element is unchanged — and is checked through the oracle registry
+(``repro.verify``): each vectorized/reference pair registers a
+``golden``-tagged oracle with the EXACT contract, and the test below
+drives every one of them over seeded fuzz cases.  The per-kernel
+comparison loops this file used to hand-roll live in the oracles now.
+
+The remaining hand-written tests cover paths with no registered
+oracle: the block scatter/gather round trip, the sparse causal
+epilogue, token embedding, and the cost-model counters.
 """
 
 import numpy as np
 import pytest
 
-from repro.common.dtypes import DType
 from repro.gpu.specs import get_gpu
-from repro.kernels.flash import FlashAttentionKernel
 from repro.models.attention import SDABlock, _causal_block_bias
 from repro.sparse.bsflash import BlockSparseFlashAttentionKernel
 from repro.sparse.bsmatmul import BlockSparseMatMulDSD
-from repro.sparse.bssoftmax import BlockSparseIR
 from repro.sparse.layout import BlockSparseLayout, BlockSparseMatrix
 from repro.sparse.patterns import (
     bigbird_layout,
@@ -42,61 +46,42 @@ def _layouts():
     yield "ragged", BlockSparseLayout(mask, 32)
 
 
-@pytest.mark.parametrize("name,layout", list(_layouts()),
-                         ids=[n for n, _ in _layouts()])
-@pytest.mark.parametrize("dtype", [DType.FP16, DType.FP32])
-def test_dsd_matmul_bit_identical(name, layout, dtype):
-    bh, d = 2, 64
-    kernel = BlockSparseMatMulDSD(layout, bh, d, dtype=dtype)
-    bs = layout.block_size
-    data = dtype.quantize(
-        RNG.standard_normal((bh, layout.nnz_blocks, bs, bs))
-    )
-    v = dtype.quantize(RNG.standard_normal((bh, layout.seq_len, d)))
-    assert np.array_equal(kernel._multiply(data, v),
-                          kernel._multiply_reference(data, v))
+def _golden_oracle_names():
+    from repro.verify.oracles import default_registry
+
+    return sorted(o.name for o in default_registry().tagged("golden"))
 
 
-@pytest.mark.parametrize("name,layout", list(_layouts()),
-                         ids=[n for n, _ in _layouts()])
-def test_inter_reduction_bit_identical(name, layout):
-    bh = 3
-    kernel = BlockSparseIR(layout, bh)
-    bs = layout.block_size
-    m_prime = RNG.standard_normal(
-        (bh, layout.nnz_blocks, bs)).astype(np.float32)
-    d_prime = (RNG.random((bh, layout.nnz_blocks, bs)) + 0.1).astype(
-        np.float32)
-    assert np.array_equal(kernel.compute(m_prime, d_prime),
-                          kernel.compute_reference(m_prime, d_prime))
+def test_golden_registry_covers_vectorized_kernels():
+    assert {
+        "attention.flash_golden",
+        "block_sparse.dsd_golden",
+        "block_sparse.flash_golden",
+        "block_sparse.ir_golden",
+    } <= set(_golden_oracle_names())
 
 
-@pytest.mark.parametrize("name,layout", list(_layouts()),
-                         ids=[n for n, _ in _layouts()])
-@pytest.mark.parametrize("causal", [False, True])
-def test_bs_flash_bit_identical(name, layout, causal):
-    bh, d = 2, 32
-    kernel = BlockSparseFlashAttentionKernel(
-        layout, bh, d, scale=1 / np.sqrt(d), causal=causal)
-    shape = (bh, layout.seq_len, d)
-    q, k, v = (RNG.standard_normal(shape).astype(np.float32)
-               for _ in range(3))
-    assert np.array_equal(kernel.compute(q, k, v),
-                          kernel.compute_reference(q, k, v))
+@pytest.mark.parametrize("oracle_name", _golden_oracle_names())
+def test_golden_oracles_bit_identical(oracle_name):
+    """Every vectorized/reference pair stays bit-identical (EXACT
+    contract) across seeded fuzz cases of its family."""
+    from repro.verify.cases import build_case, draw_params
+    from repro.verify.fuzz import run_case
+    from repro.verify.oracles import default_registry
 
-
-@pytest.mark.parametrize("seq_len", [96, 128, 130, 300, 512])
-@pytest.mark.parametrize("causal", [False, True])
-@pytest.mark.parametrize("dtype", [DType.FP16, DType.FP32])
-def test_dense_flash_bit_identical(seq_len, causal, dtype):
-    bh, d = 2, 64
-    kernel = FlashAttentionKernel(bh, seq_len, d, dtype=dtype,
-                                  scale=1 / np.sqrt(d), causal=causal)
-    shape = (bh, seq_len, d)
-    q, k, v = (RNG.standard_normal(shape).astype(np.float32)
-               for _ in range(3))
-    assert np.array_equal(kernel.compute(q, k, v),
-                          kernel.compute_reference(q, k, v))
+    oracle = default_registry().get(oracle_name)
+    rng = np.random.default_rng(2022)
+    checked = 0
+    while checked < 25:
+        params = draw_params(oracle.family, rng)
+        case = build_case(oracle.family, params)
+        if not oracle.applicable(case):
+            continue
+        result = run_case(oracle, case)
+        assert not result.failed, (
+            f"{oracle_name} on {params}: {result.describe()}"
+        )
+        checked += 1
 
 
 @pytest.mark.parametrize("name,layout", list(_layouts()),

@@ -157,3 +157,58 @@ class TestKernelObjects:
             assert timing.bandwidth_utilization == pytest.approx(
                 A100.streaming_efficiency, rel=0.02
             )
+
+
+class TestEmptyReductionEdgeCases:
+    """The d' = 0 paths: fully masked rows/sub-vectors, and T = 1 where
+    every sub-vector holds a single element (so one masked element is
+    an entire empty reduction)."""
+
+    def test_t1_matches_monolithic(self):
+        x = np.random.default_rng(11).standard_normal(
+            (3, 16)).astype(np.float32)
+        np.testing.assert_allclose(
+            decomposed_softmax(x, 1), safe_softmax(x), rtol=1e-5, atol=1e-7
+        )
+
+    def test_t1_masked_elements_are_empty_subvectors(self):
+        x = np.random.default_rng(12).standard_normal(
+            (2, 8)).astype(np.float32)
+        x[0, ::2] = -np.inf          # alternating empty sub-vectors
+        x[1, :] = -np.inf            # every sub-vector of the row empty
+        out = decomposed_softmax(x, 1)
+        np.testing.assert_allclose(out, safe_softmax(x),
+                                   rtol=1e-5, atol=1e-7)
+        np.testing.assert_array_equal(out[0, ::2], 0.0)
+        np.testing.assert_array_equal(out[1], 0.0)
+
+    def test_kernel_pipeline_fully_masked_row(self):
+        x = np.random.default_rng(13).standard_normal(
+            (2, 16)).astype(np.float32)
+        x[0, :] = -np.inf
+        ls = LocalSoftmaxKernel(num_subvectors=2 * 4, t=4, dtype=DType.FP32)
+        ir = InterReductionKernel(rows=2, mean_subvectors=4)
+        gs = GlobalScaleKernel(num_subvectors=2 * 4, t=4, dtype=DType.FP32)
+        x_prime, m_prime, d_prime = ls.compute(x)
+        out = gs.compute(x_prime, ir.compute(m_prime, d_prime))
+        np.testing.assert_array_equal(out[0], 0.0)
+        np.testing.assert_allclose(out[1].sum(), 1.0, rtol=1e-5)
+        expected = RowSoftmaxKernel(rows=2, length=16,
+                                    dtype=DType.FP32).compute(x)
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-7)
+
+    def test_kernel_pipeline_t1_single_element_subvectors(self):
+        x = np.random.default_rng(14).standard_normal(
+            (4, 8)).astype(np.float32)
+        x[0, 3] = -np.inf
+        x[2, :] = -np.inf
+        ls = LocalSoftmaxKernel(num_subvectors=4 * 8, t=1, dtype=DType.FP32)
+        ir = InterReductionKernel(rows=4, mean_subvectors=8)
+        gs = GlobalScaleKernel(num_subvectors=4 * 8, t=1, dtype=DType.FP32)
+        x_prime, m_prime, d_prime = ls.compute(x)
+        out = gs.compute(x_prime, ir.compute(m_prime, d_prime))
+        expected = RowSoftmaxKernel(rows=4, length=8,
+                                    dtype=DType.FP32).compute(x)
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-7)
+        np.testing.assert_array_equal(out[2], 0.0)
+        assert out[0, 3] == 0.0

@@ -254,3 +254,84 @@ class TestPatternProperties:
         window = sliding_window_layout(1024, 64, window_blocks=3)
         assert (layout.mask | window.mask == layout.mask).all()
         assert layout.mask[0].all() and layout.mask[:, 0].all()
+
+
+class TestInvariantLayerProperties:
+    """Route arbitrary rectangular and batched shapes through the same
+    metamorphic invariant layer the differential fuzz harness uses
+    (``repro.verify.invariants``), instead of hand-rolling per-test
+    tolerance checks."""
+
+    @given(
+        batch=st.integers(1, 4),
+        rows=st.integers(1, 6),
+        length=st.sampled_from([1, 2, 7, 33, 128]),
+        scale=st.sampled_from([1.0, 10.0, 100.0]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_safe_softmax_invariants_batched(self, batch, rows, length,
+                                             scale, seed):
+        from repro.verify.contracts import FP32_MATH
+        from repro.verify.invariants import check_softmax_function
+
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((batch, rows, length)).astype(np.float32)
+        x *= np.float32(scale)
+        if length > 1:  # mask a few positions, plus one whole row
+            x[rng.random(x.shape) < 0.2] = -np.inf
+            x[0, 0, :] = -np.inf
+        violations = check_softmax_function(safe_softmax, x, FP32_MATH,
+                                            case_seed=seed)
+        assert violations == [], "; ".join(v.describe() for v in violations)
+
+    @given(
+        t=st.sampled_from([1, 2, 4, 8]),
+        n_sv=st.integers(1, 6),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recomposed_softmaxes_satisfy_invariants(self, t, n_sv, seed):
+        from repro.verify.contracts import FP32_MATH
+        from repro.verify.invariants import check_softmax_function
+
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((2, 3, t * n_sv)).astype(np.float32) * 5
+        for fn in (online_softmax, lambda a: decomposed_softmax(a, t)):
+            violations = check_softmax_function(fn, x, FP32_MATH,
+                                                case_seed=seed)
+            assert violations == [], \
+                "; ".join(v.describe() for v in violations)
+
+    @given(
+        l_q=st.integers(1, 24),
+        l_k=st.integers(1, 48),
+        d=st.sampled_from([4, 16]),
+        causal=st.booleans(),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rectangular_attention_invariants(self, l_q, l_k, d, causal,
+                                              seed):
+        from repro.verify.cases import Case
+        from repro.verify.contracts import FP32_ATTENTION
+        from repro.verify.invariants import check_invariants
+        from repro.verify.refs import dense_attention
+
+        rng = np.random.default_rng(seed)
+        q = rng.standard_normal((2, l_q, d)).astype(np.float32)
+        k = rng.standard_normal((2, l_k, d)).astype(np.float32)
+        v = rng.standard_normal((2, l_k, d)).astype(np.float32)
+        mask = rng.random((l_q, l_k)) < 0.8
+        mask[0, :] = False  # one fully masked query row
+        out, scores, probs = dense_attention(
+            q, k, v, DType.FP32, scale=1.0 / np.sqrt(d), mask=mask,
+            causal=causal,
+        )
+        case = Case("attention", {"case_seed": seed, "dtype": "fp32"})
+        violations = check_invariants(
+            ("row_sum_one", "masked_zeros", "finite_outputs"),
+            case, {"actual": out, "probs": probs, "scores": scores},
+            FP32_ATTENTION,
+        )
+        assert violations == [], "; ".join(v.describe() for v in violations)

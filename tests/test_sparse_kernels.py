@@ -270,3 +270,84 @@ class TestFusedBlockSparse:
         )
         with pytest.raises(ShapeError):
             kernel.compute(x, np.zeros((BATCH, 3, 16)), np.zeros((BATCH, 64, D)))
+
+
+class TestBlockSparseSoftmaxEdgeCases:
+    """d' = 0 paths in the block-sparse softmax: rows whose every live
+    score is masked to -inf, and block_size=1 layouts where each block
+    is a single-element sub-vector."""
+
+    def _decompose(self, layout, s):
+        ls = BlockSparseLS(layout, BATCH, dtype=DType.FP32)
+        ir = BlockSparseIR(layout, BATCH)
+        gs = BlockSparseGS(layout, BATCH, dtype=DType.FP32)
+        x_prime, m_prime, d_prime = ls.compute(s)
+        return gs.compute(x_prime, ir.compute(m_prime, d_prime))
+
+    def test_all_masked_rows_yield_zeros(self):
+        layout = sliding_window_layout(64, 16, window_blocks=3)
+        q, k, _ = make_inputs(layout)
+        s = BlockSparseMatMulSDD(layout, BATCH, D,
+                                 dtype=DType.FP32).compute(q, k)
+        data = s.data.copy()
+        # Mask every score of element rows 0..15 (block row 0).
+        row0 = layout.block_rows == 0
+        data[:, row0, :, :] = -np.inf
+        masked = BlockSparseMatrix(layout, data)
+
+        mono = BlockSparseRowSoftmax(
+            layout, BATCH, dtype=DType.FP32).compute(masked).to_dense(0.0)
+        dec = self._decompose(layout, masked).to_dense(0.0)
+        for probs in (mono, dec):
+            np.testing.assert_array_equal(probs[:, :16, :], 0.0)
+            np.testing.assert_allclose(probs[:, 16:, :].sum(axis=-1), 1.0,
+                                       rtol=1e-5)
+        np.testing.assert_allclose(dec, mono, atol=1e-6)
+
+    def test_partially_masked_row_keeps_live_mass(self):
+        """Masking one whole block of a row is an empty sub-vector
+        (d'=0 for that block) but must not disturb the rest."""
+        layout = sliding_window_layout(64, 16, window_blocks=3)
+        q, k, _ = make_inputs(layout, seed=7)
+        s = BlockSparseMatMulSDD(layout, BATCH, D,
+                                 dtype=DType.FP32).compute(q, k)
+        data = s.data.copy()
+        # The first stored block of block-row 1 becomes all -inf.
+        target = int(np.flatnonzero(layout.block_rows == 1)[0])
+        data[:, target, :, :] = -np.inf
+        masked = BlockSparseMatrix(layout, data)
+
+        mono = BlockSparseRowSoftmax(
+            layout, BATCH, dtype=DType.FP32).compute(masked)
+        dec = self._decompose(layout, masked)
+        np.testing.assert_array_equal(mono.data[:, target], 0.0)
+        np.testing.assert_array_equal(dec.data[:, target], 0.0)
+        np.testing.assert_allclose(
+            mono.to_dense(0.0).sum(axis=-1)[:, 16:32], 1.0, rtol=1e-5)
+        np.testing.assert_allclose(dec.to_dense(0.0), mono.to_dense(0.0),
+                                   atol=1e-6)
+
+    def test_block_size_one_single_element_subvectors(self):
+        from repro.sparse.layout import BlockSparseLayout
+
+        rng = np.random.default_rng(21)
+        mask = rng.random((6, 6)) < 0.5
+        np.fill_diagonal(mask, True)
+        layout = BlockSparseLayout(mask, 1)
+        q, k, _ = make_inputs(layout, seed=21)
+        s = BlockSparseMatMulSDD(layout, BATCH, D,
+                                 dtype=DType.FP32).compute(q, k)
+        data = s.data.copy()
+        data[:, 0] = -np.inf  # one single-element sub-vector masked
+        masked = BlockSparseMatrix(layout, data)
+
+        mono = BlockSparseRowSoftmax(
+            layout, BATCH, dtype=DType.FP32).compute(masked)
+        dec = self._decompose(layout, masked)
+        np.testing.assert_allclose(dec.to_dense(0.0), mono.to_dense(0.0),
+                                   atol=1e-6)
+        np.testing.assert_array_equal(mono.data[:, 0], 0.0)
+
+        dense_scores = masked.to_dense(fill=-np.inf)
+        expected = safe_softmax(dense_scores)
+        np.testing.assert_allclose(mono.to_dense(0.0), expected, atol=1e-5)
