@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench verify verify-fuzz lint
+.PHONY: test bench verify verify-fuzz lint cluster-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,3 +29,8 @@ verify:
 verify-fuzz:
 	$(PYTHON) -m repro verify fuzz --cases 200 --seed 0 \
 		--artifact-dir verify-artifacts
+
+# Two-replica, TP=2 cluster simulation (see docs/cluster.md).
+cluster-smoke:
+	$(PYTHON) -m repro cluster-sim --replicas 2 --tp 2 \
+		--policy least-outstanding --rate 4 --duration 5 --seed 0 --json

@@ -11,6 +11,7 @@ from repro.analysis.breakdown import (
     normalized_traffic_breakdown,
     plan_comparison,
 )
+from repro.analysis.cluster import render_cluster_comparison
 from repro.analysis.reporting import render_bar_chart, render_stacked_bars, render_table
 from repro.analysis.serving import render_serving_comparison
 
@@ -22,4 +23,5 @@ __all__ = [
     "render_bar_chart",
     "render_stacked_bars",
     "render_serving_comparison",
+    "render_cluster_comparison",
 ]

@@ -117,6 +117,12 @@ class SelfBenchReport:
             ],
         }
 
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict("selfbench", **self.to_json())
+
 
 def _fig9a_sweep(seq_lens, jobs: int):
     """One pass of the Fig. 9(a) sweep; returns per-point latencies."""

@@ -110,6 +110,29 @@ class ReproductionReport:
             rows,
         )
 
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict(
+            "reproduction",
+            all_passed=self.all_passed,
+            pass_count=self.pass_count,
+            num_targets=len(self.results),
+            targets=[
+                {
+                    "name": r.target.name,
+                    "source": r.target.source,
+                    "paper_value": r.target.paper_value,
+                    "measured": r.measured,
+                    "deviation": r.deviation,
+                    "rel_tol": r.target.rel_tol,
+                    "passed": r.passed,
+                }
+                for r in self.results
+            ],
+        )
+
 
 def _session_pair(model, **kwargs):
     base = InferenceSession(model, plan="baseline", **kwargs).simulate()

@@ -2,26 +2,37 @@
 
 Commands
 --------
-``simulate``   one model/GPU/plan inference with breakdown
-``compare``    baseline vs SD vs SDF for one model (a Fig. 8 row)
-``breakdown``  the Fig. 2 stacks across all four models
-``libraries``  the Fig. 7 library comparison
-``sweep``      speedup vs sequence length or batch (Fig. 9)
-``generate``   prompt prefill + token-by-token decode (KV cache)
-``trace``      write a Chrome-trace JSON of one inference
-``parallel``   tensor-parallel scaling across 2-8 GPUs
-``roofline``   roofline plot of one inference's kernel categories
-``footprint``  peak device-memory footprint per plan
-``serve-sim``  discrete-event serving simulation (SLO metrics per plan)
-``verify``     paper targets (default), ``verify fuzz`` differential
-               fuzzing of every registered oracle, ``verify replay``
-               re-running a failure artifact
-``selfbench``  benchmark the simulator itself (fast path vs baseline)
+``simulate``     one model/GPU/plan inference with breakdown
+``compare``      baseline vs SD vs SDF for one model (a Fig. 8 row)
+``breakdown``    the Fig. 2 stacks across all four models
+``libraries``    the Fig. 7 library comparison
+``sweep``        speedup vs sequence length or batch (Fig. 9)
+``generate``     prompt prefill + token-by-token decode (KV cache)
+``trace``        Chrome-trace export of one inference
+``parallel``     tensor-parallel scaling across 2-8 GPUs
+``roofline``     roofline plot of one inference's kernel categories
+``footprint``    peak device-memory footprint per plan
+``serve-sim``    discrete-event serving simulation (SLO metrics per plan)
+``cluster-sim``  multi-replica, TP/PP-sharded cluster serving simulation
+``verify``       paper targets (default), ``verify fuzz`` differential
+                 fuzzing of every registered oracle, ``verify replay``
+                 re-running a failure artifact
+``selfbench``    benchmark the simulator itself (fast path vs baseline)
+
+Output contract
+---------------
+Every subcommand renders human-readable text by default, prints the
+same result as a versioned JSON document (``repro.result/v1``) under
+``--json``, and writes that document to a file under ``--output``
+(printing the text plus a ``wrote <path>`` confirmation) — one
+:func:`emit` helper implements the contract for all of them.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from repro.analysis import (
@@ -29,7 +40,35 @@ from repro.analysis import (
     render_stacked_bars,
     render_table,
 )
+from repro.common.results import result_dict
 from repro.models import InferenceSession, all_models
+
+
+def emit(payload: dict, text: str, args: argparse.Namespace) -> str:
+    """The one output path every subcommand shares.
+
+    ``--output PATH`` writes the JSON document and returns the text
+    plus a confirmation; ``--json`` returns the document itself;
+    otherwise the text.  Documents are serialized deterministically
+    (sorted keys) so fixed-seed runs are byte-identical.
+    """
+    output = getattr(args, "output", None)
+    if output:
+        document = json.dumps(payload, indent=2, sort_keys=True)
+        pathlib.Path(output).write_text(document + "\n")
+        return f"{text}\n\nwrote {output}"
+    if getattr(args, "json", False):
+        return json.dumps(payload, indent=2, sort_keys=True)
+    return text
+
+
+def _add_output(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="print the repro.result/v1 JSON document "
+                             "instead of text")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON document here (prints the "
+                             "text to stdout)")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -58,7 +97,7 @@ def cmd_simulate(args: argparse.Namespace) -> str:
         _resolve_model(args), gpu=args.gpu, plan=args.plan,
         seq_len=args.seq_len, batch=args.batch,
     ).simulate()
-    lines = [
+    text = "\n".join([
         f"{result.model.name} on {result.gpu.name} "
         f"(L={args.seq_len}, batch={args.batch}, plan={args.plan})",
         f"latency:          {result.total_time * 1e3:.2f} ms",
@@ -68,13 +107,14 @@ def cmd_simulate(args: argparse.Namespace) -> str:
         "",
         render_stacked_bars({result.model.name:
                              normalized_time_breakdown(result)}),
-    ]
-    return "\n".join(lines)
+    ])
+    return emit(result.to_dict(), text, args)
 
 
 def cmd_compare(args: argparse.Namespace) -> str:
     rows = []
     baseline = None
+    results = {}
     model = _resolve_model(args)
     for plan in ("baseline", "sd", "sdf"):
         result = InferenceSession(
@@ -83,6 +123,7 @@ def cmd_compare(args: argparse.Namespace) -> str:
         ).simulate()
         if baseline is None:
             baseline = result
+        results[plan] = result
         rows.append([
             plan,
             f"{result.total_time * 1e3:.2f} ms",
@@ -90,9 +131,20 @@ def cmd_compare(args: argparse.Namespace) -> str:
             f"{result.total_dram_bytes / 1e9:.2f} GB",
             f"{1 - result.offchip_energy / baseline.offchip_energy:+.0%}",
         ])
-    return render_table(
+    text = render_table(
         ["plan", "latency", "speedup", "traffic", "energy saved"], rows,
     )
+    payload = result_dict(
+        "compare",
+        model=baseline.model.name,
+        gpu=baseline.gpu.name,
+        seq_len=args.seq_len,
+        batch=args.batch,
+        plans={plan: r.to_dict() for plan, r in results.items()},
+        speedups={plan: baseline.total_time / r.total_time
+                  for plan, r in results.items()},
+    )
+    return emit(payload, text, args)
 
 
 def cmd_breakdown(args: argparse.Namespace) -> str:
@@ -103,18 +155,28 @@ def cmd_breakdown(args: argparse.Namespace) -> str:
             seq_len=args.seq_len, batch=args.batch,
         ).simulate()
         stacks[model.name] = normalized_time_breakdown(result)
-    return render_stacked_bars(stacks)
+    payload = result_dict(
+        "breakdown", gpu=args.gpu, seq_len=args.seq_len, batch=args.batch,
+        models=stacks,
+    )
+    return emit(payload, render_stacked_bars(stacks), args)
 
 
 def cmd_libraries(args: argparse.Namespace) -> str:
     from repro.baselines import all_libraries, simulate_library
 
     rows = []
+    latencies = {}
     for lib in all_libraries():
         result = simulate_library(lib, args.model, gpu=args.gpu,
                                   seq_len=args.seq_len, batch=args.batch)
+        latencies[lib.name] = result.total_time
         rows.append([lib.name, f"{result.total_time * 1e3:.2f} ms"])
-    return render_table(["library", "latency"], rows)
+    payload = result_dict(
+        "libraries", model=args.model, gpu=args.gpu,
+        seq_len=args.seq_len, batch=args.batch, latencies_s=latencies,
+    )
+    return emit(payload, render_table(["library", "latency"], rows), args)
 
 
 def cmd_sweep(args: argparse.Namespace) -> str:
@@ -131,10 +193,22 @@ def cmd_sweep(args: argparse.Namespace) -> str:
             ))
     results = SweepRunner(jobs=args.jobs).run(points)
     rows = []
+    point_docs = []
     for value, base, sdf in zip(values, results[::2], results[1::2]):
         rows.append([value, f"{base.total_time * 1e3:.2f} ms",
                      f"{base.total_time / sdf.total_time:.2f}x"])
-    return render_table([args.axis, "baseline latency", "SDF speedup"], rows)
+        point_docs.append({
+            "value": value,
+            "baseline_s": base.total_time,
+            "sdf_s": sdf.total_time,
+            "speedup": base.total_time / sdf.total_time,
+        })
+    text = render_table([args.axis, "baseline latency", "SDF speedup"], rows)
+    payload = result_dict(
+        "sweep", model=args.model, gpu=args.gpu, axis=args.axis,
+        points=point_docs,
+    )
+    return emit(payload, text, args)
 
 
 def cmd_generate(args: argparse.Namespace) -> str:
@@ -145,7 +219,7 @@ def cmd_generate(args: argparse.Namespace) -> str:
         prompt_len=args.seq_len, generated_tokens=args.tokens,
         batch=args.batch, prefill_chunk=args.prefill_chunk,
     ).simulate()
-    return render_table(
+    text = render_table(
         ["phase", "value"],
         [
             ["prefill latency", f"{result.prefill_time * 1e3:.2f} ms"],
@@ -156,6 +230,7 @@ def cmd_generate(args: argparse.Namespace) -> str:
             ["KV cache", f"{result.kv_cache_bytes / 1e6:.1f} MB"],
         ],
     )
+    return emit(result.to_dict(), text, args)
 
 
 def cmd_trace(args: argparse.Namespace) -> str:
@@ -165,10 +240,13 @@ def cmd_trace(args: argparse.Namespace) -> str:
         args.model, gpu=args.gpu, plan=args.plan,
         seq_len=args.seq_len, batch=args.batch,
     ).simulate()
-    with open(args.output, "w") as handle:
-        handle.write(to_chrome_trace(result.profile))
-    return (f"wrote {len(result.profile)} kernel slices to {args.output}\n\n"
+    # The payload is a valid Chrome trace (chrome://tracing ignores the
+    # envelope keys), so --output yields a directly loadable file.
+    payload = dict(json.loads(to_chrome_trace(result.profile)))
+    payload.update(schema="repro.result/v1", kind="chrome-trace")
+    text = (f"trace of {len(result.profile)} kernel slices\n\n"
             + summarize(result.profile))
+    return emit(payload, text, args)
 
 
 def cmd_parallel(args: argparse.Namespace) -> str:
@@ -179,14 +257,17 @@ def cmd_parallel(args: argparse.Namespace) -> str:
                               seq_len=args.seq_len,
                               batch=args.batch).simulate()
     rows = [[1, f"{single.total_time * 1e3:.2f} ms", "1.00x", "0%"]]
+    scaling = []
     for n in (2, 4, 8):
         try:
             tp = TensorParallelSession(
                 model, n_gpus=n, gpu=args.gpu, plan=args.plan,
                 seq_len=args.seq_len, batch=args.batch,
+                algorithm=args.algorithm,
             ).simulate()
         except Exception as error:
             rows.append([n, f"({error})", "-", "-"])
+            scaling.append({"n_gpus": n, "error": str(error)})
             continue
         rows.append([
             n,
@@ -194,11 +275,31 @@ def cmd_parallel(args: argparse.Namespace) -> str:
             f"{single.total_time / tp.total_time:.2f}x",
             f"{tp.comm_fraction * 100:.0f}%",
         ])
-    return render_table(["GPUs", "latency", "scaling", "comm share"], rows)
+        doc = tp.to_dict()
+        doc["scaling"] = single.total_time / tp.total_time
+        scaling.append(doc)
+    text = render_table(["GPUs", "latency", "scaling", "comm share"], rows)
+    payload = result_dict(
+        "parallel-scaling",
+        model=single.model.name,
+        gpu=single.gpu.name,
+        plan=single.plan.value,
+        seq_len=args.seq_len,
+        batch=args.batch,
+        algorithm=args.algorithm,
+        single=single.to_dict(),
+        scaling=scaling,
+    )
+    return emit(payload, text, args)
 
 
 def cmd_roofline(args: argparse.Namespace) -> str:
-    from repro.gpu.roofline import analyze, render_roofline, summary_table
+    from repro.gpu.roofline import (
+        analyze,
+        machine_balance,
+        render_roofline,
+        summary_table,
+    )
     from repro.gpu.specs import get_gpu
 
     result = InferenceSession(
@@ -207,7 +308,28 @@ def cmd_roofline(args: argparse.Namespace) -> str:
     ).simulate()
     spec = get_gpu(args.gpu)
     points = analyze(result.profile, spec)
-    return render_roofline(points, spec) + "\n\n" + summary_table(points, spec)
+    balance = machine_balance(spec)
+    text = render_roofline(points, spec) + "\n\n" + summary_table(points, spec)
+    payload = result_dict(
+        "roofline",
+        model=result.model.name,
+        gpu=spec.name,
+        plan=result.plan.value,
+        seq_len=args.seq_len,
+        batch=args.batch,
+        machine_balance_flop_per_byte=balance,
+        points=[
+            {
+                "name": p.name,
+                "intensity_flop_per_byte": p.intensity,
+                "performance_flop_per_s": p.performance,
+                "efficiency": p.efficiency,
+                "regime": "memory" if p.intensity < balance else "compute",
+            }
+            for p in points
+        ],
+    )
+    return emit(payload, text, args)
 
 
 def cmd_footprint(args: argparse.Namespace) -> str:
@@ -217,9 +339,17 @@ def cmd_footprint(args: argparse.Namespace) -> str:
     model = _resolve_model(args)
     config = get_model(model) if isinstance(model, str) else model
     rows = []
+    plans = {}
     for plan in ("baseline", "sd", "sdf"):
         fp = inference_footprint(config, seq_len=args.seq_len,
                                  batch=args.batch, plan=plan)
+        plans[plan] = {
+            "weights_bytes": fp.weights,
+            "activations_bytes": fp.activations,
+            "attention_bytes": fp.attention,
+            "intermediates_bytes": fp.intermediates,
+            "total_bytes": fp.total,
+        }
         rows.append([
             plan,
             f"{fp.weights / 1e9:.2f}",
@@ -228,16 +358,18 @@ def cmd_footprint(args: argparse.Namespace) -> str:
             f"{fp.intermediates / 1e9:.3f}",
             f"{fp.total / 1e9:.2f}",
         ])
-    return render_table(
+    text = render_table(
         ["plan", "weights (GB)", "activations (GB)", "attention (GB)",
          "intermediates (GB)", "total (GB)"], rows,
     )
+    payload = result_dict(
+        "footprint", model=config.name, seq_len=args.seq_len,
+        batch=args.batch, plans=plans,
+    )
+    return emit(payload, text, args)
 
 
 def cmd_serve_sim(args: argparse.Namespace) -> str:
-    import json
-    import pathlib
-
     from repro.analysis.serving import render_serving_comparison
     from repro.serving import load_trace, simulate_serving
 
@@ -253,21 +385,40 @@ def cmd_serve_sim(args: argparse.Namespace) -> str:
         chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
         block_tokens=args.block_tokens,
     )
-    document = json.dumps(report.to_json(), indent=2, sort_keys=True)
-    if args.output:
-        pathlib.Path(args.output).write_text(document + "\n")
-        return (render_serving_comparison(report)
-                + f"\n\nwrote {args.output}")
-    if args.table:
-        return render_serving_comparison(report)
-    return document
+    return emit(report.to_dict(), render_serving_comparison(report), args)
+
+
+def cmd_cluster_sim(args: argparse.Namespace) -> str:
+    from repro.analysis.cluster import render_cluster_comparison
+    from repro.cluster import simulate_cluster
+    from repro.gpu.interconnect import NVLINK3, PCIE4
+    from repro.serving import load_trace
+
+    interconnects = {"nvlink3": NVLINK3, "pcie4": PCIE4}
+    requests = None
+    if args.trace_file:
+        requests = load_trace(args.trace_file,
+                              block_tokens=args.block_tokens)
+    report = simulate_cluster(
+        _resolve_model(args), args.gpu,
+        rate=args.rate, duration=args.duration, seed=args.seed,
+        plans=tuple(p.strip() for p in args.plans.split(",")),
+        replicas=args.replicas, tp=args.tp, pp=args.pp,
+        policy=args.policy, algorithm=args.algorithm,
+        interconnect=interconnects[args.interconnect],
+        requests=requests, prefix_groups=args.prefix_groups,
+        chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
+        block_tokens=args.block_tokens,
+    )
+    return emit(report.to_dict(), render_cluster_comparison(report), args)
 
 
 def cmd_verify(args: argparse.Namespace) -> str:
     if args.mode == "targets":
         from repro.analysis.verification import verify_reproduction
 
-        return verify_reproduction(quick=args.quick).render()
+        report = verify_reproduction(quick=args.quick)
+        return emit(report.to_dict(), report.render(), args)
 
     if args.mode == "fuzz":
         from repro.verify import fuzz_family
@@ -286,11 +437,15 @@ def cmd_verify(args: argparse.Namespace) -> str:
         ]
         if any(not report.ok for report in reports):
             args._exit_code = 1
-        return "\n".join(report.render() for report in reports)
+        payload = result_dict(
+            "fuzz-run",
+            ok=all(report.ok for report in reports),
+            families=[report.to_dict() for report in reports],
+        )
+        text = "\n".join(report.render() for report in reports)
+        return emit(payload, text, args)
 
     # mode == "replay"
-    import json
-
     from repro.verify import replay_artifact
 
     if not args.artifact:
@@ -299,25 +454,24 @@ def cmd_verify(args: argparse.Namespace) -> str:
     status = "FAIL" if result.failed else "PASS"
     if result.failed:
         args._exit_code = 1
-    return (f"[{status}] {result.oracle} on "
+    payload = result_dict(
+        "verify-replay",
+        oracle=result.oracle,
+        params=result.params,
+        failed=result.failed,
+        description=result.describe(),
+    )
+    text = (f"[{status}] {result.oracle} on "
             f"{json.dumps(result.params, sort_keys=True)}\n"
             f"  {result.describe()}")
+    return emit(payload, text, args)
 
 
 def cmd_selfbench(args: argparse.Namespace) -> str:
-    import json
-    import pathlib
-
     from repro.analysis.selfperf import run_selfbench
 
     report = run_selfbench(repetitions=args.repetitions, jobs=args.jobs)
-    lines = [report.render()]
-    if args.output:
-        pathlib.Path(args.output).write_text(
-            json.dumps(report.to_json(), indent=2) + "\n"
-        )
-        lines.append(f"\nwrote {args.output}")
-    return "\n".join(lines)
+    return emit(report.to_dict(), report.render(), args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -330,18 +484,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="one inference + breakdown")
     _add_common(p_sim)
     p_sim.add_argument("--plan", default="baseline")
+    _add_output(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_cmp = sub.add_parser("compare", help="baseline vs SD vs SDF")
     _add_common(p_cmp)
+    _add_output(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_brk = sub.add_parser("breakdown", help="Fig. 2 stacks, all models")
     _add_common(p_brk)
+    _add_output(p_brk)
     p_brk.set_defaults(func=cmd_breakdown)
 
     p_lib = sub.add_parser("libraries", help="Fig. 7 library comparison")
     _add_common(p_lib)
+    _add_output(p_lib)
     p_lib.set_defaults(func=cmd_libraries)
 
     p_swp = sub.add_parser("sweep", help="Fig. 9 sweeps")
@@ -352,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (1 = serial; "
                             "results are identical either way)")
+    _add_output(p_swp)
     p_swp.set_defaults(func=cmd_sweep)
 
     p_gen = sub.add_parser("generate", help="prefill + KV-cache decode")
@@ -362,56 +521,87 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--prefill-chunk", type=int, default=0,
                        help="prefill the prompt in chunks of this many "
                             "tokens (0 = single shot)")
+    _add_output(p_gen)
     p_gen.set_defaults(func=cmd_generate)
 
     p_par = sub.add_parser("parallel", help="tensor-parallel scaling")
     _add_common(p_par)
     p_par.add_argument("--plan", default="baseline")
+    p_par.add_argument("--algorithm", choices=("ring", "tree"),
+                       default="ring",
+                       help="all-reduce algorithm for the collectives")
+    _add_output(p_par)
     p_par.set_defaults(func=cmd_parallel)
 
     p_roof = sub.add_parser("roofline", help="roofline analysis")
     _add_common(p_roof)
     p_roof.add_argument("--plan", default="baseline")
+    _add_output(p_roof)
     p_roof.set_defaults(func=cmd_roofline)
 
     p_fp = sub.add_parser("footprint", help="peak memory footprint")
     _add_common(p_fp)
+    _add_output(p_fp)
     p_fp.set_defaults(func=cmd_footprint)
+
+    def add_serving_args(p):
+        p.add_argument("--model", default="bert-large",
+                       help="bert-large | gpt-neo-1.3b | bigbird-large | "
+                            "longformer-large")
+        p.add_argument("--model-json", default=None,
+                       help="path to a custom ModelConfig JSON file "
+                            "(overrides --model)")
+        p.add_argument("--gpu", default="A100",
+                       help="A100 | RTX 3090 | T4 | V100 | H100")
+        p.add_argument("--rate", type=float, default=8.0,
+                       help="Poisson arrival rate, requests/second")
+        p.add_argument("--duration", type=float, default=60.0,
+                       help="arrival-window length, seconds (the run "
+                            "continues until every request drains)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--plans", default="baseline,sdf",
+                       help="comma-separated plans to compare "
+                            "(baseline, sd, sdf)")
+        p.add_argument("--trace-file", default=None,
+                       help="JSONL request trace to replay instead of "
+                            "the synthetic Poisson workload")
+        p.add_argument("--chunk-tokens", type=int, default=512,
+                       help="prefill chunk size / per-step prefill budget")
+        p.add_argument("--max-batch", type=int, default=32,
+                       help="max concurrently running requests")
+        p.add_argument("--block-tokens", type=int, default=64,
+                       help="KV-cache block size, tokens")
 
     p_srv = sub.add_parser("serve-sim",
                            help="discrete-event serving simulation")
-    p_srv.add_argument("--model", default="bert-large",
-                       help="bert-large | gpt-neo-1.3b | bigbird-large | "
-                            "longformer-large")
-    p_srv.add_argument("--model-json", default=None,
-                       help="path to a custom ModelConfig JSON file "
-                            "(overrides --model)")
-    p_srv.add_argument("--gpu", default="A100",
-                       help="A100 | RTX 3090 | T4 | V100 | H100")
-    p_srv.add_argument("--rate", type=float, default=8.0,
-                       help="Poisson arrival rate, requests/second")
-    p_srv.add_argument("--duration", type=float, default=60.0,
-                       help="arrival-window length, seconds (the run "
-                            "continues until every request drains)")
-    p_srv.add_argument("--seed", type=int, default=0)
-    p_srv.add_argument("--plans", default="baseline,sdf",
-                       help="comma-separated plans to compare "
-                            "(baseline, sd, sdf)")
-    p_srv.add_argument("--trace-file", default=None,
-                       help="JSONL request trace to replay instead of "
-                            "the synthetic Poisson workload")
-    p_srv.add_argument("--chunk-tokens", type=int, default=512,
-                       help="prefill chunk size / per-step prefill budget")
-    p_srv.add_argument("--max-batch", type=int, default=32,
-                       help="max concurrently running requests")
-    p_srv.add_argument("--block-tokens", type=int, default=64,
-                       help="KV-cache block size, tokens")
-    p_srv.add_argument("--table", action="store_true",
-                       help="print the comparison table instead of JSON")
-    p_srv.add_argument("--output", default=None,
-                       help="write the JSON report here (prints the "
-                            "table to stdout)")
+    add_serving_args(p_srv)
+    _add_output(p_srv)
     p_srv.set_defaults(func=cmd_serve_sim)
+
+    p_cls = sub.add_parser("cluster-sim",
+                           help="multi-replica sharded cluster simulation")
+    add_serving_args(p_cls)
+    p_cls.add_argument("--replicas", type=int, default=2,
+                       help="model replicas behind the router")
+    p_cls.add_argument("--tp", type=int, default=1,
+                       help="tensor-parallel GPUs per replica")
+    p_cls.add_argument("--pp", type=int, default=1,
+                       help="pipeline-parallel stages per replica")
+    p_cls.add_argument("--policy", default="round-robin",
+                       choices=("round-robin", "least-outstanding",
+                                "prefix-affinity"),
+                       help="request-routing policy")
+    p_cls.add_argument("--algorithm", choices=("ring", "tree"),
+                       default="ring",
+                       help="all-reduce algorithm inside each replica")
+    p_cls.add_argument("--interconnect", choices=("nvlink3", "pcie4"),
+                       default="nvlink3",
+                       help="intra-replica GPU interconnect")
+    p_cls.add_argument("--prefix-groups", type=int, default=0,
+                       help="synthetic shared-prefix groups in the "
+                            "workload (0 = none)")
+    _add_output(p_cls)
+    p_cls.set_defaults(func=cmd_cluster_sim)
 
     p_ver = sub.add_parser(
         "verify",
@@ -435,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fuzz harness seed")
     p_ver.add_argument("--artifact-dir", default=None,
                        help="write failure artifacts into this directory")
+    _add_output(p_ver)
     p_ver.set_defaults(func=cmd_verify)
 
     p_sbn = sub.add_parser("selfbench",
@@ -442,14 +633,13 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(cache + vectorization fast path)")
     p_sbn.add_argument("--repetitions", type=int, default=5)
     p_sbn.add_argument("--jobs", type=int, default=1)
-    p_sbn.add_argument("--output", default=None,
-                       help="optional path for the JSON report")
+    _add_output(p_sbn)
     p_sbn.set_defaults(func=cmd_selfbench)
 
     p_trc = sub.add_parser("trace", help="export a Chrome trace")
     _add_common(p_trc)
     p_trc.add_argument("--plan", default="baseline")
-    p_trc.add_argument("--output", default="trace.json")
+    _add_output(p_trc)
     p_trc.set_defaults(func=cmd_trace)
 
     return parser

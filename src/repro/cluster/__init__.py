@@ -1,0 +1,42 @@
+"""Cluster-scale serving: sharded replicas behind a request router.
+
+Extends the single-node discrete-event serving simulator
+(:mod:`repro.serving`) to a fleet: each replica is a TP×PP GPU group
+priced by :class:`~repro.cluster.costmodel.ShardedStepCostModel`
+(Megatron-sharded step kernels plus ring/tree collective costs), and a
+:class:`~repro.cluster.router.ClusterSimulator` dispatches one arrival
+stream across replicas under a pluggable routing policy.
+"""
+
+from repro.cluster.costmodel import ShardedStepCostModel
+from repro.cluster.metrics import (
+    ClusterPlanReport,
+    ClusterReport,
+    ReplicaReport,
+)
+from repro.cluster.policies import (
+    LeastOutstandingPolicy,
+    POLICIES,
+    PrefixAffinityPolicy,
+    RoundRobinPolicy,
+    RouterPolicy,
+    make_policy,
+)
+from repro.cluster.replica import Replica
+from repro.cluster.router import ClusterSimulator, simulate_cluster
+
+__all__ = [
+    "ShardedStepCostModel",
+    "ClusterPlanReport",
+    "ClusterReport",
+    "ReplicaReport",
+    "LeastOutstandingPolicy",
+    "POLICIES",
+    "PrefixAffinityPolicy",
+    "RoundRobinPolicy",
+    "RouterPolicy",
+    "make_policy",
+    "Replica",
+    "ClusterSimulator",
+    "simulate_cluster",
+]

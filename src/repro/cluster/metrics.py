@@ -1,0 +1,201 @@
+"""Per-replica and cluster-aggregate metrics.
+
+Every replica produces the full single-node
+:class:`~repro.serving.metrics.PlanReport` plus the sharding numbers
+(GPU count, collective time, per-GPU weight bytes).  The cluster
+aggregate recomputes the latency percentiles over the *union* of
+finished requests — percentiles do not compose across shards, so
+averaging per-replica p99s would understate the tail — and sums the
+throughput counters over the cluster makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.metrics import LatencyStats, PlanReport
+
+
+@dataclass(frozen=True)
+class ReplicaReport:
+    """One replica's serving report plus its sharding costs."""
+
+    replica_id: int
+    n_gpus: int
+    report: PlanReport
+    comm_time_s: float
+    weight_bytes_per_gpu: float
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of this replica's busy time spent in collectives."""
+        if self.report.busy_time == 0:
+            return 0.0
+        return self.comm_time_s / self.report.busy_time
+
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict(
+            "cluster-replica",
+            replica_id=self.replica_id,
+            n_gpus=self.n_gpus,
+            comm_time_s=self.comm_time_s,
+            comm_fraction=self.comm_fraction,
+            weight_bytes_per_gpu=self.weight_bytes_per_gpu,
+            **self.report.to_json(),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterPlanReport:
+    """Cluster-wide results of one plan under one routing policy."""
+
+    plan: str
+    policy: str
+    num_requests: int
+    finished: int
+    rejected: int
+    makespan: float
+    steps: int
+    generated_tokens: int
+    prefill_tokens: int
+    ttft: LatencyStats
+    tpot: LatencyStats
+    e2e: LatencyStats
+    throughput_tokens_per_s: float
+    throughput_requests_per_s: float
+    comm_time_s: float
+    comm_fraction: float
+    per_replica: "tuple[ReplicaReport, ...]"
+
+    @classmethod
+    def from_replicas(cls, plan: str, policy: str,
+                      replicas) -> "ClusterPlanReport":
+        """Aggregate finished :class:`~repro.cluster.replica.Replica`
+        states (after the event loop drained) into a report."""
+        reports = []
+        for replica in replicas:
+            single = PlanReport.from_run(
+                plan=plan,
+                requests=replica.requests,
+                memory=replica.memory.stats(),
+                hbm_bytes=replica.n_gpus * replica.cost.gpu.hbm_bytes,
+                makespan=replica.clock,
+                busy_time=replica.busy,
+                steps=replica.steps,
+                prefill_tokens=replica.prefill_tokens,
+                preemption_events=replica.scheduler.preemption_events,
+            )
+            reports.append(ReplicaReport(
+                replica_id=replica.replica_id,
+                n_gpus=replica.n_gpus,
+                report=single,
+                comm_time_s=replica.comm_time,
+                weight_bytes_per_gpu=replica.weight_bytes_per_gpu,
+            ))
+
+        done = [r for replica in replicas for r in replica.requests
+                if r.finish_time is not None]
+        num_requests = sum(len(replica.requests) for replica in replicas)
+        generated = sum(r.generated for r in done)
+        makespan = max((replica.clock for replica in replicas), default=0.0)
+        span = makespan if makespan > 0 else 1.0
+        busy = sum(replica.busy for replica in replicas)
+        comm = sum(replica.comm_time for replica in replicas)
+        return cls(
+            plan=plan,
+            policy=policy,
+            num_requests=num_requests,
+            finished=len(done),
+            rejected=num_requests - len(done),
+            makespan=makespan,
+            steps=sum(replica.steps for replica in replicas),
+            generated_tokens=generated,
+            prefill_tokens=sum(replica.prefill_tokens
+                               for replica in replicas),
+            ttft=LatencyStats.from_values([r.ttft for r in done]),
+            tpot=LatencyStats.from_values([r.tpot for r in done]),
+            e2e=LatencyStats.from_values([r.e2e_latency for r in done]),
+            throughput_tokens_per_s=generated / span,
+            throughput_requests_per_s=len(done) / span,
+            comm_time_s=comm,
+            comm_fraction=comm / busy if busy else 0.0,
+            per_replica=tuple(reports),
+        )
+
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict(
+            "cluster-plan",
+            plan=self.plan,
+            policy=self.policy,
+            num_requests=self.num_requests,
+            finished=self.finished,
+            rejected=self.rejected,
+            makespan_s=self.makespan,
+            steps=self.steps,
+            generated_tokens=self.generated_tokens,
+            prefill_tokens=self.prefill_tokens,
+            ttft_s=self.ttft.to_json(),
+            tpot_s=self.tpot.to_json(),
+            e2e_s=self.e2e.to_json(),
+            throughput_tokens_per_s=self.throughput_tokens_per_s,
+            throughput_requests_per_s=self.throughput_requests_per_s,
+            comm_time_s=self.comm_time_s,
+            comm_fraction=self.comm_fraction,
+            per_replica=[r.to_dict() for r in self.per_replica],
+        )
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Full report of one ``cluster-sim`` invocation."""
+
+    model: str
+    gpu: str
+    rate: float
+    duration: float
+    seed: int
+    replicas: int
+    tp: int
+    pp: int
+    policy: str
+    algorithm: str
+    interconnect: str
+    num_requests: int
+    plans: "dict[str, ClusterPlanReport]"
+
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict(
+            "cluster-report",
+            model=self.model,
+            gpu=self.gpu,
+            rate=self.rate,
+            duration_s=self.duration,
+            seed=self.seed,
+            replicas=self.replicas,
+            tp=self.tp,
+            pp=self.pp,
+            policy=self.policy,
+            algorithm=self.algorithm,
+            interconnect=self.interconnect,
+            num_requests=self.num_requests,
+            plans={name: report.to_dict()
+                   for name, report in self.plans.items()},
+        )
+
+    def speedup(self, baseline: str = "baseline",
+                candidate: str = "sdf") -> float:
+        """Sustained-throughput ratio of ``candidate`` over ``baseline``."""
+        base = self.plans[baseline].throughput_tokens_per_s
+        cand = self.plans[candidate].throughput_tokens_per_s
+        if base == 0:
+            return 0.0
+        return cand / base

@@ -1,0 +1,102 @@
+"""Request-routing policies for the cluster simulator.
+
+The router sees every replica's live state at each arrival and picks
+one.  Three policies cover the standard serving trade-offs:
+
+- **round-robin** — stateless rotation; the baseline every load
+  balancer implements first.
+- **least-outstanding** — join-the-shortest-queue on the token backlog
+  (:attr:`~repro.cluster.replica.Replica.outstanding_tokens`); tracks
+  load imbalance from heavy-tailed prompt/output lengths.
+- **prefix-affinity** — requests sharing a prefix group (conversation
+  or template id) pin to the group's home replica so a real system
+  could reuse cached prefix KV; ungrouped requests fall back to
+  least-outstanding.
+
+Policies are deterministic: ties break on the lowest replica id, and
+all state is seeded by submission order only.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ServingError
+from repro.serving.requests import Request
+
+
+class RouterPolicy:
+    """Chooses a replica index for each arriving request."""
+
+    #: Registry key; subclasses override.
+    name = "base"
+
+    def choose(self, request: Request, replicas) -> int:
+        """Index of the replica ``request`` should run on."""
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RouterPolicy):
+    """Rotate through replicas in arrival order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, request: Request, replicas) -> int:
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+
+class LeastOutstandingPolicy(RouterPolicy):
+    """Join the replica with the smallest token backlog."""
+
+    name = "least-outstanding"
+
+    def choose(self, request: Request, replicas) -> int:
+        return min(range(len(replicas)),
+                   key=lambda i: (replicas[i].outstanding_tokens, i))
+
+
+class PrefixAffinityPolicy(LeastOutstandingPolicy):
+    """Pin each prefix group to a home replica.
+
+    The first request of a group claims the currently least-loaded
+    replica as the group's home; every later request of that group
+    follows it.  Requests without a group route least-outstanding.
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self) -> None:
+        self._home: "dict[int, int]" = {}
+
+    def choose(self, request: Request, replicas) -> int:
+        group = request.prefix_group
+        if group is None:
+            return super().choose(request, replicas)
+        home = self._home.get(group)
+        if home is None:
+            home = super().choose(request, replicas)
+            self._home[group] = home
+        return home
+
+
+#: Policy registry: name -> class.  Fresh instance per simulation run
+#: (policies carry routing state).
+POLICIES = {
+    cls.name: cls
+    for cls in (RoundRobinPolicy, LeastOutstandingPolicy,
+                PrefixAffinityPolicy)
+}
+
+
+def make_policy(name: "str | RouterPolicy") -> RouterPolicy:
+    """Instantiate a registered policy by name (or pass one through)."""
+    if isinstance(name, RouterPolicy):
+        return name
+    cls = POLICIES.get(name)
+    if cls is None:
+        known = ", ".join(sorted(POLICIES))
+        raise ServingError(f"unknown router policy {name!r}; known: {known}")
+    return cls()

@@ -1,0 +1,121 @@
+"""One serving replica: a TP×PP GPU group with its own engine state.
+
+A replica owns the full single-node serving stack — a
+:class:`~repro.cluster.costmodel.ShardedStepCostModel`, a paged
+:class:`~repro.serving.memory.KVBlockManager` sized for the whole GPU
+group (weights shard, per-GPU reserve replicates), and a
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler` — plus a
+private clock.  The cluster router interleaves replica steps in global
+time order; each replica's clock reads "when this replica is next
+free", so a request submitted to an idle replica starts immediately
+while one submitted mid-step queues until the step completes.
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import DType
+from repro.core.plan import AttentionPlan
+from repro.gpu.interconnect import InterconnectSpec, NVLINK3
+from repro.gpu.specs import GPUSpec
+from repro.models.config import ModelConfig
+from repro.models.footprint import weight_bytes
+from repro.serving.memory import KVBlockManager
+from repro.serving.requests import Request
+from repro.serving.scheduler import ContinuousBatchingScheduler
+
+
+class Replica:
+    """One model replica inside a cluster simulation."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        model: ModelConfig,
+        gpu: GPUSpec,
+        *,
+        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        dtype: DType = DType.FP16,
+        tp: int = 1,
+        pp: int = 1,
+        interconnect: InterconnectSpec = NVLINK3,
+        algorithm: str = "ring",
+        chunk_tokens: int = 512,
+        max_batch: int = 32,
+        block_tokens: int = 64,
+        reserve_fraction: float = 0.1,
+        t: int = 64,
+    ) -> None:
+        from repro.cluster.costmodel import ShardedStepCostModel
+
+        self.replica_id = replica_id
+        self.cost = ShardedStepCostModel(
+            model, gpu, plan=plan, dtype=dtype, t=t, tp=tp, pp=pp,
+            interconnect=interconnect, algorithm=algorithm,
+        )
+        self.memory = KVBlockManager.for_model(
+            model, gpu, block_tokens=block_tokens, dtype=dtype,
+            reserve_fraction=reserve_fraction, n_gpus=tp * pp,
+        )
+        self.scheduler = ContinuousBatchingScheduler(
+            self.memory, chunk_tokens=chunk_tokens, max_batch=max_batch,
+        )
+        #: Time this replica is next free (end of its in-flight step).
+        self.clock = 0.0
+        self.busy = 0.0
+        self.comm_time = 0.0
+        self.steps = 0
+        self.prefill_tokens = 0
+        #: Every request ever routed here, in submission order.
+        self.requests: "list[Request]" = []
+
+    @property
+    def n_gpus(self) -> int:
+        """GPUs in this replica's group."""
+        return self.cost.n_gpus
+
+    @property
+    def weight_bytes_per_gpu(self) -> float:
+        """Sharded parameter footprint per GPU."""
+        return weight_bytes(self.cost.model, self.cost.dtype) / self.n_gpus
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any routed request is still unfinished on-device."""
+        return self.scheduler.has_work
+
+    @property
+    def outstanding_tokens(self) -> int:
+        """Remaining prefill + decode tokens across unfinished requests.
+
+        The router's load signal: the total token work this replica
+        still owes, regardless of admission state.
+        """
+        return sum(
+            (r.prefill_target - r.prefilled) + (r.output_len - r.generated)
+            for r in self.requests if r.finish_time is None
+        )
+
+    def submit(self, request: Request, now: float) -> None:
+        """Route ``request`` here; it arrives at global time ``now``."""
+        # An idle replica fast-forwards to the arrival; a busy one
+        # keeps its in-flight step's completion time.
+        self.clock = max(self.clock, now)
+        self.requests.append(request)
+        self.scheduler.submit(request)
+
+    def step(self) -> bool:
+        """Run one engine step; returns False when nothing is runnable."""
+        step = self.scheduler.schedule(self.clock)
+        if step.is_empty:
+            return False
+        total, comm = self.cost.step_cost(
+            prefill=[(chunk, kv) for _, chunk, kv in step.prefill],
+            decode_kv=[kv for _, kv in step.decode],
+        )
+        self.clock += total
+        self.busy += total
+        self.comm_time += comm
+        self.steps += 1
+        self.prefill_tokens += sum(c for _, c, _ in step.prefill)
+        self.scheduler.complete_step(step, self.clock)
+        return True

@@ -1,0 +1,192 @@
+"""Cluster-level event loop: route a request stream across replicas.
+
+The cluster simulator runs N independent replica engines against one
+arrival stream.  Global ordering is the only subtlety: a routing
+policy must see each replica's state *as of the request's arrival
+time*, so the loop interleaves two event kinds in time order —
+
+- **arrival** — when the next arrival time is no later than every
+  active replica's clock, the router dispatches it (every replica's
+  visible state is final as of that instant);
+- **replica step** — otherwise the replica with the earliest clock
+  steps, because no earlier event can change what it would do.
+
+Ties break toward dispatching arrivals, then toward the lowest replica
+id, so a fixed (stream, policy) pair always yields a byte-identical
+report — the same determinism contract the single-node simulator
+keeps.
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import DType
+from repro.common.errors import ServingError
+from repro.core.plan import AttentionPlan
+from repro.gpu.interconnect import InterconnectSpec, NVLINK3
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.models.config import ModelConfig, get_model
+from repro.cluster.metrics import ClusterPlanReport, ClusterReport
+from repro.cluster.policies import RouterPolicy, make_policy
+from repro.cluster.replica import Replica
+from repro.serving.requests import Request, ServingWorkload
+
+
+class ClusterSimulator:
+    """Replay one request stream through a replicated, sharded cluster.
+
+    ``run`` operates on private copies of the requests, so one stream
+    can be replayed under several plans and policies.
+    """
+
+    def __init__(
+        self,
+        model: "ModelConfig | str",
+        gpu: "GPUSpec | str",
+        *,
+        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        requests: "list[Request]",
+        replicas: int = 2,
+        tp: int = 1,
+        pp: int = 1,
+        policy: "str | RouterPolicy" = "round-robin",
+        interconnect: InterconnectSpec = NVLINK3,
+        algorithm: str = "ring",
+        dtype: DType = DType.FP16,
+        chunk_tokens: int = 512,
+        max_batch: int = 32,
+        block_tokens: int = 64,
+        reserve_fraction: float = 0.1,
+        t: int = 64,
+        max_steps: int = 2_000_000,
+    ) -> None:
+        if replicas < 1:
+            raise ServingError(f"need at least one replica, got {replicas}")
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.plan = AttentionPlan.from_name(plan)
+        self.policy_name = (policy.name if isinstance(policy, RouterPolicy)
+                            else policy)
+        self._policy_arg = policy
+        self.max_steps = max_steps
+        self._requests = sorted(requests,
+                                key=lambda r: (r.arrival_time, r.request_id))
+        self._replica_kwargs = dict(
+            plan=self.plan, dtype=dtype, tp=tp, pp=pp,
+            interconnect=interconnect, algorithm=algorithm,
+            chunk_tokens=chunk_tokens, max_batch=max_batch,
+            block_tokens=block_tokens, reserve_fraction=reserve_fraction,
+            t=t,
+        )
+        self.num_replicas = replicas
+
+    def run(self) -> ClusterPlanReport:
+        """Simulate the stream to completion and aggregate metrics."""
+        policy = make_policy(self._policy_arg)
+        replicas = [
+            Replica(i, self.model, self.gpu, **self._replica_kwargs)
+            for i in range(self.num_replicas)
+        ]
+        # Fresh copies: replica schedulers mutate request state, and
+        # run() must be repeatable.
+        stream = [
+            Request(request_id=r.request_id, arrival_time=r.arrival_time,
+                    prompt_len=r.prompt_len, output_len=r.output_len,
+                    prefix_group=r.prefix_group)
+            for r in self._requests
+        ]
+        next_arrival = 0
+        total_steps = 0
+
+        while True:
+            active = [r for r in replicas if r.has_work]
+            if next_arrival < len(stream):
+                arrival = stream[next_arrival]
+                # Dispatch once no active replica can still change
+                # state before the arrival instant.
+                frontier = min((r.clock for r in active), default=None)
+                if frontier is None or arrival.arrival_time <= frontier:
+                    index = policy.choose(arrival, replicas)
+                    if not 0 <= index < len(replicas):
+                        raise ServingError(
+                            f"policy {self.policy_name!r} chose replica "
+                            f"{index} of {len(replicas)}"
+                        )
+                    replicas[index].submit(arrival, arrival.arrival_time)
+                    next_arrival += 1
+                    continue
+            if not active:
+                break
+            replica = min(active, key=lambda r: (r.clock, r.replica_id))
+            if not replica.step():
+                raise ServingError(
+                    f"replica {replica.replica_id} stalled with work "
+                    f"outstanding"
+                )
+            total_steps += 1
+            if total_steps > self.max_steps:
+                raise ServingError(
+                    f"cluster simulation exceeded {self.max_steps} steps; "
+                    f"lower the rate or duration"
+                )
+
+        return ClusterPlanReport.from_replicas(
+            self.plan.value, self.policy_name, replicas)
+
+
+def simulate_cluster(
+    model: "ModelConfig | str",
+    gpu: "GPUSpec | str",
+    *,
+    rate: float = 8.0,
+    duration: float = 30.0,
+    seed: int = 0,
+    plans: "tuple[AttentionPlan | str, ...]" = ("baseline", "sdf"),
+    replicas: int = 2,
+    tp: int = 1,
+    pp: int = 1,
+    policy: str = "round-robin",
+    algorithm: str = "ring",
+    interconnect: InterconnectSpec = NVLINK3,
+    requests: "list[Request] | None" = None,
+    prefix_groups: int = 0,
+    **engine_kwargs,
+) -> ClusterReport:
+    """Run one workload through the cluster under several plans.
+
+    Each plan replays the *same* request stream with a fresh policy
+    instance and fresh replicas, so plan comparisons differ only in
+    the attention plan.  Extra keyword arguments reach
+    :class:`ClusterSimulator` (``chunk_tokens``, ``max_batch``, ...).
+    """
+    model = get_model(model) if isinstance(model, str) else model
+    gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    if requests is None:
+        block_tokens = engine_kwargs.get("block_tokens", 64)
+        requests = ServingWorkload(
+            rate=rate, duration=duration, seed=seed,
+            block_tokens=block_tokens, prefix_groups=prefix_groups,
+        ).requests()
+    reports = {}
+    for plan in plans:
+        plan = AttentionPlan.from_name(plan)
+        sim = ClusterSimulator(
+            model, gpu, plan=plan, requests=requests, replicas=replicas,
+            tp=tp, pp=pp, policy=policy, interconnect=interconnect,
+            algorithm=algorithm, **engine_kwargs,
+        )
+        reports[plan.value] = sim.run()
+    return ClusterReport(
+        model=model.name,
+        gpu=gpu.name,
+        rate=rate,
+        duration=duration,
+        seed=seed,
+        replicas=replicas,
+        tp=tp,
+        pp=pp,
+        policy=policy if isinstance(policy, str) else policy.name,
+        algorithm=algorithm,
+        interconnect=interconnect.name,
+        num_requests=len(requests),
+        plans=reports,
+    )

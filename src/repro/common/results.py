@@ -1,0 +1,29 @@
+"""The versioned result-document contract.
+
+Every CLI subcommand and result dataclass serializes through one
+schema: a JSON object carrying ``schema: "repro.result/v1"`` plus a
+``kind`` discriminator, so downstream tooling can route any artifact
+the library emits without sniffing its shape.  Result dataclasses
+implement ``to_dict()`` on top of :func:`result_dict`; the CLI's
+``emit`` helper prints or writes whatever ``to_dict`` returns.
+
+The version suffix is bumped only on breaking changes to an existing
+kind's fields; adding fields or kinds is backward compatible within
+``v1``.
+"""
+
+from __future__ import annotations
+
+#: Schema tag stamped on every result document.
+RESULT_SCHEMA = "repro.result/v1"
+
+
+def result_dict(kind: str, **fields) -> "dict[str, object]":
+    """A JSON-ready result document of the given ``kind``.
+
+    >>> result_dict("inference", model="BERT-large")["schema"]
+    'repro.result/v1'
+    """
+    document: "dict[str, object]" = {"schema": RESULT_SCHEMA, "kind": kind}
+    document.update(fields)
+    return document

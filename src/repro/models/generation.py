@@ -67,9 +67,15 @@ def attention_step_kernels(
     plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
     t: int = 64,
     prefix: str = "dec",
+    tp_shards: int = 1,
 ) -> list:
     """Attention kernels of one layer step: ``m_tokens`` query rows
     against ``kv_len`` cached keys/values.
+
+    With ``tp_shards > 1`` the kernels are the *per-GPU* work of a
+    Megatron tensor-parallel group: each shard runs the identical
+    pipeline over ``H / tp_shards`` heads (the collectives are charged
+    separately by the caller).
 
     Plan-aware for the rectangular chunked-prefill shapes
     (``m_tokens > 1``): the decomposition plans replace the monolithic
@@ -82,7 +88,8 @@ def attention_step_kernels(
     the monolithic kernel under every plan.
     """
     plan = AttentionPlan.from_name(plan)
-    heads, d_head = model.num_heads, model.d_head
+    _check_tp_shards(model, tp_shards)
+    heads, d_head = model.num_heads // tp_shards, model.d_head
     spec = model.layer_attention(layer)
     if spec.kind is AttentionKind.LOCAL_CAUSAL:
         attend_len = min(kv_len, spec.window + m_tokens - 1)
@@ -160,6 +167,7 @@ def layer_step_kernels(
     plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
     t: int = 64,
     prefix: str = "dec",
+    tp_shards: int = 1,
 ) -> list:
     """Kernel launches of one layer processing ``m_tokens`` new queries
     against ``kv_len`` cached keys/values.
@@ -168,17 +176,35 @@ def layer_step_kernels(
     the weights); ``m_tokens = C`` is one chunked-prefill step
     (rectangular ``C x kv_len`` attention).  Shared by
     :class:`GenerationSession` and the serving simulator's step cost
-    model (:mod:`repro.serving.costmodel`).
+    model (:mod:`repro.serving.costmodel`).  ``tp_shards`` selects one
+    tensor-parallel GPU's share of the layer (collectives excluded).
     """
     pre, post = mlp_step_kernels(model, m_tokens=m_tokens, batch=batch,
-                                 dtype=dtype, prefix=prefix)
+                                 dtype=dtype, prefix=prefix,
+                                 tp_shards=tp_shards)
     return [
         *pre,
         *attention_step_kernels(model, layer, m_tokens=m_tokens,
                                 kv_len=kv_len, batch=batch, dtype=dtype,
-                                plan=plan, t=t, prefix=prefix),
+                                plan=plan, t=t, prefix=prefix,
+                                tp_shards=tp_shards),
         *post,
     ]
+
+
+def _check_tp_shards(model: ModelConfig, tp_shards: int) -> None:
+    """Validate that ``model`` shards across ``tp_shards`` GPUs."""
+    require_positive("tp_shards", tp_shards)
+    if model.num_heads % tp_shards != 0:
+        raise ConfigError(
+            f"{model.name}: {model.num_heads} heads do not shard "
+            f"across {tp_shards} GPUs"
+        )
+    if model.d_ff % tp_shards != 0:
+        raise ConfigError(
+            f"{model.name}: d_ff={model.d_ff} does not shard across "
+            f"{tp_shards} GPUs"
+        )
 
 
 def mlp_step_kernels(
@@ -188,6 +214,7 @@ def mlp_step_kernels(
     batch: int = 1,
     dtype: DType = DType.FP16,
     prefix: str = "dec",
+    tp_shards: int = 1,
 ) -> tuple[list, list]:
     """The non-attention kernels of one layer step, as
     ``(before_attention, after_attention)`` lists.
@@ -196,8 +223,18 @@ def mlp_step_kernels(
     in a continuous-batching engine they run once over the step's
     *combined* token batch, which is why the serving cost model prices
     them separately from the per-request attention kernels.
+
+    With ``tp_shards > 1`` the kernels carry one GPU's share of a
+    Megatron tensor-parallel layer: Q/K/V and FC1 are column-parallel
+    (full ``d_model`` in, ``1/n`` slice out), out-proj and FC2 are
+    row-parallel, LayerNorm/residual replicate, and the KV-cache
+    append writes only the shard's heads.  The two per-layer
+    hidden-state all-reduces are *not* included — the caller charges
+    them through :mod:`repro.gpu.interconnect`.
     """
+    _check_tp_shards(model, tp_shards)
     d, dff = model.d_model, model.d_ff
+    ds, dffs = d // tp_shards, dff // tp_shards
     m = m_tokens
 
     def fc(n, k, name, category):
@@ -207,19 +244,20 @@ def mlp_step_kernels(
                             category=category)
 
     pre = [
-        fc(d, d, f"{prefix}_q_proj", CATEGORY.FC),
-        fc(d, d, f"{prefix}_k_proj", CATEGORY.FC),
-        fc(d, d, f"{prefix}_v_proj", CATEGORY.FC),
-        # KV-cache append: write this step's K and V rows.
-        _CacheAppendKernel(batch * 2 * m * d, dtype),
+        fc(ds, d, f"{prefix}_q_proj", CATEGORY.FC),
+        fc(ds, d, f"{prefix}_k_proj", CATEGORY.FC),
+        fc(ds, d, f"{prefix}_v_proj", CATEGORY.FC),
+        # KV-cache append: write this step's K and V rows (this
+        # shard's heads only).
+        _CacheAppendKernel(batch * 2 * m * ds, dtype),
     ]
     post = [
-        fc(d, d, f"{prefix}_out_proj", CATEGORY.FC),
+        fc(d, ds, f"{prefix}_out_proj", CATEGORY.FC),
         ResidualAddKernel(batch * m * d, dtype=dtype),
         LayerNormKernel(batch * m, d, dtype=dtype),
-        fc(dff, d, f"{prefix}_ff1", CATEGORY.FEEDFORWARD),
-        AddBiasGeluKernel(batch * m * dff, dtype=dtype),
-        fc(d, dff, f"{prefix}_ff2", CATEGORY.FEEDFORWARD),
+        fc(dffs, d, f"{prefix}_ff1", CATEGORY.FEEDFORWARD),
+        AddBiasGeluKernel(batch * m * dffs, dtype=dtype),
+        fc(d, dffs, f"{prefix}_ff2", CATEGORY.FEEDFORWARD),
         ResidualAddKernel(batch * m * d, dtype=dtype),
         LayerNormKernel(batch * m, d, dtype=dtype),
     ]
@@ -274,6 +312,27 @@ class GenerationResult:
     def kv_cache_fraction(self) -> float:
         """KV cache size as a fraction of the device memory."""
         return self.kv_cache_bytes / self.gpu.hbm_bytes
+
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict(
+            "generation",
+            model=self.model.name,
+            gpu=self.gpu.name,
+            plan=self.plan.value,
+            prompt_len=self.prompt_len,
+            generated_tokens=self.generated_tokens,
+            batch=self.batch,
+            prefill_time_s=self.prefill_time,
+            decode_time_s=self.decode_time,
+            total_time_s=self.total_time,
+            time_per_token_s=self.time_per_token,
+            tokens_per_second=self.tokens_per_second,
+            kv_cache_bytes=self.kv_cache_bytes,
+            kv_cache_fraction=self.kv_cache_fraction,
+        )
 
 
 class GenerationSession:

@@ -19,7 +19,12 @@ from repro.common.errors import ConfigError
 from repro.common.validation import require_positive
 from repro.core.plan import AttentionPlan
 from repro.gpu.device import Device
-from repro.gpu.interconnect import InterconnectSpec, NVLINK3, allreduce_time
+from repro.gpu.interconnect import (
+    InterconnectSpec,
+    NVLINK3,
+    allreduce_time,
+    point_to_point_time,
+)
 from repro.gpu.profiler import KernelRecord, Profile
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
@@ -36,6 +41,8 @@ class TensorParallelResult:
     result: InferenceResult
     n_gpus: int
     interconnect: InterconnectSpec
+    #: All-reduce algorithm the collectives were charged with.
+    algorithm: str = "ring"
 
     @property
     def total_time(self) -> float:
@@ -51,6 +58,25 @@ class TensorParallelResult:
     def comm_fraction(self) -> float:
         """Fraction of latency spent communicating."""
         return self.comm_time / self.total_time
+
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict(
+            "tensor-parallel",
+            model=self.result.model.name,
+            gpu=self.result.gpu.name,
+            plan=self.result.plan.value,
+            seq_len=self.result.seq_len,
+            batch=self.result.batch,
+            n_gpus=self.n_gpus,
+            interconnect=self.interconnect.name,
+            algorithm=self.algorithm,
+            total_time_s=self.total_time,
+            comm_time_s=self.comm_time,
+            comm_fraction=self.comm_fraction,
+        )
 
 
 class TensorParallelSession:
@@ -75,6 +101,7 @@ class TensorParallelSession:
         batch: int = 1,
         dtype: DType = DType.FP16,
         t: int = 64,
+        algorithm: str = "ring",
     ) -> None:
         require_positive("n_gpus", n_gpus)
         self.model = get_model(model) if isinstance(model, str) else model
@@ -96,6 +123,7 @@ class TensorParallelSession:
         self.batch = batch
         self.dtype = dtype
         self.t = t
+        self.algorithm = algorithm
 
     def _layer_kernels(self, layer: int):
         """One layer's per-GPU kernels with the Megatron shapes.
@@ -149,7 +177,8 @@ class TensorParallelSession:
         profile = Profile()
         hidden_bytes = (self.batch * self.seq_len * self.model.d_model
                         * self.dtype.nbytes)
-        comm = allreduce_time(self.interconnect, hidden_bytes, self.n_gpus)
+        comm = allreduce_time(self.interconnect, hidden_bytes, self.n_gpus,
+                              algorithm=self.algorithm)
 
         layer_of_spec = {
             self.model.layer_attention(layer): layer
@@ -185,6 +214,7 @@ class TensorParallelSession:
             ),
             n_gpus=self.n_gpus,
             interconnect=self.interconnect,
+            algorithm=self.algorithm,
         )
 
 
@@ -217,6 +247,21 @@ class PipelineParallelResult:
     def throughput_efficiency(self) -> float:
         """Useful fraction of device-time (1 - bubble, ignoring comm)."""
         return 1.0 - self.bubble_fraction
+
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict(
+            "pipeline-parallel",
+            n_stages=self.n_stages,
+            microbatches=self.microbatches,
+            stage_time_s=self.stage_time,
+            comm_per_boundary_s=self.comm_per_boundary,
+            bubble_fraction=self.bubble_fraction,
+            total_time_s=self.total_time,
+            throughput_efficiency=self.throughput_efficiency,
+        )
 
 
 class PipelineParallelSession:
@@ -281,8 +326,7 @@ class PipelineParallelSession:
         stage_time = one_microbatch.total_time / self.n_stages
         activation_bytes = (micro * self.seq_len * self.model.d_model
                             * self.dtype.nbytes)
-        comm = (activation_bytes / self.interconnect.link_bandwidth
-                + self.interconnect.hop_latency)
+        comm = point_to_point_time(self.interconnect, activation_bytes)
         return PipelineParallelResult(
             stage_time=stage_time,
             n_stages=self.n_stages,

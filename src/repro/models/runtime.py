@@ -84,6 +84,30 @@ class InferenceResult:
         )
         return footprint.total / self.gpu.hbm_bytes
 
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``).
+
+        Carries the headline numbers and the per-category breakdowns;
+        the kernel-level profile is exported separately by
+        :func:`repro.gpu.trace.to_chrome_trace`.
+        """
+        from repro.common.results import result_dict
+
+        return result_dict(
+            "inference",
+            model=self.model.name,
+            gpu=self.gpu.name,
+            plan=self.plan.value,
+            seq_len=self.seq_len,
+            batch=self.batch,
+            total_time_s=self.total_time,
+            total_dram_bytes=float(self.total_dram_bytes),
+            offchip_energy_j=self.offchip_energy,
+            softmax_time_fraction=self.softmax_time_fraction(),
+            time_breakdown_s=self.time_breakdown(),
+            traffic_breakdown_bytes=self.traffic_breakdown(),
+        )
+
     def layer_summary(self) -> list[tuple[str, int, float, float]]:
         """Per-layer-group rows: (label, layer count, per-layer latency
         seconds, share of total time)."""

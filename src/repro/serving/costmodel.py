@@ -25,7 +25,11 @@ from repro.core.plan import AttentionPlan
 from repro.gpu.device import Device
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
-from repro.models.generation import attention_step_kernels, mlp_step_kernels
+from repro.models.generation import (
+    _check_tp_shards,
+    attention_step_kernels,
+    mlp_step_kernels,
+)
 
 #: Plans the serving simulator supports: the paper's headline
 #: comparison.  The related-work plans (online/turbo/flash/fused-mha)
@@ -54,6 +58,7 @@ class StepCostModel:
         dtype: DType = DType.FP16,
         t: int = 64,
         kv_bucket: int = 64,
+        tp_shards: int = 1,
     ) -> None:
         self.model = get_model(model) if isinstance(model, str) else model
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
@@ -67,6 +72,12 @@ class StepCostModel:
         self.dtype = dtype
         self.t = t
         self.kv_bucket = kv_bucket
+        #: Tensor-parallel shards the kernels are sized for (1 = the
+        #: whole model on one GPU).  Collectives are *not* priced here
+        #: — :class:`repro.cluster.costmodel.ShardedStepCostModel`
+        #: composes them on top.
+        _check_tp_shards(self.model, tp_shards)
+        self.tp_shards = tp_shards
         self._device = Device(self.gpu)
         # One representative layer index per distinct attention spec.
         layer_of_spec = {
@@ -91,7 +102,8 @@ class StepCostModel:
         cached = self._mlp_cache.get(m_tokens)
         if cached is None:
             pre, post = mlp_step_kernels(self.model, m_tokens=m_tokens,
-                                         dtype=self.dtype, prefix="step")
+                                         dtype=self.dtype, prefix="step",
+                                         tp_shards=self.tp_shards)
             cached = self._simulate(pre + post)
             self._mlp_cache[m_tokens] = cached
         return cached
@@ -104,6 +116,7 @@ class StepCostModel:
             cached = self._simulate(attention_step_kernels(
                 self.model, layer, m_tokens=m_tokens, kv_len=kv_len,
                 dtype=self.dtype, plan=self.plan, t=self.t, prefix="step",
+                tp_shards=self.tp_shards,
             ))
             self._attn_cache[key] = cached
         return cached

@@ -98,20 +98,29 @@ class KVBlockManager:
         block_tokens: int = 64,
         dtype: DType = DType.FP16,
         reserve_fraction: float = 0.1,
+        n_gpus: int = 1,
     ) -> "KVBlockManager":
         """KV pool for ``model`` on ``gpu``: HBM minus weights minus an
-        activation reserve (``reserve_fraction`` of HBM)."""
+        activation reserve (``reserve_fraction`` of HBM).
+
+        ``n_gpus`` sizes the pool for a tensor/pipeline-parallel group:
+        the weights shard across the group while the per-GPU reserve
+        replicates, so the pool is ``n_gpus * hbm - weights -
+        n_gpus * reserve``.
+        """
+        require_positive("n_gpus", n_gpus)
         if not 0 <= reserve_fraction < 1:
             raise ServingError(
                 f"reserve_fraction must be in [0, 1), got {reserve_fraction}"
             )
         reserved = weight_bytes(model, dtype) + int(
-            gpu.hbm_bytes * reserve_fraction)
-        capacity = gpu.hbm_bytes - reserved
+            n_gpus * gpu.hbm_bytes * reserve_fraction)
+        capacity = n_gpus * gpu.hbm_bytes - reserved
         if capacity <= 0:
             raise ServingError(
                 f"{model.name} weights plus reserve ({reserved / 1e9:.2f} "
-                f"GB) exceed the {gpu.name}'s {gpu.hbm_bytes / 1e9:.2f} GB"
+                f"GB) exceed {n_gpus}x {gpu.name}'s "
+                f"{gpu.hbm_bytes / 1e9:.2f} GB"
             )
         bytes_per_token = 2 * model.num_layers * model.d_model * dtype.nbytes
         return cls(capacity_bytes=capacity, block_tokens=block_tokens,

@@ -60,6 +60,10 @@ class LatencyStats:
         return {"mean": self.mean, "p50": self.p50,
                 "p95": self.p95, "p99": self.p99}
 
+    #: Latency summaries nest inside larger documents; the versioned
+    #: envelope lives on the enclosing report.
+    to_dict = to_json
+
 
 @dataclass(frozen=True)
 class PlanReport:
@@ -157,6 +161,12 @@ class PlanReport:
             "kv_peak_fraction": self.kv_peak_fraction,
         }
 
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict("serving-plan", **self.to_json())
+
 
 @dataclass(frozen=True)
 class ServingReport:
@@ -183,6 +193,12 @@ class ServingReport:
             "plans": {name: report.to_json()
                       for name, report in self.plans.items()},
         }
+
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict("serving-report", **self.to_json())
 
     def speedup(self, baseline: str = "baseline",
                 candidate: str = "sdf") -> float:

@@ -52,6 +52,9 @@ class Request:
     arrival_time: float
     prompt_len: int
     output_len: int
+    #: Shared-prefix group (conversation/template id) for affinity
+    #: routing; ``None`` when the workload has no prefix structure.
+    prefix_group: "int | None" = None
 
     # -- runtime state, owned by the scheduler --------------------------
     status: RequestStatus = RequestStatus.WAITING
@@ -147,12 +150,17 @@ class ServingWorkload:
         mean_output: int = 64,
         max_output: int = 0,
         block_tokens: int = 64,
+        prefix_groups: int = 0,
     ) -> None:
         require_positive("rate", rate)
         require_positive("duration", duration)
         require_positive("max_prompt", max_prompt)
         require_positive("mean_output", mean_output)
         require_positive("block_tokens", block_tokens)
+        if prefix_groups < 0:
+            raise ServingError(
+                f"prefix_groups must be >= 0, got {prefix_groups}"
+            )
         if max_prompt % block_tokens != 0:
             raise ServingError(
                 f"max_prompt {max_prompt} not a multiple of the KV block "
@@ -165,6 +173,7 @@ class ServingWorkload:
         self.mean_output = mean_output
         self.max_output = max_output or 4 * mean_output
         self.block_tokens = block_tokens
+        self.prefix_groups = prefix_groups
 
     def requests(self) -> list[Request]:
         """The request stream, sorted by arrival time."""
@@ -186,12 +195,19 @@ class ServingWorkload:
             out_rng.geometric(1.0 / self.mean_output, size=len(arrivals)),
             self.max_output,
         )
+        if self.prefix_groups:
+            group_rng = np.random.default_rng((self.seed, 0x9F1C))
+            groups = group_rng.integers(
+                0, self.prefix_groups, size=len(arrivals))
+        else:
+            groups = None
         return [
             Request(
                 request_id=i,
                 arrival_time=float(arrivals[i]),
                 prompt_len=_round_up(int(prompts[i]), self.block_tokens),
                 output_len=int(outputs[i]),
+                prefix_group=int(groups[i]) if groups is not None else None,
             )
             for i in range(len(arrivals))
         ]

@@ -91,7 +91,8 @@ class ServingSimulator:
         # must be repeatable.
         stream = [
             Request(request_id=r.request_id, arrival_time=r.arrival_time,
-                    prompt_len=r.prompt_len, output_len=r.output_len)
+                    prompt_len=r.prompt_len, output_len=r.output_len,
+                    prefix_group=r.prefix_group)
             for r in self._requests
         ]
         clock = 0.0

@@ -109,6 +109,32 @@ class FuzzReport:
                 lines.append(f"    artifact: {failure.artifact_path}")
         return "\n".join(lines)
 
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict(
+            "fuzz-report",
+            family=self.family,
+            cases=self.cases,
+            seed=self.seed,
+            oracles=list(self.oracles),
+            runs=self.runs,
+            ok=self.ok,
+            elapsed_s=self.elapsed_s,
+            failures=[
+                {
+                    "oracle": f.oracle,
+                    "family": f.family,
+                    "seed": f.seed,
+                    "shrink_steps": f.shrink_steps,
+                    "shrunk_params": f.shrunk_params,
+                    "artifact_path": f.artifact_path,
+                }
+                for f in self.failures
+            ],
+        )
+
 
 def run_case(oracle: OracleSpec, case: Case) -> CaseResult:
     """One differential run: candidate vs reference plus invariants."""

@@ -109,8 +109,9 @@ class TestCLI:
     def test_serve_sim_json(self, capsys):
         out = run_cli(capsys, "serve-sim", "--model", "bert-large",
                       "--gpu", "a100", "--rate", "4", "--duration", "4",
-                      "--seed", "0")
+                      "--seed", "0", "--json")
         report = json.loads(out)
+        assert report["schema"] == "repro.result/v1"
         assert report["model"] == "BERT-large"
         assert set(report["plans"]) == {"baseline", "sdf"}
         for plan in report["plans"].values():
@@ -126,7 +127,7 @@ class TestCLI:
 
     def test_serve_sim_table(self, capsys):
         out = run_cli(capsys, "serve-sim", "--rate", "4",
-                      "--duration", "4", "--table")
+                      "--duration", "4")
         assert "TTFT p50/p99" in out
         assert "sdf over baseline" in out
 
@@ -144,10 +145,38 @@ class TestCLI:
             '{"arrival_time": 0.2, "prompt_len": 512, "output_len": 4}\n'
         )
         out = run_cli(capsys, "serve-sim", "--trace-file", str(path),
-                      "--plans", "sdf")
+                      "--plans", "sdf", "--json")
         report = json.loads(out)
         assert report["num_requests"] == 2
         assert list(report["plans"]) == ["sdf"]
+
+    def test_cluster_sim_json(self, capsys):
+        out = run_cli(capsys, "cluster-sim", "--model", "bert-large",
+                      "--gpu", "a100", "--rate", "2", "--duration", "3",
+                      "--seed", "0", "--replicas", "2", "--tp", "2",
+                      "--policy", "least-outstanding", "--plans", "sdf",
+                      "--json")
+        report = json.loads(out)
+        assert report["schema"] == "repro.result/v1"
+        assert report["kind"] == "cluster-report"
+        assert report["replicas"] == 2 and report["tp"] == 2
+        plan = report["plans"]["sdf"]
+        assert len(plan["per_replica"]) == 2
+        assert plan["comm_time_s"] > 0
+        assert "p99" in plan["ttft_s"]
+        assert plan["finished"] + plan["rejected"] == plan["num_requests"]
+
+    def test_cluster_sim_table(self, capsys):
+        out = run_cli(capsys, "cluster-sim", "--rate", "2",
+                      "--duration", "3", "--plans", "baseline,sdf")
+        assert "per replica" in out
+        assert "sdf over baseline" in out
+
+    def test_cluster_sim_deterministic(self, capsys):
+        argv = ("cluster-sim", "--rate", "2", "--duration", "3",
+                "--seed", "7", "--replicas", "2", "--policy",
+                "prefix-affinity", "--prefix-groups", "4", "--json")
+        assert run_cli(capsys, *argv) == run_cli(capsys, *argv)
 
 
 class TestCLIHelp:

@@ -1,0 +1,113 @@
+"""The unified CLI output contract.
+
+Every subcommand must accept ``--json`` (print a ``repro.result/v1``
+document) and ``--output PATH`` (write that document, print the text
+plus a confirmation).  The parametrization below is guarded against
+drift: a new subcommand that forgets the contract fails
+``test_every_subcommand_covered`` until it gets fast arguments here.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.common.results import RESULT_SCHEMA
+
+#: Fast invocations, one per subcommand.
+FAST_ARGS = {
+    "simulate": ["--seq-len", "512"],
+    "compare": ["--seq-len", "512"],
+    "breakdown": ["--seq-len", "512"],
+    "libraries": ["--seq-len", "512"],
+    "sweep": ["--values", "512,1024", "--seq-len", "512"],
+    "generate": ["--tokens", "4", "--seq-len", "512"],
+    "trace": ["--seq-len", "512"],
+    "parallel": ["--seq-len", "512"],
+    "roofline": ["--seq-len", "512"],
+    "footprint": ["--seq-len", "512"],
+    "serve-sim": ["--rate", "2", "--duration", "3"],
+    "cluster-sim": ["--rate", "2", "--duration", "3", "--replicas", "2"],
+    "verify": ["--quick"],
+    "selfbench": ["--repetitions", "1"],
+}
+
+#: The discriminator each subcommand's document must carry.
+EXPECTED_KIND = {
+    "simulate": "inference",
+    "compare": "compare",
+    "breakdown": "breakdown",
+    "libraries": "libraries",
+    "sweep": "sweep",
+    "generate": "generation",
+    "trace": "chrome-trace",
+    "parallel": "parallel-scaling",
+    "roofline": "roofline",
+    "footprint": "footprint",
+    "serve-sim": "serving-report",
+    "cluster-sim": "cluster-report",
+    "verify": "reproduction",
+    "selfbench": "selfbench",
+}
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def subcommands():
+    parser = build_parser()
+    action = next(a for a in parser._actions
+                  if isinstance(a, argparse._SubParsersAction))
+    return sorted(action.choices)
+
+
+class TestOutputContract:
+    def test_every_subcommand_covered(self):
+        assert set(subcommands()) == set(FAST_ARGS)
+        assert set(subcommands()) == set(EXPECTED_KIND)
+
+    @pytest.mark.parametrize("command", sorted(FAST_ARGS))
+    def test_json_round_trips(self, capsys, command):
+        out = run_cli(capsys, command, *FAST_ARGS[command], "--json")
+        document = json.loads(out)
+        assert document["schema"] == RESULT_SCHEMA
+        assert document["kind"] == EXPECTED_KIND[command]
+
+    @pytest.mark.parametrize("command", sorted(FAST_ARGS))
+    def test_output_writes_same_document(self, capsys, tmp_path, command):
+        path = tmp_path / "result.json"
+        text = run_cli(capsys, command, *FAST_ARGS[command],
+                       "--output", str(path))
+        assert f"wrote {path}" in text
+        written = json.loads(path.read_text())
+        assert written["schema"] == RESULT_SCHEMA
+        assert written["kind"] == EXPECTED_KIND[command]
+
+    def test_json_matches_output_file(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        printed = run_cli(capsys, "serve-sim", "--rate", "2",
+                          "--duration", "3", "--json")
+        run_cli(capsys, "serve-sim", "--rate", "2", "--duration", "3",
+                "--output", str(path))
+        assert json.loads(printed) == json.loads(path.read_text())
+
+    def test_default_is_text(self, capsys):
+        out = run_cli(capsys, "footprint", "--seq-len", "512")
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+
+    def test_cluster_acceptance_invocation(self, capsys):
+        """The headline invocation from the cluster docs."""
+        argv = ("cluster-sim", "--replicas", "4", "--tp", "2",
+                "--policy", "least-outstanding", "--plans", "sdf",
+                "--rate", "2", "--duration", "3", "--json")
+        out = run_cli(capsys, *argv)
+        document = json.loads(out)
+        plan = document["plans"]["sdf"]
+        assert len(plan["per_replica"]) == 4
+        assert all(r["n_gpus"] == 2 for r in plan["per_replica"])
+        assert plan["comm_time_s"] > 0
+        assert run_cli(capsys, *argv) == out

@@ -29,10 +29,10 @@ class TestRegistry:
 
     def test_every_hook_contributed(self):
         registry = default_registry()
-        assert len(registry) >= 19
+        assert len(registry) >= 20
         prefixes = {name.split(".")[0] for name in registry.names()}
         assert prefixes == {"softmax", "attention", "block_sparse",
-                            "serving"}
+                            "serving", "interconnect"}
 
     def test_contracts_resolve_for_both_dtypes(self):
         from repro.common.dtypes import DType
