@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench verify verify-fuzz lint cluster-smoke
+.PHONY: test bench verify verify-fuzz lint cluster-smoke trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,3 +34,17 @@ verify-fuzz:
 cluster-smoke:
 	$(PYTHON) -m repro cluster-sim --replicas 2 --tp 2 \
 		--policy least-outstanding --rate 4 --duration 5 --seed 0 --json
+
+# Traced serving simulation: the exported Chrome trace must parse and
+# its spans must strictly nest (see docs/observability.md).
+trace-smoke:
+	$(PYTHON) -m repro trace --sim serving --rate 2 --duration 2 \
+		--seed 0 --json \
+	| $(PYTHON) -c "import json, sys; \
+		from repro.obs import validate_nesting; \
+		doc = json.load(sys.stdin); \
+		assert doc['schema'] == 'repro.trace/v1', doc['schema']; \
+		assert doc['summary']['spans'] > 0, 'no spans recorded'; \
+		problems = validate_nesting(doc['traceEvents']); \
+		assert not problems, problems; \
+		print('trace-smoke ok:', len(doc['traceEvents']), 'events')"

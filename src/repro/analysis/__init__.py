@@ -14,6 +14,7 @@ from repro.analysis.breakdown import (
 from repro.analysis.cluster import render_cluster_comparison
 from repro.analysis.reporting import render_bar_chart, render_stacked_bars, render_table
 from repro.analysis.serving import render_serving_comparison
+from repro.analysis.tracing import render_trace_summary
 
 __all__ = [
     "normalized_time_breakdown",
@@ -24,4 +25,5 @@ __all__ = [
     "render_stacked_bars",
     "render_serving_comparison",
     "render_cluster_comparison",
+    "render_trace_summary",
 ]

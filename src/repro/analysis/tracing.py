@@ -1,0 +1,43 @@
+"""Text rendering of trace summaries (the ``repro trace`` footer).
+
+A trace summary (:meth:`repro.obs.Tracer.summary`) is a small JSON
+document: event/span counts, per-category span time, and the metrics
+snapshot.  :func:`render_trace_summary` turns it into the table block
+printed under the headline of every ``repro trace`` run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_table
+
+
+def render_trace_summary(summary: "dict[str, object]") -> str:
+    """Human-readable rendering of one trace summary document."""
+    lines = [
+        f"trace: {summary.get('events', 0)} events, "
+        f"{summary.get('spans', 0)} spans"
+    ]
+    categories = summary.get("span_categories") or {}
+    if categories:
+        rows = [
+            [cat, int(entry["count"]), f"{entry['time_s'] * 1e3:.2f} ms"]
+            for cat, entry in sorted(categories.items())
+        ]
+        lines += ["", render_table(["category", "spans", "total time"],
+                                   rows)]
+    metrics = summary.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        rows = [[name, f"{value:g}"]
+                for name, value in sorted(counters.items())]
+        lines += ["", render_table(["counter", "value"], rows)]
+    gauges = metrics.get("gauges") or {}
+    if gauges:
+        rows = [
+            [name, f"{g['last']:g}", f"{g['min']:g}", f"{g['max']:g}",
+             int(g["samples"])]
+            for name, g in sorted(gauges.items())
+        ]
+        lines += ["", render_table(
+            ["gauge", "last", "min", "max", "samples"], rows)]
+    return "\n".join(lines)

@@ -8,7 +8,8 @@ Commands
 ``libraries``    the Fig. 7 library comparison
 ``sweep``        speedup vs sequence length or batch (Fig. 9)
 ``generate``     prompt prefill + token-by-token decode (KV cache)
-``trace``        Chrome-trace export of one inference
+``trace``        run a simulator (inference/serving/cluster) with the
+                 observability layer on; Chrome-trace export
 ``parallel``     tensor-parallel scaling across 2-8 GPUs
 ``roofline``     roofline plot of one inference's kernel categories
 ``footprint``    peak device-memory footprint per plan
@@ -234,18 +235,76 @@ def cmd_generate(args: argparse.Namespace) -> str:
 
 
 def cmd_trace(args: argparse.Namespace) -> str:
-    from repro.gpu.trace import summarize, to_chrome_trace
+    from repro.analysis.tracing import render_trace_summary
+    from repro.common.results import trace_dict
+    from repro.gpu import simcache
+    from repro.obs import Tracer, chrome_trace_dict, tracing
 
-    result = InferenceSession(
-        args.model, gpu=args.gpu, plan=args.plan,
-        seq_len=args.seq_len, batch=args.batch,
-    ).simulate()
+    # A cold cache makes repeated invocations byte-identical: the
+    # kernel events' "cached" flags otherwise depend on what earlier
+    # commands happened to evaluate in this process.
+    simcache.invalidate()
+    tracer = Tracer()
+    plans = tuple(p.strip() for p in args.plans.split(","))
+
+    if args.sim == "inference":
+        from repro.gpu.trace import summarize
+
+        with tracing(tracer):
+            result = InferenceSession(
+                _resolve_model(args), gpu=args.gpu, plan=args.plan,
+                seq_len=args.seq_len, batch=args.batch,
+            ).simulate()
+        tracer.set_clock(result.total_time)
+        headline = (f"trace of {len(result.profile)} kernel slices\n\n"
+                    + summarize(result.profile))
+    elif args.sim == "serving":
+        from repro.analysis.serving import render_serving_comparison
+        from repro.serving import load_trace, simulate_serving
+
+        requests = None
+        if args.trace_file:
+            requests = load_trace(args.trace_file,
+                                  block_tokens=args.block_tokens)
+        with tracing(tracer):
+            report = simulate_serving(
+                _resolve_model(args), args.gpu,
+                rate=args.rate, duration=args.duration, seed=args.seed,
+                plans=plans, requests=requests,
+                chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
+                block_tokens=args.block_tokens,
+            )
+        headline = render_serving_comparison(report)
+    else:  # cluster
+        from repro.analysis.cluster import render_cluster_comparison
+        from repro.cluster import simulate_cluster
+        from repro.gpu.interconnect import NVLINK3, PCIE4
+        from repro.serving import load_trace
+
+        interconnects = {"nvlink3": NVLINK3, "pcie4": PCIE4}
+        requests = None
+        if args.trace_file:
+            requests = load_trace(args.trace_file,
+                                  block_tokens=args.block_tokens)
+        with tracing(tracer):
+            report = simulate_cluster(
+                _resolve_model(args), args.gpu,
+                rate=args.rate, duration=args.duration, seed=args.seed,
+                plans=plans, replicas=args.replicas, tp=args.tp,
+                pp=args.pp, policy=args.policy, algorithm=args.algorithm,
+                interconnect=interconnects[args.interconnect],
+                requests=requests, prefix_groups=args.prefix_groups,
+                chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
+                block_tokens=args.block_tokens,
+            )
+        headline = render_cluster_comparison(report)
+
+    summary = tracer.summary()
     # The payload is a valid Chrome trace (chrome://tracing ignores the
     # envelope keys), so --output yields a directly loadable file.
-    payload = dict(json.loads(to_chrome_trace(result.profile)))
-    payload.update(schema="repro.result/v1", kind="chrome-trace")
-    text = (f"trace of {len(result.profile)} kernel slices\n\n"
-            + summarize(result.profile))
+    payload = trace_dict("chrome-trace", sim=args.sim, summary=summary,
+                         **chrome_trace_dict(tracer))
+    text = headline + "\n\n" + render_trace_summary(summary)
     return emit(payload, text, args)
 
 
@@ -572,6 +631,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--block-tokens", type=int, default=64,
                        help="KV-cache block size, tokens")
 
+    def add_cluster_args(p):
+        p.add_argument("--replicas", type=int, default=2,
+                       help="model replicas behind the router")
+        p.add_argument("--tp", type=int, default=1,
+                       help="tensor-parallel GPUs per replica")
+        p.add_argument("--pp", type=int, default=1,
+                       help="pipeline-parallel stages per replica")
+        p.add_argument("--policy", default="round-robin",
+                       choices=("round-robin", "least-outstanding",
+                                "prefix-affinity"),
+                       help="request-routing policy")
+        p.add_argument("--algorithm", choices=("ring", "tree"),
+                       default="ring",
+                       help="all-reduce algorithm inside each replica")
+        p.add_argument("--interconnect", choices=("nvlink3", "pcie4"),
+                       default="nvlink3",
+                       help="intra-replica GPU interconnect")
+        p.add_argument("--prefix-groups", type=int, default=0,
+                       help="synthetic shared-prefix groups in the "
+                            "workload (0 = none)")
+
     p_srv = sub.add_parser("serve-sim",
                            help="discrete-event serving simulation")
     add_serving_args(p_srv)
@@ -581,25 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cls = sub.add_parser("cluster-sim",
                            help="multi-replica sharded cluster simulation")
     add_serving_args(p_cls)
-    p_cls.add_argument("--replicas", type=int, default=2,
-                       help="model replicas behind the router")
-    p_cls.add_argument("--tp", type=int, default=1,
-                       help="tensor-parallel GPUs per replica")
-    p_cls.add_argument("--pp", type=int, default=1,
-                       help="pipeline-parallel stages per replica")
-    p_cls.add_argument("--policy", default="round-robin",
-                       choices=("round-robin", "least-outstanding",
-                                "prefix-affinity"),
-                       help="request-routing policy")
-    p_cls.add_argument("--algorithm", choices=("ring", "tree"),
-                       default="ring",
-                       help="all-reduce algorithm inside each replica")
-    p_cls.add_argument("--interconnect", choices=("nvlink3", "pcie4"),
-                       default="nvlink3",
-                       help="intra-replica GPU interconnect")
-    p_cls.add_argument("--prefix-groups", type=int, default=0,
-                       help="synthetic shared-prefix groups in the "
-                            "workload (0 = none)")
+    add_cluster_args(p_cls)
     _add_output(p_cls)
     p_cls.set_defaults(func=cmd_cluster_sim)
 
@@ -636,9 +698,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output(p_sbn)
     p_sbn.set_defaults(func=cmd_selfbench)
 
-    p_trc = sub.add_parser("trace", help="export a Chrome trace")
-    _add_common(p_trc)
-    p_trc.add_argument("--plan", default="baseline")
+    p_trc = sub.add_parser(
+        "trace",
+        help="run a simulation with tracing on; export a Chrome trace",
+    )
+    p_trc.add_argument("--sim",
+                       choices=("inference", "serving", "cluster"),
+                       default="inference",
+                       help="which simulator to run under the tracer")
+    add_serving_args(p_trc)
+    add_cluster_args(p_trc)
+    p_trc.add_argument("--seq-len", type=int, default=4096,
+                       help="sequence length (inference mode)")
+    p_trc.add_argument("--batch", type=int, default=1,
+                       help="batch size (inference mode)")
+    p_trc.add_argument("--plan", default="baseline",
+                       help="attention plan (inference mode; serving and "
+                            "cluster modes use --plans)")
+    # Traces get large; default to a shorter workload than serve-sim.
+    p_trc.set_defaults(rate=4.0, duration=10.0)
     _add_output(p_trc)
     p_trc.set_defaults(func=cmd_trace)
 

@@ -69,10 +69,14 @@ class ClusterPlanReport:
     comm_time_s: float
     comm_fraction: float
     per_replica: "tuple[ReplicaReport, ...]"
+    #: Span/event summary of this plan's slice of the trace; ``None``
+    #: when the run was not traced (the default).
+    trace_summary: "dict | None" = None
 
     @classmethod
-    def from_replicas(cls, plan: str, policy: str,
-                      replicas) -> "ClusterPlanReport":
+    def from_replicas(cls, plan: str, policy: str, replicas, *,
+                      trace_summary: "dict | None" = None,
+                      ) -> "ClusterPlanReport":
         """Aggregate finished :class:`~repro.cluster.replica.Replica`
         states (after the event loop drained) into a report."""
         reports = []
@@ -123,12 +127,15 @@ class ClusterPlanReport:
             comm_time_s=comm,
             comm_fraction=comm / busy if busy else 0.0,
             per_replica=tuple(reports),
+            trace_summary=trace_summary,
         )
 
     def to_dict(self) -> "dict[str, object]":
         """Versioned JSON-ready document (``repro.result/v1``)."""
         from repro.common.results import result_dict
 
+        extra = ({"trace_summary": self.trace_summary}
+                 if self.trace_summary is not None else {})
         return result_dict(
             "cluster-plan",
             plan=self.plan,
@@ -148,6 +155,7 @@ class ClusterPlanReport:
             comm_time_s=self.comm_time_s,
             comm_fraction=self.comm_fraction,
             per_replica=[r.to_dict() for r in self.per_replica],
+            **extra,
         )
 
 
@@ -168,11 +176,16 @@ class ClusterReport:
     interconnect: str
     num_requests: int
     plans: "dict[str, ClusterPlanReport]"
+    #: Full-trace summary (all plans, metrics included); ``None`` when
+    #: the run was not traced.
+    trace_summary: "dict | None" = None
 
     def to_dict(self) -> "dict[str, object]":
         """Versioned JSON-ready document (``repro.result/v1``)."""
         from repro.common.results import result_dict
 
+        extra = ({"trace_summary": self.trace_summary}
+                 if self.trace_summary is not None else {})
         return result_dict(
             "cluster-report",
             model=self.model,
@@ -189,6 +202,7 @@ class ClusterReport:
             num_requests=self.num_requests,
             plans={name: report.to_dict()
                    for name, report in self.plans.items()},
+            **extra,
         )
 
     def speedup(self, baseline: str = "baseline",

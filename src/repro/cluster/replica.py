@@ -19,6 +19,7 @@ from repro.gpu.interconnect import InterconnectSpec, NVLINK3
 from repro.gpu.specs import GPUSpec
 from repro.models.config import ModelConfig
 from repro.models.footprint import weight_bytes
+from repro.obs.tracer import NULL_TRACER
 from repro.serving.memory import KVBlockManager
 from repro.serving.requests import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler
@@ -44,6 +45,7 @@ class Replica:
         block_tokens: int = 64,
         reserve_fraction: float = 0.1,
         t: int = 64,
+        tracer=None,
     ) -> None:
         from repro.cluster.costmodel import ShardedStepCostModel
 
@@ -52,12 +54,18 @@ class Replica:
             model, gpu, plan=plan, dtype=dtype, t=t, tp=tp, pp=pp,
             interconnect=interconnect, algorithm=algorithm,
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Trace process name; plan-prefixed so several plans can share
+        #: one tracer without lane collisions.
+        self.trace_process = (
+            f"{AttentionPlan.from_name(plan).value}:replica{replica_id}")
         self.memory = KVBlockManager.for_model(
             model, gpu, block_tokens=block_tokens, dtype=dtype,
             reserve_fraction=reserve_fraction, n_gpus=tp * pp,
         )
         self.scheduler = ContinuousBatchingScheduler(
             self.memory, chunk_tokens=chunk_tokens, max_batch=max_batch,
+            tracer=self.tracer, trace_process=self.trace_process,
         )
         #: Time this replica is next free (end of its in-flight step).
         self.clock = 0.0
@@ -112,6 +120,23 @@ class Replica:
             prefill=[(chunk, kv) for _, chunk, kv in step.prefill],
             decode_kv=[kv for _, kv in step.decode],
         )
+        if self.tracer.enabled:
+            pid, tid = self.tracer.track(self.trace_process, "steps")
+            self.tracer.complete(
+                "replica step", "engine-step", ts=self.clock, dur=total,
+                pid=pid, tid=tid,
+                args={"decode": len(step.decode),
+                      "prefill_tokens": sum(
+                          c for _, c, _ in step.prefill),
+                      "compute_s": total - comm,
+                      "comm_s": comm,
+                      "running": len(self.scheduler.running)},
+            )
+            self.tracer.metrics.counter(
+                f"{self.trace_process}.comm_time_s").add(comm)
+            self.tracer.metrics.gauge(
+                f"{self.trace_process}.kv_blocks").set(
+                    self.memory.used_blocks)
         self.clock += total
         self.busy += total
         self.comm_time += comm

@@ -25,6 +25,8 @@ from repro.core.plan import AttentionPlan
 from repro.gpu.interconnect import InterconnectSpec, NVLINK3
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
+from repro.obs.instrument import emit_request_phase_spans
+from repro.obs.tracer import current_tracer
 from repro.cluster.metrics import ClusterPlanReport, ClusterReport
 from repro.cluster.policies import RouterPolicy, make_policy
 from repro.cluster.replica import Replica
@@ -81,9 +83,14 @@ class ClusterSimulator:
 
     def run(self) -> ClusterPlanReport:
         """Simulate the stream to completion and aggregate metrics."""
+        tracer = current_tracer()
+        trace_start = tracer.event_count
+        router_lane = (tracer.track(f"{self.plan.value}:router")
+                       if tracer.enabled else (0, 0))
         policy = make_policy(self._policy_arg)
         replicas = [
-            Replica(i, self.model, self.gpu, **self._replica_kwargs)
+            Replica(i, self.model, self.gpu, tracer=tracer,
+                    **self._replica_kwargs)
             for i in range(self.num_replicas)
         ]
         # Fresh copies: replica schedulers mutate request state, and
@@ -111,6 +118,17 @@ class ClusterSimulator:
                             f"policy {self.policy_name!r} chose replica "
                             f"{index} of {len(replicas)}"
                         )
+                    if tracer.enabled:
+                        tracer.instant(
+                            "route", "routing", ts=arrival.arrival_time,
+                            pid=router_lane[0], tid=router_lane[1],
+                            args={"request_id": arrival.request_id,
+                                  "replica": index,
+                                  "policy": self.policy_name},
+                        )
+                        tracer.metrics.counter(
+                            f"{self.plan.value}:router.to_replica{index}"
+                        ).inc()
                     replicas[index].submit(arrival, arrival.arrival_time)
                     next_arrival += 1
                     continue
@@ -129,8 +147,20 @@ class ClusterSimulator:
                     f"lower the rate or duration"
                 )
 
+        trace_summary = None
+        if tracer.enabled:
+            makespan = max((r.clock for r in replicas), default=0.0)
+            tracer.set_clock(makespan)
+            emit_request_phase_spans(
+                tracer,
+                [r for replica in replicas for r in replica.requests],
+                process=f"{self.plan.value}:requests",
+            )
+            trace_summary = tracer.summary(since=trace_start,
+                                           include_metrics=False)
         return ClusterPlanReport.from_replicas(
-            self.plan.value, self.policy_name, replicas)
+            self.plan.value, self.policy_name, replicas,
+            trace_summary=trace_summary)
 
 
 def simulate_cluster(
@@ -175,6 +205,7 @@ def simulate_cluster(
             algorithm=algorithm, **engine_kwargs,
         )
         reports[plan.value] = sim.run()
+    tracer = current_tracer()
     return ClusterReport(
         model=model.name,
         gpu=gpu.name,
@@ -189,4 +220,5 @@ def simulate_cluster(
         interconnect=interconnect.name,
         num_requests=len(requests),
         plans=reports,
+        trace_summary=tracer.summary() if tracer.enabled else None,
     )

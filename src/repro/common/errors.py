@@ -32,3 +32,12 @@ class DeviceError(ReproError):
 class ServingError(ReproError):
     """The serving simulator was misconfigured or violated an
     invariant (e.g. a KV-block double free or an over-commit)."""
+
+
+class MetricsError(ReproError):
+    """A metrics computation was asked something ill-posed (e.g. a
+    percentile rank outside [0, 100])."""
+
+
+class TraceError(ReproError):
+    """The tracing layer was misused (e.g. a negative-duration span)."""

@@ -17,6 +17,9 @@ from __future__ import annotations
 #: Schema tag stamped on every result document.
 RESULT_SCHEMA = "repro.result/v1"
 
+#: Schema tag stamped on trace documents (``repro trace`` output).
+TRACE_SCHEMA = "repro.trace/v1"
+
 
 def result_dict(kind: str, **fields) -> "dict[str, object]":
     """A JSON-ready result document of the given ``kind``.
@@ -25,5 +28,21 @@ def result_dict(kind: str, **fields) -> "dict[str, object]":
     'repro.result/v1'
     """
     document: "dict[str, object]" = {"schema": RESULT_SCHEMA, "kind": kind}
+    document.update(fields)
+    return document
+
+
+def trace_dict(kind: str, **fields) -> "dict[str, object]":
+    """A JSON-ready trace document of the given ``kind``.
+
+    Trace documents carry a full Chrome trace-event payload next to a
+    summary, which makes them much larger than result documents — the
+    separate schema tag lets tooling route them without parsing the
+    body.
+
+    >>> trace_dict("chrome-trace", sim="serving")["schema"]
+    'repro.trace/v1'
+    """
+    document: "dict[str, object]" = {"schema": TRACE_SCHEMA, "kind": kind}
     document.update(fields)
     return document

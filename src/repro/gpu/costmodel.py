@@ -43,7 +43,8 @@ from dataclasses import dataclass
 from repro.common.errors import KernelError
 from repro.common.validation import require_non_negative, require_positive
 from repro.gpu.occupancy import Occupancy, TBResources, compute_occupancy
-from repro.gpu.simcache import kernel_cache
+from repro.gpu.simcache import MISSING, kernel_cache
+from repro.obs.tracer import current_tracer
 from repro.gpu.specs import GPUSpec
 
 #: Memory-level parallelism classes: in-flight DRAM bytes one warp of a
@@ -205,12 +206,41 @@ def time_kernel(spec: GPUSpec, launch: KernelLaunch) -> KernelTiming:
     be shared between callers.  Set ``REPRO_SIMCACHE=0`` to disable.
     """
     key = (spec, launch)
-    cached = kernel_cache.get(key)
-    if cached is not None:
+    cached = kernel_cache.get(key, MISSING)
+    if cached is not MISSING:
+        _trace_kernel(spec, launch, cached, hit=True)
         return cached
     timing = _time_kernel_uncached(spec, launch)
     kernel_cache.put(key, timing)
+    _trace_kernel(spec, launch, timing, hit=False)
     return timing
+
+
+def _trace_kernel(
+    spec: GPUSpec, launch: KernelLaunch, timing: KernelTiming, *, hit: bool
+) -> None:
+    """Record the evaluated kernel on the active tracer, if any.
+
+    Kernel evaluations have no global timeline position — the cost
+    model is called from graph construction, sweeps and the serving
+    step model alike — so each device gets its own track where spans
+    are laid back to back in evaluation order (:meth:`Tracer.push`).
+    """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return
+    pid, tid = tracer.track(f"kernels:{spec.name}", launch.category)
+    tracer.push(
+        launch.name, "kernel", timing.time, pid=pid, tid=tid,
+        args={
+            "bound": timing.bound,
+            "cached": hit,
+            "dram_bytes": launch.dram_bytes,
+            "flops": launch.tensor_flops + launch.cuda_flops,
+        },
+    )
+    tracer.metrics.counter("kernel.evaluations").inc()
+    tracer.metrics.counter("kernel.time_s").add(timing.time)
 
 
 def _time_kernel_uncached(spec: GPUSpec, launch: KernelLaunch) -> KernelTiming:

@@ -37,6 +37,12 @@ ENV_VAR = "REPRO_SIMCACHE"
 
 _DISABLED_VALUES = frozenset({"0", "off", "false", "no"})
 
+#: Sentinel distinguishing "not cached" from a cached falsy value.
+#: Callers pass it as ``default``: ``cache.get(key, MISSING) is MISSING``
+#: is the only reliable absence test (``None`` and other falsy values
+#: are legitimate cache entries).
+MISSING = object()
+
 
 def caching_enabled() -> bool:
     """Whether the simulation caches are active.
@@ -79,16 +85,23 @@ class SimCache:
         self._entries: dict[Hashable, Any] = {}
         self.stats = CacheStats()
 
-    def get(self, key: Hashable) -> Optional[Any]:
-        """The cached value for ``key``, or None (counts hit/miss)."""
+    def get(self, key: Hashable, default: Any = None) -> Optional[Any]:
+        """The cached value for ``key``, or ``default`` (counts hit/miss).
+
+        Absence is detected with a private sentinel, never by comparing
+        the stored value against ``default`` — a cached ``None``, ``0``
+        or empty container is a hit and is returned as-is.  Callers who
+        may cache falsy values pass :data:`MISSING` as ``default`` and
+        test ``result is MISSING``.
+        """
         if not caching_enabled():
             self.stats.misses += 1
-            return None
-        value = self._entries.get(key)
-        if value is None:
+            return default
+        value = self._entries.get(key, MISSING)
+        if value is MISSING:
             self.stats.misses += 1
-        else:
-            self.stats.hits += 1
+            return default
+        self.stats.hits += 1
         return value
 
     def put(self, key: Hashable, value: Any) -> None:

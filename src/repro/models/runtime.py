@@ -21,7 +21,8 @@ from repro.core.plan import AttentionPlan
 from repro.gpu.device import Device
 from repro.gpu.energy import EnergyModel
 from repro.gpu.profiler import Profile
-from repro.gpu.simcache import caching_enabled, simulate_cache
+from repro.gpu.simcache import MISSING, caching_enabled, simulate_cache
+from repro.obs.tracer import current_tracer
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
 from repro.models.layers import TransformerLayer
@@ -218,13 +219,34 @@ class InferenceSession:
         :func:`repro.gpu.simcache.invalidate` to flush.
         """
         key = self._simulate_key()
-        cached = simulate_cache.get(key)
-        if cached is not None:
+        cached = simulate_cache.get(key, MISSING)
+        if cached is not MISSING:
+            self._trace_simulate(cached, hit=True)
             return cached
         result = self._simulate_uncached()
         if caching_enabled():
             simulate_cache.put(key, freeze_result(result))
+        self._trace_simulate(result, hit=False)
         return result
+
+    def _trace_simulate(self, result: InferenceResult, *, hit: bool) -> None:
+        """Record one cost-only simulation on the active tracer."""
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return
+        pid, tid = tracer.track("inference", self.gpu.name)
+        tracer.push(
+            f"{self.model.name} {self.plan.value}", "inference",
+            result.total_time, pid=pid, tid=tid,
+            args={
+                "seq_len": self.seq_len,
+                "batch": self.batch,
+                "cached": hit,
+                "softmax_fraction": result.softmax_time_fraction(),
+            },
+        )
+        tracer.metrics.counter("inference.simulations").inc()
+        tracer.metrics.counter("inference.sim_time_s").add(result.total_time)
 
     def _simulate_uncached(self) -> InferenceResult:
         """One full cost-only simulation (the pre-cache code path)."""

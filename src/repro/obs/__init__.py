@@ -1,0 +1,62 @@
+"""Structured observability: tracing, counters and trace exporters.
+
+The zero-dependency introspection layer behind ``repro trace``: a
+span/event :class:`Tracer` stamped with simulated time, a
+:class:`MetricsRegistry` of named counters and gauges, and exporters
+to Chrome trace-event JSON (Perfetto / ``chrome://tracing``).
+
+Tracing is **off by default**: instrumented code talks to
+:func:`current_tracer`, which returns a shared no-op
+:class:`NullTracer` unless a real tracer has been installed with
+:func:`tracing`.  Traces are deterministic — timestamps come from the
+simulators' clocks, never the wall clock, so a fixed seed reproduces
+the trace byte for byte.
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from repro.obs.export import (
+    chrome_events,
+    chrome_trace_dict,
+    to_chrome_trace,
+    validate_nesting,
+)
+from repro.obs.instrument import emit_request_phase_spans
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NULL_METRICS,
+    absorb_simcache,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    tracing,
+)
+
+__all__ = [
+    # tracer
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "tracing",
+    "current_tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "absorb_simcache",
+    # export
+    "chrome_events",
+    "chrome_trace_dict",
+    "to_chrome_trace",
+    "validate_nesting",
+    # instrumentation helpers
+    "emit_request_phase_spans",
+]

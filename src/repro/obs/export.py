@@ -1,0 +1,95 @@
+"""Trace exporters: Chrome trace-event JSON and nesting validation.
+
+:func:`chrome_trace_dict` turns a :class:`~repro.obs.tracer.Tracer`
+into a ``{"traceEvents": [...]}`` document loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``; timestamps are
+converted from simulated seconds to the microseconds the format
+expects, and track names become process/thread metadata events.
+
+:func:`validate_nesting` checks the structural invariant every trace
+viewer assumes: on one ``(pid, tid)`` lane, spans either nest or are
+disjoint — no partial overlap.  The trace-smoke CI target and the
+golden tests both run it.
+"""
+
+from __future__ import annotations
+
+import json
+
+_MICRO = 1e6
+
+
+def chrome_events(tracer) -> "list[dict]":
+    """The trace-event list for ``tracer``: metadata, then records."""
+    events: "list[dict]" = []
+    for process, pid in sorted(tracer.processes.items(),
+                               key=lambda item: item[1]):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": process}})
+    for (pid, tid), thread in sorted(tracer.thread_names.items()):
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": thread}})
+    for event in tracer.events:
+        record: "dict[str, object]" = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "pid": event.pid,
+            "tid": event.tid,
+            "ts": event.ts * _MICRO,
+        }
+        if event.ph == "X":
+            record["dur"] = event.dur * _MICRO
+        elif event.ph == "i":
+            record["s"] = "t"
+        if event.args:
+            record["args"] = event.args
+        events.append(record)
+    return events
+
+
+def chrome_trace_dict(tracer) -> "dict[str, object]":
+    """A JSON-ready Chrome trace document for ``tracer``."""
+    return {"traceEvents": chrome_events(tracer),
+            "displayTimeUnit": "ms"}
+
+
+def to_chrome_trace(tracer) -> str:
+    """Serialize ``tracer`` as deterministic Chrome-trace JSON."""
+    return json.dumps(chrome_trace_dict(tracer), sort_keys=True)
+
+
+def validate_nesting(events: "list[dict]") -> "list[str]":
+    """Check that spans on each lane nest properly.
+
+    Takes a trace-event list (as exported, timestamps in µs) and
+    returns human-readable problem descriptions — empty when the trace
+    is well formed.  Two spans on one lane must either be disjoint or
+    one must contain the other; a small float tolerance absorbs
+    round-off from durations computed as timestamp differences.
+    """
+    lanes: "dict[tuple[int, int], list[dict]]" = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        lane = (event.get("pid", 0), event.get("tid", 0))
+        lanes.setdefault(lane, []).append(event)
+
+    problems = []
+    for (pid, tid), spans in sorted(lanes.items()):
+        spans.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+        stack: "list[float]" = []   # enclosing spans' end times
+        for span in spans:
+            start = span["ts"]
+            end = start + span.get("dur", 0.0)
+            eps = 1e-6 * max(1.0, abs(end))
+            while stack and start >= stack[-1] - eps:
+                stack.pop()
+            if stack and end > stack[-1] + eps:
+                problems.append(
+                    f"pid {pid} tid {tid}: span {span['name']!r} "
+                    f"[{start:.3f}, {end:.3f}]us overlaps an enclosing "
+                    f"span ending at {stack[-1]:.3f}us"
+                )
+            stack.append(end)
+    return problems

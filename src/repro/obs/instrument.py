@@ -1,0 +1,59 @@
+"""Shared instrumentation helpers for the serving-layer simulators.
+
+The single-node serving simulator and every cluster replica emit the
+same per-request span structure; this module keeps that structure in
+one place so the two traces stay comparable:
+
+- an outer ``request N`` span from arrival to completion;
+- ``queued`` (arrival → first admission), ``prefill`` (first admission
+  → first token) and ``decode`` (first token → finish) phase spans.
+
+The phase boundaries are chosen so the span durations *are* the SLO
+metrics: ``queued + prefill`` equals the request's TTFT exactly, and
+``decode / (output_len - 1)`` equals its TPOT — the trace and the
+report can be cross-checked to float tolerance.
+"""
+
+from __future__ import annotations
+
+
+def emit_request_phase_spans(tracer, requests, *, process: str) -> None:
+    """Emit per-request lifecycle spans onto ``process`` lanes.
+
+    ``requests`` are the simulator's request objects after the event
+    loop drained; spans are emitted in request-id order so the trace
+    is deterministic.  Requests missing a timestamp (rejected, or
+    still waiting when the run ended) get only the phases they
+    reached.
+    """
+    if not tracer.enabled:
+        return
+    for request in sorted(requests, key=lambda r: r.request_id):
+        pid, tid = tracer.track(process, f"req {request.request_id}")
+        arrival = request.arrival_time
+        admitted = request.first_admitted_time
+        first_token = request.first_token_time
+        finish = request.finish_time
+        if finish is not None:
+            tracer.complete(
+                f"request {request.request_id}", "request",
+                ts=arrival, dur=finish - arrival, pid=pid, tid=tid,
+                args={
+                    "prompt_len": request.prompt_len,
+                    "output_len": request.output_len,
+                    "preemptions": request.preemptions,
+                },
+            )
+        if admitted is not None:
+            tracer.complete("queued", "request-phase",
+                            ts=arrival, dur=admitted - arrival,
+                            pid=pid, tid=tid)
+        if admitted is not None and first_token is not None:
+            tracer.complete("prefill", "request-phase",
+                            ts=admitted, dur=first_token - admitted,
+                            pid=pid, tid=tid)
+        if first_token is not None and finish is not None:
+            tracer.complete("decode", "request-phase",
+                            ts=first_token, dur=finish - first_token,
+                            pid=pid, tid=tid,
+                            args={"tokens": request.generated})

@@ -23,12 +23,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.common.errors import MetricsError
 from repro.serving.memory import MemoryStats
 from repro.serving.requests import Request
 
 
 def percentile(values: "list[float]", q: float) -> float:
-    """Linear-interpolation percentile of ``values`` (0 if empty)."""
+    """Linear-interpolation percentile of ``values`` (0 if empty).
+
+    ``q`` is a percentile rank and must lie in [0, 100]; out-of-range
+    ranks raise :class:`~repro.common.errors.MetricsError` rather than
+    whatever :func:`numpy.percentile` would do with them.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise MetricsError(
+            f"percentile rank must be in [0, 100], got {q!r}"
+        )
     if not values:
         return 0.0
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
@@ -90,6 +100,10 @@ class PlanReport:
     kv_total_blocks: int
     kv_peak_bytes: int
     kv_peak_fraction: float
+    #: Span/event summary of this plan's slice of the trace; ``None``
+    #: when the run was not traced (the default), which keeps untraced
+    #: serialized output byte-identical to pre-observability reports.
+    trace_summary: "dict | None" = None
 
     @classmethod
     def from_run(
@@ -104,6 +118,7 @@ class PlanReport:
         steps: int,
         prefill_tokens: int,
         preemption_events: int,
+        trace_summary: "dict | None" = None,
     ) -> "PlanReport":
         """Aggregate per-request records into a report."""
         done = [r for r in requests if r.finish_time is not None]
@@ -133,11 +148,12 @@ class PlanReport:
             kv_total_blocks=memory.total_blocks,
             kv_peak_bytes=memory.peak_bytes,
             kv_peak_fraction=memory.peak_bytes / hbm_bytes,
+            trace_summary=trace_summary,
         )
 
     def to_json(self) -> "dict[str, object]":
         """JSON-ready mapping (plain scalars and nested dicts only)."""
-        return {
+        doc: "dict[str, object]" = {
             "plan": self.plan,
             "num_requests": self.num_requests,
             "finished": self.finished,
@@ -160,6 +176,9 @@ class PlanReport:
             "kv_peak_bytes": self.kv_peak_bytes,
             "kv_peak_fraction": self.kv_peak_fraction,
         }
+        if self.trace_summary is not None:
+            doc["trace_summary"] = self.trace_summary
+        return doc
 
     def to_dict(self) -> "dict[str, object]":
         """Versioned JSON-ready document (``repro.result/v1``)."""
@@ -180,10 +199,13 @@ class ServingReport:
     seed: int
     num_requests: int
     plans: "dict[str, PlanReport]"
+    #: Full-trace summary (all plans, metrics included); ``None`` when
+    #: the run was not traced.
+    trace_summary: "dict | None" = None
 
     def to_json(self) -> "dict[str, object]":
         """JSON-ready mapping; key order is fixed by ``sort_keys``."""
-        return {
+        doc: "dict[str, object]" = {
             "model": self.model,
             "gpu": self.gpu,
             "rate": self.rate,
@@ -193,6 +215,9 @@ class ServingReport:
             "plans": {name: report.to_json()
                       for name, report in self.plans.items()},
         }
+        if self.trace_summary is not None:
+            doc["trace_summary"] = self.trace_summary
+        return doc
 
     def to_dict(self) -> "dict[str, object]":
         """Versioned JSON-ready document (``repro.result/v1``)."""

@@ -70,7 +70,12 @@ class Request:
     preemptions: int = 0
 
     # -- timestamps -----------------------------------------------------
+    #: Most recent admission (overwritten when a preempted request is
+    #: re-admitted).
     admitted_time: "float | None" = None
+    #: First admission ever; set once and kept across preemptions, so
+    #: ``first_admitted_time - arrival_time`` is the true queueing delay.
+    first_admitted_time: "float | None" = None
     first_token_time: "float | None" = None
     finish_time: "float | None" = None
 

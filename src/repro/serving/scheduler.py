@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import ServingError
 from repro.common.validation import require_positive
+from repro.obs.tracer import NULL_TRACER
 from repro.serving.memory import KVBlockManager
 from repro.serving.requests import Request, RequestStatus
 
@@ -65,6 +66,14 @@ class ContinuousBatchingScheduler:
         boundaries land on KV blocks.
     max_batch:
         Maximum concurrently admitted (running) requests.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; scheduling decisions
+        (admissions, rejections, preemptions) become instant events on
+        the ``trace_process`` scheduler lane.  Defaults to the shared
+        no-op tracer.
+    trace_process:
+        Trace process name the scheduler's events land on; cluster
+        replicas pass their own name so lanes never collide.
     """
 
     def __init__(
@@ -73,6 +82,8 @@ class ContinuousBatchingScheduler:
         *,
         chunk_tokens: int = 512,
         max_batch: int = 32,
+        tracer=None,
+        trace_process: str = "engine",
     ) -> None:
         require_positive("chunk_tokens", chunk_tokens)
         require_positive("max_batch", max_batch)
@@ -88,6 +99,18 @@ class ContinuousBatchingScheduler:
         #: Admitted requests, oldest first (preemption picks the tail).
         self.running: list[Request] = []
         self.preemption_events = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_process = trace_process
+
+    def _sched_event(self, name: str, ts: float, request: Request) -> None:
+        """One scheduling decision as an instant on the scheduler lane."""
+        pid, tid = self.tracer.track(self.trace_process, "scheduler")
+        self.tracer.instant(
+            name, "scheduling", ts=ts, pid=pid, tid=tid,
+            args={"request_id": request.request_id,
+                  "waiting": len(self.waiting),
+                  "running": len(self.running)},
+        )
 
     # -- intake ---------------------------------------------------------
 
@@ -95,6 +118,10 @@ class ContinuousBatchingScheduler:
         """Queue an arriving request; rejects ones that can never fit."""
         if not self.memory.fits_at_all(request.total_tokens):
             request.status = RequestStatus.REJECTED
+            if self.tracer.enabled:
+                self._sched_event("reject", request.arrival_time, request)
+            self.tracer.metrics.counter(
+                f"{self.trace_process}.rejected").inc()
             return False
         request.status = RequestStatus.WAITING
         self.waiting.append(request)
@@ -110,11 +137,15 @@ class ContinuousBatchingScheduler:
             self.memory.grow(head.request_id, head.prefill_target)
             head.status = RequestStatus.PREFILL
             head.admitted_time = now
+            if head.first_admitted_time is None:
+                head.first_admitted_time = now
             self.running.append(head)
+            if self.tracer.enabled:
+                self._sched_event("admit", now, head)
 
     # -- preemption -----------------------------------------------------
 
-    def _preempt_tail(self) -> Request:
+    def _preempt_tail(self, now: float) -> Request:
         victim = self.running.pop()
         self.memory.release(victim.request_id)
         victim.kv_tokens = 0
@@ -124,6 +155,10 @@ class ContinuousBatchingScheduler:
         victim.preemptions += 1
         self.preemption_events += 1
         self.waiting.appendleft(victim)
+        if self.tracer.enabled:
+            self._sched_event("preempt", now, victim)
+        self.tracer.metrics.counter(
+            f"{self.trace_process}.preemptions").inc()
         return victim
 
     # -- step construction ----------------------------------------------
@@ -150,7 +185,7 @@ class ContinuousBatchingScheduler:
                                      request.kv_tokens + 1)
                     break
                 except ServingError:
-                    victim = self._preempt_tail()
+                    victim = self._preempt_tail(now)
                     if victim is request:
                         break  # evicted itself; skip this step
             if request in self.running:

@@ -20,6 +20,8 @@ from repro.common.errors import ServingError
 from repro.core.plan import AttentionPlan
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
+from repro.obs.instrument import emit_request_phase_spans
+from repro.obs.tracer import current_tracer
 from repro.serving.costmodel import StepCostModel
 from repro.serving.memory import KVBlockManager
 from repro.serving.metrics import PlanReport, ServingReport
@@ -79,6 +81,9 @@ class ServingSimulator:
 
     def run(self) -> PlanReport:
         """Simulate the stream to completion and aggregate metrics."""
+        tracer = current_tracer()
+        trace_start = tracer.event_count
+        engine = f"{self.plan.value}:engine"
         memory = KVBlockManager.for_model(
             self.model, self.gpu, block_tokens=self.block_tokens,
             dtype=self.dtype, reserve_fraction=self.reserve_fraction,
@@ -86,6 +91,7 @@ class ServingSimulator:
         scheduler = ContinuousBatchingScheduler(
             memory, chunk_tokens=self.chunk_tokens,
             max_batch=self.max_batch,
+            tracer=tracer, trace_process=engine,
         )
         # Fresh copies: the scheduler mutates request state, and run()
         # must be repeatable.
@@ -124,6 +130,9 @@ class ServingSimulator:
                 prefill=[(chunk, kv) for _, chunk, kv in step.prefill],
                 decode_kv=[kv for _, kv in step.decode],
             )
+            if tracer.enabled:
+                self._trace_step(tracer, engine, step, scheduler,
+                                 memory, ts=clock, dur=dt)
             clock += dt
             busy += dt
             steps += 1
@@ -135,6 +144,13 @@ class ServingSimulator:
                     f"(clock {clock:.1f}s); lower the rate or duration"
                 )
 
+        trace_summary = None
+        if tracer.enabled:
+            tracer.set_clock(clock)
+            emit_request_phase_spans(
+                tracer, stream, process=f"{self.plan.value}:requests")
+            trace_summary = tracer.summary(since=trace_start,
+                                           include_metrics=False)
         return PlanReport.from_run(
             plan=self.plan.value,
             requests=stream,
@@ -145,7 +161,37 @@ class ServingSimulator:
             steps=steps,
             prefill_tokens=prefill_tokens,
             preemption_events=scheduler.preemption_events,
+            trace_summary=trace_summary,
         )
+
+    def _trace_step(self, tracer, engine, step, scheduler, memory,
+                    *, ts, dur):
+        """Record one engine iteration: a step span plus occupancy
+        counters on the plan's engine lane."""
+        pid, tid = tracer.track(engine, "steps")
+        decode = len(step.decode)
+        chunk_tokens = sum(chunk for _, chunk, _ in step.prefill)
+        tracer.complete(
+            "engine step", "engine-step", ts=ts, dur=dur, pid=pid, tid=tid,
+            args={"decode": decode,
+                  "prefill_chunks": len(step.prefill),
+                  "prefill_tokens": chunk_tokens,
+                  "running": len(scheduler.running),
+                  "waiting": len(scheduler.waiting)},
+        )
+        tracer.counter(
+            f"{engine} occupancy", ts=ts, pid=pid,
+            values={"running": len(scheduler.running),
+                    "waiting": len(scheduler.waiting),
+                    "kv_blocks": memory.used_blocks},
+        )
+        tracer.metrics.counter(f"{engine}.steps").inc()
+        tracer.metrics.counter(f"{engine}.decode_tokens").add(decode)
+        tracer.metrics.counter(f"{engine}.prefill_tokens").add(chunk_tokens)
+        tracer.metrics.gauge(f"{engine}.batch").set(
+            len(scheduler.running))
+        tracer.metrics.gauge(f"{engine}.kv_blocks").set(
+            memory.used_blocks)
 
 
 def simulate_serving(
@@ -179,6 +225,7 @@ def simulate_serving(
         sim = ServingSimulator(model, gpu, plan=plan, requests=requests,
                                **kwargs)
         reports[plan.value] = sim.run()
+    tracer = current_tracer()
     return ServingReport(
         model=model.name,
         gpu=gpu.name,
@@ -187,4 +234,5 @@ def simulate_serving(
         seed=seed,
         num_requests=len(requests),
         plans=reports,
+        trace_summary=tracer.summary() if tracer.enabled else None,
     )

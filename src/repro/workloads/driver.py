@@ -50,20 +50,34 @@ class DatasetLatencyReport:
 
     @property
     def mean_latency(self) -> float:
-        """Mean per-document latency in seconds."""
+        """Mean per-document latency in seconds (0 for an empty corpus,
+        the same convention as
+        :meth:`repro.serving.metrics.LatencyStats.from_values`)."""
+        if not self.num_documents:
+            return 0.0
         return self.total_time / self.num_documents
 
     def percentile_latency(self, q: float) -> float:
-        """Latency percentile ``q`` (0-100) over documents."""
+        """Latency percentile ``q`` (0-100) over documents.
+
+        Zero for an empty corpus; out-of-range ``q`` raises
+        :class:`~repro.common.errors.MetricsError`.
+        """
+        # Lazy import: repro.workloads <-> repro.serving would cycle at
+        # module level (serving.requests uses the TriviaQA corpus).
+        from repro.serving.metrics import percentile
+
         latencies = np.repeat(
             [self.bucket_latency[length] for length in sorted(self.histogram)],
             [self.histogram[length] for length in sorted(self.histogram)],
         )
-        return float(np.percentile(latencies, q))
+        return percentile(list(latencies), q)
 
     @property
     def throughput(self) -> float:
-        """Documents per second."""
+        """Documents per second (0 for an empty corpus)."""
+        if not self.total_time:
+            return 0.0
         return self.num_documents / self.total_time
 
 

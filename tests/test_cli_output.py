@@ -13,7 +13,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.common.results import RESULT_SCHEMA
+from repro.common.results import RESULT_SCHEMA, TRACE_SCHEMA
 
 #: Fast invocations, one per subcommand.
 FAST_ARGS = {
@@ -51,6 +51,13 @@ EXPECTED_KIND = {
     "selfbench": "selfbench",
 }
 
+#: Schema tag per subcommand; ``trace`` emits the larger
+#: ``repro.trace/v1`` documents, everything else ``repro.result/v1``.
+EXPECTED_SCHEMA = {
+    command: TRACE_SCHEMA if command == "trace" else RESULT_SCHEMA
+    for command in EXPECTED_KIND
+}
+
 
 def run_cli(capsys, *argv):
     assert main(list(argv)) == 0
@@ -73,7 +80,7 @@ class TestOutputContract:
     def test_json_round_trips(self, capsys, command):
         out = run_cli(capsys, command, *FAST_ARGS[command], "--json")
         document = json.loads(out)
-        assert document["schema"] == RESULT_SCHEMA
+        assert document["schema"] == EXPECTED_SCHEMA[command]
         assert document["kind"] == EXPECTED_KIND[command]
 
     @pytest.mark.parametrize("command", sorted(FAST_ARGS))
@@ -83,7 +90,7 @@ class TestOutputContract:
                        "--output", str(path))
         assert f"wrote {path}" in text
         written = json.loads(path.read_text())
-        assert written["schema"] == RESULT_SCHEMA
+        assert written["schema"] == EXPECTED_SCHEMA[command]
         assert written["kind"] == EXPECTED_KIND[command]
 
     def test_json_matches_output_file(self, capsys, tmp_path):
@@ -98,6 +105,26 @@ class TestOutputContract:
         out = run_cli(capsys, "footprint", "--seq-len", "512")
         with pytest.raises(json.JSONDecodeError):
             json.loads(out)
+
+    @pytest.mark.parametrize("sim,extra", [
+        ("serving", ()),
+        ("cluster", ("--replicas", "2")),
+    ])
+    def test_trace_sim_round_trips(self, capsys, sim, extra):
+        """``repro trace`` on the serving and cluster simulators emits a
+        parseable, deterministic Chrome trace whose spans nest."""
+        from repro.obs import validate_nesting
+
+        argv = ("trace", "--sim", sim, "--rate", "2", "--duration", "2",
+                *extra, "--json")
+        out = run_cli(capsys, *argv)
+        document = json.loads(out)
+        assert document["schema"] == TRACE_SCHEMA
+        assert document["kind"] == "chrome-trace"
+        assert document["sim"] == sim
+        assert document["summary"]["spans"] > 0
+        assert validate_nesting(document["traceEvents"]) == []
+        assert run_cli(capsys, *argv) == out
 
     def test_cluster_acceptance_invocation(self, capsys):
         """The headline invocation from the cluster docs."""

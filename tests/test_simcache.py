@@ -107,6 +107,50 @@ class TestSimulateCache:
         assert np.isclose(on.offchip_energy, off.offchip_energy, rtol=0)
 
 
+class TestSentinel:
+    """``SimCache.get`` must distinguish absence from cached falsy
+    values with its private sentinel, never with ``None`` comparison."""
+
+    def test_cached_none_is_a_hit(self):
+        cache = simcache.SimCache("falsy")
+        cache.put("k", None)
+        assert cache.get("k", simcache.MISSING) is None
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+
+    @pytest.mark.parametrize("value", [None, 0, 0.0, "", [], {}, False])
+    def test_cached_falsy_values_round_trip(self, value):
+        cache = simcache.SimCache("falsy")
+        cache.put("k", value)
+        got = cache.get("k", simcache.MISSING)
+        assert got is not simcache.MISSING
+        assert got == value
+        assert cache.stats.hits == 1
+
+    def test_absent_key_returns_default(self):
+        cache = simcache.SimCache("falsy")
+        assert cache.get("k") is None
+        assert cache.get("k", simcache.MISSING) is simcache.MISSING
+        assert cache.get("k", 42) == 42
+        assert cache.stats.misses == 3 and cache.stats.hits == 0
+
+    def test_accounting_across_env_flip(self, monkeypatch):
+        """Hit/miss counters stay consistent when REPRO_SIMCACHE is
+        flipped mid-run: disabled lookups are misses and never expose
+        stored entries."""
+        cache = simcache.SimCache("flip")
+        cache.put("k", 7)
+        assert cache.get("k", simcache.MISSING) == 7
+        monkeypatch.setenv(simcache.ENV_VAR, "0")
+        assert cache.get("k", simcache.MISSING) is simcache.MISSING
+        cache.put("other", 1)  # no-op while disabled
+        monkeypatch.delenv(simcache.ENV_VAR)
+        assert cache.get("k", simcache.MISSING) == 7
+        assert cache.get("other", simcache.MISSING) is simcache.MISSING
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 2
+        assert cache.stats.lookups == 4
+
+
 class TestStats:
     def test_hit_rate(self):
         spec, launch = get_gpu("A100"), _launch()

@@ -3,8 +3,12 @@
 import pytest
 
 from repro.common import ShapeError
+from repro.common.errors import MetricsError
+from repro.core.plan import AttentionPlan
+from repro.gpu.specs import get_gpu
+from repro.models.config import get_model
 from repro.workloads import SyntheticTriviaQA
-from repro.workloads.driver import DatasetBenchmark
+from repro.workloads.driver import DatasetBenchmark, DatasetLatencyReport
 
 
 @pytest.fixture(scope="module")
@@ -72,3 +76,40 @@ class TestDriver:
         bucketed = DatasetBenchmark(dataset, "bert-large", bucket=512).run()
         fixed = DatasetBenchmark(dataset, "bert-large", bucket=4096).run()
         assert bucketed.total_time < fixed.total_time
+
+
+class TestEmptyCorpus:
+    """An empty corpus must yield all-zero aggregates, not crashes —
+    the same convention as ``LatencyStats.from_values([])``."""
+
+    @pytest.fixture()
+    def empty_report(self):
+        return DatasetLatencyReport(
+            model=get_model("bert-large"), gpu=get_gpu("A100"),
+            plan=AttentionPlan.BASELINE, max_seq_len=4096, bucket=512,
+        )
+
+    def test_all_zero_aggregates(self, empty_report):
+        assert empty_report.num_documents == 0
+        assert empty_report.total_time == 0.0
+        assert empty_report.mean_latency == 0.0
+        assert empty_report.throughput == 0.0
+        assert empty_report.percentile_latency(50) == 0.0
+        assert empty_report.percentile_latency(99) == 0.0
+
+    @pytest.mark.parametrize("q", [-1, 100.5, 1e6])
+    def test_out_of_range_percentile_rejected(self, empty_report, q):
+        with pytest.raises(MetricsError):
+            empty_report.percentile_latency(q)
+
+    def test_percentile_matches_serving_metrics(self, bert_report):
+        """The driver's percentile is the serving layer's percentile."""
+        from repro.serving.metrics import percentile
+
+        latencies = [
+            bert_report.bucket_latency[length]
+            for length in sorted(bert_report.histogram)
+            for _ in range(bert_report.histogram[length])
+        ]
+        assert bert_report.percentile_latency(95) == percentile(
+            latencies, 95)
