@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench verify verify-fuzz lint cluster-smoke trace-smoke
+.PHONY: test bench bench-serving bench-serving-smoke verify verify-fuzz \
+	lint cluster-smoke trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +21,19 @@ lint:
 
 bench:
 	$(PYTHON) benchmarks/bench_selfperf.py
+
+# Full-scale serving benchmark: 100k-request event-vs-epoch timing
+# (byte-identical reports required) plus the million-request sharded
+# cluster smoke; writes BENCH_serving.json (see docs/performance.md).
+bench-serving:
+	$(PYTHON) benchmarks/bench_serving.py
+
+# Small-N CI smoke of the same harness; at this scale the equivalence
+# check runs in exact-percentile mode, the strictest comparison.
+bench-serving-smoke:
+	$(PYTHON) benchmarks/bench_serving.py --requests 2000 \
+		--cluster-requests 4000 --jobs 2 \
+		--output /tmp/bench_serving_smoke.json
 
 verify:
 	$(PYTHON) -m repro verify

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Benchmark the serving simulator's million-request core.
+
+Times a 100k-request stream under the classic event loop vs the
+epoch-batched engine (byte-identical reports required; the speedup is
+the headline claim) and completes a million-request four-replica
+cluster scenario in sharded parallel streaming mode, then writes the
+timings to ``BENCH_serving.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--requests N]
+        [--cluster-requests N] [--jobs N] [--output PATH]
+
+or equivalently ``python -m repro selfbench --suite serving`` /
+``make bench-serving``.  CI runs the same harness at small N (where
+the equivalence check covers the exact-percentile path) via
+``make bench-serving-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.servingbench import run_serving_selfbench  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=100_000,
+                        help="stream size for the event-vs-epoch workload")
+    parser.add_argument("--cluster-requests", type=int, default=1_000_000,
+                        help="stream size for the sharded cluster smoke")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the sharded cluster")
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / "BENCH_serving.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run_serving_selfbench(
+        requests=args.requests,
+        cluster_requests=args.cluster_requests,
+        jobs=args.jobs,
+    )
+    print(report.render())
+    pathlib.Path(args.output).write_text(
+        json.dumps(report.to_json(), indent=2) + "\n"
+    )
+    print(f"\nwrote {args.output}")
+    if not report.outputs_identical:
+        print("ERROR: epoch engine changed simulation outputs",
+              file=sys.stderr)
+        return 1
+    if not report.cluster.conserved:
+        print("ERROR: sharded cluster run lost requests", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

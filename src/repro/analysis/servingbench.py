@@ -1,0 +1,244 @@
+"""Benchmarking the serving simulator's million-request core.
+
+The epoch-batched engine (:mod:`repro.serving.engine`) claims a
+wall-clock win with *byte-identical outputs*; the sharded cluster mode
+(:mod:`repro.cluster.sharded`) claims fleet scale in bounded memory.
+:func:`run_serving_selfbench` measures both claims directly:
+
+- **serving-100k** — a 100k-request decode-heavy stream (GPT-Neo-1.3B
+  on an A100, SDF plan) simulated once under the classic one-step
+  event loop (``engine="event"``) and once under the epoch engine, the
+  two reports compared as serialized JSON.  The speedup is the
+  headline number (gated at >= 5x) and is only meaningful because the
+  reports match.
+- **cluster-1m** — a million-request stream through a four-replica
+  round-robin cluster in sharded parallel mode, streaming its latency
+  aggregates (``approx_percentiles``) so memory stays O(1) per metric.
+  The claim here is completion: the scenario finishes, conserves every
+  request, and reports sane counters.
+
+``make bench-serving`` runs the full scale and writes
+``BENCH_serving.json``; CI runs the same harness at small N (where the
+equivalence check is exact-mode, the strongest form) as a smoke test.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from repro.analysis.reporting import render_table
+
+
+@dataclass(frozen=True)
+class ServingWorkloadTiming:
+    """Event-loop vs epoch-engine wall clock for one request stream."""
+
+    name: str
+    model: str
+    gpu: str
+    plan: str
+    requests: int
+    rate: float
+    event_s: float
+    epoch_s: float
+    steps: int
+    approx_percentiles: bool
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock reduction of the epoch engine."""
+        return self.event_s / self.epoch_s if self.epoch_s > 0 else float("inf")
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "model": self.model,
+            "gpu": self.gpu,
+            "plan": self.plan,
+            "requests": self.requests,
+            "rate": self.rate,
+            "event_s": self.event_s,
+            "epoch_s": self.epoch_s,
+            "speedup": self.speedup,
+            "steps": self.steps,
+            "approx_percentiles": self.approx_percentiles,
+        }
+
+
+@dataclass(frozen=True)
+class ClusterSmokeTiming:
+    """Completion record of the sharded fleet-scale scenario."""
+
+    name: str
+    model: str
+    gpu: str
+    plan: str
+    requests: int
+    rate: float
+    replicas: int
+    jobs: int
+    wall_s: float
+    steps: int
+    finished: int
+    rejected: int
+    approx_percentiles: bool
+
+    @property
+    def conserved(self) -> bool:
+        """Every submitted request is accounted for."""
+        return self.finished + self.rejected == self.requests
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "model": self.model,
+            "gpu": self.gpu,
+            "plan": self.plan,
+            "requests": self.requests,
+            "rate": self.rate,
+            "replicas": self.replicas,
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "steps": self.steps,
+            "finished": self.finished,
+            "rejected": self.rejected,
+            "conserved": self.conserved,
+            "approx_percentiles": self.approx_percentiles,
+        }
+
+
+@dataclass(frozen=True)
+class ServingBenchReport:
+    """Outcome of :func:`run_serving_selfbench`."""
+
+    serving: ServingWorkloadTiming
+    cluster: ClusterSmokeTiming
+    #: True iff the event and epoch engines produced byte-identical
+    #: serialized reports on the serving workload.
+    outputs_identical: bool
+
+    @property
+    def ok(self) -> bool:
+        """Equivalence held and the fleet scenario conserved requests."""
+        return self.outputs_identical and self.cluster.conserved
+
+    def render(self) -> str:
+        s, c = self.serving, self.cluster
+        rows = [
+            [s.name, f"{s.requests:,}", f"{s.event_s:.1f} s",
+             f"{s.epoch_s:.1f} s", f"{s.speedup:.1f}x"],
+            [c.name, f"{c.requests:,}", "-", f"{c.wall_s:.1f} s", "-"],
+        ]
+        return "\n".join([
+            render_table(
+                ["workload", "requests", "event loop", "epoch engine",
+                 "speedup"], rows,
+            ),
+            "",
+            f"cluster smoke: {c.finished:,} finished / {c.rejected:,} "
+            f"rejected over {c.replicas} replicas x {c.jobs} jobs "
+            f"(conserved: {c.conserved})",
+            f"outputs identical: {self.outputs_identical}",
+        ])
+
+    def to_json(self) -> dict:
+        return {
+            "outputs_identical": self.outputs_identical,
+            "ok": self.ok,
+            "serving": self.serving.to_json(),
+            "cluster": self.cluster.to_json(),
+        }
+
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        return result_dict("serving-selfbench", **self.to_json())
+
+
+def _serving_workload_timing(requests: int, rate: float, seed: int,
+                             ) -> "tuple[ServingWorkloadTiming, bool]":
+    from repro.serving.requests import ServingWorkload
+    from repro.serving.simulator import ServingSimulator
+
+    model, gpu, plan = "gpt-neo-1.3b", "a100", "sdf"
+    # Decode-heavy at moderate load: long outputs and short prompts put
+    # the stream in the pure-decode regime the epoch engine batches.
+    workload = ServingWorkload(rate=rate, duration=requests / rate,
+                               seed=seed, max_prompt=512, mean_output=768)
+    timings, docs, report = {}, {}, None
+    for engine in ("event", "epoch"):
+        sim = ServingSimulator(model, gpu, plan=plan, workload=workload,
+                               engine=engine, max_steps=500_000_000)
+        start = time.perf_counter()
+        report = sim.run()
+        timings[engine] = time.perf_counter() - start
+        docs[engine] = json.dumps(report.to_json(), sort_keys=True)
+    timing = ServingWorkloadTiming(
+        name=f"serving-{requests // 1000}k" if requests >= 1000
+             else f"serving-{requests}",
+        model=model, gpu=gpu, plan=plan,
+        requests=len(workload.request_arrays()), rate=rate,
+        event_s=timings["event"], epoch_s=timings["epoch"],
+        steps=report.steps,
+        approx_percentiles=report.approx_percentiles,
+    )
+    return timing, docs["event"] == docs["epoch"]
+
+
+def _cluster_smoke_timing(requests: int, jobs: int,
+                          seed: int) -> ClusterSmokeTiming:
+    from repro.cluster import ClusterSimulator
+    from repro.serving.requests import ServingWorkload
+
+    model, gpu, plan, rate, replicas = "bert-large", "a100", "sdf", 8.0, 4
+    workload = ServingWorkload(rate=rate, duration=requests / rate,
+                               seed=seed)
+    sim = ClusterSimulator(model, gpu, plan=plan, workload=workload,
+                           replicas=replicas, jobs=jobs,
+                           max_steps=1_000_000_000)
+    start = time.perf_counter()
+    report = sim.run()
+    wall = time.perf_counter() - start
+    return ClusterSmokeTiming(
+        name=f"cluster-{requests // 1_000_000}m" if requests >= 1_000_000
+             else f"cluster-{requests}",
+        model=model, gpu=gpu, plan=plan,
+        requests=sim.num_requests, rate=rate,
+        replicas=replicas, jobs=jobs,
+        wall_s=wall, steps=report.steps,
+        finished=report.finished, rejected=report.rejected,
+        approx_percentiles=report.approx_percentiles,
+    )
+
+
+def run_serving_selfbench(
+    *,
+    requests: int = 100_000,
+    cluster_requests: int = 1_000_000,
+    jobs: int = 4,
+    rate: float = 0.4,
+    seed: int = 7,
+) -> ServingBenchReport:
+    """Benchmark the epoch engine and the sharded cluster mode.
+
+    ``requests`` sizes the gated event-vs-epoch workload and
+    ``cluster_requests`` the sharded completion smoke; CI passes small
+    values (where the equivalence check runs in exact-percentile mode)
+    and ``make bench-serving`` the full scale.
+    """
+    from repro.common.validation import require_positive
+
+    require_positive("requests", requests)
+    require_positive("cluster_requests", cluster_requests)
+    require_positive("jobs", jobs)
+
+    serving, identical = _serving_workload_timing(requests, rate, seed)
+    cluster = _cluster_smoke_timing(cluster_requests, jobs, seed)
+    return ServingBenchReport(
+        serving=serving,
+        cluster=cluster,
+        outputs_identical=identical,
+    )

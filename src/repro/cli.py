@@ -442,7 +442,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> str:
         plans=tuple(p.strip() for p in args.plans.split(",")),
         requests=requests,
         chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
-        block_tokens=args.block_tokens,
+        block_tokens=args.block_tokens, engine=args.engine,
     )
     return emit(report.to_dict(), render_serving_comparison(report), args)
 
@@ -467,7 +467,8 @@ def cmd_cluster_sim(args: argparse.Namespace) -> str:
         interconnect=interconnects[args.interconnect],
         requests=requests, prefix_groups=args.prefix_groups,
         chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
-        block_tokens=args.block_tokens,
+        block_tokens=args.block_tokens, engine=args.engine,
+        jobs=args.jobs,
     )
     return emit(report.to_dict(), render_cluster_comparison(report), args)
 
@@ -527,6 +528,18 @@ def cmd_verify(args: argparse.Namespace) -> str:
 
 
 def cmd_selfbench(args: argparse.Namespace) -> str:
+    if args.suite == "serving":
+        from repro.analysis.servingbench import run_serving_selfbench
+
+        report = run_serving_selfbench(
+            requests=args.requests,
+            cluster_requests=args.cluster_requests,
+            jobs=args.jobs,
+        )
+        if not report.ok:
+            args._exit_code = 1
+        return emit(report.to_dict(), report.render(), args)
+
     from repro.analysis.selfperf import run_selfbench
 
     report = run_selfbench(repetitions=args.repetitions, jobs=args.jobs)
@@ -630,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max concurrently running requests")
         p.add_argument("--block-tokens", type=int, default=64,
                        help="KV-cache block size, tokens")
+        p.add_argument("--engine", choices=("epoch", "event"),
+                       default="epoch",
+                       help="stepping mode: epoch-batched fast path "
+                            "(default) or the classic per-step event loop "
+                            "(identical output, slower)")
 
     def add_cluster_args(p):
         p.add_argument("--replicas", type=int, default=2,
@@ -651,6 +669,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--prefix-groups", type=int, default=0,
                        help="synthetic shared-prefix groups in the "
                             "workload (0 = none)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for sharded replica "
+                            "simulation (round-robin policy only; "
+                            "results are identical either way)")
 
     p_srv = sub.add_parser("serve-sim",
                            help="discrete-event serving simulation")
@@ -692,9 +714,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sbn = sub.add_parser("selfbench",
                            help="benchmark the simulator itself "
-                                "(cache + vectorization fast path)")
-    p_sbn.add_argument("--repetitions", type=int, default=5)
-    p_sbn.add_argument("--jobs", type=int, default=1)
+                                "(cache + vectorization fast path, or the "
+                                "serving epoch engine)")
+    p_sbn.add_argument("--suite", choices=("selfperf", "serving"),
+                       default="selfperf",
+                       help="selfperf: sweep/driver fast path; serving: "
+                            "epoch engine vs event loop + sharded cluster "
+                            "smoke (writes BENCH_serving.json via --output)")
+    p_sbn.add_argument("--repetitions", type=int, default=5,
+                       help="workload repetitions (selfperf suite)")
+    p_sbn.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (selfperf sweeps / serving "
+                            "cluster shards)")
+    p_sbn.add_argument("--requests", type=int, default=100_000,
+                       help="stream size for the serving suite's "
+                            "event-vs-epoch workload")
+    p_sbn.add_argument("--cluster-requests", type=int, default=1_000_000,
+                       help="stream size for the serving suite's sharded "
+                            "cluster smoke")
     _add_output(p_sbn)
     p_sbn.set_defaults(func=cmd_selfbench)
 

@@ -22,8 +22,9 @@ from repro.cluster.policies import (
     RouterPolicy,
     make_policy,
 )
-from repro.cluster.replica import Replica
+from repro.cluster.replica import Replica, ReplicaOutcome
 from repro.cluster.router import ClusterSimulator, simulate_cluster
+from repro.cluster.sharded import ReplicaShard, run_sharded, simulate_shard
 
 __all__ = [
     "ShardedStepCostModel",
@@ -37,6 +38,10 @@ __all__ = [
     "RouterPolicy",
     "make_policy",
     "Replica",
+    "ReplicaOutcome",
+    "ReplicaShard",
+    "run_sharded",
+    "simulate_shard",
     "ClusterSimulator",
     "simulate_cluster",
 ]

@@ -114,6 +114,20 @@ class ShardedStepCostModel(StepCostModel):
         comm = self.comm_time(total_tokens)
         return compute + comm, comm
 
+    def decode_step_cost(self, decode_kv: "list[int]") -> "tuple[float, float]":
+        """:meth:`step_cost` for a pure-decode step, as a hot path.
+
+        Composes the base class's memo-walking
+        :meth:`~repro.serving.costmodel.StepCostModel.decode_step_time`
+        with the memoized collective time exactly as ``step_cost``
+        does, so the floats match it bit for bit.
+        """
+        compute = self.decode_step_time(decode_kv)
+        if compute == 0.0:
+            return 0.0, 0.0
+        comm = self.comm_time(len(decode_kv))
+        return compute + comm, comm
+
     def step_time(
         self,
         *,

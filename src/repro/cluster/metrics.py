@@ -7,13 +7,22 @@ aggregate recomputes the latency percentiles over the *union* of
 finished requests — percentiles do not compose across shards, so
 averaging per-replica p99s would understate the tail — and sums the
 throughput counters over the cluster makespan.
+
+Aggregation consumes :class:`~repro.cluster.replica.ReplicaOutcome`
+records, the same shape whether the replicas ran in one process (the
+serial router loop) or one per worker (the sharded mode), and always
+in replica-id order — so a sharded run's report is byte-identical to
+the serial run's regardless of worker count.  Outcomes that retained
+their request lists aggregate exactly; streaming outcomes (fleet-scale
+runs above the exact-percentile cutover) aggregate through merged
+latency accumulators and flag the report ``approx_percentiles``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.serving.metrics import LatencyStats, PlanReport
+from repro.serving.metrics import LatencyAccumulator, LatencyStats, PlanReport
 
 
 @dataclass(frozen=True)
@@ -72,6 +81,10 @@ class ClusterPlanReport:
     #: Span/event summary of this plan's slice of the trace; ``None``
     #: when the run was not traced (the default).
     trace_summary: "dict | None" = None
+    #: True when latency percentiles came from merged streaming
+    #: sketches instead of the retained request union.  Omitted from
+    #: JSON when False so small-run reports stay byte-identical.
+    approx_percentiles: bool = False
 
     @classmethod
     def from_replicas(cls, plan: str, policy: str, replicas, *,
@@ -79,55 +92,128 @@ class ClusterPlanReport:
                       ) -> "ClusterPlanReport":
         """Aggregate finished :class:`~repro.cluster.replica.Replica`
         states (after the event loop drained) into a report."""
-        reports = []
-        for replica in replicas:
-            single = PlanReport.from_run(
-                plan=plan,
-                requests=replica.requests,
-                memory=replica.memory.stats(),
-                hbm_bytes=replica.n_gpus * replica.cost.gpu.hbm_bytes,
-                makespan=replica.clock,
-                busy_time=replica.busy,
-                steps=replica.steps,
-                prefill_tokens=replica.prefill_tokens,
-                preemption_events=replica.scheduler.preemption_events,
+        return cls.from_outcomes(
+            plan, policy, [replica.outcome() for replica in replicas],
+            trace_summary=trace_summary)
+
+    @classmethod
+    def from_outcomes(cls, plan: str, policy: str, outcomes, *,
+                      trace_summary: "dict | None" = None,
+                      ) -> "ClusterPlanReport":
+        """Aggregate per-replica outcome records, in replica-id order.
+
+        Every outcome must either retain its request list (exact
+        percentiles over the cluster-wide union) or stream (merged
+        accumulators, ``approx_percentiles``); mixing would silently
+        bias the union, so it is rejected.
+        """
+        outcomes = sorted(outcomes, key=lambda o: o.replica_id)
+        retained = [o.requests is not None for o in outcomes]
+        if any(retained) and not all(retained):
+            from repro.common.errors import ServingError
+
+            raise ServingError(
+                "cannot aggregate a mix of retained and streaming "
+                "replica outcomes"
             )
+        exact = all(retained)
+
+        reports = []
+        for o in outcomes:
+            if exact:
+                single = PlanReport.from_run(
+                    plan=plan,
+                    requests=o.requests,
+                    memory=o.memory,
+                    hbm_bytes=o.hbm_bytes,
+                    makespan=o.clock,
+                    busy_time=o.busy,
+                    steps=o.steps,
+                    prefill_tokens=o.prefill_tokens,
+                    preemption_events=o.preemption_events,
+                )
+            else:
+                single = PlanReport.from_aggregates(
+                    plan=plan,
+                    num_requests=o.finished + o.rejected,
+                    finished=o.finished,
+                    rejected=o.rejected,
+                    preemption_events=o.preemption_events,
+                    preempted_requests=o.preempted_requests,
+                    generated_tokens=o.generated_tokens,
+                    ttft=o.ttft,
+                    tpot=o.tpot,
+                    e2e=o.e2e,
+                    memory=o.memory,
+                    hbm_bytes=o.hbm_bytes,
+                    makespan=o.clock,
+                    busy_time=o.busy,
+                    steps=o.steps,
+                    prefill_tokens=o.prefill_tokens,
+                )
             reports.append(ReplicaReport(
-                replica_id=replica.replica_id,
-                n_gpus=replica.n_gpus,
+                replica_id=o.replica_id,
+                n_gpus=o.n_gpus,
                 report=single,
-                comm_time_s=replica.comm_time,
-                weight_bytes_per_gpu=replica.weight_bytes_per_gpu,
+                comm_time_s=o.comm_time,
+                weight_bytes_per_gpu=o.weight_bytes_per_gpu,
             ))
 
-        done = [r for replica in replicas for r in replica.requests
-                if r.finish_time is not None]
-        num_requests = sum(len(replica.requests) for replica in replicas)
-        generated = sum(r.generated for r in done)
-        makespan = max((replica.clock for replica in replicas), default=0.0)
+        makespan = max((o.clock for o in outcomes), default=0.0)
         span = makespan if makespan > 0 else 1.0
-        busy = sum(replica.busy for replica in replicas)
-        comm = sum(replica.comm_time for replica in replicas)
-        return cls(
+        busy = sum(o.busy for o in outcomes)
+        comm = sum(o.comm_time for o in outcomes)
+        shared = dict(
             plan=plan,
             policy=policy,
-            num_requests=num_requests,
-            finished=len(done),
-            rejected=num_requests - len(done),
             makespan=makespan,
-            steps=sum(replica.steps for replica in replicas),
-            generated_tokens=generated,
-            prefill_tokens=sum(replica.prefill_tokens
-                               for replica in replicas),
-            ttft=LatencyStats.from_values([r.ttft for r in done]),
-            tpot=LatencyStats.from_values([r.tpot for r in done]),
-            e2e=LatencyStats.from_values([r.e2e_latency for r in done]),
-            throughput_tokens_per_s=generated / span,
-            throughput_requests_per_s=len(done) / span,
+            steps=sum(o.steps for o in outcomes),
+            prefill_tokens=sum(o.prefill_tokens for o in outcomes),
             comm_time_s=comm,
             comm_fraction=comm / busy if busy else 0.0,
             per_replica=tuple(reports),
             trace_summary=trace_summary,
+        )
+        if exact:
+            done = [r for o in outcomes for r in o.requests
+                    if r.finish_time is not None]
+            num_requests = sum(len(o.requests) for o in outcomes)
+            generated = sum(r.generated for r in done)
+            return cls(
+                num_requests=num_requests,
+                finished=len(done),
+                rejected=num_requests - len(done),
+                generated_tokens=generated,
+                ttft=LatencyStats.from_values([r.ttft for r in done]),
+                tpot=LatencyStats.from_values([r.tpot for r in done]),
+                e2e=LatencyStats.from_values([r.e2e_latency for r in done]),
+                throughput_tokens_per_s=generated / span,
+                throughput_requests_per_s=len(done) / span,
+                **shared,
+            )
+        # Streaming: percentiles do not compose, but the sketches
+        # merge; fold them in replica-id order so worker count never
+        # changes the result.
+        ttft, tpot, e2e = (LatencyAccumulator() for _ in range(3))
+        for o in outcomes:
+            ttft.merge(o.ttft)
+            tpot.merge(o.tpot)
+            e2e.merge(o.e2e)
+        finished = sum(o.finished for o in outcomes)
+        rejected = sum(o.rejected for o in outcomes)
+        generated = sum(o.generated_tokens for o in outcomes)
+        return cls(
+            num_requests=finished + rejected,
+            finished=finished,
+            rejected=rejected,
+            generated_tokens=generated,
+            ttft=ttft.stats(),
+            tpot=tpot.stats(),
+            e2e=e2e.stats(),
+            throughput_tokens_per_s=generated / span,
+            throughput_requests_per_s=finished / span,
+            approx_percentiles=True,
+            **shared,
         )
 
     def to_dict(self) -> "dict[str, object]":
@@ -136,6 +222,8 @@ class ClusterPlanReport:
 
         extra = ({"trace_summary": self.trace_summary}
                  if self.trace_summary is not None else {})
+        if self.approx_percentiles:
+            extra["approx_percentiles"] = True
         return result_dict(
             "cluster-plan",
             plan=self.plan,

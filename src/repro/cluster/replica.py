@@ -4,14 +4,23 @@ A replica owns the full single-node serving stack — a
 :class:`~repro.cluster.costmodel.ShardedStepCostModel`, a paged
 :class:`~repro.serving.memory.KVBlockManager` sized for the whole GPU
 group (weights shard, per-GPU reserve replicates), and a
-:class:`~repro.serving.scheduler.ContinuousBatchingScheduler` — plus a
-private clock.  The cluster router interleaves replica steps in global
-time order; each replica's clock reads "when this replica is next
-free", so a request submitted to an idle replica starts immediately
-while one submitted mid-step queues until the step completes.
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler` — all
+driven by one :class:`~repro.serving.engine.EpochEngine`.  The cluster
+router interleaves replica advances in global time order; each
+replica's clock reads "when this replica is next free", so a request
+submitted to an idle replica starts immediately while one submitted
+mid-step queues until the step completes.
+
+Replicas stream their aggregates through the engine's O(1) latency
+accumulators; the routed-request list is retained only while
+``retain_requests`` is set (the default, and what exact small-run
+reports need), so a million-request shard holds per-request state only
+for the requests currently resident.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.common.dtypes import DType
 from repro.core.plan import AttentionPlan
@@ -20,9 +29,44 @@ from repro.gpu.specs import GPUSpec
 from repro.models.config import ModelConfig
 from repro.models.footprint import weight_bytes
 from repro.obs.tracer import NULL_TRACER
-from repro.serving.memory import KVBlockManager
+from repro.serving.engine import DEFAULT_MAX_EPOCH, EpochEngine
+from repro.serving.memory import KVBlockManager, MemoryStats
+from repro.serving.metrics import LatencyAccumulator
 from repro.serving.requests import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler
+
+
+@dataclass
+class ReplicaOutcome:
+    """Everything a finished replica contributes to a cluster report.
+
+    A plain, picklable record: the sharded cluster mode ships one per
+    worker process back to the parent, and the serial loop produces
+    the same shape, so both aggregate through one code path
+    (:meth:`repro.cluster.metrics.ClusterPlanReport.from_outcomes`).
+    ``requests`` is ``None`` when the replica ran in streaming mode.
+    """
+
+    replica_id: int
+    n_gpus: int
+    weight_bytes_per_gpu: float
+    #: Total HBM across the replica's GPU group, for peak fractions.
+    hbm_bytes: int
+    memory: MemoryStats
+    clock: float
+    busy: float
+    comm_time: float
+    steps: int
+    prefill_tokens: int
+    preemption_events: int
+    finished: int
+    rejected: int
+    preempted_requests: int
+    generated_tokens: int
+    ttft: LatencyAccumulator
+    tpot: LatencyAccumulator
+    e2e: LatencyAccumulator
+    requests: "list[Request] | None"
 
 
 class Replica:
@@ -46,6 +90,9 @@ class Replica:
         reserve_fraction: float = 0.1,
         t: int = 64,
         tracer=None,
+        engine: str = "epoch",
+        max_epoch: int = DEFAULT_MAX_EPOCH,
+        retain_requests: bool = True,
     ) -> None:
         from repro.cluster.costmodel import ShardedStepCostModel
 
@@ -67,13 +114,14 @@ class Replica:
             self.memory, chunk_tokens=chunk_tokens, max_batch=max_batch,
             tracer=self.tracer, trace_process=self.trace_process,
         )
-        #: Time this replica is next free (end of its in-flight step).
-        self.clock = 0.0
-        self.busy = 0.0
-        self.comm_time = 0.0
-        self.steps = 0
-        self.prefill_tokens = 0
-        #: Every request ever routed here, in submission order.
+        self.engine = EpochEngine(
+            cost=self.cost, memory=self.memory, scheduler=self.scheduler,
+            tracer=self.tracer, epoch=engine == "epoch",
+            max_epoch=max_epoch, on_step=self._trace_step,
+        )
+        self.retain_requests = retain_requests
+        #: Every request ever routed here, in submission order; empty
+        #: in streaming mode (``retain_requests=False``).
         self.requests: "list[Request]" = []
 
     @property
@@ -86,6 +134,33 @@ class Replica:
         """Sharded parameter footprint per GPU."""
         return weight_bytes(self.cost.model, self.cost.dtype) / self.n_gpus
 
+    # -- engine state, delegated ----------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """Global time this replica is next free."""
+        return self.engine.clock
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        self.engine.clock = value
+
+    @property
+    def busy(self) -> float:
+        return self.engine.busy
+
+    @property
+    def comm_time(self) -> float:
+        return self.engine.comm_time
+
+    @property
+    def steps(self) -> int:
+        return self.engine.steps
+
+    @property
+    def prefill_tokens(self) -> int:
+        return self.engine.prefill_tokens
+
     @property
     def has_work(self) -> bool:
         """Whether any routed request is still unfinished on-device."""
@@ -96,51 +171,84 @@ class Replica:
         """Remaining prefill + decode tokens across unfinished requests.
 
         The router's load signal: the total token work this replica
-        still owes, regardless of admission state.
+        still owes, regardless of admission state.  Computed over the
+        resident (running + waiting) requests plus the constant
+        contribution of rejected ones, so reading it is O(batch), not
+        O(every request ever routed).
         """
-        return sum(
+        resident = sum(
             (r.prefill_target - r.prefilled) + (r.output_len - r.generated)
-            for r in self.requests if r.finish_time is None
+            for r in self.scheduler.running
+        ) + sum(
+            (r.prefill_target - r.prefilled) + (r.output_len - r.generated)
+            for r in self.scheduler.waiting
         )
+        return resident + self.engine.rejected_outstanding
 
     def submit(self, request: Request, now: float) -> None:
         """Route ``request`` here; it arrives at global time ``now``."""
         # An idle replica fast-forwards to the arrival; a busy one
         # keeps its in-flight step's completion time.
-        self.clock = max(self.clock, now)
-        self.requests.append(request)
-        self.scheduler.submit(request)
+        if now > self.engine.clock:
+            self.engine.clock = now
+        if self.retain_requests:
+            self.requests.append(request)
+        self.engine.submit(request)
+
+    def advance(self, limit_time: "float | None" = None) -> int:
+        """Advance this replica's engine; returns steps taken (0 =
+        nothing runnable).  No step starts at or after ``limit_time``
+        — the router passes the next arrival so replica state is final
+        when the policy reads it."""
+        return self.engine.advance(limit_time=limit_time)
 
     def step(self) -> bool:
-        """Run one engine step; returns False when nothing is runnable."""
-        step = self.scheduler.schedule(self.clock)
-        if step.is_empty:
-            return False
-        total, comm = self.cost.step_cost(
-            prefill=[(chunk, kv) for _, chunk, kv in step.prefill],
-            decode_kv=[kv for _, kv in step.decode],
+        """Advance at least one engine step; False when idle.
+
+        Kept as the coarse-grained compatibility entry point; the
+        router's loop calls :meth:`advance` with an arrival horizon.
+        """
+        return self.engine.advance() > 0
+
+    def _trace_step(self, step, *, ts, dur, comm) -> None:
+        pid, tid = self.tracer.track(self.trace_process, "steps")
+        self.tracer.complete(
+            "replica step", "engine-step", ts=ts, dur=dur,
+            pid=pid, tid=tid,
+            args={"decode": len(step.decode),
+                  "prefill_tokens": sum(
+                      c for _, c, _ in step.prefill),
+                  "compute_s": dur - comm,
+                  "comm_s": comm,
+                  "running": len(self.scheduler.running)},
         )
-        if self.tracer.enabled:
-            pid, tid = self.tracer.track(self.trace_process, "steps")
-            self.tracer.complete(
-                "replica step", "engine-step", ts=self.clock, dur=total,
-                pid=pid, tid=tid,
-                args={"decode": len(step.decode),
-                      "prefill_tokens": sum(
-                          c for _, c, _ in step.prefill),
-                      "compute_s": total - comm,
-                      "comm_s": comm,
-                      "running": len(self.scheduler.running)},
-            )
-            self.tracer.metrics.counter(
-                f"{self.trace_process}.comm_time_s").add(comm)
-            self.tracer.metrics.gauge(
-                f"{self.trace_process}.kv_blocks").set(
-                    self.memory.used_blocks)
-        self.clock += total
-        self.busy += total
-        self.comm_time += comm
-        self.steps += 1
-        self.prefill_tokens += sum(c for _, c, _ in step.prefill)
-        self.scheduler.complete_step(step, self.clock)
-        return True
+        self.tracer.metrics.counter(
+            f"{self.trace_process}.comm_time_s").add(comm)
+        self.tracer.metrics.gauge(
+            f"{self.trace_process}.kv_blocks").set(
+                self.memory.used_blocks)
+
+    def outcome(self) -> ReplicaOutcome:
+        """Snapshot this replica's contribution to the cluster report."""
+        engine = self.engine
+        return ReplicaOutcome(
+            replica_id=self.replica_id,
+            n_gpus=self.n_gpus,
+            weight_bytes_per_gpu=self.weight_bytes_per_gpu,
+            hbm_bytes=self.n_gpus * self.cost.gpu.hbm_bytes,
+            memory=self.memory.stats(),
+            clock=engine.clock,
+            busy=engine.busy,
+            comm_time=engine.comm_time,
+            steps=engine.steps,
+            prefill_tokens=engine.prefill_tokens,
+            preemption_events=self.scheduler.preemption_events,
+            finished=engine.finished,
+            rejected=engine.rejected,
+            preempted_requests=engine.preempted_requests,
+            generated_tokens=engine.generated_tokens,
+            ttft=engine.ttft,
+            tpot=engine.tpot,
+            e2e=engine.e2e,
+            requests=self.requests if self.retain_requests else None,
+        )

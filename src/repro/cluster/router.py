@@ -8,13 +8,25 @@ time*, so the loop interleaves two event kinds in time order —
 - **arrival** — when the next arrival time is no later than every
   active replica's clock, the router dispatches it (every replica's
   visible state is final as of that instant);
-- **replica step** — otherwise the replica with the earliest clock
-  steps, because no earlier event can change what it would do.
+- **replica advance** — otherwise the replica with the earliest clock
+  advances, because no earlier event can change what it would do.  An
+  advance covers one classic step or one epoch-batched stretch of
+  pure-decode steps, bounded so no step *starts* at or after the next
+  arrival — exactly the steps the one-step-at-a-time loop would have
+  run before dispatching it.
 
 Ties break toward dispatching arrivals, then toward the lowest replica
 id, so a fixed (stream, policy) pair always yields a byte-identical
 report — the same determinism contract the single-node simulator
 keeps.
+
+Under round-robin routing with ``jobs > 1`` the loop is bypassed
+entirely: the stream shards per replica and each shard simulates in
+its own worker process (:mod:`repro.cluster.sharded`), producing the
+same report.  Above the exact-percentile cutover the replicas stream
+their aggregates instead of retaining per-request state, so a
+million-request cluster run holds O(batch) requests per replica and
+O(1) memory per metric.
 """
 
 from __future__ import annotations
@@ -30,14 +42,21 @@ from repro.obs.tracer import current_tracer
 from repro.cluster.metrics import ClusterPlanReport, ClusterReport
 from repro.cluster.policies import RouterPolicy, make_policy
 from repro.cluster.replica import Replica
+from repro.serving.engine import DEFAULT_MAX_EPOCH
+from repro.serving.metrics import EXACT_PERCENTILE_CUTOVER
 from repro.serving.requests import Request, ServingWorkload
+from repro.serving.simulator import ENGINE_MODES
 
 
 class ClusterSimulator:
     """Replay one request stream through a replicated, sharded cluster.
 
     ``run`` operates on private copies of the requests, so one stream
-    can be replayed under several plans and policies.
+    can be replayed under several plans and policies.  Pass a
+    :class:`~repro.serving.requests.ServingWorkload` instead of a
+    request list to keep the stream in numpy arrays until each request
+    arrives; with ``jobs > 1`` (round-robin only) replicas simulate in
+    parallel worker processes.
     """
 
     def __init__(
@@ -46,7 +65,8 @@ class ClusterSimulator:
         gpu: "GPUSpec | str",
         *,
         plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
-        requests: "list[Request]",
+        requests: "list[Request] | None" = None,
+        workload: "ServingWorkload | None" = None,
         replicas: int = 2,
         tp: int = 1,
         pp: int = 1,
@@ -60,9 +80,23 @@ class ClusterSimulator:
         reserve_fraction: float = 0.1,
         t: int = 64,
         max_steps: int = 2_000_000,
+        engine: str = "epoch",
+        max_epoch: int = DEFAULT_MAX_EPOCH,
+        latency_cutover: int = EXACT_PERCENTILE_CUTOVER,
+        jobs: int = 1,
     ) -> None:
         if replicas < 1:
             raise ServingError(f"need at least one replica, got {replicas}")
+        if (requests is None) == (workload is None):
+            raise ServingError(
+                "provide exactly one of `requests` or `workload`"
+            )
+        if engine not in ENGINE_MODES:
+            raise ServingError(
+                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
+            )
+        if jobs < 1:
+            raise ServingError(f"jobs must be >= 1, got {jobs}")
         self.model = get_model(model) if isinstance(model, str) else model
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
         self.plan = AttentionPlan.from_name(plan)
@@ -70,10 +104,24 @@ class ClusterSimulator:
                             else policy)
         self._policy_arg = policy
         self.max_steps = max_steps
-        self._requests = sorted(requests,
-                                key=lambda r: (r.arrival_time, r.request_id))
+        self.engine = engine
+        self.max_epoch = max_epoch
+        self.latency_cutover = latency_cutover
+        self.jobs = jobs
+        if jobs > 1 and self.policy_name != "round-robin":
+            raise ServingError(
+                f"policy {self.policy_name!r} reads cross-replica state at "
+                f"every arrival and cannot run sharded; use jobs=1"
+            )
+        if requests is not None:
+            self._requests = sorted(
+                requests, key=lambda r: (r.arrival_time, r.request_id))
+            self._workload = None
+        else:
+            self._requests = None
+            self._workload = workload
         self._replica_kwargs = dict(
-            plan=self.plan, dtype=dtype, tp=tp, pp=pp,
+            dtype=dtype, tp=tp, pp=pp,
             interconnect=interconnect, algorithm=algorithm,
             chunk_tokens=chunk_tokens, max_batch=max_batch,
             block_tokens=block_tokens, reserve_fraction=reserve_fraction,
@@ -81,38 +129,74 @@ class ClusterSimulator:
         )
         self.num_replicas = replicas
 
+    @property
+    def num_requests(self) -> int:
+        """Size of the stream ``run`` will replay."""
+        if self._requests is not None:
+            return len(self._requests)
+        return len(self._workload.request_arrays())
+
+    def _iter_requests(self):
+        """Fresh request copies in arrival order, materialized lazily."""
+        if self._requests is not None:
+            for r in self._requests:
+                yield Request(
+                    request_id=r.request_id, arrival_time=r.arrival_time,
+                    prompt_len=r.prompt_len, output_len=r.output_len,
+                    prefix_group=r.prefix_group,
+                )
+        else:
+            arrays = self._workload.request_arrays()
+            for index in range(len(arrays)):
+                yield arrays.materialize(index)
+
     def run(self) -> ClusterPlanReport:
         """Simulate the stream to completion and aggregate metrics."""
         tracer = current_tracer()
+        retain = tracer.enabled or self.num_requests <= self.latency_cutover
+        if self.jobs > 1:
+            if tracer.enabled:
+                raise ServingError(
+                    "traced cluster runs interleave every replica's lanes "
+                    "in one tracer and cannot run sharded; use jobs=1"
+                )
+            from repro.cluster.sharded import run_sharded
+
+            outcomes = run_sharded(
+                model=self.model, gpu=self.gpu, plan=self.plan,
+                replica_kwargs=self._replica_kwargs,
+                num_replicas=self.num_replicas,
+                engine=self.engine, max_epoch=self.max_epoch,
+                retain=retain, max_steps=self.max_steps, jobs=self.jobs,
+                requests=self._requests,
+                arrays=(self._workload.request_arrays()
+                        if self._requests is None else None),
+            )
+            return ClusterPlanReport.from_outcomes(
+                self.plan.value, self.policy_name, outcomes)
+
         trace_start = tracer.event_count
         router_lane = (tracer.track(f"{self.plan.value}:router")
                        if tracer.enabled else (0, 0))
         policy = make_policy(self._policy_arg)
         replicas = [
-            Replica(i, self.model, self.gpu, tracer=tracer,
-                    **self._replica_kwargs)
+            Replica(i, self.model, self.gpu, plan=self.plan, tracer=tracer,
+                    engine=self.engine, max_epoch=self.max_epoch,
+                    retain_requests=retain, **self._replica_kwargs)
             for i in range(self.num_replicas)
         ]
-        # Fresh copies: replica schedulers mutate request state, and
-        # run() must be repeatable.
-        stream = [
-            Request(request_id=r.request_id, arrival_time=r.arrival_time,
-                    prompt_len=r.prompt_len, output_len=r.output_len,
-                    prefix_group=r.prefix_group)
-            for r in self._requests
-        ]
-        next_arrival = 0
+        source = self._iter_requests()
+        pending = next(source, None)
         total_steps = 0
 
         while True:
             active = [r for r in replicas if r.has_work]
-            if next_arrival < len(stream):
-                arrival = stream[next_arrival]
+            if pending is not None:
                 # Dispatch once no active replica can still change
                 # state before the arrival instant.
                 frontier = min((r.clock for r in active), default=None)
-                if frontier is None or arrival.arrival_time <= frontier:
-                    index = policy.choose(arrival, replicas)
+                if frontier is None or pending.arrival_time <= frontier:
+                    index = policy.choose(pending, replicas)
                     if not 0 <= index < len(replicas):
                         raise ServingError(
                             f"policy {self.policy_name!r} chose replica "
@@ -120,27 +204,30 @@ class ClusterSimulator:
                         )
                     if tracer.enabled:
                         tracer.instant(
-                            "route", "routing", ts=arrival.arrival_time,
+                            "route", "routing", ts=pending.arrival_time,
                             pid=router_lane[0], tid=router_lane[1],
-                            args={"request_id": arrival.request_id,
+                            args={"request_id": pending.request_id,
                                   "replica": index,
                                   "policy": self.policy_name},
                         )
                         tracer.metrics.counter(
                             f"{self.plan.value}:router.to_replica{index}"
                         ).inc()
-                    replicas[index].submit(arrival, arrival.arrival_time)
-                    next_arrival += 1
+                    replicas[index].submit(pending, pending.arrival_time)
+                    pending = next(source, None)
                     continue
             if not active:
                 break
             replica = min(active, key=lambda r: (r.clock, r.replica_id))
-            if not replica.step():
+            advanced = replica.advance(
+                limit_time=(pending.arrival_time if pending is not None
+                            else None))
+            if advanced == 0:
                 raise ServingError(
                     f"replica {replica.replica_id} stalled with work "
                     f"outstanding"
                 )
-            total_steps += 1
+            total_steps += advanced
             if total_steps > self.max_steps:
                 raise ServingError(
                     f"cluster simulation exceeded {self.max_steps} steps; "
@@ -186,24 +273,30 @@ def simulate_cluster(
     Each plan replays the *same* request stream with a fresh policy
     instance and fresh replicas, so plan comparisons differ only in
     the attention plan.  Extra keyword arguments reach
-    :class:`ClusterSimulator` (``chunk_tokens``, ``max_batch``, ...).
+    :class:`ClusterSimulator` (``chunk_tokens``, ``max_batch``,
+    ``engine``, ``jobs``, ...).  Without an explicit request list the
+    synthetic stream is sampled once into shared arrays and every plan
+    replays the same values.
     """
     model = get_model(model) if isinstance(model, str) else model
     gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    workload = None
     if requests is None:
         block_tokens = engine_kwargs.get("block_tokens", 64)
-        requests = ServingWorkload(
+        workload = ServingWorkload(
             rate=rate, duration=duration, seed=seed,
             block_tokens=block_tokens, prefix_groups=prefix_groups,
-        ).requests()
+        )
     reports = {}
+    num_requests = None
     for plan in plans:
         plan = AttentionPlan.from_name(plan)
         sim = ClusterSimulator(
-            model, gpu, plan=plan, requests=requests, replicas=replicas,
-            tp=tp, pp=pp, policy=policy, interconnect=interconnect,
-            algorithm=algorithm, **engine_kwargs,
+            model, gpu, plan=plan, requests=requests, workload=workload,
+            replicas=replicas, tp=tp, pp=pp, policy=policy,
+            interconnect=interconnect, algorithm=algorithm, **engine_kwargs,
         )
+        num_requests = sim.num_requests
         reports[plan.value] = sim.run()
     tracer = current_tracer()
     return ClusterReport(
@@ -218,7 +311,7 @@ def simulate_cluster(
         policy=policy if isinstance(policy, str) else policy.name,
         algorithm=algorithm,
         interconnect=interconnect.name,
-        num_requests=len(requests),
+        num_requests=num_requests if num_requests is not None else 0,
         plans=reports,
         trace_summary=tracer.summary() if tracer.enabled else None,
     )

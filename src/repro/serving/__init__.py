@@ -23,20 +23,30 @@ See ``docs/serving.md`` for the design and its limits.
 """
 
 from repro.serving.costmodel import SUPPORTED_PLANS, StepCostModel
+from repro.serving.engine import DEFAULT_MAX_EPOCH, EpochEngine
 from repro.serving.memory import KVBlockManager, MemoryStats
-from repro.serving.metrics import LatencyStats, PlanReport, ServingReport
+from repro.serving.metrics import (
+    EXACT_PERCENTILE_CUTOVER,
+    LatencyAccumulator,
+    LatencyStats,
+    PlanReport,
+    ServingReport,
+)
 from repro.serving.requests import (
     Request,
+    RequestArrays,
     RequestStatus,
     ServingWorkload,
     load_trace,
 )
 from repro.serving.scheduler import ContinuousBatchingScheduler, ScheduledStep
 from repro.serving.simulator import ServingSimulator, simulate_serving
+from repro.serving.sketch import QuantileSketch
 
 __all__ = [
     # workload
     "Request",
+    "RequestArrays",
     "RequestStatus",
     "ServingWorkload",
     "load_trace",
@@ -47,10 +57,15 @@ __all__ = [
     "MemoryStats",
     "ContinuousBatchingScheduler",
     "ScheduledStep",
+    "EpochEngine",
+    "DEFAULT_MAX_EPOCH",
     "ServingSimulator",
     "simulate_serving",
     # reporting
+    "EXACT_PERCENTILE_CUTOVER",
+    "LatencyAccumulator",
     "LatencyStats",
     "PlanReport",
     "ServingReport",
+    "QuantileSketch",
 ]

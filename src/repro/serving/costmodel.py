@@ -124,6 +124,17 @@ class StepCostModel:
     def _bucketed(self, kv_len: int) -> int:
         return -(-kv_len // self.kv_bucket) * self.kv_bucket
 
+    @property
+    def layer_groups(self) -> "list[tuple[int, int]]":
+        """``(representative layer, layer count)`` per distinct
+        attention spec, in the summation order :meth:`step_time` uses.
+
+        The epoch-batched engine tabulates decode attention per group
+        from this list so its vectorized accumulation reproduces the
+        scalar loop's float operations in the same order.
+        """
+        return list(self._groups)
+
     def step_time(
         self,
         *,
@@ -149,6 +160,34 @@ class StepCostModel:
             for kv_len in decode_kv:
                 time += count * self.attention_time(
                     layer, 1, self._bucketed(kv_len))
+        return time
+
+    def decode_step_time(self, decode_kv: "list[int]") -> float:
+        """:meth:`step_time` for a pure-decode step, as a hot path.
+
+        Bit-identical to ``step_time(decode_kv=decode_kv)``: the same
+        memoized per-(layer, bucket) terms accumulate in the same
+        group-major, request-minor order.  The difference is purely
+        mechanical — KV lengths are bucketed once instead of once per
+        layer group, and the inner loop reads the memo table directly
+        instead of paying two function calls per term.  The epoch-
+        batched serving engine prices every decode segment through
+        here, so the per-term constant is what bounds simulation
+        throughput.
+        """
+        m = len(decode_kv)
+        if m == 0:
+            return 0.0
+        bucket = self.kv_bucket
+        buckets = [-(-kv // bucket) * bucket for kv in decode_kv]
+        time = self.model.num_layers * self.mlp_time(m)
+        cache_get = self._attn_cache.get
+        for layer, count in self._groups:
+            for bucketed in buckets:
+                value = cache_get((layer, 1, bucketed))
+                if value is None:
+                    value = self.attention_time(layer, 1, bucketed)
+                time += count * value
         return time
 
     def cache_sizes(self) -> tuple[int, int]:

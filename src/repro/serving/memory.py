@@ -87,6 +87,10 @@ class KVBlockManager:
                 f"{self.block_bytes}-byte block"
             )
         self._allocated: dict[int, int] = {}
+        # Running total of allocated blocks: ``used_blocks`` is read on
+        # every admission/decode decision (millions of times per run),
+        # so it must not re-sum the allocation table each call.
+        self._used_blocks = 0
         self._peak_blocks = 0
 
     @classmethod
@@ -135,7 +139,7 @@ class KVBlockManager:
     @property
     def used_blocks(self) -> int:
         """Blocks currently allocated."""
-        return sum(self._allocated.values())
+        return self._used_blocks
 
     @property
     def free_blocks(self) -> int:
@@ -150,6 +154,10 @@ class KVBlockManager:
     def holds(self, request_id: int) -> bool:
         """Whether ``request_id`` currently owns blocks."""
         return request_id in self._allocated
+
+    def held_blocks(self, request_id: int) -> int:
+        """Blocks ``request_id`` currently owns (0 when none)."""
+        return self._allocated.get(request_id, 0)
 
     def can_allocate(self, blocks: int) -> bool:
         """Whether ``blocks`` more blocks fit right now."""
@@ -191,7 +199,9 @@ class KVBlockManager:
                 f"free"
             )
         self._allocated[request_id] = needed
-        self._peak_blocks = max(self._peak_blocks, self.used_blocks)
+        self._used_blocks += extra
+        if self._used_blocks > self._peak_blocks:
+            self._peak_blocks = self._used_blocks
         return extra
 
     def release(self, request_id: int) -> int:
@@ -200,4 +210,6 @@ class KVBlockManager:
             raise ServingError(
                 f"request {request_id} holds no KV blocks (double free?)"
             )
-        return self._allocated.pop(request_id)
+        freed = self._allocated.pop(request_id)
+        self._used_blocks -= freed
+        return freed

@@ -14,7 +14,13 @@ simulation into the standard numbers:
 
 Latency metrics report p50/p95/p99 and the mean; percentiles use the
 linear-interpolation definition (:func:`numpy.percentile` default) so
-reports are reproducible across runs and machines.
+reports are reproducible across runs and machines.  Below
+:data:`EXACT_PERCENTILE_CUTOVER` finished requests a report's
+percentiles are exact (computed from the retained per-request values,
+byte-identical to every earlier release); above it the simulator stops
+retaining per-request latencies and the same summaries come from the
+streaming :class:`~repro.serving.sketch.QuantileSketch`, flagged
+``approx_percentiles`` in the serialized envelope.
 """
 
 from __future__ import annotations
@@ -26,22 +32,43 @@ import numpy as np
 from repro.common.errors import MetricsError
 from repro.serving.memory import MemoryStats
 from repro.serving.requests import Request
+from repro.serving.sketch import QuantileSketch
+
+#: Finished-request count up to which reports compute percentiles
+#: exactly from retained values.  Above it, per-request latency lists
+#: are not retained and percentiles come from the streaming sketch
+#: (see docs/performance.md for the accuracy contract).
+EXACT_PERCENTILE_CUTOVER = 8192
+
+#: The percentile ranks every latency summary reports.
+SUMMARY_RANKS = (50.0, 95.0, 99.0)
+
+
+def percentiles(values, qs=SUMMARY_RANKS) -> "list[float]":
+    """Linear-interpolation percentiles of ``values`` in one pass.
+
+    Converts ``values`` to an ndarray exactly once and evaluates every
+    rank from it — :func:`numpy.percentile` with a rank vector is
+    bitwise-identical to repeated scalar calls, so this is a pure
+    speedup.  Ranks must lie in [0, 100]; out-of-range ranks raise
+    :class:`~repro.common.errors.MetricsError` rather than whatever
+    :func:`numpy.percentile` would do with them.
+    """
+    qs = list(qs)
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise MetricsError(
+                f"percentile rank must be in [0, 100], got {q!r}"
+            )
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return [0.0 for _ in qs]
+    return [float(p) for p in np.percentile(array, qs)]
 
 
 def percentile(values: "list[float]", q: float) -> float:
-    """Linear-interpolation percentile of ``values`` (0 if empty).
-
-    ``q`` is a percentile rank and must lie in [0, 100]; out-of-range
-    ranks raise :class:`~repro.common.errors.MetricsError` rather than
-    whatever :func:`numpy.percentile` would do with them.
-    """
-    if not 0.0 <= q <= 100.0:
-        raise MetricsError(
-            f"percentile rank must be in [0, 100], got {q!r}"
-        )
-    if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+    """Linear-interpolation percentile of ``values`` (0 if empty)."""
+    return percentiles(values, (q,))[0]
 
 
 @dataclass(frozen=True)
@@ -58,12 +85,19 @@ class LatencyStats:
         """Summarize ``values``; all-zero when no samples exist."""
         if not values:
             return cls(mean=0.0, p50=0.0, p95=0.0, p99=0.0)
-        return cls(
-            mean=float(np.mean(values)),
-            p50=percentile(values, 50),
-            p95=percentile(values, 95),
-            p99=percentile(values, 99),
-        )
+        array = np.asarray(values, dtype=np.float64)
+        p50, p95, p99 = (float(p) for p in
+                         np.percentile(array, SUMMARY_RANKS))
+        return cls(mean=float(np.mean(array)), p50=p50, p95=p95, p99=p99)
+
+    @classmethod
+    def from_accumulator(cls, acc: "LatencyAccumulator") -> "LatencyStats":
+        """Summarize a streamed metric; percentiles come from the
+        sketch (mean stays exact up to summation order)."""
+        if acc.count == 0:
+            return cls(mean=0.0, p50=0.0, p95=0.0, p99=0.0)
+        p50, p95, p99 = acc.sketch.quantiles(SUMMARY_RANKS)
+        return cls(mean=acc.total / acc.count, p50=p50, p95=p95, p99=p99)
 
     def to_json(self) -> "dict[str, float]":
         """JSON-ready mapping."""
@@ -73,6 +107,41 @@ class LatencyStats:
     #: Latency summaries nest inside larger documents; the versioned
     #: envelope lives on the enclosing report.
     to_dict = to_json
+
+
+class LatencyAccumulator:
+    """O(1)-memory stream summary of one latency metric.
+
+    Tracks the exact count and running sum (for the mean) next to a
+    :class:`~repro.serving.sketch.QuantileSketch` (for the tail), so a
+    million-request run never retains a per-request latency list.
+    Accumulators merge associatively; the cluster aggregator merges
+    per-replica accumulators in replica-id order so sharded runs are
+    deterministic across worker counts.
+    """
+
+    __slots__ = ("count", "total", "sketch")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.sketch = QuantileSketch()
+
+    def add(self, value: float) -> None:
+        """Fold one observation in."""
+        self.count += 1
+        self.total += value
+        self.sketch.add(value)
+
+    def merge(self, other: "LatencyAccumulator") -> None:
+        """Fold ``other``'s summary in (order-sensitive; see class doc)."""
+        self.count += other.count
+        self.total += other.total
+        self.sketch.merge(other.sketch)
+
+    def stats(self) -> LatencyStats:
+        """The sketch-backed summary of everything streamed so far."""
+        return LatencyStats.from_accumulator(self)
 
 
 @dataclass(frozen=True)
@@ -104,6 +173,11 @@ class PlanReport:
     #: when the run was not traced (the default), which keeps untraced
     #: serialized output byte-identical to pre-observability reports.
     trace_summary: "dict | None" = None
+    #: True when the latency percentiles came from the streaming
+    #: sketch instead of retained per-request values (runs above
+    #: :data:`EXACT_PERCENTILE_CUTOVER`).  Omitted from JSON when
+    #: False so small-scenario reports stay byte-identical to seed.
+    approx_percentiles: bool = False
 
     @classmethod
     def from_run(
@@ -151,6 +225,64 @@ class PlanReport:
             trace_summary=trace_summary,
         )
 
+    @classmethod
+    def from_aggregates(
+        cls,
+        *,
+        plan: str,
+        num_requests: int,
+        finished: int,
+        rejected: int,
+        preemption_events: int,
+        preempted_requests: int,
+        generated_tokens: int,
+        ttft: LatencyAccumulator,
+        tpot: LatencyAccumulator,
+        e2e: LatencyAccumulator,
+        memory: MemoryStats,
+        hbm_bytes: int,
+        makespan: float,
+        busy_time: float,
+        steps: int,
+        prefill_tokens: int,
+        trace_summary: "dict | None" = None,
+    ) -> "PlanReport":
+        """Build a report from streamed counters and accumulators.
+
+        The O(1)-memory path for runs above the exact-percentile
+        cutover: no per-request list exists, so the latency summaries
+        come from the sketches and the report is flagged
+        ``approx_percentiles``.
+        """
+        span = makespan if makespan > 0 else 1.0
+        return cls(
+            plan=plan,
+            num_requests=num_requests,
+            finished=finished,
+            rejected=rejected,
+            preemption_events=preemption_events,
+            preempted_requests=preempted_requests,
+            makespan=makespan,
+            busy_time=busy_time,
+            steps=steps,
+            generated_tokens=generated_tokens,
+            prefill_tokens=prefill_tokens,
+            ttft=ttft.stats(),
+            tpot=tpot.stats(),
+            e2e=e2e.stats(),
+            throughput_tokens_per_s=generated_tokens / span,
+            throughput_requests_per_s=finished / span,
+            mean_step_tokens=(
+                (prefill_tokens + generated_tokens) / steps if steps
+                else 0.0),
+            kv_peak_blocks=memory.peak_blocks,
+            kv_total_blocks=memory.total_blocks,
+            kv_peak_bytes=memory.peak_bytes,
+            kv_peak_fraction=memory.peak_bytes / hbm_bytes,
+            trace_summary=trace_summary,
+            approx_percentiles=True,
+        )
+
     def to_json(self) -> "dict[str, object]":
         """JSON-ready mapping (plain scalars and nested dicts only)."""
         doc: "dict[str, object]" = {
@@ -178,6 +310,8 @@ class PlanReport:
         }
         if self.trace_summary is not None:
             doc["trace_summary"] = self.trace_summary
+        if self.approx_percentiles:
+            doc["approx_percentiles"] = True
         return doc
 
     def to_dict(self) -> "dict[str, object]":

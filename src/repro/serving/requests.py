@@ -129,6 +129,43 @@ def _round_up(value: int, multiple: int) -> int:
     return -(-value // multiple) * multiple
 
 
+@dataclass(frozen=True)
+class RequestArrays:
+    """A request stream held in parallel numpy arrays.
+
+    The columnar form of a sorted request list: request ``i`` has
+    arrival time ``arrival_time[i]``, block-rounded prompt length
+    ``prompt_len[i]``, and so on.  The serving simulator iterates the
+    arrays and materializes one :class:`Request` per arrival, so a
+    million-request workload never allocates a million dataclasses up
+    front, and several plans can replay the same arrays without
+    re-sampling or copying.
+    """
+
+    arrival_time: np.ndarray
+    prompt_len: np.ndarray
+    output_len: np.ndarray
+    prefix_group: "np.ndarray | None" = None
+
+    def __len__(self) -> int:
+        return len(self.arrival_time)
+
+    def materialize(self, index: int) -> Request:
+        """A fresh :class:`Request` for stream position ``index``."""
+        return Request(
+            request_id=index,
+            arrival_time=float(self.arrival_time[index]),
+            prompt_len=int(self.prompt_len[index]),
+            output_len=int(self.output_len[index]),
+            prefix_group=(int(self.prefix_group[index])
+                          if self.prefix_group is not None else None),
+        )
+
+    def requests(self) -> "list[Request]":
+        """The whole stream as a list (small-workload convenience)."""
+        return [self.materialize(index) for index in range(len(self))]
+
+
 class ServingWorkload:
     """Deterministic synthetic request stream.
 
@@ -179,9 +216,19 @@ class ServingWorkload:
         self.max_output = max_output or 4 * mean_output
         self.block_tokens = block_tokens
         self.prefix_groups = prefix_groups
+        self._arrays: "RequestArrays | None" = None
 
-    def requests(self) -> list[Request]:
-        """The request stream, sorted by arrival time."""
+    def request_arrays(self) -> RequestArrays:
+        """The request stream as shared, memoized numpy arrays.
+
+        Sampling is fully vectorized and runs once per workload
+        instance; every caller (and every plan replaying the same
+        stream) sees the same arrays.  Values are identical to what
+        :meth:`requests` has always produced — the arrays are the
+        source the :class:`Request` objects are built from.
+        """
+        if self._arrays is not None:
+            return self._arrays
         rng = np.random.default_rng((self.seed, 0xA221))
         gaps = rng.exponential(1.0 / self.rate, size=max(
             16, int(self.rate * self.duration * 2) + 16))
@@ -206,16 +253,18 @@ class ServingWorkload:
                 0, self.prefix_groups, size=len(arrivals))
         else:
             groups = None
-        return [
-            Request(
-                request_id=i,
-                arrival_time=float(arrivals[i]),
-                prompt_len=_round_up(int(prompts[i]), self.block_tokens),
-                output_len=int(outputs[i]),
-                prefix_group=int(groups[i]) if groups is not None else None,
-            )
-            for i in range(len(arrivals))
-        ]
+        block = self.block_tokens
+        self._arrays = RequestArrays(
+            arrival_time=arrivals,
+            prompt_len=-(-prompts.astype(np.int64) // block) * block,
+            output_len=outputs.astype(np.int64),
+            prefix_group=groups,
+        )
+        return self._arrays
+
+    def requests(self) -> list[Request]:
+        """The request stream, sorted by arrival time."""
+        return self.request_arrays().requests()
 
 
 def load_trace(path: str, *, block_tokens: int = 64) -> list[Request]:
@@ -223,9 +272,12 @@ def load_trace(path: str, *, block_tokens: int = 64) -> list[Request]:
 
     Each line is an object with ``arrival_time`` (seconds),
     ``prompt_len`` and ``output_len`` (tokens).  Prompt lengths are
-    rounded up to ``block_tokens``; requests are sorted by arrival.
+    rounded up to ``block_tokens``; requests are sorted by arrival
+    (ties broken by prompt then output length, as a tuple sort would).
     """
-    requests = []
+    arrivals: "list[float]" = []
+    prompts: "list[int]" = []
+    outputs: "list[int]" = []
     with open(path) as handle:
         for lineno, line in enumerate(handle):
             line = line.strip()
@@ -233,22 +285,22 @@ def load_trace(path: str, *, block_tokens: int = 64) -> list[Request]:
                 continue
             try:
                 record = json.loads(line)
-                requests.append((
-                    float(record["arrival_time"]),
-                    int(record["prompt_len"]),
-                    int(record["output_len"]),
-                ))
+                arrivals.append(float(record["arrival_time"]))
+                prompts.append(int(record["prompt_len"]))
+                outputs.append(int(record["output_len"]))
             except (KeyError, ValueError, TypeError) as error:
                 raise ServingError(
                     f"{path}:{lineno + 1}: bad trace record: {error}"
                 ) from None
-    requests.sort()
+    # One pass over sort keys (lexsort's last key is primary) instead
+    # of sorting materialized tuples and walking the list again.
+    order = np.lexsort((outputs, prompts, arrivals))
     return [
         Request(
             request_id=i,
-            arrival_time=arrival,
-            prompt_len=_round_up(prompt, block_tokens),
-            output_len=output,
+            arrival_time=arrivals[j],
+            prompt_len=_round_up(prompts[j], block_tokens),
+            output_len=outputs[j],
         )
-        for i, (arrival, prompt, output) in enumerate(requests)
+        for i, j in enumerate(order)
     ]

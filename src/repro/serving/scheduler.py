@@ -143,6 +143,16 @@ class ContinuousBatchingScheduler:
             if self.tracer.enabled:
                 self._sched_event("admit", now, head)
 
+    def admit(self, now: float) -> None:
+        """Admit every waiting request that fits, FCFS.
+
+        The same admission pass :meth:`schedule` runs first; exposed so
+        the epoch-batched engine can refresh the running set before
+        deciding whether the batch is in pure decode (admission is
+        idempotent, so a subsequent :meth:`schedule` re-admits nothing).
+        """
+        self._admit(now)
+
     # -- preemption -----------------------------------------------------
 
     def _preempt_tail(self, now: float) -> Request:
@@ -174,8 +184,12 @@ class ContinuousBatchingScheduler:
         """
         self._admit(now)
         step = ScheduledStep()
+        # The membership re-checks only matter once a preemption has
+        # removed someone mid-iteration; skipping them on the common
+        # path keeps this loop O(batch) instead of O(batch^2).
+        preempted = False
         for request in list(self.running):
-            if request not in self.running:
+            if preempted and request not in self.running:
                 continue  # preempted by an earlier iteration
             if request.prefilled < request.prefill_target:
                 continue  # still prefilling
@@ -186,9 +200,10 @@ class ContinuousBatchingScheduler:
                     break
                 except ServingError:
                     victim = self._preempt_tail(now)
+                    preempted = True
                     if victim is request:
                         break  # evicted itself; skip this step
-            if request in self.running:
+            if not preempted or request in self.running:
                 step.decode.append((request, request.kv_tokens + 1))
 
         budget = self.chunk_tokens

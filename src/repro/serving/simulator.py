@@ -8,6 +8,16 @@ step's effects (tokens emitted, requests finished) land at the step's
 completion time.  When no request is resident the clock fast-forwards
 to the next arrival — idle time costs nothing to simulate.
 
+Stepping is delegated to :class:`~repro.serving.engine.EpochEngine`:
+by default pure-decode stretches advance in vectorized epochs that are
+bit-identical to the classic per-step loop, and ``engine="event"``
+pins the run to the classic loop (equivalence tests and benchmarking
+diff the two).  Above :data:`~repro.serving.metrics
+.EXACT_PERCENTILE_CUTOVER` finished requests the simulator stops
+retaining per-request state and reports stream through O(1)-memory
+accumulators instead (``approx_percentiles`` in the output); below it
+reports stay byte-identical to earlier releases.
+
 Determinism: the only randomness is in the workload generator, which
 is seeded; the event loop itself is pure, so a fixed (model, gpu,
 plan, request stream) always yields a byte-identical report.
@@ -23,10 +33,19 @@ from repro.models.config import ModelConfig, get_model
 from repro.obs.instrument import emit_request_phase_spans
 from repro.obs.tracer import current_tracer
 from repro.serving.costmodel import StepCostModel
+from repro.serving.engine import DEFAULT_MAX_EPOCH, EpochEngine
 from repro.serving.memory import KVBlockManager
-from repro.serving.metrics import PlanReport, ServingReport
+from repro.serving.metrics import (
+    EXACT_PERCENTILE_CUTOVER,
+    PlanReport,
+    ServingReport,
+)
 from repro.serving.requests import Request, ServingWorkload
 from repro.serving.scheduler import ContinuousBatchingScheduler
+
+#: Execution modes: ``epoch`` (vectorized fast path, the default) and
+#: ``event`` (the classic one-step-per-iteration loop).
+ENGINE_MODES = ("epoch", "event")
 
 
 class ServingSimulator:
@@ -34,7 +53,10 @@ class ServingSimulator:
 
     ``run`` operates on private copies of the requests, so one stream
     can be replayed under several plans for an apples-to-apples
-    comparison.
+    comparison.  Pass a :class:`~repro.serving.requests.ServingWorkload`
+    instead of a request list and the stream stays in numpy arrays
+    until each request actually arrives — at fleet scale nothing
+    allocates a million dataclasses up front.
 
     >>> sim = ServingSimulator("bert-large", "a100", plan="sdf",
     ...     requests=[Request(request_id=0, arrival_time=0.0,
@@ -58,10 +80,17 @@ class ServingSimulator:
         block_tokens: int = 64,
         reserve_fraction: float = 0.1,
         max_steps: int = 2_000_000,
+        engine: str = "epoch",
+        max_epoch: int = DEFAULT_MAX_EPOCH,
+        latency_cutover: int = EXACT_PERCENTILE_CUTOVER,
     ) -> None:
         if (requests is None) == (workload is None):
             raise ServingError(
                 "provide exactly one of `requests` or `workload`"
+            )
+        if engine not in ENGINE_MODES:
+            raise ServingError(
+                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
             )
         self.model = get_model(model) if isinstance(model, str) else model
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
@@ -72,18 +101,50 @@ class ServingSimulator:
         self.block_tokens = block_tokens
         self.reserve_fraction = reserve_fraction
         self.max_steps = max_steps
-        self._requests = sorted(
-            requests if requests is not None else workload.requests(),
-            key=lambda r: (r.arrival_time, r.request_id),
-        )
+        self.engine = engine
+        self.max_epoch = max_epoch
+        self.latency_cutover = latency_cutover
+        if requests is not None:
+            self._requests = sorted(
+                requests, key=lambda r: (r.arrival_time, r.request_id))
+            self._workload = None
+        else:
+            self._requests = None
+            self._workload = workload
         self.cost = StepCostModel(self.model, self.gpu, plan=self.plan,
                                   dtype=self.dtype)
+
+    @property
+    def num_requests(self) -> int:
+        """Size of the stream ``run`` will replay."""
+        if self._requests is not None:
+            return len(self._requests)
+        return len(self._workload.request_arrays())
+
+    def _iter_requests(self):
+        """Fresh request copies in arrival order, materialized lazily.
+
+        The scheduler mutates request state, and ``run()`` must be
+        repeatable — so every run gets its own objects, created one at
+        a time so streaming runs never hold the whole stream.
+        """
+        if self._requests is not None:
+            for r in self._requests:
+                yield Request(
+                    request_id=r.request_id, arrival_time=r.arrival_time,
+                    prompt_len=r.prompt_len, output_len=r.output_len,
+                    prefix_group=r.prefix_group,
+                )
+        else:
+            arrays = self._workload.request_arrays()
+            for index in range(len(arrays)):
+                yield arrays.materialize(index)
 
     def run(self) -> PlanReport:
         """Simulate the stream to completion and aggregate metrics."""
         tracer = current_tracer()
         trace_start = tracer.event_count
-        engine = f"{self.plan.value}:engine"
+        lane = f"{self.plan.value}:engine"
         memory = KVBlockManager.for_model(
             self.model, self.gpu, block_tokens=self.block_tokens,
             dtype=self.dtype, reserve_fraction=self.reserve_fraction,
@@ -91,84 +152,102 @@ class ServingSimulator:
         scheduler = ContinuousBatchingScheduler(
             memory, chunk_tokens=self.chunk_tokens,
             max_batch=self.max_batch,
-            tracer=tracer, trace_process=engine,
+            tracer=tracer, trace_process=lane,
         )
-        # Fresh copies: the scheduler mutates request state, and run()
-        # must be repeatable.
-        stream = [
-            Request(request_id=r.request_id, arrival_time=r.arrival_time,
-                    prompt_len=r.prompt_len, output_len=r.output_len,
-                    prefix_group=r.prefix_group)
-            for r in self._requests
-        ]
-        clock = 0.0
-        busy = 0.0
-        steps = 0
-        prefill_tokens = 0
-        next_arrival = 0
+
+        def trace_step(step, *, ts, dur, comm):
+            self._trace_step(tracer, lane, step, scheduler, memory,
+                             ts=ts, dur=dur)
+
+        engine = EpochEngine(
+            cost=self.cost, memory=memory, scheduler=scheduler,
+            tracer=tracer, epoch=self.engine == "epoch",
+            max_epoch=self.max_epoch, on_step=trace_step,
+        )
+        # Below the cutover (or whenever tracing needs per-request
+        # spans) requests are retained and the report is exact; above
+        # it, finished requests are dropped and the engine's streaming
+        # accumulators carry the metrics in O(1) memory.
+        retain = tracer.enabled or self.num_requests <= self.latency_cutover
+        stream: "list[Request]" = []
+        source = self._iter_requests()
+        pending = next(source, None)
 
         while True:
-            while (next_arrival < len(stream)
-                   and stream[next_arrival].arrival_time <= clock):
-                scheduler.submit(stream[next_arrival])
-                next_arrival += 1
+            while (pending is not None
+                   and pending.arrival_time <= engine.clock):
+                if retain:
+                    stream.append(pending)
+                engine.submit(pending)
+                pending = next(source, None)
 
-            step = scheduler.schedule(clock)
-            if step.is_empty:
-                if next_arrival < len(stream):
+            limit = pending.arrival_time if pending is not None else None
+            advanced = engine.advance(
+                limit_time=limit,
+                max_new_steps=self.max_steps - engine.steps + 1,
+            )
+            if advanced == 0:
+                if pending is not None:
                     # Idle: fast-forward to the next arrival.
-                    clock = max(clock,
-                                stream[next_arrival].arrival_time)
+                    engine.clock = max(engine.clock, pending.arrival_time)
                     continue
                 if scheduler.has_work:
                     raise ServingError(
                         "scheduler stalled with work outstanding"
                     )
                 break
-
-            dt = self.cost.step_time(
-                prefill=[(chunk, kv) for _, chunk, kv in step.prefill],
-                decode_kv=[kv for _, kv in step.decode],
-            )
-            if tracer.enabled:
-                self._trace_step(tracer, engine, step, scheduler,
-                                 memory, ts=clock, dur=dt)
-            clock += dt
-            busy += dt
-            steps += 1
-            prefill_tokens += sum(c for _, c, _ in step.prefill)
-            scheduler.complete_step(step, clock)
-            if steps > self.max_steps:
+            if engine.steps > self.max_steps:
                 raise ServingError(
                     f"simulation exceeded {self.max_steps} steps "
-                    f"(clock {clock:.1f}s); lower the rate or duration"
+                    f"(clock {engine.clock:.1f}s); lower the rate or "
+                    f"duration"
                 )
 
         trace_summary = None
         if tracer.enabled:
-            tracer.set_clock(clock)
+            tracer.set_clock(engine.clock)
             emit_request_phase_spans(
                 tracer, stream, process=f"{self.plan.value}:requests")
             trace_summary = tracer.summary(since=trace_start,
                                            include_metrics=False)
-        return PlanReport.from_run(
+        if retain:
+            return PlanReport.from_run(
+                plan=self.plan.value,
+                requests=stream,
+                memory=memory.stats(),
+                hbm_bytes=self.gpu.hbm_bytes,
+                makespan=engine.clock,
+                busy_time=engine.busy,
+                steps=engine.steps,
+                prefill_tokens=engine.prefill_tokens,
+                preemption_events=scheduler.preemption_events,
+                trace_summary=trace_summary,
+            )
+        return PlanReport.from_aggregates(
             plan=self.plan.value,
-            requests=stream,
+            num_requests=self.num_requests,
+            finished=engine.finished,
+            rejected=engine.rejected,
+            preemption_events=scheduler.preemption_events,
+            preempted_requests=engine.preempted_requests,
+            generated_tokens=engine.generated_tokens,
+            ttft=engine.ttft,
+            tpot=engine.tpot,
+            e2e=engine.e2e,
             memory=memory.stats(),
             hbm_bytes=self.gpu.hbm_bytes,
-            makespan=clock,
-            busy_time=busy,
-            steps=steps,
-            prefill_tokens=prefill_tokens,
-            preemption_events=scheduler.preemption_events,
+            makespan=engine.clock,
+            busy_time=engine.busy,
+            steps=engine.steps,
+            prefill_tokens=engine.prefill_tokens,
             trace_summary=trace_summary,
         )
 
-    def _trace_step(self, tracer, engine, step, scheduler, memory,
+    def _trace_step(self, tracer, lane, step, scheduler, memory,
                     *, ts, dur):
         """Record one engine iteration: a step span plus occupancy
         counters on the plan's engine lane."""
-        pid, tid = tracer.track(engine, "steps")
+        pid, tid = tracer.track(lane, "steps")
         decode = len(step.decode)
         chunk_tokens = sum(chunk for _, chunk, _ in step.prefill)
         tracer.complete(
@@ -180,17 +259,17 @@ class ServingSimulator:
                   "waiting": len(scheduler.waiting)},
         )
         tracer.counter(
-            f"{engine} occupancy", ts=ts, pid=pid,
+            f"{lane} occupancy", ts=ts, pid=pid,
             values={"running": len(scheduler.running),
                     "waiting": len(scheduler.waiting),
                     "kv_blocks": memory.used_blocks},
         )
-        tracer.metrics.counter(f"{engine}.steps").inc()
-        tracer.metrics.counter(f"{engine}.decode_tokens").add(decode)
-        tracer.metrics.counter(f"{engine}.prefill_tokens").add(chunk_tokens)
-        tracer.metrics.gauge(f"{engine}.batch").set(
+        tracer.metrics.counter(f"{lane}.steps").inc()
+        tracer.metrics.counter(f"{lane}.decode_tokens").add(decode)
+        tracer.metrics.counter(f"{lane}.prefill_tokens").add(chunk_tokens)
+        tracer.metrics.gauge(f"{lane}.batch").set(
             len(scheduler.running))
-        tracer.metrics.gauge(f"{engine}.kv_blocks").set(
+        tracer.metrics.gauge(f"{lane}.kv_blocks").set(
             memory.used_blocks)
 
 
@@ -208,22 +287,27 @@ def simulate_serving(
     """Run one workload under several plans and bundle the reports.
 
     Extra keyword arguments are forwarded to :class:`ServingSimulator`
-    (``chunk_tokens``, ``max_batch``, ``block_tokens``, ...).  Pass
-    ``requests`` to replay a trace instead of the synthetic workload.
+    (``chunk_tokens``, ``max_batch``, ``block_tokens``, ``engine``,
+    ...).  Pass ``requests`` to replay a trace instead of the
+    synthetic workload; otherwise the synthetic stream is sampled once
+    into shared arrays and every plan replays the same values.
     """
     model = get_model(model) if isinstance(model, str) else model
     gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    workload = None
     if requests is None:
         block_tokens = kwargs.get("block_tokens", 64)
-        requests = ServingWorkload(
+        workload = ServingWorkload(
             rate=rate, duration=duration, seed=seed,
             block_tokens=block_tokens,
-        ).requests()
+        )
     reports = {}
+    num_requests = None
     for plan in plans:
         plan = AttentionPlan.from_name(plan)
         sim = ServingSimulator(model, gpu, plan=plan, requests=requests,
-                               **kwargs)
+                               workload=workload, **kwargs)
+        num_requests = sim.num_requests
         reports[plan.value] = sim.run()
     tracer = current_tracer()
     return ServingReport(
@@ -232,7 +316,7 @@ def simulate_serving(
         rate=rate,
         duration=duration,
         seed=seed,
-        num_requests=len(requests),
+        num_requests=num_requests if num_requests is not None else 0,
         plans=reports,
         trace_summary=tracer.summary() if tracer.enabled else None,
     )

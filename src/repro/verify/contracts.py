@@ -117,6 +117,13 @@ FP16_ATTENTION = ToleranceContract(atol=5e-2, rtol=5e-2, max_ulp=64)
 #: Scalar step-cost comparisons (same float ops, same order).
 SERVING_COST = ToleranceContract(atol=1e-12, rtol=1e-9, max_ulp=16)
 
+#: Quantile-sketch accuracy: compared in *rank* space (empirical CDF
+#: position of the estimate vs the queried rank), so the budget is a
+#: pure absolute rank error — 0.02 is an order of magnitude looser
+#: than the arcsine scale function's worst case at δ=200, and the ULP
+#: escape hatch is disabled because ranks are not reassociated math.
+SKETCH_RANK = ToleranceContract(atol=0.02, rtol=0.0, max_ulp=None)
+
 
 @dataclass(frozen=True)
 class Comparison:

@@ -31,6 +31,7 @@ HOOK_MODULES = (
     "repro.sparse.bsmatmul",
     "repro.sparse.bsflash",
     "repro.serving.costmodel",
+    "repro.serving.sketch",
     "repro.gpu.interconnect",
 )
 

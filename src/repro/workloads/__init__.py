@@ -11,7 +11,7 @@ identities (substitution documented in DESIGN.md).
 
 from repro.workloads.driver import DatasetBenchmark, DatasetLatencyReport
 from repro.workloads.genomics import SyntheticGenomics
-from repro.workloads.sweep import SweepPoint, SweepRunner, simulate_point
+from repro.workloads.sweep import SweepPoint, SweepRunner, fanout, simulate_point
 from repro.workloads.triviaqa import (
     Document,
     SyntheticTriviaQA,
@@ -26,6 +26,7 @@ __all__ = [
     "DatasetLatencyReport",
     "SweepPoint",
     "SweepRunner",
+    "fanout",
     "simulate_point",
     "SyntheticGenomics",
 ]

@@ -31,7 +31,26 @@ from repro.models.runtime import (
     simulate_cache_key,
 )
 
-__all__ = ["SweepPoint", "SweepRunner", "simulate_point"]
+__all__ = ["SweepPoint", "SweepRunner", "fanout", "simulate_point"]
+
+
+def fanout(fn, items, jobs: int = 1) -> list:
+    """Order-preserving map of ``fn`` over independent work items.
+
+    ``jobs=1`` (or a single item) runs in-process; otherwise items fan
+    across a process pool.  ``executor.map`` preserves input order, so
+    the result list is index-aligned with ``items`` either way and a
+    parallel run merges byte-identically to a serial one.  ``fn`` and
+    every item must pickle (module-level function, dataclass payloads)
+    — the same contract sweep points keep.
+    """
+    require_positive("jobs", jobs)
+    items = list(items)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(fn, items))
 
 
 @dataclass(frozen=True)
@@ -133,11 +152,8 @@ class SweepRunner:
         todo = [i for i, result in enumerate(results) if result is None]
         if not todo:
             return results
-        workers = min(self.jobs, len(todo))
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            fresh = list(executor.map(
-                simulate_point, [points[i] for i in todo]
-            ))
+        fresh = fanout(simulate_point, [points[i] for i in todo],
+                       jobs=self.jobs)
         for i, result in zip(todo, fresh):
             if caching_enabled():
                 simulate_cache.put(points[i].cache_key(), freeze_result(result))

@@ -1,0 +1,210 @@
+"""Equivalence tests for the epoch-batched simulation core.
+
+The epoch engine, the segment-deduplicated step pricing, and the
+sharded cluster mode are pure performance work: every path must
+produce reports *byte-identical* (as serialized JSON) to the classic
+one-step-at-a-time event loop.  These tests pin that contract across
+the regimes that exercise different epoch-termination edges — steady
+decode, arrival-dense streams, preemption under tight memory, tracing,
+streaming aggregation, and worker-count sweeps.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.dtypes import DType
+from repro.common.errors import ServingError
+from repro.gpu.specs import get_gpu
+from repro.models.config import get_model
+from repro.models.footprint import weight_bytes
+from repro.serving import (
+    Request,
+    ServingSimulator,
+    ServingWorkload,
+    StepCostModel,
+)
+from repro.serving.engine import sequential_sum
+
+
+def tiny_gpu(model_name="bert-large", blocks=24, block_tokens=64,
+             reserve_fraction=0.1):
+    """An A100 variant small enough to force queuing and preemption."""
+    model = get_model(model_name)
+    bytes_per_token = 2 * model.num_layers * model.d_model * 2
+    pool = blocks * block_tokens * bytes_per_token
+    weights = weight_bytes(model, DType.FP16)
+    hbm = int((pool + weights) / (1 - reserve_fraction)) + 1
+    return dataclasses.replace(get_gpu("a100"), hbm_bytes=hbm)
+
+
+def serving_doc(gpu="a100", engine="epoch", **kwargs):
+    defaults = dict(rate=4.0, duration=8.0, seed=7)
+    defaults.update(kwargs)
+    workload = ServingWorkload(
+        rate=defaults.pop("rate"), duration=defaults.pop("duration"),
+        seed=defaults.pop("seed"),
+        **{k: defaults.pop(k) for k in ("max_prompt", "mean_output")
+           if k in defaults})
+    sim = ServingSimulator("bert-large", gpu, plan="sdf",
+                           workload=workload, engine=engine, **defaults)
+    return json.dumps(sim.run().to_json(), sort_keys=True)
+
+
+def cluster_doc(engine="epoch", **kwargs):
+    from repro.cluster import simulate_cluster
+
+    defaults = dict(rate=6.0, duration=6.0, seed=3, replicas=3,
+                    plans=("baseline", "sdf"))
+    defaults.update(kwargs)
+    report = simulate_cluster("bert-large", "a100", engine=engine,
+                              **defaults)
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+class TestServingEquivalence:
+    def test_small_stream_byte_identical(self):
+        assert serving_doc(engine="event") == serving_doc(engine="epoch")
+
+    def test_decode_heavy_stream_byte_identical(self):
+        # Long outputs, short prompts: the regime where epochs batch
+        # hundreds of pure-decode steps.
+        kwargs = dict(rate=1.0, duration=30.0, max_prompt=512,
+                      mean_output=256)
+        assert serving_doc(engine="event", **kwargs) \
+            == serving_doc(engine="epoch", **kwargs)
+
+    def test_preemption_byte_identical(self):
+        # Tight memory forces evict-and-recompute; the epoch fast path
+        # must hand exactly those steps back to the classic loop.
+        gpu = tiny_gpu(blocks=48, reserve_fraction=0.0)
+        kwargs = dict(rate=8.0, duration=10.0, seed=3, mean_output=128,
+                      max_batch=4, reserve_fraction=0.0)
+        event = serving_doc(gpu=gpu, engine="event", **kwargs)
+        epoch = serving_doc(gpu=gpu, engine="epoch", **kwargs)
+        assert event == epoch
+        assert json.loads(event)["preemption_events"] > 0
+
+    def test_max_epoch_sweep_byte_identical(self):
+        # Every epoch cap — including degenerate one-step epochs —
+        # reproduces the event loop exactly.
+        reference = serving_doc(engine="event")
+        for max_epoch in (1, 2, 3, 4096):
+            assert serving_doc(engine="epoch", max_epoch=max_epoch) \
+                == reference
+
+    def test_streaming_mode_byte_identical_and_flagged(self):
+        # Forcing the cutover to zero exercises the streaming
+        # aggregation path under both engines.
+        event = serving_doc(engine="event", latency_cutover=0)
+        epoch = serving_doc(engine="epoch", latency_cutover=0)
+        assert event == epoch
+        assert json.loads(epoch)["approx_percentiles"] is True
+
+    def test_exact_mode_has_no_approx_flag(self):
+        assert "approx_percentiles" not in json.loads(serving_doc())
+
+    def test_traced_run_byte_identical(self):
+        from repro.obs.tracer import tracing
+
+        docs = {}
+        for engine in ("event", "epoch"):
+            with tracing():
+                docs[engine] = serving_doc(engine=engine)
+        assert docs["event"] == docs["epoch"]
+
+
+class TestSegmentPricing:
+    def test_decode_step_time_bit_identical_to_step_time(self):
+        import numpy as np
+
+        cost = StepCostModel(get_model("gpt-neo-1.3b"), get_gpu("a100"),
+                             plan="sdf")
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            batch = int(rng.integers(1, 33))
+            decode_kv = [int(v) for v in rng.integers(1, 4096, size=batch)]
+            assert cost.decode_step_time(decode_kv) \
+                == cost.step_time(decode_kv=decode_kv)
+        assert cost.decode_step_time([]) == 0.0
+
+    def test_sharded_decode_step_cost_matches_step_cost(self):
+        import numpy as np
+
+        from repro.cluster import ShardedStepCostModel
+
+        cost = ShardedStepCostModel(get_model("bert-large"), get_gpu("a100"),
+                                    plan="sdf", tp=2)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            batch = int(rng.integers(1, 17))
+            decode_kv = [int(v) for v in rng.integers(1, 2048, size=batch)]
+            assert cost.decode_step_cost(decode_kv) \
+                == cost.step_cost(decode_kv=decode_kv)
+
+    def test_sequential_sum_matches_running_addition(self):
+        values = [0.1, 0.2, 0.30000000000000004, 1e-18, 5.5]
+        total = 3.7
+        for v in values:
+            total += v
+        assert sequential_sum(3.7, values) == total
+        assert sequential_sum(3.7, []) == 3.7
+
+
+class TestClusterEquivalence:
+    def test_serial_event_vs_epoch_byte_identical(self):
+        assert cluster_doc(engine="event") == cluster_doc(engine="epoch")
+
+    def test_stateful_policies_byte_identical(self):
+        for policy in ("least-outstanding", "prefix-affinity"):
+            kwargs = dict(policy=policy, prefix_groups=4)
+            assert cluster_doc(engine="event", **kwargs) \
+                == cluster_doc(engine="epoch", **kwargs)
+
+    def test_sharded_matches_serial_across_worker_counts(self):
+        reference = cluster_doc(engine="epoch")
+        for jobs in (1, 2, 3):
+            assert cluster_doc(engine="epoch", jobs=jobs) == reference
+
+    def test_sharded_streaming_deterministic_across_jobs(self):
+        docs = {jobs: cluster_doc(latency_cutover=0, jobs=jobs)
+                for jobs in (1, 2)}
+        assert docs[1] == docs[2]
+        plan = json.loads(docs[1])["plans"]["sdf"]
+        assert plan["approx_percentiles"] is True
+
+    def test_stateful_policy_rejects_sharding(self):
+        from repro.cluster import ClusterSimulator
+
+        with pytest.raises(ServingError):
+            ClusterSimulator(
+                "bert-large", "a100",
+                workload=ServingWorkload(rate=1.0, duration=1.0, seed=0),
+                policy="least-outstanding", jobs=2,
+            )
+
+    def test_tracing_rejects_sharding(self):
+        from repro.cluster import ClusterSimulator
+        from repro.obs.tracer import tracing
+
+        sim = ClusterSimulator(
+            "bert-large", "a100",
+            workload=ServingWorkload(rate=1.0, duration=1.0, seed=0),
+            jobs=2,
+        )
+        with tracing():
+            with pytest.raises(ServingError):
+                sim.run()
+
+    def test_requires_exactly_one_source(self):
+        from repro.cluster import ClusterSimulator
+
+        workload = ServingWorkload(rate=1.0, duration=1.0, seed=0)
+        requests = [Request(request_id=0, arrival_time=0.0,
+                            prompt_len=64, output_len=2)]
+        with pytest.raises(ServingError):
+            ClusterSimulator("bert-large", "a100")
+        with pytest.raises(ServingError):
+            ClusterSimulator("bert-large", "a100", requests=requests,
+                             workload=workload)
