@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-serving bench-serving-smoke verify verify-fuzz \
-	lint cluster-smoke trace-smoke
+	lint cluster-smoke controlplane-smoke trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +48,29 @@ verify-fuzz:
 cluster-smoke:
 	$(PYTHON) -m repro cluster-sim --replicas 2 --tp 2 \
 		--policy least-outstanding --rate 4 --duration 5 --seed 0 --json
+
+# Bursty-arrival control-plane run with one injected replica death:
+# the fleet must recover without losing a request and the conservation
+# identity must hold (see docs/controlplane.md).
+controlplane-smoke:
+	$(PYTHON) -m repro controlplane-sim --arrival mmpp --rate 2 \
+		--burst-rate 10 --duration 8 --replicas 2 --death 1.5 \
+		--cold-start 0.1 --seed 0 --json \
+	| $(PYTHON) -c "import json, sys; \
+		doc = json.load(sys.stdin); \
+		assert doc['kind'] == 'controlplane-report', doc['kind']; \
+		plan = doc['plans']['sdf']; \
+		section = plan['controlplane']; \
+		assert section['schema'] == 'repro.controlplane/v1'; \
+		assert section['conservation_ok'], 'requests leaked'; \
+		deaths = [f for f in section['faults'] if f['kind'] == 'death']; \
+		assert len(deaths) == 1, section['faults']; \
+		assert deaths[0]['requeued'] > 0, deaths[0]; \
+		assert deaths[0]['lost'] == 0, deaths[0]; \
+		assert deaths[0]['recovery_s'] > 0.0, deaths[0]; \
+		print('controlplane-smoke ok:', plan['finished'], 'finished,', \
+			deaths[0]['requeued'], 'requeued, recovered in', \
+			round(deaths[0]['recovery_s'], 3), 's')"
 
 # Traced serving simulation: the exported Chrome trace must parse and
 # its spans must strictly nest (see docs/observability.md).

@@ -1,0 +1,86 @@
+"""Control-plane comparison tables.
+
+Turns a :class:`~repro.controlplane.report.ControlPlaneReport` into
+the summary the ``controlplane-sim`` CLI prints: one aggregate row per
+attention plan, per-tier SLO attainment, then the scaling timeline and
+fault log — the three views an SLO review actually reads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_table
+from repro.controlplane.report import ControlPlaneReport
+
+
+def render_controlplane_comparison(report: ControlPlaneReport) -> str:
+    """Aggregate + tier + timeline view of one ``controlplane-sim`` run."""
+    arrival = report.arrival
+    kind = arrival.get("kind", "poisson")
+    header = (
+        f"{report.model} on {report.gpu} — {kind} arrivals "
+        f"({arrival.get('mean_rate', 0):.2f} req/s mean) for "
+        f"{report.duration:g}s, {report.replicas} initial replicas, "
+        f"{report.policy} routing (seed {report.seed})"
+    )
+    rows = []
+    for name, plan in report.plans.items():
+        rows.append([
+            name,
+            f"{plan.finished}/{plan.arrived}",
+            f"{plan.shed}",
+            f"{plan.ttft.p50 * 1e3:.0f}/{plan.ttft.p99 * 1e3:.0f}",
+            f"{plan.e2e.p99:.2f} s",
+            f"{plan.mean_replicas:.2f}/{plan.peak_replicas}",
+            f"{plan.cold_starts}",
+            "yes" if plan.conservation_ok else "NO",
+        ])
+    lines = [header, "", render_table(
+        ["plan", "finished", "shed", "TTFT p50/p99 (ms)", "E2E p99",
+         "replicas mean/peak", "boots", "conserved"],
+        rows,
+    )]
+
+    for name, plan in report.plans.items():
+        tier_rows = [
+            [
+                tier.name,
+                f"{tier.arrived}",
+                f"{tier.finished}",
+                f"{tier.shed}",
+                f"{tier.ttft_target * 1e3:.0f} ms",
+                f"{tier.ttft.p99 * 1e3:.0f} ms",
+                f"{tier.attainment * 100:.1f}%"
+                f" (target {tier.attainment_target * 100:.0f}%)",
+                "met" if tier.attained else "MISSED",
+            ]
+            for tier in plan.tiers
+        ]
+        lines += ["", f"[{name}] SLO tiers", render_table(
+            ["tier", "arrived", "finished", "shed", "TTFT target",
+             "TTFT p99", "attainment", "SLO"],
+            tier_rows,
+        )]
+        if plan.timeline:
+            event_rows = [
+                [f"{event.time:.2f}", event.action,
+                 f"{event.replica_id}", f"{event.active_after}",
+                 event.reason]
+                for event in plan.timeline
+            ]
+            lines += ["", f"[{name}] scaling timeline", render_table(
+                ["t (s)", "action", "replica", "active", "reason"],
+                event_rows,
+            )]
+        if plan.faults:
+            fault_rows = [
+                [fault.kind, f"{fault.time:.2f}",
+                 f"{fault.replica_id}", f"{fault.requeued}",
+                 f"{fault.lost}", f"{fault.recovery_s:.3f} s"]
+                for fault in plan.faults
+            ]
+            lines += ["", f"[{name}] faults", render_table(
+                ["kind", "t (s)", "replica", "requeued", "lost",
+                 "recovery"],
+                fault_rows,
+            )]
+    return "\n".join(lines)

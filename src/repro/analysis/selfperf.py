@@ -69,6 +69,8 @@ class SelfBenchReport:
     outputs_identical: bool
     repetitions: int
     jobs: int
+    #: Dataset-generation seed (the run's only stochastic input).
+    seed: int = 7
 
     @property
     def min_speedup(self) -> float:
@@ -101,6 +103,7 @@ class SelfBenchReport:
         return {
             "repetitions": self.repetitions,
             "jobs": self.jobs,
+            "seed": self.seed,
             "outputs_identical": self.outputs_identical,
             "min_speedup": self.min_speedup,
             "cache_stats": self.cache_stats,
@@ -142,11 +145,12 @@ def _fig9a_sweep(seq_lens, jobs: int):
     return [result.total_time for result in runner.run(points)]
 
 
-def _driver_run(num_documents: int, max_seq_len: int, jobs: int):
+def _driver_run(num_documents: int, max_seq_len: int, jobs: int,
+                seed: int = 7):
     """One pass of the dataset driver; returns per-bucket latencies."""
     from repro.workloads import DatasetBenchmark, SyntheticTriviaQA
 
-    dataset = SyntheticTriviaQA(num_documents=num_documents, seed=7)
+    dataset = SyntheticTriviaQA(num_documents=num_documents, seed=seed)
     report = DatasetBenchmark(
         dataset, "bigbird-large", plan="sdf",
         max_seq_len=max_seq_len, jobs=jobs,
@@ -169,6 +173,7 @@ def run_selfbench(
     seq_lens=(1024, 2048, 4096, 8192, 16384),
     num_documents: int = 128,
     max_seq_len: int = 4096,
+    seed: int = 7,
 ) -> SelfBenchReport:
     """Measure the simulator's own speed, baseline path vs fast path.
 
@@ -188,8 +193,8 @@ def run_selfbench(
          lambda: _fig9a_sweep(seq_lens, 1),
          lambda: _fig9a_sweep(seq_lens, jobs)),
         (f"triviaqa-driver-{num_documents}doc",
-         lambda: _driver_run(num_documents, max_seq_len, 1),
-         lambda: _driver_run(num_documents, max_seq_len, jobs)),
+         lambda: _driver_run(num_documents, max_seq_len, 1, seed),
+         lambda: _driver_run(num_documents, max_seq_len, jobs, seed)),
     ]
 
     timings = []
@@ -228,4 +233,5 @@ def run_selfbench(
         outputs_identical=identical,
         repetitions=repetitions,
         jobs=jobs,
+        seed=seed,
     )

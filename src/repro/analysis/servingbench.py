@@ -118,6 +118,8 @@ class ServingBenchReport:
     #: True iff the event and epoch engines produced byte-identical
     #: serialized reports on the serving workload.
     outputs_identical: bool
+    #: Workload seed shared by both suites' request streams.
+    seed: int = 7
 
     @property
     def ok(self) -> bool:
@@ -147,6 +149,7 @@ class ServingBenchReport:
         return {
             "outputs_identical": self.outputs_identical,
             "ok": self.ok,
+            "seed": self.seed,
             "serving": self.serving.to_json(),
             "cluster": self.cluster.to_json(),
         }
@@ -241,4 +244,5 @@ def run_serving_selfbench(
         serving=serving,
         cluster=cluster,
         outputs_identical=identical,
+        seed=seed,
     )

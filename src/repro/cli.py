@@ -15,6 +15,8 @@ Commands
 ``footprint``    peak device-memory footprint per plan
 ``serve-sim``    discrete-event serving simulation (SLO metrics per plan)
 ``cluster-sim``  multi-replica, TP/PP-sharded cluster serving simulation
+``controlplane-sim``  SLO tiers, autoscaling, shedding, fault injection
+                 over the cluster simulator
 ``verify``       paper targets (default), ``verify fuzz`` differential
                  fuzzing of every registered oracle, ``verify replay``
                  re-running a failure artifact
@@ -275,7 +277,7 @@ def cmd_trace(args: argparse.Namespace) -> str:
                 block_tokens=args.block_tokens,
             )
         headline = render_serving_comparison(report)
-    else:  # cluster
+    elif args.sim == "cluster":
         from repro.analysis.cluster import render_cluster_comparison
         from repro.cluster import simulate_cluster
         from repro.gpu.interconnect import NVLINK3, PCIE4
@@ -294,16 +296,46 @@ def cmd_trace(args: argparse.Namespace) -> str:
                 pp=args.pp, policy=args.policy, algorithm=args.algorithm,
                 interconnect=interconnects[args.interconnect],
                 requests=requests, prefix_groups=args.prefix_groups,
+                arrival=_make_arrival(args),
                 chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
                 block_tokens=args.block_tokens,
             )
         headline = render_cluster_comparison(report)
+    else:  # controlplane
+        from repro.analysis.controlplane import \
+            render_controlplane_comparison
+        from repro.controlplane import (
+            AutoscalerConfig, FailureSchedule, simulate_controlplane)
+        from repro.serving import MMPPArrivals
+
+        # A demo scenario that exercises every control-plane instant:
+        # bursty arrivals push the autoscaler up and down, one death at
+        # the midpoint shows fail/recover.
+        arrival = _make_arrival(args) or MMPPArrivals(
+            rate=args.rate, burst_rate=4.0 * args.rate,
+            base_dwell=args.duration / 3, burst_dwell=args.duration / 6)
+        with tracing(tracer):
+            report = simulate_controlplane(
+                _resolve_model(args), args.gpu,
+                rate=args.rate, duration=args.duration, seed=args.seed,
+                plans=plans, replicas=args.replicas,
+                arrival=arrival, policy="least-outstanding",
+                autoscaler=AutoscalerConfig(
+                    min_replicas=args.replicas,
+                    max_replicas=args.replicas + 2),
+                faults=FailureSchedule(deaths=(args.duration / 2,)),
+                tp=args.tp, pp=args.pp,
+                chunk_tokens=args.chunk_tokens,
+                max_batch=args.max_batch,
+                block_tokens=args.block_tokens,
+            )
+        headline = render_controlplane_comparison(report)
 
     summary = tracer.summary()
     # The payload is a valid Chrome trace (chrome://tracing ignores the
     # envelope keys), so --output yields a directly loadable file.
-    payload = trace_dict("chrome-trace", sim=args.sim, summary=summary,
-                         **chrome_trace_dict(tracer))
+    payload = trace_dict("chrome-trace", sim=args.sim, seed=args.seed,
+                         summary=summary, **chrome_trace_dict(tracer))
     text = headline + "\n\n" + render_trace_summary(summary)
     return emit(payload, text, args)
 
@@ -428,6 +460,25 @@ def cmd_footprint(args: argparse.Namespace) -> str:
     return emit(payload, text, args)
 
 
+def _make_arrival(args: argparse.Namespace):
+    """The arrival process selected by ``--arrival``, or ``None``.
+
+    ``None`` (no flag given) keeps the workload on its legacy default
+    Poisson stream and the result document byte-identical to earlier
+    releases; any explicit choice — including ``poisson`` — is echoed
+    into the report's ``arrival`` field.
+    """
+    if getattr(args, "arrival", None) is None:
+        return None
+    from repro.serving import make_arrival
+
+    return make_arrival(
+        args.arrival, rate=args.rate, burst_rate=args.burst_rate,
+        base_dwell=args.base_dwell, burst_dwell=args.burst_dwell,
+        period=args.period, duration=args.duration,
+    )
+
+
 def cmd_serve_sim(args: argparse.Namespace) -> str:
     from repro.analysis.serving import render_serving_comparison
     from repro.serving import load_trace, simulate_serving
@@ -440,7 +491,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> str:
         _resolve_model(args), args.gpu,
         rate=args.rate, duration=args.duration, seed=args.seed,
         plans=tuple(p.strip() for p in args.plans.split(",")),
-        requests=requests,
+        requests=requests, arrival=_make_arrival(args),
         chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
         block_tokens=args.block_tokens, engine=args.engine,
     )
@@ -466,11 +517,58 @@ def cmd_cluster_sim(args: argparse.Namespace) -> str:
         policy=args.policy, algorithm=args.algorithm,
         interconnect=interconnects[args.interconnect],
         requests=requests, prefix_groups=args.prefix_groups,
+        arrival=_make_arrival(args),
         chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
         block_tokens=args.block_tokens, engine=args.engine,
         jobs=args.jobs,
     )
     return emit(report.to_dict(), render_cluster_comparison(report), args)
+
+
+def _make_controlplane_config(args: argparse.Namespace):
+    """Tiers, autoscaler, and fault schedule from CLI flags."""
+    from repro.controlplane import (
+        DEFAULT_TIERS, AutoscalerConfig, FailureSchedule, parse_tiers)
+
+    tiers = parse_tiers(args.tiers) if args.tiers else DEFAULT_TIERS
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = AutoscalerConfig(
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+            control_interval=args.control_interval,
+            cold_start_s=args.cold_start,
+        )
+    faults = None
+    if args.death or args.deaths or args.stragglers:
+        if args.death:
+            faults = FailureSchedule(
+                deaths=tuple(sorted(args.death)))
+        else:
+            faults = FailureSchedule.random(
+                duration=args.duration, seed=args.seed,
+                deaths=args.deaths, stragglers=args.stragglers)
+    return tiers, autoscaler, faults
+
+
+def cmd_controlplane_sim(args: argparse.Namespace) -> str:
+    from repro.analysis.controlplane import render_controlplane_comparison
+    from repro.controlplane import simulate_controlplane
+
+    tiers, autoscaler, faults = _make_controlplane_config(args)
+    report = simulate_controlplane(
+        _resolve_model(args), args.gpu,
+        rate=args.rate, duration=args.duration, seed=args.seed,
+        plans=tuple(p.strip() for p in args.plans.split(",")),
+        arrival=_make_arrival(args), tiers=tiers,
+        replicas=args.replicas, autoscaler=autoscaler, faults=faults,
+        policy=args.policy, shed_backlog_tokens=args.shed_tokens,
+        cold_start_s=args.cold_start, tp=args.tp, pp=args.pp,
+        chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
+        block_tokens=args.block_tokens,
+    )
+    return emit(report.to_dict(), render_controlplane_comparison(report),
+                args)
 
 
 def cmd_verify(args: argparse.Namespace) -> str:
@@ -500,6 +598,7 @@ def cmd_verify(args: argparse.Namespace) -> str:
         payload = result_dict(
             "fuzz-run",
             ok=all(report.ok for report in reports),
+            seed=args.seed,
             families=[report.to_dict() for report in reports],
         )
         text = "\n".join(report.render() for report in reports)
@@ -535,6 +634,7 @@ def cmd_selfbench(args: argparse.Namespace) -> str:
             requests=args.requests,
             cluster_requests=args.cluster_requests,
             jobs=args.jobs,
+            seed=args.seed,
         )
         if not report.ok:
             args._exit_code = 1
@@ -542,7 +642,8 @@ def cmd_selfbench(args: argparse.Namespace) -> str:
 
     from repro.analysis.selfperf import run_selfbench
 
-    report = run_selfbench(repetitions=args.repetitions, jobs=args.jobs)
+    report = run_selfbench(repetitions=args.repetitions, jobs=args.jobs,
+                           seed=args.seed)
     return emit(report.to_dict(), report.render(), args)
 
 
@@ -631,6 +732,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arrival-window length, seconds (the run "
                             "continues until every request drains)")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--arrival", default=None,
+                       choices=("poisson", "mmpp", "diurnal"),
+                       help="arrival process; default keeps the legacy "
+                            "Poisson stream (mmpp: bursty two-state; "
+                            "diurnal: day-curve thinning)")
+        p.add_argument("--burst-rate", type=float, default=0.0,
+                       help="mmpp burst-state rate, req/s (default "
+                            "4x --rate)")
+        p.add_argument("--base-dwell", type=float, default=20.0,
+                       help="mmpp mean base-state dwell, seconds")
+        p.add_argument("--burst-dwell", type=float, default=5.0,
+                       help="mmpp mean burst-state dwell, seconds")
+        p.add_argument("--period", type=float, default=0.0,
+                       help="diurnal day-curve period, seconds "
+                            "(default: --duration, i.e. one compressed "
+                            "day per run)")
         p.add_argument("--plans", default="baseline,sdf",
                        help="comma-separated plans to compare "
                             "(baseline, sd, sdf)")
@@ -687,6 +804,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output(p_cls)
     p_cls.set_defaults(func=cmd_cluster_sim)
 
+    p_ctl = sub.add_parser(
+        "controlplane-sim",
+        help="SLO-driven control plane: autoscaling, shedding, faults",
+    )
+    add_serving_args(p_ctl)
+    p_ctl.set_defaults(plans="sdf", rate=4.0, duration=30.0)
+    p_ctl.add_argument("--replicas", type=int, default=2,
+                       help="initial model replicas")
+    p_ctl.add_argument("--tp", type=int, default=1,
+                       help="tensor-parallel GPUs per replica")
+    p_ctl.add_argument("--pp", type=int, default=1,
+                       help="pipeline-parallel stages per replica")
+    p_ctl.add_argument("--policy", default="least-outstanding",
+                       choices=("round-robin", "least-outstanding",
+                                "prefix-affinity"),
+                       help="request-routing policy")
+    p_ctl.add_argument("--tiers", default=None,
+                       help="SLO tiers as name:share:ttft[:tpot"
+                            "[:attainment]],... (highest priority "
+                            "first; default interactive/batch)")
+    p_ctl.add_argument("--autoscale", action="store_true",
+                       help="enable the SLO-driven autoscaler")
+    p_ctl.add_argument("--min-replicas", type=int, default=1,
+                       help="autoscaler floor")
+    p_ctl.add_argument("--max-replicas", type=int, default=8,
+                       help="autoscaler ceiling")
+    p_ctl.add_argument("--control-interval", type=float, default=0.25,
+                       help="autoscaler tick interval, seconds")
+    p_ctl.add_argument("--cold-start", type=float, default=None,
+                       help="replica cold-start seconds (default: "
+                            "derived from weight-load + KV-pool init)")
+    p_ctl.add_argument("--shed-tokens", type=float, default=0.0,
+                       help="per-replica backlog (tokens) above which "
+                            "the lowest tier sheds; 0 disables")
+    p_ctl.add_argument("--deaths", type=int, default=0,
+                       help="random replica deaths to inject")
+    p_ctl.add_argument("--stragglers", type=int, default=0,
+                       help="random straggler slowdowns to inject")
+    p_ctl.add_argument("--death", type=float, action="append",
+                       default=None,
+                       help="explicit death time, seconds (repeatable; "
+                            "overrides --deaths)")
+    _add_output(p_ctl)
+    p_ctl.set_defaults(func=cmd_controlplane_sim)
+
     p_ver = sub.add_parser(
         "verify",
         help="paper targets, differential fuzzing, artifact replay",
@@ -732,6 +894,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sbn.add_argument("--cluster-requests", type=int, default=1_000_000,
                        help="stream size for the serving suite's sharded "
                             "cluster smoke")
+    p_sbn.add_argument("--seed", type=int, default=7,
+                       help="workload / dataset seed (recorded in the "
+                            "result envelope)")
     _add_output(p_sbn)
     p_sbn.set_defaults(func=cmd_selfbench)
 
@@ -740,7 +905,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a simulation with tracing on; export a Chrome trace",
     )
     p_trc.add_argument("--sim",
-                       choices=("inference", "serving", "cluster"),
+                       choices=("inference", "serving", "cluster",
+                                "controlplane"),
                        default="inference",
                        help="which simulator to run under the tracer")
     add_serving_args(p_trc)

@@ -267,6 +267,10 @@ class ClusterReport:
     #: Full-trace summary (all plans, metrics included); ``None`` when
     #: the run was not traced.
     trace_summary: "dict | None" = None
+    #: Arrival-process parameters (``ArrivalProcess.describe()``);
+    #: ``None`` for the default stationary Poisson stream, keeping
+    #: historical serialized output byte-identical.
+    arrival: "dict | None" = None
 
     def to_dict(self) -> "dict[str, object]":
         """Versioned JSON-ready document (``repro.result/v1``)."""
@@ -274,6 +278,8 @@ class ClusterReport:
 
         extra = ({"trace_summary": self.trace_summary}
                  if self.trace_summary is not None else {})
+        if self.arrival is not None:
+            extra["arrival"] = self.arrival
         return result_dict(
             "cluster-report",
             model=self.model,

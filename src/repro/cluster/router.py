@@ -266,6 +266,7 @@ def simulate_cluster(
     interconnect: InterconnectSpec = NVLINK3,
     requests: "list[Request] | None" = None,
     prefix_groups: int = 0,
+    arrival=None,
     **engine_kwargs,
 ) -> ClusterReport:
     """Run one workload through the cluster under several plans.
@@ -276,7 +277,9 @@ def simulate_cluster(
     :class:`ClusterSimulator` (``chunk_tokens``, ``max_batch``,
     ``engine``, ``jobs``, ...).  Without an explicit request list the
     synthetic stream is sampled once into shared arrays and every plan
-    replays the same values.
+    replays the same values; an ``arrival`` process
+    (:mod:`repro.serving.arrivals`) replaces the stationary Poisson
+    stream and is echoed into the report.
     """
     model = get_model(model) if isinstance(model, str) else model
     gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
@@ -286,6 +289,7 @@ def simulate_cluster(
         workload = ServingWorkload(
             rate=rate, duration=duration, seed=seed,
             block_tokens=block_tokens, prefix_groups=prefix_groups,
+            arrival=arrival,
         )
     reports = {}
     num_requests = None
@@ -314,4 +318,5 @@ def simulate_cluster(
         num_requests=num_requests if num_requests is not None else 0,
         plans=reports,
         trace_summary=tracer.summary() if tracer.enabled else None,
+        arrival=arrival.describe() if arrival is not None else None,
     )

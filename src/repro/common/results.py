@@ -20,6 +20,12 @@ RESULT_SCHEMA = "repro.result/v1"
 #: Schema tag stamped on trace documents (``repro trace`` output).
 TRACE_SCHEMA = "repro.trace/v1"
 
+#: Schema tag stamped on the control-plane section nested inside
+#: ``controlplane-report`` documents (tiers, scaling timeline, fault
+#: records) — versioned separately because external SLO tooling
+#: consumes that section without the surrounding envelope.
+CONTROLPLANE_SCHEMA = "repro.controlplane/v1"
+
 
 def result_dict(kind: str, **fields) -> "dict[str, object]":
     """A JSON-ready result document of the given ``kind``.

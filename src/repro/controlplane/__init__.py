@@ -1,0 +1,59 @@
+"""SLO-driven control plane over the cluster simulator.
+
+Wraps :mod:`repro.cluster` replicas in a discrete-time control loop:
+bursty arrival processes feed a tiered admission gateway, an
+autoscaler grows and drains the fleet against per-tier TTFT/TPOT SLO
+targets (paying a hardware-derived cold-start for every boot), and a
+fault injector kills replicas mid-decode or slows them down to measure
+recovery.  The controller's only inputs are :mod:`repro.obs` signals —
+``first-token`` instants, ``outstanding_tokens`` gauges, the shed
+counter — so its feedback path matches what a metrics-scraping
+deployment controller would see.  See ``docs/controlplane.md``.
+"""
+
+from repro.controlplane.autoscaler import (
+    Autoscaler,
+    AutoscalerConfig,
+    ScalingDecision,
+    cold_start_time,
+)
+from repro.controlplane.controller import (
+    ControlledReplica,
+    ControlPlaneSimulator,
+    simulate_controlplane,
+)
+from repro.controlplane.faults import FailureSchedule, SlowdownCost
+from repro.controlplane.report import (
+    ControlPlanePlanReport,
+    ControlPlaneReport,
+    FaultRecord,
+    ScalingEvent,
+    TierReport,
+)
+from repro.controlplane.slo import (
+    DEFAULT_TIERS,
+    SLOTier,
+    assign_tiers,
+    parse_tiers,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ControlPlanePlanReport",
+    "ControlPlaneReport",
+    "ControlPlaneSimulator",
+    "ControlledReplica",
+    "DEFAULT_TIERS",
+    "FailureSchedule",
+    "FaultRecord",
+    "SLOTier",
+    "ScalingDecision",
+    "ScalingEvent",
+    "SlowdownCost",
+    "TierReport",
+    "assign_tiers",
+    "cold_start_time",
+    "parse_tiers",
+    "simulate_controlplane",
+]

@@ -1,0 +1,262 @@
+"""Control-plane reports: per-tier attainment, scaling, and faults.
+
+The control plane answers different questions than the cluster report:
+not "what throughput did N replicas sustain" but "did each traffic
+tier meet its SLO, how many replica-seconds did that cost, and how did
+the fleet react to bursts and failures".  The tier/timeline/fault
+section is stamped ``repro.controlplane/v1``
+(:data:`~repro.common.results.CONTROLPLANE_SCHEMA`) inside the
+standard ``repro.result/v1`` envelope so SLO tooling can consume it
+without parsing the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.metrics import LatencyStats
+
+__all__ = ["TierReport", "ScalingEvent", "FaultRecord",
+           "ControlPlanePlanReport", "ControlPlaneReport"]
+
+
+@dataclass(frozen=True)
+class TierReport:
+    """One SLO tier's outcome over a full run."""
+
+    name: str
+    share: float
+    ttft_target: float
+    tpot_target: float
+    attainment_target: float
+    arrived: int
+    finished: int
+    shed: int
+    rejected: int
+    #: Finished requests that met the tier's TTFT (and TPOT, when set)
+    #: targets.
+    attained_requests: int
+    ttft: LatencyStats
+    e2e: LatencyStats
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of *arrived* requests served within the SLO.
+
+        Shed and rejected requests count against attainment — dropping
+        traffic is an SLO miss from the client's point of view, which
+        is what keeps shedding an expensive last resort rather than a
+        free way to keep latency numbers green.
+        """
+        if self.arrived == 0:
+            return 1.0
+        return self.attained_requests / self.arrived
+
+    @property
+    def attained(self) -> bool:
+        """Whether the tier met its attainment target."""
+        return self.attainment >= self.attainment_target
+
+    def to_json(self) -> "dict[str, object]":
+        return {
+            "name": self.name,
+            "share": self.share,
+            "ttft_target_s": self.ttft_target,
+            "tpot_target_s": self.tpot_target,
+            "attainment_target": self.attainment_target,
+            "arrived": self.arrived,
+            "finished": self.finished,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "attained_requests": self.attained_requests,
+            "attainment": self.attainment,
+            "attained": self.attained,
+            "ttft_s": self.ttft.to_json(),
+            "e2e_s": self.e2e.to_json(),
+        }
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One fleet transition on the control-plane timeline."""
+
+    time: float
+    #: ``scale-up`` / ``scale-down`` / ``boot-complete`` / ``retire``
+    #: / ``fail`` / ``straggler``.
+    action: str
+    replica_id: int
+    #: Active replica count after the event took effect.
+    active_after: int
+    reason: str = ""
+
+    def to_json(self) -> "dict[str, object]":
+        return {"time_s": self.time, "action": self.action,
+                "replica_id": self.replica_id,
+                "active_after": self.active_after,
+                "reason": self.reason}
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault and its measured impact."""
+
+    kind: str                 #: ``death`` or ``straggler``
+    time: float
+    replica_id: int
+    #: Requests resident on the victim that were re-queued (deaths).
+    requeued: int = 0
+    #: Re-queued requests that never finished — must be 0 (the
+    #: conservation contract).
+    lost: int = 0
+    #: Seconds from the fault until every re-queued request finished
+    #: (or, with none resident, until the replacement came up).
+    recovery_s: float = 0.0
+    slowdown: float = 0.0     #: straggler factor; 0 for deaths
+
+    def to_json(self) -> "dict[str, object]":
+        return {"kind": self.kind, "time_s": self.time,
+                "replica_id": self.replica_id,
+                "requeued": self.requeued, "lost": self.lost,
+                "recovery_s": self.recovery_s,
+                "slowdown": self.slowdown}
+
+
+@dataclass(frozen=True)
+class ControlPlanePlanReport:
+    """One plan's control-plane run: SLOs, elasticity, and faults."""
+
+    plan: str
+    policy: str
+    arrived: int
+    finished: int
+    shed: int
+    rejected: int
+    #: Requests still unfinished when the loop drained — always 0 for
+    #: a completed run; kept explicit so the conservation identity
+    #: ``arrived == finished + shed + rejected + in_flight`` is
+    #: checkable from the serialized report alone.
+    in_flight: int
+    makespan: float
+    generated_tokens: int
+    throughput_tokens_per_s: float
+    ttft: LatencyStats
+    tpot: LatencyStats
+    e2e: LatencyStats
+    #: Time-weighted mean active replica count over the makespan.
+    mean_replicas: float
+    peak_replicas: int
+    #: Integral of the active replica count — the cost denominator.
+    replica_seconds: float
+    cold_starts: int
+    cold_start_s: float
+    tiers: "tuple[TierReport, ...]"
+    timeline: "tuple[ScalingEvent, ...]"
+    faults: "tuple[FaultRecord, ...]"
+    autoscaler: "dict | None" = None
+    trace_summary: "dict | None" = None
+
+    @property
+    def conservation_ok(self) -> bool:
+        """Whether every arrived request is accounted for."""
+        return (self.arrived
+                == self.finished + self.shed + self.rejected
+                + self.in_flight) and self.in_flight == 0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of arrived requests dropped by the shedder."""
+        if self.arrived == 0:
+            return 0.0
+        return self.shed / self.arrived
+
+    def tier(self, name: str) -> TierReport:
+        """Look up one tier's report by name."""
+        for tier in self.tiers:
+            if tier.name == name:
+                return tier
+        raise KeyError(name)
+
+    def controlplane_section(self) -> "dict[str, object]":
+        """The ``repro.controlplane/v1`` section."""
+        from repro.common.results import CONTROLPLANE_SCHEMA
+
+        section: "dict[str, object]" = {
+            "schema": CONTROLPLANE_SCHEMA,
+            "tiers": [tier.to_json() for tier in self.tiers],
+            "timeline": [event.to_json() for event in self.timeline],
+            "faults": [fault.to_json() for fault in self.faults],
+            "mean_replicas": self.mean_replicas,
+            "peak_replicas": self.peak_replicas,
+            "replica_seconds": self.replica_seconds,
+            "cold_starts": self.cold_starts,
+            "cold_start_s": self.cold_start_s,
+            "shed_rate": self.shed_rate,
+            "conservation_ok": self.conservation_ok,
+        }
+        if self.autoscaler is not None:
+            section["autoscaler"] = self.autoscaler
+        return section
+
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        doc = result_dict(
+            "controlplane-plan",
+            plan=self.plan,
+            policy=self.policy,
+            arrived=self.arrived,
+            finished=self.finished,
+            shed=self.shed,
+            rejected=self.rejected,
+            in_flight=self.in_flight,
+            makespan_s=self.makespan,
+            generated_tokens=self.generated_tokens,
+            throughput_tokens_per_s=self.throughput_tokens_per_s,
+            ttft_s=self.ttft.to_json(),
+            tpot_s=self.tpot.to_json(),
+            e2e_s=self.e2e.to_json(),
+            controlplane=self.controlplane_section(),
+        )
+        if self.trace_summary is not None:
+            doc["trace_summary"] = self.trace_summary
+        return doc
+
+
+@dataclass(frozen=True)
+class ControlPlaneReport:
+    """Full report of one ``controlplane-sim`` invocation."""
+
+    model: str
+    gpu: str
+    seed: int
+    duration: float
+    arrival: "dict[str, object]"
+    replicas: int
+    policy: str
+    plans: "dict[str, ControlPlanePlanReport]"
+    faults: "dict | None" = None
+    trace_summary: "dict | None" = None
+
+    def to_dict(self) -> "dict[str, object]":
+        """Versioned JSON-ready document (``repro.result/v1``)."""
+        from repro.common.results import result_dict
+
+        extra: "dict[str, object]" = {}
+        if self.faults is not None:
+            extra["faults"] = self.faults
+        if self.trace_summary is not None:
+            extra["trace_summary"] = self.trace_summary
+        return result_dict(
+            "controlplane-report",
+            model=self.model,
+            gpu=self.gpu,
+            seed=self.seed,
+            duration_s=self.duration,
+            arrival=self.arrival,
+            replicas=self.replicas,
+            policy=self.policy,
+            plans={name: report.to_dict()
+                   for name, report in self.plans.items()},
+            **extra,
+        )

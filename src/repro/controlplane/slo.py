@@ -1,0 +1,142 @@
+"""SLO tiers: per-class latency targets and traffic assignment.
+
+A production serving fleet never treats all traffic equally: an
+interactive chat request has a sub-second TTFT budget while a batch
+summarization job tolerates seconds.  A :class:`SLOTier` names one
+such traffic class — its share of the stream, its TTFT/TPOT targets,
+and the attainment fraction the operator promises.  Tiers are listed
+**highest priority first**; the load shedder uses that order (lower
+tiers shed at lower backlog thresholds, so gold traffic sheds last)
+and the autoscaler scales up whenever any tier's windowed attainment
+dips below its target.
+
+Tier membership is a property of the request stream, not of any one
+simulation: :func:`assign_tiers` draws a deterministic tier index per
+stream position from its own salted rng, so replaying the same
+workload under different plans or replica budgets compares identical
+per-tier traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ServingError
+from repro.common.validation import require_positive
+
+__all__ = ["SLOTier", "DEFAULT_TIERS", "parse_tiers", "assign_tiers"]
+
+#: Salt for the tier-assignment rng stream (distinct from the arrival,
+#: prompt-length, and output-length streams).
+_TIER_SALT = 0x71E5
+
+
+@dataclass(frozen=True)
+class SLOTier:
+    """One traffic class and its service-level objective."""
+
+    name: str
+    #: Fraction of the stream assigned to this tier (normalized over
+    #: all tiers at assignment time).
+    share: float
+    #: TTFT target, seconds.
+    ttft_target: float
+    #: TPOT target, seconds; 0 disables the TPOT check for this tier.
+    tpot_target: float = 0.0
+    #: Fraction of finished requests that must meet the targets.
+    attainment_target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServingError("SLO tier needs a non-empty name")
+        require_positive("share", self.share)
+        require_positive("ttft_target", self.ttft_target)
+        if self.tpot_target < 0:
+            raise ServingError(
+                f"tier {self.name}: tpot_target must be >= 0, got "
+                f"{self.tpot_target}"
+            )
+        if not 0.0 < self.attainment_target <= 1.0:
+            raise ServingError(
+                f"tier {self.name}: attainment_target must be in (0, 1], "
+                f"got {self.attainment_target}"
+            )
+
+    def meets(self, *, ttft: float, tpot: float) -> bool:
+        """Whether one finished request met this tier's targets."""
+        if ttft > self.ttft_target:
+            return False
+        return not (self.tpot_target > 0 and tpot > self.tpot_target)
+
+    def describe(self) -> "dict[str, object]":
+        """JSON-ready parameter summary."""
+        return {"name": self.name, "share": self.share,
+                "ttft_target_s": self.ttft_target,
+                "tpot_target_s": self.tpot_target,
+                "attainment_target": self.attainment_target}
+
+
+#: Two-tier default: half the traffic interactive with a tight TTFT
+#: budget, half batch with a relaxed one.
+DEFAULT_TIERS = (
+    SLOTier("interactive", share=0.5, ttft_target=0.5,
+            attainment_target=0.99),
+    SLOTier("batch", share=0.5, ttft_target=4.0,
+            attainment_target=0.95),
+)
+
+
+def parse_tiers(spec: str) -> "tuple[SLOTier, ...]":
+    """Parse a CLI tier spec, highest priority first.
+
+    Format: comma-separated ``name:share:ttft[:tpot[:attainment]]``,
+    e.g. ``interactive:0.5:0.4,batch:0.5:2.0:0.2:0.95``.
+
+    >>> [t.name for t in parse_tiers("gold:0.2:0.3,bulk:0.8:5.0")]
+    ['gold', 'bulk']
+    """
+    tiers = []
+    for part in spec.split(","):
+        fields = part.strip().split(":")
+        if not 3 <= len(fields) <= 5:
+            raise ServingError(
+                f"bad tier spec {part!r}: want "
+                f"name:share:ttft[:tpot[:attainment]]"
+            )
+        try:
+            tiers.append(SLOTier(
+                name=fields[0],
+                share=float(fields[1]),
+                ttft_target=float(fields[2]),
+                tpot_target=float(fields[3]) if len(fields) > 3 else 0.0,
+                attainment_target=(float(fields[4])
+                                   if len(fields) > 4 else 0.99),
+            ))
+        except ValueError as error:
+            raise ServingError(
+                f"bad tier spec {part!r}: {error}"
+            ) from None
+    if not tiers:
+        raise ServingError(f"empty tier spec {spec!r}")
+    names = [t.name for t in tiers]
+    if len(set(names)) != len(names):
+        raise ServingError(f"duplicate tier names in {spec!r}")
+    return tuple(tiers)
+
+
+def assign_tiers(num_requests: int, tiers: "tuple[SLOTier, ...]",
+                 seed: int) -> np.ndarray:
+    """Deterministic tier index per stream position.
+
+    Shares are normalized so they need not sum to 1.  The draw stream
+    depends only on ``(seed, num_requests)``, never on the simulation,
+    so every plan/budget replays identical per-tier traffic.
+    """
+    if not tiers:
+        raise ServingError("need at least one SLO tier")
+    shares = np.asarray([t.share for t in tiers], dtype=np.float64)
+    rng = np.random.default_rng((seed, _TIER_SALT))
+    return rng.choice(len(tiers), size=num_requests,
+                      p=shares / shares.sum())

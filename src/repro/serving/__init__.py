@@ -22,6 +22,14 @@ Quickstart::
 See ``docs/serving.md`` for the design and its limits.
 """
 
+from repro.serving.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    make_arrival,
+)
 from repro.serving.costmodel import SUPPORTED_PLANS, StepCostModel
 from repro.serving.engine import DEFAULT_MAX_EPOCH, EpochEngine
 from repro.serving.memory import KVBlockManager, MemoryStats
@@ -45,6 +53,12 @@ from repro.serving.sketch import QuantileSketch
 
 __all__ = [
     # workload
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "DiurnalArrivals",
+    "make_arrival",
     "Request",
     "RequestArrays",
     "RequestStatus",

@@ -1,0 +1,281 @@
+"""Arrival-process generators for serving workloads.
+
+A serving simulator is only as interesting as its load.  The original
+:class:`~repro.serving.requests.ServingWorkload` draws stationary
+Poisson arrivals — the right null model, but production traffic is
+bursty on two time scales: seconds (retry storms, batch jobs, cache
+stampedes) and hours (the day curve of a user-facing product).  This
+module factors arrival-time generation out of the workload so both
+regimes plug into every simulator the same way:
+
+- :class:`PoissonArrivals` — the stationary stream, bit-identical to
+  what ``ServingWorkload`` has always produced for a given seed;
+- :class:`MMPPArrivals` — a two-state Markov-modulated Poisson
+  process: exponential dwell times alternate between a base rate and a
+  burst rate, the standard parsimonious model for bursty traffic;
+- :class:`DiurnalArrivals` — a non-homogeneous Poisson process whose
+  rate follows a 24-point day curve, sampled by thinning (Lewis &
+  Shedler): generate at the peak rate, keep each arrival with
+  probability ``rate(t) / peak``.
+
+Every process is deterministic given ``(seed, duration)``; the rng
+streams are salted per process kind so switching the arrival model
+never aliases the prompt/output-length streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ServingError
+from repro.common.validation import require_positive
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "DiurnalArrivals",
+    "DAY_CURVE",
+    "ARRIVAL_KINDS",
+    "make_arrival",
+]
+
+#: Salt shared with the legacy ``ServingWorkload`` arrival stream; the
+#: Poisson process must keep consuming exactly this stream so default
+#: workloads stay byte-identical across releases.
+_ARRIVAL_SALT = 0xA221
+
+#: Hourly relative load of a user-facing product (UTC-ish day curve:
+#: a night trough, a morning ramp, a lunch plateau, an evening peak).
+#: Values are relative weights; sampling normalizes them to mean 1 so
+#: the configured rate is the curve's mean rate.
+DAY_CURVE = (
+    0.35, 0.25, 0.20, 0.18, 0.20, 0.30,
+    0.50, 0.80, 1.10, 1.35, 1.50, 1.55,
+    1.50, 1.45, 1.40, 1.35, 1.30, 1.35,
+    1.50, 1.60, 1.50, 1.20, 0.80, 0.50,
+)
+
+
+def _homogeneous_stream(rng, rate: float, start: float,
+                        end: float) -> np.ndarray:
+    """Poisson arrival times in ``[start, end)`` at a constant rate.
+
+    The exact draw pattern of the legacy workload generator (sized
+    first batch, doubling extension, strict-inequality filter) so the
+    ``PoissonArrivals`` wrapper reproduces historical streams bit for
+    bit; segment processes reuse it per dwell interval.
+    """
+    if rate <= 0.0 or end <= start:
+        return np.empty(0, dtype=np.float64)
+    span = end - start
+    gaps = rng.exponential(1.0 / rate,
+                           size=max(16, int(rate * span * 2) + 16))
+    times = start + np.cumsum(gaps)
+    while times[-1] < end:
+        more = rng.exponential(1.0 / rate, size=len(times))
+        times = np.concatenate([times, times[-1] + np.cumsum(more)])
+    return times[times < end]
+
+
+class ArrivalProcess:
+    """Base class: a deterministic arrival-time sampler.
+
+    Subclasses are frozen dataclasses so a process doubles as a value
+    object: hashable, comparable, and printable into result envelopes
+    via :meth:`describe`.
+    """
+
+    #: CLI / envelope discriminator (``poisson`` / ``mmpp`` / ...).
+    kind = "abstract"
+
+    def mean_rate(self) -> float:
+        """Long-run mean arrival rate, requests/second."""
+        raise NotImplementedError
+
+    def sample(self, duration: float, seed: int) -> np.ndarray:
+        """Sorted arrival times in ``[0, duration)``."""
+        raise NotImplementedError
+
+    def describe(self) -> "dict[str, object]":
+        """JSON-ready parameter summary for result envelopes."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Stationary Poisson arrivals at ``rate`` requests/second.
+
+    Consumes the same salted rng stream with the same draw pattern as
+    every previous release, so a workload built with the default
+    process reproduces historical request streams byte for byte.
+    """
+
+    rate: float
+    kind = "poisson"
+
+    def __post_init__(self) -> None:
+        require_positive("rate", self.rate)
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def sample(self, duration: float, seed: int) -> np.ndarray:
+        rng = np.random.default_rng((seed, _ARRIVAL_SALT))
+        return _homogeneous_stream(rng, self.rate, 0.0, duration)
+
+    def describe(self) -> "dict[str, object]":
+        return {"kind": self.kind, "rate": self.rate,
+                "mean_rate": self.mean_rate()}
+
+
+@dataclass(frozen=True)
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process.
+
+    The stream alternates between a *base* state (rate ``rate``, mean
+    dwell ``base_dwell`` seconds) and a *burst* state (rate
+    ``burst_rate``, mean dwell ``burst_dwell``); dwell times are
+    exponential, so state changes are memoryless.  Runs always start
+    in the base state, which keeps a fixed seed's burst schedule
+    stable as ``duration`` grows.
+    """
+
+    rate: float
+    burst_rate: float
+    base_dwell: float = 20.0
+    burst_dwell: float = 5.0
+    kind = "mmpp"
+
+    def __post_init__(self) -> None:
+        require_positive("rate", self.rate)
+        require_positive("burst_rate", self.burst_rate)
+        require_positive("base_dwell", self.base_dwell)
+        require_positive("burst_dwell", self.burst_dwell)
+
+    def mean_rate(self) -> float:
+        cycle = self.base_dwell + self.burst_dwell
+        return (self.rate * self.base_dwell
+                + self.burst_rate * self.burst_dwell) / cycle
+
+    def sample(self, duration: float, seed: int) -> np.ndarray:
+        require_positive("duration", duration)
+        rng = np.random.default_rng((seed, _ARRIVAL_SALT, 0x04B5))
+        parts: "list[np.ndarray]" = []
+        t = 0.0
+        bursting = False
+        while t < duration:
+            dwell = rng.exponential(
+                self.burst_dwell if bursting else self.base_dwell)
+            end = min(t + dwell, duration)
+            parts.append(_homogeneous_stream(
+                rng, self.burst_rate if bursting else self.rate, t, end))
+            t = end
+            bursting = not bursting
+        if not parts:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(parts)
+
+    def describe(self) -> "dict[str, object]":
+        return {"kind": self.kind, "rate": self.rate,
+                "burst_rate": self.burst_rate,
+                "base_dwell_s": self.base_dwell,
+                "burst_dwell_s": self.burst_dwell,
+                "mean_rate": self.mean_rate()}
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Non-homogeneous Poisson arrivals following a day curve.
+
+    ``curve`` holds one relative weight per equal slice of ``period``
+    seconds (24 hourly weights by default); weights are normalized to
+    mean 1, so ``rate`` is the mean rate over one full period.
+    Sampling thins a homogeneous peak-rate stream, the standard exact
+    method for non-homogeneous Poisson processes.  Pass ``period =
+    duration`` to compress one full day into a short run.
+    """
+
+    rate: float
+    period: float = 86400.0
+    curve: "tuple[float, ...]" = DAY_CURVE
+    kind = "diurnal"
+
+    def __post_init__(self) -> None:
+        require_positive("rate", self.rate)
+        require_positive("period", self.period)
+        if len(self.curve) < 2:
+            raise ServingError(
+                f"diurnal curve needs >= 2 points, got {len(self.curve)}"
+            )
+        if min(self.curve) < 0 or max(self.curve) <= 0:
+            raise ServingError(
+                "diurnal curve weights must be >= 0 with a positive peak"
+            )
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def _weights(self) -> np.ndarray:
+        weights = np.asarray(self.curve, dtype=np.float64)
+        return weights / weights.mean()
+
+    def sample(self, duration: float, seed: int) -> np.ndarray:
+        require_positive("duration", duration)
+        rng = np.random.default_rng((seed, _ARRIVAL_SALT, 0xD1A1))
+        weights = self._weights()
+        peak = self.rate * float(weights.max())
+        times = _homogeneous_stream(rng, peak, 0.0, duration)
+        if times.size == 0:
+            return times
+        slot = ((times % self.period) / self.period
+                * len(weights)).astype(np.int64)
+        accept = rng.random(len(times)) < (
+            self.rate * weights[slot]) / peak
+        return times[accept]
+
+    def describe(self) -> "dict[str, object]":
+        return {"kind": self.kind, "rate": self.rate,
+                "period_s": self.period, "curve_points": len(self.curve),
+                "mean_rate": self.mean_rate()}
+
+
+#: Arrival-process kinds the CLI exposes, in presentation order.
+ARRIVAL_KINDS = ("poisson", "mmpp", "diurnal")
+
+
+def make_arrival(
+    kind: str,
+    *,
+    rate: float,
+    burst_rate: float = 0.0,
+    base_dwell: float = 20.0,
+    burst_dwell: float = 5.0,
+    period: float = 0.0,
+    duration: float = 0.0,
+) -> ArrivalProcess:
+    """Build an arrival process from CLI-style parameters.
+
+    ``burst_rate`` defaults to four times the base rate for MMPP;
+    ``period`` defaults to ``duration`` for the diurnal curve (one
+    full day compressed into the run) and to a real day when no
+    duration is given.
+    """
+    if kind == "poisson":
+        return PoissonArrivals(rate=rate)
+    if kind == "mmpp":
+        return MMPPArrivals(
+            rate=rate,
+            burst_rate=burst_rate if burst_rate > 0 else 4.0 * rate,
+            base_dwell=base_dwell,
+            burst_dwell=burst_dwell,
+        )
+    if kind == "diurnal":
+        if period <= 0:
+            period = duration if duration > 0 else 86400.0
+        return DiurnalArrivals(rate=rate, period=period)
+    raise ServingError(
+        f"unknown arrival process {kind!r}; choose from {ARRIVAL_KINDS}"
+    )

@@ -155,6 +155,22 @@ class EpochEngine:
         #: another epoch), so a stale hint can never change results.
         self._cost_hint = 0.0
 
+    def set_cost(self, cost) -> None:
+        """Swap the step-cost model mid-run.
+
+        The engine caches the sharded ``step_cost`` entry point at
+        construction, so a plain attribute assignment would leave the
+        classic step pricing through the old model; this rebinds both.
+        The control plane uses it to inject straggler slowdowns into a
+        live replica.
+        """
+        self.cost = cost
+        self._step_cost = getattr(cost, "step_cost", None)
+        # The hint sizes the next epoch's working set only; stale
+        # values cannot change results, but re-deriving it from the
+        # new model keeps epoch sizing sensible after a big slowdown.
+        self._cost_hint = 0.0
+
     # -- intake ---------------------------------------------------------
 
     def submit(self, request) -> bool:
@@ -364,6 +380,8 @@ class EpochEngine:
 
     def _record_finish(self, request) -> None:
         self.finished += 1
+        self.tracer.metrics.counter(
+            f"{self.scheduler.trace_process}.finished").inc()
         self.generated_tokens += request.generated
         if request.preemptions:
             self.preempted_requests += 1

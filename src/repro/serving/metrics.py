@@ -336,6 +336,10 @@ class ServingReport:
     #: Full-trace summary (all plans, metrics included); ``None`` when
     #: the run was not traced.
     trace_summary: "dict | None" = None
+    #: Arrival-process parameters (``ArrivalProcess.describe()``);
+    #: ``None`` for the default stationary Poisson stream, which keeps
+    #: historical serialized output byte-identical.
+    arrival: "dict | None" = None
 
     def to_json(self) -> "dict[str, object]":
         """JSON-ready mapping; key order is fixed by ``sort_keys``."""
@@ -349,6 +353,8 @@ class ServingReport:
             "plans": {name: report.to_json()
                       for name, report in self.plans.items()},
         }
+        if self.arrival is not None:
+            doc["arrival"] = self.arrival
         if self.trace_summary is not None:
             doc["trace_summary"] = self.trace_summary
         return doc

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.common.errors import ServingError
 from repro.common.validation import require_positive
+from repro.serving.arrivals import ArrivalProcess, PoissonArrivals
 from repro.workloads.triviaqa import SyntheticTriviaQA
 
 
@@ -170,8 +171,10 @@ class ServingWorkload:
     """Deterministic synthetic request stream.
 
     Arrivals are Poisson with ``rate`` requests/second over
-    ``duration`` seconds.  Prompt lengths reuse the TriviaQA corpus
-    length distribution (truncated to ``max_prompt`` and rounded up to
+    ``duration`` seconds unless an explicit ``arrival`` process is
+    given (:mod:`repro.serving.arrivals` has MMPP bursts and a diurnal
+    day curve).  Prompt lengths reuse the TriviaQA corpus length
+    distribution (truncated to ``max_prompt`` and rounded up to
     ``block_tokens``); output lengths are geometric with mean
     ``mean_output``, the heavy-one-sided spread of production decode
     lengths.
@@ -193,6 +196,7 @@ class ServingWorkload:
         max_output: int = 0,
         block_tokens: int = 64,
         prefix_groups: int = 0,
+        arrival: "ArrivalProcess | None" = None,
     ) -> None:
         require_positive("rate", rate)
         require_positive("duration", duration)
@@ -211,6 +215,11 @@ class ServingWorkload:
         self.rate = rate
         self.duration = duration
         self.seed = seed
+        #: Arrival-time generator; the stationary Poisson stream keeps
+        #: its historical rng stream, so the default is byte-identical
+        #: to pre-arrival-process releases.
+        self.arrival: ArrivalProcess = (
+            arrival if arrival is not None else PoissonArrivals(rate=rate))
         self.max_prompt = max_prompt
         self.mean_output = mean_output
         self.max_output = max_output or 4 * mean_output
@@ -229,19 +238,12 @@ class ServingWorkload:
         """
         if self._arrays is not None:
             return self._arrays
-        rng = np.random.default_rng((self.seed, 0xA221))
-        gaps = rng.exponential(1.0 / self.rate, size=max(
-            16, int(self.rate * self.duration * 2) + 16))
-        arrivals = np.cumsum(gaps)
-        while arrivals[-1] < self.duration:
-            more = rng.exponential(1.0 / self.rate, size=len(arrivals))
-            arrivals = np.concatenate(
-                [arrivals, arrivals[-1] + np.cumsum(more)])
-        arrivals = arrivals[arrivals < self.duration]
+        arrivals = self.arrival.sample(self.duration, self.seed)
 
         corpus = SyntheticTriviaQA(num_documents=max(1, len(arrivals)),
                                    seed=self.seed)
-        prompts = np.minimum(corpus.lengths(), self.max_prompt)
+        prompts = np.minimum(corpus.lengths(),
+                             self.max_prompt)[:len(arrivals)]
         out_rng = np.random.default_rng((self.seed, 0x0CF7))
         outputs = np.minimum(
             out_rng.geometric(1.0 / self.mean_output, size=len(arrivals)),

@@ -140,6 +140,8 @@ class ContinuousBatchingScheduler:
             if head.first_admitted_time is None:
                 head.first_admitted_time = now
             self.running.append(head)
+            self.tracer.metrics.counter(
+                f"{self.trace_process}.admitted").inc()
             if self.tracer.enabled:
                 self._sched_event("admit", now, head)
 
@@ -237,6 +239,17 @@ class ContinuousBatchingScheduler:
                     # first output token.
                     request.first_token_time = now
                     request.generated = 1
+                    self.tracer.metrics.counter(
+                        f"{self.trace_process}.first_tokens").inc()
+                    if self.tracer.enabled:
+                        pid, tid = self.tracer.track(
+                            self.trace_process, "scheduler")
+                        self.tracer.instant(
+                            "first-token", "scheduling", ts=now,
+                            pid=pid, tid=tid,
+                            args={"request_id": request.request_id,
+                                  "ttft_s": now - request.arrival_time},
+                        )
                     if request.generated >= request.output_len:
                         self._finish(request, now)
                         finished.append(request)
@@ -253,6 +266,8 @@ class ContinuousBatchingScheduler:
         request.finish_time = now
         self.memory.release(request.request_id)
         self.running.remove(request)
+        if self.tracer.enabled:
+            self._sched_event("finish", now, request)
 
     @property
     def has_work(self) -> bool:

@@ -282,6 +282,7 @@ def simulate_serving(
     seed: int = 0,
     plans: "tuple[AttentionPlan | str, ...]" = ("baseline", "sdf"),
     requests: "list[Request] | None" = None,
+    arrival=None,
     **kwargs,
 ) -> ServingReport:
     """Run one workload under several plans and bundle the reports.
@@ -290,7 +291,9 @@ def simulate_serving(
     (``chunk_tokens``, ``max_batch``, ``block_tokens``, ``engine``,
     ...).  Pass ``requests`` to replay a trace instead of the
     synthetic workload; otherwise the synthetic stream is sampled once
-    into shared arrays and every plan replays the same values.
+    into shared arrays and every plan replays the same values.  An
+    ``arrival`` process (:mod:`repro.serving.arrivals`) replaces the
+    stationary Poisson stream and is echoed into the report.
     """
     model = get_model(model) if isinstance(model, str) else model
     gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
@@ -299,7 +302,7 @@ def simulate_serving(
         block_tokens = kwargs.get("block_tokens", 64)
         workload = ServingWorkload(
             rate=rate, duration=duration, seed=seed,
-            block_tokens=block_tokens,
+            block_tokens=block_tokens, arrival=arrival,
         )
     reports = {}
     num_requests = None
@@ -319,4 +322,5 @@ def simulate_serving(
         num_requests=num_requests if num_requests is not None else 0,
         plans=reports,
         trace_summary=tracer.summary() if tracer.enabled else None,
+        arrival=arrival.describe() if arrival is not None else None,
     )

@@ -33,6 +33,7 @@ HOOK_MODULES = (
     "repro.serving.costmodel",
     "repro.serving.sketch",
     "repro.gpu.interconnect",
+    "repro.controlplane.controller",
 )
 
 _default: "OracleRegistry | None" = None

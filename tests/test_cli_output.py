@@ -29,6 +29,8 @@ FAST_ARGS = {
     "footprint": ["--seq-len", "512"],
     "serve-sim": ["--rate", "2", "--duration", "3"],
     "cluster-sim": ["--rate", "2", "--duration", "3", "--replicas", "2"],
+    "controlplane-sim": ["--rate", "2", "--duration", "3",
+                         "--replicas", "2"],
     "verify": ["--quick"],
     "selfbench": ["--repetitions", "1"],
 }
@@ -47,6 +49,7 @@ EXPECTED_KIND = {
     "footprint": "footprint",
     "serve-sim": "serving-report",
     "cluster-sim": "cluster-report",
+    "controlplane-sim": "controlplane-report",
     "verify": "reproduction",
     "selfbench": "selfbench",
 }

@@ -148,6 +148,60 @@ class TestDeterminismAndMerge:
         assert sketch.count == 3
         assert sketch.quantiles((50, 95, 99)) == before
 
+    def test_merge_into_empty_adopts_the_shard(self):
+        """The sharded-cluster edge case: the parent's accumulator is
+        empty and the first worker shard merges into it."""
+        shard = QuantileSketch()
+        shard.extend([4.0, 8.0, 2.0])
+        out = QuantileSketch()
+        out.merge(shard)
+        assert out.count == 3
+        assert out.min == 2.0 and out.max == 8.0
+        assert out.quantiles((50, 95, 99)) == shard.quantiles(
+            (50, 95, 99))
+
+    def test_merge_of_two_empty_sketches_stays_empty(self):
+        out = QuantileSketch()
+        out.merge(QuantileSketch())
+        assert out.count == 0
+        assert out.quantile(50.0) == 0.0
+
+    def test_single_element_shards_merge_exactly(self):
+        """Replicas that finished exactly one request each: the merged
+        sketch must reproduce the tiny population's exact order
+        statistics, including duplicates."""
+        values = [0.25, 4.0, 1.0, 1.0]
+        out = QuantileSketch()
+        for value in values:
+            shard = QuantileSketch()
+            shard.add(value)
+            assert shard.count == 1
+            assert shard.quantile(50.0) == value
+            out.merge(shard)
+        assert out.count == len(values)
+        assert out.min == 0.25 and out.max == 4.0
+        assert out.quantile(0.0) == 0.25
+        assert out.quantile(100.0) == 4.0
+        assert out.quantile(50.0) == pytest.approx(1.0)
+
+    def test_single_element_merge_matches_direct_stream(self):
+        rng = np.random.default_rng(11)
+        values = rng.exponential(size=64)
+        direct = QuantileSketch()
+        direct.extend(values)
+        merged = QuantileSketch()
+        for value in values:
+            shard = QuantileSketch()
+            shard.add(float(value))
+            merged.merge(shard)
+        assert merged.count == direct.count
+        assert merged.min == direct.min
+        assert merged.max == direct.max
+        ordered = np.sort(values)
+        for q in (50.0, 95.0, 99.0):
+            rank = empirical_rank(ordered, merged.quantile(q))
+            assert abs(rank - q / 100.0) <= 0.03
+
 
 class TestBoundedMemory:
     def test_centroids_bounded_regardless_of_stream_length(self):

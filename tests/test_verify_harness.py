@@ -32,7 +32,7 @@ class TestRegistry:
         assert len(registry) >= 20
         prefixes = {name.split(".")[0] for name in registry.names()}
         assert prefixes == {"softmax", "attention", "block_sparse",
-                            "serving", "interconnect"}
+                            "serving", "interconnect", "controlplane"}
 
     def test_contracts_resolve_for_both_dtypes(self):
         from repro.common.dtypes import DType
