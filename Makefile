@@ -1,14 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-serving bench-serving-smoke verify verify-fuzz \
-	lint cluster-smoke controlplane-smoke trace-smoke
+.PHONY: test test-fast bench bench-serving bench-serving-smoke verify \
+	verify-fuzz lint cluster-smoke controlplane-smoke trace-smoke \
+	approx-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Everything except tests marked `slow` — the edit-run loop subset.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
 # Prefers ruff, falls back to pyflakes, and degrades to a syntax check
-# when neither is installed (offline environments).
+# when neither is installed (offline environments).  Always ends with
+# the seed audit: no unseeded randomness in tests or benchmarks.
 lint:
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check --select E9,F src tests benchmarks examples; \
@@ -18,6 +24,16 @@ lint:
 		echo "ruff/pyflakes unavailable; syntax check only"; \
 		$(PYTHON) -m compileall -q src tests benchmarks examples; \
 	fi
+	$(PYTHON) tools/lint_seeded_rng.py tests benchmarks
+
+# Tiny fixed-seed approx-sweep compared byte-for-byte (modulo float
+# ulp) against the committed golden report (see docs/approx.md).
+approx-smoke:
+	$(PYTHON) -m repro approx-sweep --models bert-large \
+		--seq-lens 256,1024 --cases 2 --seed 0 \
+		--output /tmp/approx_sweep_smoke.json >/dev/null
+	$(PYTHON) tools/compare_golden.py /tmp/approx_sweep_smoke.json \
+		tests/golden/approx_sweep_smoke.json
 
 bench:
 	$(PYTHON) benchmarks/bench_selfperf.py

@@ -20,6 +20,9 @@ Commands
 ``verify``       paper targets (default), ``verify fuzz`` differential
                  fuzzing of every registered oracle, ``verify replay``
                  re-running a failure artifact
+``approx-sweep`` accuracy-vs-speed Pareto report of the approximate
+                 softmax kernels (LUT, BAPS, FLASH-D) against SDF and
+                 the baseline
 ``selfbench``    benchmark the simulator itself (fast path vs baseline)
 
 Output contract
@@ -626,6 +629,26 @@ def cmd_verify(args: argparse.Namespace) -> str:
     return emit(payload, text, args)
 
 
+def cmd_approx_sweep(args: argparse.Namespace) -> str:
+    from repro.analysis.approx_sweep import render_sweep, run_sweep
+    from repro.common.dtypes import DType
+    from repro.gpu.specs import get_gpu
+    from repro.models import get_model
+
+    models = [get_model(name.strip())
+              for name in args.models.split(",") if name.strip()]
+    seq_lens = tuple(int(v) for v in args.seq_lens.split(","))
+    report = run_sweep(
+        gpu=get_gpu(args.gpu),
+        models=models or None,
+        seq_lens=seq_lens,
+        dtype=DType(args.dtype),
+        cases=args.cases,
+        seed=args.seed,
+    )
+    return emit(report, render_sweep(report), args)
+
+
 def cmd_selfbench(args: argparse.Namespace) -> str:
     if args.suite == "serving":
         from repro.analysis.servingbench import run_serving_selfbench
@@ -873,6 +896,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write failure artifacts into this directory")
     _add_output(p_ver)
     p_ver.set_defaults(func=cmd_verify)
+
+    p_apx = sub.add_parser(
+        "approx-sweep",
+        help="accuracy-vs-speed Pareto sweep of the approximate "
+             "softmax family (LUT, BAPS, FLASH-D vs SDF and baseline)",
+    )
+    p_apx.add_argument("--gpu", default="A100",
+                       help="A100 | RTX 3090 | T4 | H100")
+    p_apx.add_argument("--models",
+                       default="bert-large,gpt-neo-1.3b,bigbird-large,"
+                               "longformer-large",
+                       help="comma-separated model names for the speed "
+                            "grid")
+    p_apx.add_argument("--seq-lens", default="256,512,1024,2048,4096",
+                       help="comma-separated sequence lengths for the "
+                            "speed grid")
+    p_apx.add_argument("--dtype", choices=("fp16", "fp32"),
+                       default="fp16",
+                       help="storage dtype for both axes of the sweep")
+    p_apx.add_argument("--cases", type=int, default=8,
+                       help="accuracy cases per numeric regime")
+    p_apx.add_argument("--seed", type=int, default=0,
+                       help="accuracy-stage input seed")
+    _add_output(p_apx)
+    p_apx.set_defaults(func=cmd_approx_sweep)
 
     p_sbn = sub.add_parser("selfbench",
                            help="benchmark the simulator itself "

@@ -20,6 +20,13 @@ RESULT_SCHEMA = "repro.result/v1"
 #: Schema tag stamped on trace documents (``repro trace`` output).
 TRACE_SCHEMA = "repro.trace/v1"
 
+#: Schema tag stamped on approximate-softmax Pareto reports
+#: (``repro approx-sweep`` output) — versioned separately because the
+#: report nests per-variant accuracy measurements whose axes follow
+#: :class:`repro.verify.profiles.ErrorProfile`, not the flat
+#: result-document shape.
+APPROX_SWEEP_SCHEMA = "repro.approx_sweep/v1"
+
 #: Schema tag stamped on the control-plane section nested inside
 #: ``controlplane-report`` documents (tiers, scaling timeline, fault
 #: records) — versioned separately because external SLO tooling

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import ServingError
-from repro.common.validation import require_positive
+from repro.common.validation import require_non_negative, require_positive
 
 __all__ = [
     "ArrivalProcess",
@@ -141,6 +141,15 @@ class MMPPArrivals(ArrivalProcess):
     exponential, so state changes are memoryless.  Runs always start
     in the base state, which keeps a fixed seed's burst schedule
     stable as ``duration`` grows.
+
+    Either state's rate may be zero — an ON/OFF process (idle base
+    state punctuated by bursts, or a busy stream with quiet gaps) is
+    the classic MMPP special case — but not both: the process must
+    have a positive mean rate.  When the two rates are *equal* the
+    modulation is unobservable and the process degenerates to the
+    stationary Poisson stream; sampling then delegates to the exact
+    Poisson draw pattern (same salt, same stream), so a degenerate
+    MMPP is byte-identical to :class:`PoissonArrivals`.
     """
 
     rate: float
@@ -150,10 +159,14 @@ class MMPPArrivals(ArrivalProcess):
     kind = "mmpp"
 
     def __post_init__(self) -> None:
-        require_positive("rate", self.rate)
-        require_positive("burst_rate", self.burst_rate)
+        require_non_negative("rate", self.rate)
+        require_non_negative("burst_rate", self.burst_rate)
         require_positive("base_dwell", self.base_dwell)
         require_positive("burst_dwell", self.burst_dwell)
+        if self.mean_rate() <= 0.0:
+            raise ServingError(
+                "MMPP needs a positive rate in at least one state"
+            )
 
     def mean_rate(self) -> float:
         cycle = self.base_dwell + self.burst_dwell
@@ -162,6 +175,12 @@ class MMPPArrivals(ArrivalProcess):
 
     def sample(self, duration: float, seed: int) -> np.ndarray:
         require_positive("duration", duration)
+        if self.burst_rate == self.rate:
+            # Degenerate single-rate MMPP: the modulation is
+            # unobservable, so consume the Poisson stream (same salt,
+            # same draw pattern) for byte-identical equivalence.
+            rng = np.random.default_rng((seed, _ARRIVAL_SALT))
+            return _homogeneous_stream(rng, self.rate, 0.0, duration)
         rng = np.random.default_rng((seed, _ARRIVAL_SALT, 0x04B5))
         parts: "list[np.ndarray]" = []
         t = 0.0

@@ -27,15 +27,23 @@ from repro.verify.contracts import (
     compare_arrays,
     ulp_distance,
 )
+from repro.verify.profiles import (
+    ErrorProfile,
+    ErrorProfileContract,
+    measure_error_profile,
+)
 from repro.verify.registry import OracleRegistry, OracleSpec
 
 __all__ = [
     "EXACT",
     "Comparison",
+    "ErrorProfile",
+    "ErrorProfileContract",
     "OracleRegistry",
     "OracleSpec",
     "ToleranceContract",
     "compare_arrays",
+    "measure_error_profile",
     "ulp_distance",
     "build_registry",
     "default_registry",

@@ -30,6 +30,11 @@ from repro.verify.cases import (
 )
 from repro.verify.contracts import Comparison
 from repro.verify.invariants import Violation, check_invariants
+from repro.verify.profiles import (
+    ErrorProfile,
+    aggregate_profiles,
+    measure_error_profile,
+)
 from repro.verify.registry import OracleRegistry, OracleSpec
 
 #: Upper bound on shrink iterations (each strictly reduces complexity).
@@ -45,6 +50,8 @@ class CaseResult:
     params: "dict"
     comparison: "Comparison | None" = None
     violations: "list[Violation]" = field(default_factory=list)
+    #: Measured accuracy vs the exact reference (profile oracles only).
+    profile: "ErrorProfile | None" = None
 
     @property
     def failed(self) -> bool:
@@ -84,6 +91,9 @@ class FuzzReport:
     runs: int
     failures: "list[Failure]"
     elapsed_s: float
+    #: Aggregated measured accuracy per profile oracle — the harness's
+    #: measurement output, populated whether or not anything failed.
+    profiles: "dict[str, dict[str, object]]" = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -97,6 +107,16 @@ class FuzzReport:
             f"{len(self.failures)} failures ({self.elapsed_s:.1f}s, "
             f"seed={self.seed})",
         ]
+        for name, prof in sorted(self.profiles.items()):
+            kl = (f" row_kl={prof['max_row_kl']:.2e}"
+                  if prof.get("max_row_kl") is not None else "")
+            lines.append(
+                f"  measured {name}: ulp={prof['max_ulp']} "
+                f"mean_rel={prof['mean_rel_err']:.2e} "
+                f"abs={prof['max_abs_err']:.2e}{kl} "
+                f"p99_row={prof['p99_row_err']:.2e} "
+                f"({prof['cases']} cases)"
+            )
         for failure in self.failures:
             lines.append(
                 f"  {failure.oracle}: {failure.result.describe()}"
@@ -122,6 +142,7 @@ class FuzzReport:
             runs=self.runs,
             ok=self.ok,
             elapsed_s=self.elapsed_s,
+            profiles=self.profiles,
             failures=[
                 {
                     "oracle": f.oracle,
@@ -137,7 +158,15 @@ class FuzzReport:
 
 
 def run_case(oracle: OracleSpec, case: Case) -> CaseResult:
-    """One differential run: candidate vs reference plus invariants."""
+    """One differential run: candidate vs reference plus invariants.
+
+    Tolerance-contract oracles get a pass/fail array comparison;
+    profile oracles get their accuracy *measured* against the exact
+    reference, with a violation only when a declared budget is
+    exceeded — the measurement itself is kept on the result either
+    way, so the report can aggregate it.
+    """
+    profile_contract = oracle.profile_for(case.dtype)
     contract = oracle.contract_for(case.dtype)
     outputs = oracle.run(case)
     result = CaseResult(oracle=oracle.name, family=case.family,
@@ -154,15 +183,33 @@ def run_case(oracle: OracleSpec, case: Case) -> CaseResult:
             rtol=contract.rtol + slack,
             max_ulp=contract.max_ulp,
         )
+    violations: "list[Violation]" = []
     if "actual" in outputs:
-        from repro.verify.contracts import compare_arrays
+        if profile_contract is not None:
+            result.profile = measure_error_profile(
+                outputs["actual"], outputs["expected"], case.dtype,
+                row_kl=profile_contract.max_row_kl is not None,
+            )
+            violations.extend(
+                Violation(
+                    "error_profile",
+                    f"{metric} = {measured:.3e} exceeds declared "
+                    f"budget {bound:.3e}",
+                )
+                for metric, measured, bound
+                in result.profile.exceedances(profile_contract)
+            )
+        else:
+            from repro.verify.contracts import compare_arrays
 
-        result.comparison = compare_arrays(
-            outputs["actual"], outputs["expected"], contract, case.dtype
-        )
-    result.violations = check_invariants(
+            result.comparison = compare_arrays(
+                outputs["actual"], outputs["expected"], contract,
+                case.dtype,
+            )
+    violations.extend(check_invariants(
         oracle.invariants, case, outputs, contract
-    )
+    ))
+    result.violations = violations
     return result
 
 
@@ -240,6 +287,8 @@ def write_artifact(failure: Failure, directory: "str | pathlib.Path") -> str:
             {"invariant": v.invariant, "detail": v.detail}
             for v in failure.result.violations
         ],
+        "error_profile": (failure.result.profile.to_dict()
+                          if failure.result.profile is not None else None),
         "repro": f"python -m repro verify replay {path}",
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
@@ -267,8 +316,20 @@ def fuzz_family(
         raise ValueError(f"no oracles registered for family {family!r}")
     rng = np.random.default_rng(seed)
     failures: "list[Failure]" = []
+    measured: "dict[str, list[ErrorProfile]]" = {}
     runs = 0
     start = time.perf_counter()
+
+    def report() -> FuzzReport:
+        return FuzzReport(
+            family=family, cases=cases, seed=seed,
+            oracles=[o.name for o in oracles], runs=runs,
+            failures=failures,
+            elapsed_s=time.perf_counter() - start,
+            profiles={name: aggregate_profiles(values)
+                      for name, values in sorted(measured.items())},
+        )
+
     for _ in range(cases):
         params = draw_params(family, rng)
         case = build_case(family, params)
@@ -277,6 +338,8 @@ def fuzz_family(
                 continue
             runs += 1
             result = run_case(oracle, case)
+            if result.profile is not None:
+                measured.setdefault(oracle.name, []).append(result.profile)
             if not result.failed:
                 continue
             if shrink_failures:
@@ -292,17 +355,8 @@ def fuzz_family(
                 write_artifact(failure, artifact_dir)
             failures.append(failure)
             if len(failures) >= max_failures:
-                return FuzzReport(
-                    family=family, cases=cases, seed=seed,
-                    oracles=[o.name for o in oracles], runs=runs,
-                    failures=failures,
-                    elapsed_s=time.perf_counter() - start,
-                )
-    return FuzzReport(
-        family=family, cases=cases, seed=seed,
-        oracles=[o.name for o in oracles], runs=runs, failures=failures,
-        elapsed_s=time.perf_counter() - start,
-    )
+                return report()
+    return report()
 
 
 def replay_artifact(path: "str | pathlib.Path",

@@ -25,6 +25,7 @@ HOOK_MODULES = (
     "repro.kernels.softmax",
     "repro.kernels.decomposed",
     "repro.kernels.flash",
+    "repro.kernels.approx",
     "repro.kernels.fused",
     "repro.kernels.mha_fused",
     "repro.sparse.bssoftmax",

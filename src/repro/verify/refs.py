@@ -63,6 +63,54 @@ def accumulation_slack(scores: np.ndarray) -> float:
     return 256.0 * 2.0 ** -24 * max(magnitude, 1.0)
 
 
+def exact_softmax(x: np.ndarray) -> np.ndarray:
+    """Safe softmax evaluated entirely in float64.
+
+    The error-profile reference: not a peer implementation but the
+    closest available stand-in for the true answer, so a measured
+    profile characterises distance from exact math rather than
+    agreement between two equally-rounded kernels.  Shares the
+    repo-wide masking contract (fully ``-inf`` rows produce zeros).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    m = np.max(x, axis=-1, keepdims=True)
+    finite_m = np.where(np.isfinite(m), m, 0.0)
+    e = np.where(np.isfinite(x), np.exp(x - finite_m), 0.0)
+    d = np.sum(e, axis=-1, keepdims=True)
+    return np.divide(e, d, out=np.zeros_like(e), where=d > 0)
+
+
+def exact_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    dtype: DType,
+    *,
+    scale: float = 1.0,
+    mask: "np.ndarray | None" = None,
+    causal: bool = False,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Dense attention in float64: ``(output, scores, probs)``.
+
+    Operands are quantised to the storage dtype first — the candidate
+    sees the same inputs — but every downstream operation (score
+    matmul, softmax, value contraction) runs in float64 with no output
+    round-trip, so the only error a candidate accrues against this
+    reference is its own.
+    """
+    q = np.asarray(dtype.quantize(q), dtype=np.float64)
+    k = np.asarray(dtype.quantize(k), dtype=np.float64)
+    v = np.asarray(dtype.quantize(v), dtype=np.float64)
+    scores = np.matmul(q, np.swapaxes(k, -2, -1)) * float(scale)
+    if causal:
+        keep = rect_causal_mask(scores.shape[-2], scores.shape[-1])
+        scores = np.where(keep, scores, -np.inf)
+    if mask is not None:
+        scores = np.where(mask, scores, -np.inf)
+    probs = exact_softmax(scores)
+    return np.matmul(probs, v), scores, probs
+
+
 def dense_attention(
     q: np.ndarray,
     k: np.ndarray,

@@ -29,6 +29,13 @@ returns an *outputs* dict.  Recognised keys:
 ``violations``
     Pre-computed :class:`~repro.verify.invariants.Violation` list for
     oracle-specific checks that do not fit the catalog.
+
+An oracle carries either per-dtype :class:`ToleranceContract`\\ s (a
+pass/fail agreement question) or per-dtype
+:class:`~repro.verify.profiles.ErrorProfileContract`\\ s (a measured
+accuracy budget against an exact reference) — the approximate kernels
+use the latter, and the fuzz driver records their measured profiles on
+every case.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from typing import Any, Callable, Mapping, Optional
 
 from repro.common.dtypes import DType
 from repro.verify.contracts import ToleranceContract
+from repro.verify.profiles import ErrorProfileContract
 
 
 @dataclass(frozen=True)
@@ -47,18 +55,40 @@ class OracleSpec:
     name: str
     family: str
     run: "Callable[[Any], dict]"
-    contracts: "Mapping[DType, ToleranceContract]"
+    contracts: "Mapping[DType, ToleranceContract]" = field(
+        default_factory=dict)
     invariants: "tuple[str, ...]" = ()
     tags: "tuple[str, ...]" = ()
     description: str = ""
     applies: "Optional[Callable[[Any], bool]]" = None
+    #: Per-dtype accuracy budgets for approximate implementations;
+    #: when set, the driver measures an error profile against the
+    #: oracle's exact reference instead of a pass/fail comparison.
+    profiles: "Optional[Mapping[DType, ErrorProfileContract]]" = None
 
     def contract_for(self, dtype: DType) -> ToleranceContract:
         try:
             return self.contracts[dtype]
         except KeyError:
+            if self.profiles is not None and dtype in self.profiles:
+                # Profile oracles derive the element-wise tolerance the
+                # invariant layer widens by from their declared budget.
+                return self.profiles[dtype].tolerance()
             raise KeyError(
                 f"oracle {self.name!r} has no contract for {dtype}"
+            ) from None
+
+    def profile_for(self, dtype: DType) -> "Optional[ErrorProfileContract]":
+        """The declared accuracy budget for ``dtype``, or ``None`` for
+        exact (tolerance-contract) oracles."""
+        if self.profiles is None:
+            return None
+        try:
+            return self.profiles[dtype]
+        except KeyError:
+            raise KeyError(
+                f"oracle {self.name!r} has no error-profile contract "
+                f"for {dtype}"
             ) from None
 
     def applicable(self, case) -> bool:

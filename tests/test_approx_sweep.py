@@ -1,0 +1,178 @@
+"""Tests for the accuracy-vs-speed Pareto sweep (``repro approx-sweep``)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.approx_sweep import (
+    REGIMES,
+    SOFTMAX_VARIANTS,
+    measure_flashd_accuracy,
+    measure_softmax_accuracy,
+    render_sweep,
+    run_sweep,
+)
+from repro.common.dtypes import DType
+from repro.common.results import APPROX_SWEEP_SCHEMA
+from repro.gpu.specs import get_gpu
+from repro.models import get_model
+
+A100 = get_gpu("A100")
+
+
+def small_sweep(**overrides):
+    kwargs = dict(
+        gpu=A100,
+        models=[get_model("bert-large")],
+        seq_lens=(256, 1024),
+        cases=2,
+        seed=0,
+    )
+    kwargs.update(overrides)
+    return run_sweep(**kwargs)
+
+
+class TestAccuracyStage:
+    def test_regime_coverage(self):
+        """The accuracy stage fuzzes across at least 3 numeric regimes."""
+        assert len(REGIMES) >= 3
+
+    def test_profiles_measured_for_every_variant(self):
+        profiles = measure_softmax_accuracy(
+            dtype=DType.FP16, cases=1, seed=0
+        )
+        assert set(profiles) == set(SOFTMAX_VARIANTS)
+        for name, profile in profiles.items():
+            assert profile["cases"] == len(REGIMES), name
+            assert profile["max_abs_err"] >= 0.0
+
+    def test_baseline_is_most_accurate_softmax(self):
+        """At fp32 the exact variants beat the approximations (at fp16
+        output rounding hides the difference — also worth asserting)."""
+        p32 = measure_softmax_accuracy(dtype=DType.FP32, cases=2, seed=0)
+        assert p32["baseline"]["max_abs_err"] <= p32["lut"]["max_abs_err"]
+        assert p32["baseline"]["max_abs_err"] <= p32["baps"]["max_abs_err"]
+        p16 = measure_softmax_accuracy(dtype=DType.FP16, cases=2, seed=0)
+        assert (p16["lut"]["p99_row_err"]
+                == pytest.approx(p16["baseline"]["p99_row_err"]))
+
+    def test_flashd_accuracy_deterministic(self):
+        a = measure_flashd_accuracy(dtype=DType.FP16, cases=1, seed=3)
+        b = measure_flashd_accuracy(dtype=DType.FP16, cases=1, seed=3)
+        assert a == b
+        assert a["max_row_kl"] is None  # attention output: no KL axis
+
+
+class TestSweepReport:
+    def test_envelope(self):
+        report = small_sweep()
+        assert report["schema"] == APPROX_SWEEP_SCHEMA
+        assert report["kind"] == "approx-sweep"
+        assert set(report["variants"]) == {
+            "baseline", "sdf", "lut", "baps", "flashd"
+        }
+        assert report["regimes"] == sorted(REGIMES)
+        json.dumps(report)  # must be JSON-serializable as-is
+
+    def test_deterministic(self):
+        assert small_sweep() == small_sweep()
+
+    def test_points_cover_the_grid(self):
+        report = small_sweep(seq_lens=(256, 512, 1024))
+        for name, variant in report["variants"].items():
+            assert len(variant["points"]) == 3, name
+            for point in variant["points"]:
+                assert point["time_s"] > 0
+                assert point["baseline_time_s"] > 0
+
+    def test_contracts_satisfied(self):
+        """Every approximate variant's measured profile stays inside
+        its declared budget — the harness's acceptance criterion."""
+        report = small_sweep(cases=3)
+        for name in ("lut", "baps", "flashd"):
+            variant = report["variants"][name]
+            assert variant["contract"] is not None, name
+            assert variant["contract_satisfied"] is True, (
+                name, variant["accuracy"], variant["contract"]
+            )
+        for name in ("baseline", "sdf"):
+            assert report["variants"][name]["contract"] is None
+            assert report["variants"][name]["contract_satisfied"] is None
+
+    def test_pareto_frontier_is_nondominated(self):
+        report = small_sweep()
+        frontier = report["pareto_frontier"]
+        assert frontier
+        variants = report["variants"]
+        for name in frontier:
+            v = variants[name]
+            for other in SOFTMAX_VARIANTS:
+                if other == name:
+                    continue
+                o = variants[other]
+                strictly_dominates = (
+                    o["accuracy"]["p99_row_err"]
+                    <= v["accuracy"]["p99_row_err"]
+                    and o["mean_speedup"] >= v["mean_speedup"]
+                    and (o["accuracy"]["p99_row_err"]
+                         < v["accuracy"]["p99_row_err"]
+                         or o["mean_speedup"] > v["mean_speedup"])
+                )
+                assert not strictly_dominates, (name, other)
+
+    def test_render_mentions_every_variant(self):
+        report = small_sweep()
+        text = render_sweep(report)
+        for name in report["variants"]:
+            assert name in text
+        assert "pareto frontier" in text
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    def test_lut_dominates_baseline_across_paper_grid(self):
+        """The headline claim: at least one approximate variant is
+        strictly faster than the baseline softmax at every grid point
+        with equal-or-better p99 row error."""
+        report = run_sweep(gpu=A100, cases=3)
+        assert "lut" in report["dominates_baseline"]
+        lut = report["variants"]["lut"]
+        baseline = report["variants"]["baseline"]
+        assert all(p["speedup_vs_baseline"] > 1.0 for p in lut["points"])
+        assert (lut["accuracy"]["p99_row_err"]
+                <= baseline["accuracy"]["p99_row_err"])
+        # And the dominating variant's own contract holds.
+        assert lut["contract_satisfied"] is True
+
+    def test_four_models_priced(self):
+        report = run_sweep(gpu=A100, cases=1, seq_lens=(512,))
+        assert len(report["models"]) == 4
+        point_models = {p["model"]
+                        for p in report["variants"]["lut"]["points"]}
+        assert len(point_models) == 4
+
+
+class TestSpeedModel:
+    def test_sdf_alone_is_slower_than_monolithic(self):
+        """The decomposition is a fusion enabler, not a standalone win
+        (Fig. 5): unfused LS+IR+GS re-streams the matrix twice."""
+        report = small_sweep()
+        assert report["variants"]["sdf"]["mean_speedup"] < 1.0
+
+    def test_lut_speedup_from_duty_not_traffic(self):
+        """LUT moves the same DRAM bytes — its win is issue duty."""
+        report = small_sweep()
+        lut = report["variants"]["lut"]["points"][0]
+        base_bytes = report["variants"]["baseline"]["points"][0]
+        assert lut["dram_bytes"] == base_bytes["dram_bytes"]
+        assert lut["speedup_vs_baseline"] > 1.0
+
+    def test_counters_present(self):
+        report = small_sweep()
+        for name in SOFTMAX_VARIANTS:
+            counters = report["variants"][name]["counters"]
+            assert counters["dram_bytes"] > 0
+            assert "div_ops" in counters
+        assert (report["variants"]["lut"]["counters"]["div_ops"]
+                < report["variants"]["baseline"]["counters"]["div_ops"])

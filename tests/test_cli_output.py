@@ -13,7 +13,11 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.common.results import RESULT_SCHEMA, TRACE_SCHEMA
+from repro.common.results import (
+    APPROX_SWEEP_SCHEMA,
+    RESULT_SCHEMA,
+    TRACE_SCHEMA,
+)
 
 #: Fast invocations, one per subcommand.
 FAST_ARGS = {
@@ -32,6 +36,8 @@ FAST_ARGS = {
     "controlplane-sim": ["--rate", "2", "--duration", "3",
                          "--replicas", "2"],
     "verify": ["--quick"],
+    "approx-sweep": ["--models", "bert-large", "--seq-lens", "256",
+                     "--cases", "1"],
     "selfbench": ["--repetitions", "1"],
 }
 
@@ -51,13 +57,17 @@ EXPECTED_KIND = {
     "cluster-sim": "cluster-report",
     "controlplane-sim": "controlplane-report",
     "verify": "reproduction",
+    "approx-sweep": "approx-sweep",
     "selfbench": "selfbench",
 }
 
 #: Schema tag per subcommand; ``trace`` emits the larger
-#: ``repro.trace/v1`` documents, everything else ``repro.result/v1``.
+#: ``repro.trace/v1`` documents and ``approx-sweep`` the nested Pareto
+#: report, everything else ``repro.result/v1``.
 EXPECTED_SCHEMA = {
-    command: TRACE_SCHEMA if command == "trace" else RESULT_SCHEMA
+    command: TRACE_SCHEMA if command == "trace"
+    else APPROX_SWEEP_SCHEMA if command == "approx-sweep"
+    else RESULT_SCHEMA
     for command in EXPECTED_KIND
 }
 

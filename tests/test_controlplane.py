@@ -100,6 +100,53 @@ class TestArrivalProcesses:
         counts = np.bincount(times.astype(int), minlength=2000)
         assert counts.var() / counts.mean() > 2.0
 
+    def test_mmpp_zero_rate_base_state_is_on_off(self):
+        """A zero base rate is the classic ON/OFF process: every
+        arrival must fall inside a burst dwell, and the empirical rate
+        must match the burst-weighted mean."""
+        arr = MMPPArrivals(rate=0.0, burst_rate=12.0, base_dwell=6.0,
+                           burst_dwell=3.0)
+        duration = 3000.0
+        times = arr.sample(duration, seed=11)
+        assert times.size > 0
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0.0 and times.max() < duration
+        n = len(times)
+        assert n / duration == pytest.approx(arr.mean_rate(), rel=0.1)
+
+    def test_mmpp_zero_rate_burst_state_allowed(self):
+        arr = MMPPArrivals(rate=5.0, burst_rate=0.0, base_dwell=4.0,
+                           burst_dwell=2.0)
+        times = arr.sample(600.0, seed=3)
+        assert len(times) / 600.0 == pytest.approx(arr.mean_rate(),
+                                                   rel=0.1)
+
+    def test_mmpp_both_rates_zero_rejected(self):
+        with pytest.raises(ServingError):
+            MMPPArrivals(rate=0.0, burst_rate=0.0)
+
+    def test_mmpp_single_state_degenerates_to_poisson(self):
+        """With equal rates the modulation is unobservable; the stream
+        must be byte-identical to the stationary Poisson process, not
+        merely statistically equivalent."""
+        for rate, duration, seed in ((4.0, 25.0, 0), (1.5, 60.0, 7)):
+            degenerate = MMPPArrivals(rate=rate, burst_rate=rate)
+            poisson = PoissonArrivals(rate=rate)
+            np.testing.assert_array_equal(
+                degenerate.sample(duration, seed),
+                poisson.sample(duration, seed))
+
+    def test_diurnal_period_shorter_than_one_tick(self):
+        """A period far below one second (many cycles per count tick)
+        must still sample cleanly and average out to the mean rate."""
+        arr = DiurnalArrivals(rate=20.0, period=0.01)
+        duration = 200.0
+        times = arr.sample(duration, seed=5)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0.0 and times.max() < duration
+        assert len(times) / duration == pytest.approx(arr.mean_rate(),
+                                                      rel=0.1)
+
     def test_diurnal_follows_day_curve(self):
         arr = DiurnalArrivals(rate=5.0, period=240.0)
         times = arr.sample(240.0, seed=6)

@@ -191,3 +191,61 @@ class TestCLIBridge:
 
         with pytest.raises(SystemExit):
             main(["verify", "replay"])
+
+    def _handcrafted_artifact(self, tmp_path):
+        """A minimal artifact for a healthy oracle: replay only needs
+        family, oracle, and params — the diagnostic fields a fuzz run
+        would add are context, not inputs."""
+        params = draw_params("softmax", np.random.default_rng(42))
+        path = tmp_path / "handcrafted.json"
+        path.write_text(json.dumps({
+            "schema": "repro.verify.failure/v1",
+            "family": "softmax",
+            "oracle": "softmax.decomposed_math",
+            "params": params,
+        }))
+        return path, params
+
+    def test_verify_replay_pass_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path, _ = self._handcrafted_artifact(tmp_path)
+        assert main(["verify", "replay", str(path)]) == 0
+        assert "[PASS] softmax.decomposed_math" in capsys.readouterr().out
+
+    def test_verify_replay_roundtrips_params(self, tmp_path, capsys):
+        """The JSON document must echo the artifact's params exactly,
+        so a replayed case can be re-artifacted without drift."""
+        from repro.cli import main
+
+        path, params = self._handcrafted_artifact(tmp_path)
+        assert main(["verify", "replay", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "verify-replay"
+        assert doc["failed"] is False
+        assert doc["oracle"] == "softmax.decomposed_math"
+        assert doc["params"] == params
+
+    def test_verify_replay_failure_exits_one(self, tmp_path, capsys,
+                                             monkeypatch):
+        """While the injected bug is live the CLI must propagate the
+        failure as exit code 1."""
+        from repro.cli import main
+
+        import repro.core.decomposition as decomposition
+
+        real = decomposition.inter_reduction
+
+        def off_by_one(m_prime, d_prime):
+            return np.roll(real(m_prime, d_prime), 1, axis=-1)
+
+        monkeypatch.setattr(decomposition, "inter_reduction", off_by_one)
+        report = fuzz_family("softmax", cases=60, seed=0,
+                             registry=build_registry(),
+                             artifact_dir=tmp_path, max_failures=1)
+        assert not report.ok
+        artifact = report.failures[0].artifact_path
+        assert main(["verify", "replay", artifact]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+        monkeypatch.undo()  # fix the bug: the same artifact now passes
+        assert main(["verify", "replay", artifact]) == 0

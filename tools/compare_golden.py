@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compare a result JSON document against a committed golden copy.
+
+Fixed-seed runs of the simulator are deterministic, so the comparison
+is exact by default — any drift in a golden document is a behaviour
+change that must be reviewed, not absorbed.  Floating-point values are
+still compared with a tiny relative tolerance (``--rtol``) so that a
+NumPy upgrade changing the last ulp of a reduction does not page
+someone; structural changes (keys appearing/disappearing, strings or
+integers changing) always fail.
+
+Usage::
+
+    python tools/compare_golden.py actual.json golden.json
+    python tools/compare_golden.py actual.json golden.json --rtol 1e-9
+
+Regenerate a golden on purposeful change with the producing command's
+``--output`` flag, and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+
+def diff(actual, golden, rtol: float, path: str = "$") -> "list[str]":
+    problems: "list[str]" = []
+    if isinstance(golden, dict):
+        if not isinstance(actual, dict):
+            return [f"{path}: expected object, got {type(actual).__name__}"]
+        for key in sorted(set(golden) | set(actual)):
+            if key not in actual:
+                problems.append(f"{path}.{key}: missing from actual")
+            elif key not in golden:
+                problems.append(f"{path}.{key}: not in golden")
+            else:
+                problems.extend(
+                    diff(actual[key], golden[key], rtol, f"{path}.{key}")
+                )
+    elif isinstance(golden, list):
+        if not isinstance(actual, list):
+            return [f"{path}: expected array, got {type(actual).__name__}"]
+        if len(actual) != len(golden):
+            return [f"{path}: length {len(actual)} != {len(golden)}"]
+        for index, (a, g) in enumerate(zip(actual, golden)):
+            problems.extend(diff(a, g, rtol, f"{path}[{index}]"))
+    elif isinstance(golden, float) and isinstance(actual, (int, float)) \
+            and not isinstance(actual, bool):
+        if not math.isclose(float(actual), golden,
+                            rel_tol=rtol, abs_tol=rtol):
+            problems.append(f"{path}: {actual} != {golden} (rtol={rtol})")
+    elif actual != golden:
+        problems.append(f"{path}: {actual!r} != {golden!r}")
+    return problems
+
+
+def main(argv: "list[str]") -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("actual", help="freshly produced JSON document")
+    parser.add_argument("golden", help="committed golden JSON document")
+    parser.add_argument("--rtol", type=float, default=1e-9,
+                        help="relative tolerance for float comparisons")
+    args = parser.parse_args(argv)
+    with open(args.actual) as handle:
+        actual = json.load(handle)
+    with open(args.golden) as handle:
+        golden = json.load(handle)
+    problems = diff(actual, golden, args.rtol)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"golden compare: {len(problems)} differences vs "
+              f"{args.golden}")
+        return 1
+    print(f"golden compare: ok ({args.golden})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Seed-audit lint: no unseeded randomness in the test suites.
+
+Every test in this repository must be reproducible from its source —
+a failure seen once must be reproducible forever.  This check flags
+the constructs that break that property:
+
+- ``np.random.default_rng()`` with no seed argument;
+- the legacy seedless global-state API (``np.random.rand``,
+  ``np.random.standard_normal`` and friends) — even when preceded by
+  ``np.random.seed`` the global stream is order-dependent across
+  tests, so the Generator API with an explicit seed is required;
+- the stdlib ``random`` module's global functions.
+
+A line may be waived with a trailing ``# seeded-ok: <reason>`` comment
+(for tests that deliberately exercise unseeded behaviour).
+
+Usage: ``python tools/lint_seeded_rng.py [paths...]`` (defaults to
+``tests`` and ``benchmarks``); exits 1 with one line per violation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: An unseeded Generator construction: bare ``default_rng()``.
+_UNSEEDED_DEFAULT_RNG = re.compile(r"\bdefault_rng\(\s*\)")
+
+#: Legacy NumPy global-state sampling functions.
+_LEGACY_NP = re.compile(
+    r"\bnp\.random\.(rand|randn|randint|random|random_sample|choice|"
+    r"shuffle|permutation|normal|uniform|standard_normal|exponential|"
+    r"poisson|seed)\b"
+)
+
+#: Stdlib ``random`` global functions (module-level state).
+_STDLIB_RANDOM = re.compile(
+    r"(?<![\w.])random\.(random|randint|randrange|choice|choices|"
+    r"shuffle|sample|uniform|gauss|seed)\("
+)
+
+_WAIVER = "seeded-ok"
+
+
+def scan_file(path: pathlib.Path) -> "list[str]":
+    problems = []
+    for lineno, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        if _WAIVER in line:
+            continue
+        stripped = line.split("#", 1)[0]
+        for pattern, message in (
+            (_UNSEEDED_DEFAULT_RNG, "unseeded default_rng()"),
+            (_LEGACY_NP, "legacy np.random global-state API"),
+            (_STDLIB_RANDOM, "stdlib random module global state"),
+        ):
+            if pattern.search(stripped):
+                problems.append(
+                    f"{path}:{lineno}: {message}: {line.strip()}"
+                )
+    return problems
+
+
+def main(argv: "list[str]") -> int:
+    roots = [pathlib.Path(p) for p in argv] or [
+        pathlib.Path("tests"), pathlib.Path("benchmarks")
+    ]
+    problems: "list[str]" = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            problems.extend(scan_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"seed lint: {len(problems)} unseeded-RNG uses "
+              f"(waive deliberate ones with '# seeded-ok: <reason>')")
+        return 1
+    print("seed lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
