@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-fast bench bench-serving bench-serving-smoke verify \
 	verify-fuzz lint cluster-smoke controlplane-smoke trace-smoke \
-	approx-smoke
+	approx-smoke tune-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +34,16 @@ approx-smoke:
 		--output /tmp/approx_sweep_smoke.json >/dev/null
 	$(PYTHON) tools/compare_golden.py /tmp/approx_sweep_smoke.json \
 		tests/golden/approx_sweep_smoke.json
+
+# Tiny fixed-seed tuning run compared byte-for-byte (modulo float ulp)
+# against the committed golden artifact — pins both the search's
+# determinism and the repro.tuned_plan/v1 schema (see docs/tuning.md).
+tune-smoke:
+	$(PYTHON) -m repro tune --objective ttft_p99 --budget 8 \
+		--rate 2 --duration 3 --seed 0 \
+		--output /tmp/tune_smoke.json >/dev/null
+	$(PYTHON) tools/compare_golden.py /tmp/tune_smoke.json \
+		tests/golden/tune_smoke.json
 
 bench:
 	$(PYTHON) benchmarks/bench_selfperf.py

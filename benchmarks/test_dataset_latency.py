@@ -8,6 +8,7 @@ workload-characterisation view of the speedup.
 """
 
 
+from repro.core.plansource import PlanSource
 from repro.analysis import render_table
 from repro.workloads import SyntheticTriviaQA
 from repro.workloads.driver import DatasetBenchmark
@@ -19,7 +20,8 @@ def run():
     for model in ("bert-large", "longformer-large"):
         for plan in ("baseline", "sdf"):
             out[(model, plan)] = DatasetBenchmark(
-                dataset, model, plan=plan, max_seq_len=4096, bucket=512,
+                dataset, model, plan=PlanSource.of(plan),
+                max_seq_len=4096, bucket=512,
             ).run()
     return out
 

@@ -11,7 +11,7 @@ Run:  python examples/plan_selection.py
 """
 
 from repro.analysis import render_table
-from repro.core.autotune import ALL_CANDIDATES, select_plan
+from repro.core.autotune import ALL_CANDIDATES, INFEASIBLE, select_plan
 from repro.models import InferenceSession
 
 
@@ -26,7 +26,7 @@ def demo_plan_space():
         base = choice.latencies[list(choice.latencies)[0]]
         cells = []
         for plan, latency in choice.latencies.items():
-            if latency is None:
+            if latency is INFEASIBLE:
                 cells.append("infeasible")
             else:
                 marker = " *" if plan is choice.plan else ""

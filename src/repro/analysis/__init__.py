@@ -15,6 +15,7 @@ from repro.analysis.cluster import render_cluster_comparison
 from repro.analysis.reporting import render_bar_chart, render_stacked_bars, render_table
 from repro.analysis.serving import render_serving_comparison
 from repro.analysis.tracing import render_trace_summary
+from repro.analysis.tune import render_tune_report
 
 __all__ = [
     "normalized_time_breakdown",
@@ -26,4 +27,5 @@ __all__ = [
     "render_serving_comparison",
     "render_cluster_comparison",
     "render_trace_summary",
+    "render_tune_report",
 ]

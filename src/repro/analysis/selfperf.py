@@ -23,6 +23,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.core.plansource import PlanSource
 from repro.analysis.reporting import render_table
 from repro.gpu import simcache
 
@@ -152,7 +153,7 @@ def _driver_run(num_documents: int, max_seq_len: int, jobs: int,
 
     dataset = SyntheticTriviaQA(num_documents=num_documents, seed=seed)
     report = DatasetBenchmark(
-        dataset, "bigbird-large", plan="sdf",
+        dataset, "bigbird-large", plan=PlanSource.of("sdf"),
         max_seq_len=max_seq_len, jobs=jobs,
     ).run()
     return [report.bucket_latency[k] for k in sorted(report.bucket_latency)]

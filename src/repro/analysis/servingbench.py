@@ -28,6 +28,7 @@ import json
 import time
 from dataclasses import dataclass
 
+from repro.core.plansource import PlanSource
 from repro.analysis.reporting import render_table
 
 
@@ -173,7 +174,8 @@ def _serving_workload_timing(requests: int, rate: float, seed: int,
                                seed=seed, max_prompt=512, mean_output=768)
     timings, docs, report = {}, {}, None
     for engine in ("event", "epoch"):
-        sim = ServingSimulator(model, gpu, plan=plan, workload=workload,
+        sim = ServingSimulator(model, gpu, plan=PlanSource.of(plan),
+                               workload=workload,
                                engine=engine, max_steps=500_000_000)
         start = time.perf_counter()
         report = sim.run()

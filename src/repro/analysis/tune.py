@@ -1,0 +1,82 @@
+"""Text rendering of tuned-plan artifacts.
+
+Turns the ``repro.tuned_plan/v1`` document ``repro tune`` emits into
+the table the CLI prints in text mode: the winner next to the untuned
+default, the top full-fidelity candidates, and the budget accounting.
+Renders from the JSON document (not the in-memory result) so the same
+function summarizes a fresh run and a loaded artifact.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_table
+
+#: Top full-fidelity candidates shown in the table.
+_TOP_N = 8
+
+#: Objectives where larger raw values are better.
+_MAXIMIZE = ("throughput",)
+
+
+def _format_value(objective: str, value: "float | None") -> str:
+    if value is None:
+        return "infeasible"
+    if objective == "throughput":
+        return f"{value:.1f} tok/s"
+    return f"{value * 1e3:.2f} ms"
+
+
+def _format_config(config: "dict[str, object]") -> str:
+    return " ".join(f"{key}={config[key]}" for key in config)
+
+
+def render_tune_report(document: "dict[str, object]") -> str:
+    """Human-readable summary of one tuning run."""
+    objective = document["objective"]
+    default = document["default"]
+    winner = document["winner"]
+    scenario = document["scenario"]
+    maximize = objective in _MAXIMIZE
+
+    header = (
+        f"tuned {scenario['model']} on {scenario['gpu']} — "
+        f"objective {objective} ({'maximize' if maximize else 'minimize'}),"
+        f" mode {document['mode']}, budget {document['spent']}"
+        f"/{document['budget']} evaluations (seed {document['seed']})"
+    )
+
+    # Best full-fidelity score per distinct config, best first.
+    best: "dict[str, tuple[float, dict]]" = {}
+    for record in document["evaluations"]:
+        if record["fidelity"] != 1.0 or record["value"] is None:
+            continue
+        label = _format_config(record["config"])
+        score = -record["value"] if maximize else record["value"]
+        if label not in best or score < best[label][0]:
+            best[label] = (score, record)
+    ranked = sorted(best.items(), key=lambda item: (item[1][0], item[0]))
+
+    rows = []
+    for label, (_, record) in ranked[:_TOP_N]:
+        marker = ""
+        if record["config"] == winner["config"]:
+            marker = "winner"
+        elif record["config"] == default["config"]:
+            marker = "default"
+        rows.append([label, _format_value(objective, record["value"]),
+                     marker])
+    table = render_table([f"config ({document['mode']})", objective,
+                          ""], rows)
+
+    lines = [header, "", table, ""]
+    improvement = document.get("improvement")
+    if winner["config"] == default["config"]:
+        lines.append("the untuned default is already optimal within "
+                     "the searched space")
+    elif improvement is not None:
+        lines.append(
+            f"winner over default: {improvement:.3f}x "
+            f"({_format_value(objective, default['value'])} -> "
+            f"{_format_value(objective, winner['value'])}); tuned "
+            f"plans never lose to the default by construction")
+    return "\n".join(lines)

@@ -17,6 +17,9 @@ Commands
 ``cluster-sim``  multi-replica, TP/PP-sharded cluster serving simulation
 ``controlplane-sim``  SLO tiers, autoscaling, shedding, fault injection
                  over the cluster simulator
+``tune``         closed-loop plan autotuner; emits a versioned
+                 ``repro.tuned_plan/v1`` artifact the simulators accept
+                 back via ``--plan-file``
 ``verify``       paper targets (default), ``verify fuzz`` differential
                  fuzzing of every registered oracle, ``verify replay``
                  re-running a failure artifact
@@ -32,11 +35,21 @@ same result as a versioned JSON document (``repro.result/v1``) under
 ``--json``, and writes that document to a file under ``--output``
 (printing the text plus a ``wrote <path>`` confirmation) — one
 :func:`emit` helper implements the contract for all of them.
+
+Scenario contract
+-----------------
+The serving-style subcommands (``serve-sim``, ``cluster-sim``,
+``controlplane-sim``, ``trace``, ``tune``) share their flags through
+the parent-parser helpers in :mod:`repro.common.scenario` and build
+one :class:`~repro.common.scenario.ScenarioSpec` from the parsed
+namespace; the spec is the single bridge to the simulators, so the
+tuner's artifacts and the CLI runs describe scenarios identically.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import sys
@@ -47,6 +60,11 @@ from repro.analysis import (
     render_table,
 )
 from repro.common.results import result_dict
+from repro.common.scenario import (
+    add_sharding_args,
+    add_workload_args,
+    scenario_from_args,
+)
 from repro.models import InferenceSession, all_models
 
 
@@ -250,14 +268,14 @@ def cmd_trace(args: argparse.Namespace) -> str:
     # commands happened to evaluate in this process.
     simcache.invalidate()
     tracer = Tracer()
-    plans = tuple(p.strip() for p in args.plans.split(","))
+    spec = scenario_from_args(args)
 
     if args.sim == "inference":
         from repro.gpu.trace import summarize
 
         with tracing(tracer):
             result = InferenceSession(
-                _resolve_model(args), gpu=args.gpu, plan=args.plan,
+                spec.resolve_model(), gpu=spec.gpu, plan=args.plan,
                 seq_len=args.seq_len, batch=args.batch,
             ).simulate()
         tracer.set_clock(result.total_time)
@@ -265,72 +283,39 @@ def cmd_trace(args: argparse.Namespace) -> str:
                     + summarize(result.profile))
     elif args.sim == "serving":
         from repro.analysis.serving import render_serving_comparison
-        from repro.serving import load_trace, simulate_serving
 
-        requests = None
-        if args.trace_file:
-            requests = load_trace(args.trace_file,
-                                  block_tokens=args.block_tokens)
         with tracing(tracer):
-            report = simulate_serving(
-                _resolve_model(args), args.gpu,
-                rate=args.rate, duration=args.duration, seed=args.seed,
-                plans=plans, requests=requests,
-                chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
-                block_tokens=args.block_tokens,
-            )
+            report = spec.run_serving()
         headline = render_serving_comparison(report)
     elif args.sim == "cluster":
         from repro.analysis.cluster import render_cluster_comparison
-        from repro.cluster import simulate_cluster
-        from repro.gpu.interconnect import NVLINK3, PCIE4
-        from repro.serving import load_trace
 
-        interconnects = {"nvlink3": NVLINK3, "pcie4": PCIE4}
-        requests = None
-        if args.trace_file:
-            requests = load_trace(args.trace_file,
-                                  block_tokens=args.block_tokens)
         with tracing(tracer):
-            report = simulate_cluster(
-                _resolve_model(args), args.gpu,
-                rate=args.rate, duration=args.duration, seed=args.seed,
-                plans=plans, replicas=args.replicas, tp=args.tp,
-                pp=args.pp, policy=args.policy, algorithm=args.algorithm,
-                interconnect=interconnects[args.interconnect],
-                requests=requests, prefix_groups=args.prefix_groups,
-                arrival=_make_arrival(args),
-                chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
-                block_tokens=args.block_tokens,
-            )
+            report = spec.run_cluster()
         headline = render_cluster_comparison(report)
     else:  # controlplane
         from repro.analysis.controlplane import \
             render_controlplane_comparison
-        from repro.controlplane import (
-            AutoscalerConfig, FailureSchedule, simulate_controlplane)
+        from repro.controlplane import AutoscalerConfig, FailureSchedule
         from repro.serving import MMPPArrivals
 
         # A demo scenario that exercises every control-plane instant:
         # bursty arrivals push the autoscaler up and down, one death at
         # the midpoint shows fail/recover.
-        arrival = _make_arrival(args) or MMPPArrivals(
-            rate=args.rate, burst_rate=4.0 * args.rate,
-            base_dwell=args.duration / 3, burst_dwell=args.duration / 6)
+        rate, duration = spec.workload.rate, spec.workload.duration
+        if spec.arrival.kind is None:
+            spec = dataclasses.replace(spec, arrival=dataclasses.replace(
+                spec.arrival, kind="mmpp", burst_rate=4.0 * rate,
+                base_dwell=duration / 3, burst_dwell=duration / 6))
+        spec = dataclasses.replace(
+            spec, sharding=dataclasses.replace(
+                spec.sharding, policy="least-outstanding"))
         with tracing(tracer):
-            report = simulate_controlplane(
-                _resolve_model(args), args.gpu,
-                rate=args.rate, duration=args.duration, seed=args.seed,
-                plans=plans, replicas=args.replicas,
-                arrival=arrival, policy="least-outstanding",
+            report = spec.run_controlplane(
                 autoscaler=AutoscalerConfig(
-                    min_replicas=args.replicas,
-                    max_replicas=args.replicas + 2),
-                faults=FailureSchedule(deaths=(args.duration / 2,)),
-                tp=args.tp, pp=args.pp,
-                chunk_tokens=args.chunk_tokens,
-                max_batch=args.max_batch,
-                block_tokens=args.block_tokens,
+                    min_replicas=spec.sharding.replicas,
+                    max_replicas=spec.sharding.replicas + 2),
+                faults=FailureSchedule(deaths=(duration / 2,)),
             )
         headline = render_controlplane_comparison(report)
 
@@ -463,68 +448,17 @@ def cmd_footprint(args: argparse.Namespace) -> str:
     return emit(payload, text, args)
 
 
-def _make_arrival(args: argparse.Namespace):
-    """The arrival process selected by ``--arrival``, or ``None``.
-
-    ``None`` (no flag given) keeps the workload on its legacy default
-    Poisson stream and the result document byte-identical to earlier
-    releases; any explicit choice — including ``poisson`` — is echoed
-    into the report's ``arrival`` field.
-    """
-    if getattr(args, "arrival", None) is None:
-        return None
-    from repro.serving import make_arrival
-
-    return make_arrival(
-        args.arrival, rate=args.rate, burst_rate=args.burst_rate,
-        base_dwell=args.base_dwell, burst_dwell=args.burst_dwell,
-        period=args.period, duration=args.duration,
-    )
-
-
 def cmd_serve_sim(args: argparse.Namespace) -> str:
     from repro.analysis.serving import render_serving_comparison
-    from repro.serving import load_trace, simulate_serving
 
-    requests = None
-    if args.trace_file:
-        requests = load_trace(args.trace_file,
-                              block_tokens=args.block_tokens)
-    report = simulate_serving(
-        _resolve_model(args), args.gpu,
-        rate=args.rate, duration=args.duration, seed=args.seed,
-        plans=tuple(p.strip() for p in args.plans.split(",")),
-        requests=requests, arrival=_make_arrival(args),
-        chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
-        block_tokens=args.block_tokens, engine=args.engine,
-    )
+    report = scenario_from_args(args).run_serving()
     return emit(report.to_dict(), render_serving_comparison(report), args)
 
 
 def cmd_cluster_sim(args: argparse.Namespace) -> str:
     from repro.analysis.cluster import render_cluster_comparison
-    from repro.cluster import simulate_cluster
-    from repro.gpu.interconnect import NVLINK3, PCIE4
-    from repro.serving import load_trace
 
-    interconnects = {"nvlink3": NVLINK3, "pcie4": PCIE4}
-    requests = None
-    if args.trace_file:
-        requests = load_trace(args.trace_file,
-                              block_tokens=args.block_tokens)
-    report = simulate_cluster(
-        _resolve_model(args), args.gpu,
-        rate=args.rate, duration=args.duration, seed=args.seed,
-        plans=tuple(p.strip() for p in args.plans.split(",")),
-        replicas=args.replicas, tp=args.tp, pp=args.pp,
-        policy=args.policy, algorithm=args.algorithm,
-        interconnect=interconnects[args.interconnect],
-        requests=requests, prefix_groups=args.prefix_groups,
-        arrival=_make_arrival(args),
-        chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
-        block_tokens=args.block_tokens, engine=args.engine,
-        jobs=args.jobs,
-    )
+    report = scenario_from_args(args).run_cluster()
     return emit(report.to_dict(), render_cluster_comparison(report), args)
 
 
@@ -556,22 +490,27 @@ def _make_controlplane_config(args: argparse.Namespace):
 
 def cmd_controlplane_sim(args: argparse.Namespace) -> str:
     from repro.analysis.controlplane import render_controlplane_comparison
-    from repro.controlplane import simulate_controlplane
 
     tiers, autoscaler, faults = _make_controlplane_config(args)
-    report = simulate_controlplane(
-        _resolve_model(args), args.gpu,
-        rate=args.rate, duration=args.duration, seed=args.seed,
-        plans=tuple(p.strip() for p in args.plans.split(",")),
-        arrival=_make_arrival(args), tiers=tiers,
-        replicas=args.replicas, autoscaler=autoscaler, faults=faults,
-        policy=args.policy, shed_backlog_tokens=args.shed_tokens,
-        cold_start_s=args.cold_start, tp=args.tp, pp=args.pp,
-        chunk_tokens=args.chunk_tokens, max_batch=args.max_batch,
-        block_tokens=args.block_tokens,
+    report = scenario_from_args(args).run_controlplane(
+        tiers=tiers, autoscaler=autoscaler, faults=faults,
+        shed_backlog_tokens=args.shed_tokens,
+        cold_start_s=args.cold_start,
     )
     return emit(report.to_dict(), render_controlplane_comparison(report),
                 args)
+
+
+def cmd_tune(args: argparse.Namespace) -> str:
+    from repro.analysis.tune import render_tune_report
+    from repro.tune import tune
+
+    result = tune(
+        scenario_from_args(args), objective=args.objective,
+        budget=args.budget, seed=args.seed, sim=args.sim,
+    )
+    payload = result.to_dict()
+    return emit(payload, render_tune_report(payload), args)
 
 
 def cmd_verify(args: argparse.Namespace) -> str:
@@ -740,90 +679,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output(p_fp)
     p_fp.set_defaults(func=cmd_footprint)
 
-    def add_serving_args(p):
-        p.add_argument("--model", default="bert-large",
-                       help="bert-large | gpt-neo-1.3b | bigbird-large | "
-                            "longformer-large")
-        p.add_argument("--model-json", default=None,
-                       help="path to a custom ModelConfig JSON file "
-                            "(overrides --model)")
-        p.add_argument("--gpu", default="A100",
-                       help="A100 | RTX 3090 | T4 | V100 | H100")
-        p.add_argument("--rate", type=float, default=8.0,
-                       help="Poisson arrival rate, requests/second")
-        p.add_argument("--duration", type=float, default=60.0,
-                       help="arrival-window length, seconds (the run "
-                            "continues until every request drains)")
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--arrival", default=None,
-                       choices=("poisson", "mmpp", "diurnal"),
-                       help="arrival process; default keeps the legacy "
-                            "Poisson stream (mmpp: bursty two-state; "
-                            "diurnal: day-curve thinning)")
-        p.add_argument("--burst-rate", type=float, default=0.0,
-                       help="mmpp burst-state rate, req/s (default "
-                            "4x --rate)")
-        p.add_argument("--base-dwell", type=float, default=20.0,
-                       help="mmpp mean base-state dwell, seconds")
-        p.add_argument("--burst-dwell", type=float, default=5.0,
-                       help="mmpp mean burst-state dwell, seconds")
-        p.add_argument("--period", type=float, default=0.0,
-                       help="diurnal day-curve period, seconds "
-                            "(default: --duration, i.e. one compressed "
-                            "day per run)")
-        p.add_argument("--plans", default="baseline,sdf",
-                       help="comma-separated plans to compare "
-                            "(baseline, sd, sdf)")
-        p.add_argument("--trace-file", default=None,
-                       help="JSONL request trace to replay instead of "
-                            "the synthetic Poisson workload")
-        p.add_argument("--chunk-tokens", type=int, default=512,
-                       help="prefill chunk size / per-step prefill budget")
-        p.add_argument("--max-batch", type=int, default=32,
-                       help="max concurrently running requests")
-        p.add_argument("--block-tokens", type=int, default=64,
-                       help="KV-cache block size, tokens")
-        p.add_argument("--engine", choices=("epoch", "event"),
-                       default="epoch",
-                       help="stepping mode: epoch-batched fast path "
-                            "(default) or the classic per-step event loop "
-                            "(identical output, slower)")
-
-    def add_cluster_args(p):
-        p.add_argument("--replicas", type=int, default=2,
-                       help="model replicas behind the router")
-        p.add_argument("--tp", type=int, default=1,
-                       help="tensor-parallel GPUs per replica")
-        p.add_argument("--pp", type=int, default=1,
-                       help="pipeline-parallel stages per replica")
-        p.add_argument("--policy", default="round-robin",
-                       choices=("round-robin", "least-outstanding",
-                                "prefix-affinity"),
-                       help="request-routing policy")
-        p.add_argument("--algorithm", choices=("ring", "tree"),
-                       default="ring",
-                       help="all-reduce algorithm inside each replica")
-        p.add_argument("--interconnect", choices=("nvlink3", "pcie4"),
-                       default="nvlink3",
-                       help="intra-replica GPU interconnect")
-        p.add_argument("--prefix-groups", type=int, default=0,
-                       help="synthetic shared-prefix groups in the "
-                            "workload (0 = none)")
-        p.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for sharded replica "
-                            "simulation (round-robin policy only; "
-                            "results are identical either way)")
-
     p_srv = sub.add_parser("serve-sim",
                            help="discrete-event serving simulation")
-    add_serving_args(p_srv)
+    add_workload_args(p_srv)
     _add_output(p_srv)
     p_srv.set_defaults(func=cmd_serve_sim)
 
     p_cls = sub.add_parser("cluster-sim",
                            help="multi-replica sharded cluster simulation")
-    add_serving_args(p_cls)
-    add_cluster_args(p_cls)
+    add_workload_args(p_cls)
+    add_sharding_args(p_cls)
     _add_output(p_cls)
     p_cls.set_defaults(func=cmd_cluster_sim)
 
@@ -831,7 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
         "controlplane-sim",
         help="SLO-driven control plane: autoscaling, shedding, faults",
     )
-    add_serving_args(p_ctl)
+    add_workload_args(p_ctl)
     p_ctl.set_defaults(plans="sdf", rate=4.0, duration=30.0)
     p_ctl.add_argument("--replicas", type=int, default=2,
                        help="initial model replicas")
@@ -957,8 +822,8 @@ def build_parser() -> argparse.ArgumentParser:
                                 "controlplane"),
                        default="inference",
                        help="which simulator to run under the tracer")
-    add_serving_args(p_trc)
-    add_cluster_args(p_trc)
+    add_workload_args(p_trc)
+    add_sharding_args(p_trc)
     p_trc.add_argument("--seq-len", type=int, default=4096,
                        help="sequence length (inference mode)")
     p_trc.add_argument("--batch", type=int, default=1,
@@ -970,6 +835,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_trc.set_defaults(rate=4.0, duration=10.0)
     _add_output(p_trc)
     p_trc.set_defaults(func=cmd_trace)
+
+    from repro.tune import OBJECTIVES
+
+    p_tun = sub.add_parser(
+        "tune",
+        help="closed-loop plan autotuner: deterministic budgeted search "
+             "over plans and engine knobs; emits a repro.tuned_plan/v1 "
+             "artifact for --plan-file",
+    )
+    add_workload_args(p_tun)
+    add_sharding_args(p_tun)
+    # The incumbent the winner must beat is the last --plans entry;
+    # default to the paper's optimized plan.
+    p_tun.set_defaults(plans="sdf")
+    p_tun.add_argument("--objective", choices=OBJECTIVES,
+                       default="ttft_p99",
+                       help="what to optimize: single-inference latency, "
+                            "serving TTFT/TPOT p99 (minimized), or "
+                            "serving throughput (maximized)")
+    p_tun.add_argument("--budget", type=int, default=64,
+                       help="fresh simulator evaluations the search may "
+                            "spend (memoized repeats are free)")
+    p_tun.add_argument("--sim", choices=("serving", "cluster"),
+                       default="serving",
+                       help="evaluation backend for the serving "
+                            "objectives (cluster adds TP x PP and "
+                            "routing-policy axes); the latency "
+                            "objective always scores single inferences")
+    p_tun.add_argument("--seq-len", type=int, default=4096,
+                       help="single-inference sequence length "
+                            "(latency objective)")
+    p_tun.add_argument("--batch", type=int, default=1,
+                       help="single-inference batch size "
+                            "(latency objective)")
+    _add_output(p_tun)
+    p_tun.set_defaults(func=cmd_tune)
 
     return parser
 

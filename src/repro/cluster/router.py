@@ -34,6 +34,7 @@ from __future__ import annotations
 from repro.common.dtypes import DType
 from repro.common.errors import ServingError
 from repro.core.plan import AttentionPlan
+from repro.core.plansource import PlanSource, resolve_plan
 from repro.gpu.interconnect import InterconnectSpec, NVLINK3
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
@@ -64,7 +65,7 @@ class ClusterSimulator:
         model: "ModelConfig | str",
         gpu: "GPUSpec | str",
         *,
-        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        plan: "PlanSource | AttentionPlan | str | None" = None,
         requests: "list[Request] | None" = None,
         workload: "ServingWorkload | None" = None,
         replicas: int = 2,
@@ -99,7 +100,13 @@ class ClusterSimulator:
             raise ServingError(f"jobs must be >= 1, got {jobs}")
         self.model = get_model(model) if isinstance(model, str) else model
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
-        self.plan = AttentionPlan.from_name(plan)
+        from repro.serving.costmodel import SUPPORTED_PLANS
+
+        self.plan = resolve_plan(
+            AttentionPlan.BASELINE if plan is None else plan,
+            model=self.model, gpu=self.gpu, t=t,
+            candidates=SUPPORTED_PLANS,
+        )
         self.policy_name = (policy.name if isinstance(policy, RouterPolicy)
                             else policy)
         self._policy_arg = policy
@@ -257,7 +264,8 @@ def simulate_cluster(
     rate: float = 8.0,
     duration: float = 30.0,
     seed: int = 0,
-    plans: "tuple[AttentionPlan | str, ...]" = ("baseline", "sdf"),
+    plans: "tuple[PlanSource | AttentionPlan | str, ...]" = ("baseline",
+                                                             "sdf"),
     replicas: int = 2,
     tp: int = 1,
     pp: int = 1,
@@ -294,14 +302,14 @@ def simulate_cluster(
     reports = {}
     num_requests = None
     for plan in plans:
-        plan = AttentionPlan.from_name(plan)
         sim = ClusterSimulator(
-            model, gpu, plan=plan, requests=requests, workload=workload,
+            model, gpu, plan=PlanSource.of(plan), requests=requests,
+            workload=workload,
             replicas=replicas, tp=tp, pp=pp, policy=policy,
             interconnect=interconnect, algorithm=algorithm, **engine_kwargs,
         )
         num_requests = sim.num_requests
-        reports[plan.value] = sim.run()
+        reports[sim.plan.value] = sim.run()
     tracer = current_tracer()
     return ClusterReport(
         model=model.name,

@@ -7,13 +7,16 @@ element" or "a gigabyte per second" means.
 
 from repro.common.dtypes import DType
 from repro.common.errors import (
+    ArtifactError,
     ConfigError,
     DeviceError,
     KernelError,
     PlanError,
     ReproError,
+    ScenarioError,
     ServingError,
     ShapeError,
+    TuneError,
 )
 from repro.common.units import GB, GIB, KIB, MIB, TERA
 
@@ -26,6 +29,9 @@ __all__ = [
     "PlanError",
     "DeviceError",
     "ServingError",
+    "ScenarioError",
+    "TuneError",
+    "ArtifactError",
     "KIB",
     "MIB",
     "GIB",

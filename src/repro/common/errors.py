@@ -41,3 +41,18 @@ class MetricsError(ReproError):
 
 class TraceError(ReproError):
     """The tracing layer was misused (e.g. a negative-duration span)."""
+
+
+class ScenarioError(ReproError):
+    """A :class:`~repro.common.scenario.ScenarioSpec` is malformed or
+    was built from inconsistent inputs."""
+
+
+class TuneError(ReproError):
+    """The plan autotuner was misconfigured (bad objective, empty
+    search space, exhausted budget before any feasible candidate)."""
+
+
+class ArtifactError(TuneError):
+    """A tuned-plan artifact is unreadable: corrupted JSON, a missing
+    or mismatched schema version, or fields that fail validation."""

@@ -27,6 +27,12 @@ TRACE_SCHEMA = "repro.trace/v1"
 #: result-document shape.
 APPROX_SWEEP_SCHEMA = "repro.approx_sweep/v1"
 
+#: Schema tag stamped on tuned-plan artifacts (``repro tune`` output)
+#: — versioned separately because simulators *load* these documents
+#: back (``--plan-file``) and must reject anything but the exact
+#: artifact shape they understand, not just route it.
+TUNED_PLAN_SCHEMA = "repro.tuned_plan/v1"
+
 #: Schema tag stamped on the control-plane section nested inside
 #: ``controlplane-report`` documents (tiers, scaling timeline, fault
 #: records) — versioned separately because external SLO tooling

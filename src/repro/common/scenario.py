@@ -1,0 +1,483 @@
+"""One scenario object shared by every simulator and the autotuner.
+
+Historically each CLI subcommand re-declared its model / device /
+workload / arrival / sharding flags and every simulator took a
+slightly different constructor shape, which made a tuned-plan artifact
+impossible to consume uniformly.  :class:`ScenarioSpec` is the fix: a
+frozen, JSON-round-trippable description of *what* to simulate —
+
+- **model/device** — model name (or a ModelConfig JSON path) and GPU;
+- **workload** (:class:`WorkloadSpec`) — arrival rate, window, seed,
+  trace file, engine knobs (chunk/batch/block/tile sizes), and the
+  single-inference shape;
+- **arrival** (:class:`ArrivalSpec`) — the arrival-process family and
+  its parameters (``kind=None`` keeps the legacy Poisson stream and
+  reports byte-identical to earlier releases);
+- **sharding** (:class:`ShardingSpec`) — replicas, TP×PP, routing
+  policy, collective algorithm, interconnect;
+- **plan source** — the plans to compare, or a tuned-plan artifact
+  (``plan_file``) that pins both the plan and the knobs it tuned.
+
+The CLI builds specs through one :func:`scenario_from_args` helper fed
+by shared parent parsers (:func:`add_workload_args`,
+:func:`add_sharding_args`); ``repro tune`` emits artifacts whose
+``scenario`` section *is* ``spec.to_dict()``, so tuner output and
+simulator input are the same object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional
+
+from repro.common.errors import ScenarioError
+
+#: Schema tag stamped on serialized scenarios (nested inside tuned-plan
+#: artifacts and accepted back by ``ScenarioSpec.from_dict``).
+SCENARIO_SCHEMA = "repro.scenario/v1"
+
+
+def _from_mapping(cls, mapping, *, where: str):
+    """Build dataclass ``cls`` from ``mapping``, rejecting unknowns."""
+    if not isinstance(mapping, dict):
+        raise ScenarioError(f"{where}: expected an object, got "
+                            f"{type(mapping).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(mapping) - known)
+    if unknown:
+        raise ScenarioError(f"{where}: unknown fields {unknown}")
+    return cls(**mapping)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The request stream and per-engine knobs of a scenario."""
+
+    rate: float = 8.0
+    duration: float = 60.0
+    seed: int = 0
+    #: JSONL request trace replayed instead of the synthetic workload.
+    trace_file: Optional[str] = None
+    chunk_tokens: int = 512
+    max_batch: int = 32
+    block_tokens: int = 64
+    #: Softmax decomposition tile width (no CLI flag; tuned plans set it).
+    t: int = 64
+    engine: str = "epoch"
+    #: Synthetic shared-prefix groups (cluster workloads; 0 = none).
+    prefix_groups: int = 0
+    #: Single-inference shape (``latency`` objective / ``simulate``).
+    seq_len: int = 4096
+    batch: int = 1
+
+    def to_dict(self) -> "dict[str, object]":
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Arrival-process family and parameters (``kind=None`` = legacy
+    Poisson stream, not echoed into reports)."""
+
+    kind: Optional[str] = None
+    burst_rate: float = 0.0
+    base_dwell: float = 20.0
+    burst_dwell: float = 5.0
+    period: float = 0.0
+
+    def to_dict(self) -> "dict[str, object]":
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ShardingSpec:
+    """Fleet shape: replicas, TP×PP, routing, and interconnect."""
+
+    replicas: int = 2
+    tp: int = 1
+    pp: int = 1
+    policy: str = "round-robin"
+    algorithm: str = "ring"
+    interconnect: str = "nvlink3"
+    jobs: int = 1
+
+    def to_dict(self) -> "dict[str, object]":
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable simulation scenario."""
+
+    model: str = "bert-large"
+    model_json: Optional[str] = None
+    gpu: str = "A100"
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    sharding: ShardingSpec = field(default_factory=ShardingSpec)
+    #: Plans to compare, in report order.
+    plans: "tuple[str, ...]" = ("baseline", "sdf")
+    #: Tuned-plan artifact pinning the plan + knobs (overrides both).
+    plan_file: Optional[str] = None
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_args(cls, args) -> "ScenarioSpec":
+        """Build a spec from an argparse namespace.
+
+        Reads only the attributes the namespace actually carries, so
+        one helper serves ``serve-sim`` (no sharding flags),
+        ``cluster-sim``/``controlplane-sim`` (their own sharding
+        defaults), and ``tune``.
+        """
+        def get(name, default):
+            value = getattr(args, name, None)
+            return default if value is None else value
+
+        plans = getattr(args, "plans", None)
+        if isinstance(plans, str):
+            plans = tuple(p.strip() for p in plans.split(","))
+        workload = WorkloadSpec(
+            rate=get("rate", 8.0),
+            duration=get("duration", 60.0),
+            seed=get("seed", 0),
+            trace_file=getattr(args, "trace_file", None),
+            chunk_tokens=get("chunk_tokens", 512),
+            max_batch=get("max_batch", 32),
+            block_tokens=get("block_tokens", 64),
+            t=get("t", 64),
+            engine=get("engine", "epoch"),
+            prefix_groups=get("prefix_groups", 0),
+            seq_len=get("seq_len", 4096),
+            batch=get("batch", 1),
+        )
+        arrival = ArrivalSpec(
+            kind=getattr(args, "arrival", None),
+            burst_rate=get("burst_rate", 0.0),
+            base_dwell=get("base_dwell", 20.0),
+            burst_dwell=get("burst_dwell", 5.0),
+            period=get("period", 0.0),
+        )
+        sharding = ShardingSpec(
+            replicas=get("replicas", 2),
+            tp=get("tp", 1),
+            pp=get("pp", 1),
+            policy=get("policy", "round-robin"),
+            algorithm=get("algorithm", "ring"),
+            interconnect=get("interconnect", "nvlink3"),
+            jobs=get("jobs", 1),
+        )
+        return cls(
+            model=get("model", "bert-large"),
+            model_json=getattr(args, "model_json", None),
+            gpu=get("gpu", "A100"),
+            workload=workload,
+            arrival=arrival,
+            sharding=sharding,
+            plans=plans if plans else ("baseline", "sdf"),
+            plan_file=getattr(args, "plan_file", None),
+        )
+
+    @classmethod
+    def from_dict(cls, document: "dict[str, object]") -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Unknown fields or a foreign schema tag raise
+        :class:`~repro.common.errors.ScenarioError` — a scenario that
+        silently drops fields would simulate something else.
+        """
+        if not isinstance(document, dict):
+            raise ScenarioError(
+                f"scenario: expected an object, got "
+                f"{type(document).__name__}")
+        document = dict(document)
+        schema = document.pop("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ScenarioError(
+                f"scenario schema mismatch: expected {SCENARIO_SCHEMA!r}, "
+                f"got {schema!r}")
+        nested = {
+            "workload": WorkloadSpec,
+            "arrival": ArrivalSpec,
+            "sharding": ShardingSpec,
+        }
+        kwargs: "dict[str, object]" = {}
+        for key, value in document.items():
+            if key in nested:
+                kwargs[key] = _from_mapping(nested[key], value,
+                                            where=f"scenario.{key}")
+            elif key == "plans":
+                kwargs[key] = tuple(value)
+            elif key in {f.name for f in fields(cls)}:
+                kwargs[key] = value
+            else:
+                raise ScenarioError(f"scenario: unknown field {key!r}")
+        return cls(**kwargs)
+
+    def to_dict(self) -> "dict[str, object]":
+        """JSON-ready mapping; ``from_dict`` inverts it exactly."""
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "model": self.model,
+            "model_json": self.model_json,
+            "gpu": self.gpu,
+            "workload": self.workload.to_dict(),
+            "arrival": self.arrival.to_dict(),
+            "sharding": self.sharding.to_dict(),
+            "plans": list(self.plans),
+            "plan_file": self.plan_file,
+        }
+
+    # -- resolution helpers ---------------------------------------------
+
+    def resolve_model(self):
+        """Model name or, with ``model_json``, the loaded ModelConfig."""
+        if self.model_json:
+            from repro.models.serialization import load_config
+
+            return load_config(self.model_json)
+        return self.model
+
+    def make_arrival(self):
+        """The arrival process selected by ``arrival.kind``, or ``None``.
+
+        ``None`` keeps the workload on its legacy default Poisson
+        stream and the result document byte-identical to earlier
+        releases; any explicit choice — including ``"poisson"`` — is
+        echoed into the report's ``arrival`` field.
+        """
+        if self.arrival.kind is None:
+            return None
+        from repro.serving import make_arrival
+
+        return make_arrival(
+            self.arrival.kind, rate=self.workload.rate,
+            burst_rate=self.arrival.burst_rate,
+            base_dwell=self.arrival.base_dwell,
+            burst_dwell=self.arrival.burst_dwell,
+            period=self.arrival.period, duration=self.workload.duration,
+        )
+
+    def load_requests(self):
+        """The replayed trace, or ``None`` for the synthetic stream."""
+        if not self.workload.trace_file:
+            return None
+        from repro.serving import load_trace
+
+        return load_trace(self.workload.trace_file,
+                          block_tokens=self.workload.block_tokens)
+
+    def interconnect_spec(self):
+        """The named intra-replica interconnect."""
+        from repro.gpu.interconnect import NVLINK3, PCIE4
+
+        specs = {"nvlink3": NVLINK3, "pcie4": PCIE4}
+        try:
+            return specs[self.sharding.interconnect]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown interconnect {self.sharding.interconnect!r}; "
+                f"choose from {', '.join(sorted(specs))}") from None
+
+    def resolved(self) -> "ScenarioSpec":
+        """The spec with any ``plan_file`` artifact applied.
+
+        The artifact is authoritative for the plan and every knob it
+        tuned (tile width, chunk size, batch cap, TP×PP, policy):
+        consuming a tuned plan means running the configuration that
+        won, not a hybrid.  Returns ``self`` when no artifact is set.
+        """
+        if self.plan_file is None:
+            return self
+        from repro.tune.artifact import load_tuned_plan
+
+        return apply_tuned_plan(self, load_tuned_plan(self.plan_file))
+
+    # -- simulator entry points -----------------------------------------
+
+    def run_serving(self):
+        """Single-node serving comparison over this scenario."""
+        from repro.serving import simulate_serving
+
+        spec = self.resolved()
+        return simulate_serving(
+            spec.resolve_model(), spec.gpu,
+            rate=spec.workload.rate, duration=spec.workload.duration,
+            seed=spec.workload.seed, plans=spec.plans,
+            requests=spec.load_requests(), arrival=spec.make_arrival(),
+            chunk_tokens=spec.workload.chunk_tokens,
+            max_batch=spec.workload.max_batch,
+            block_tokens=spec.workload.block_tokens,
+            t=spec.workload.t,
+            engine=spec.workload.engine,
+        )
+
+    def run_cluster(self):
+        """Sharded multi-replica comparison over this scenario."""
+        from repro.cluster import simulate_cluster
+
+        spec = self.resolved()
+        return simulate_cluster(
+            spec.resolve_model(), spec.gpu,
+            rate=spec.workload.rate, duration=spec.workload.duration,
+            seed=spec.workload.seed, plans=spec.plans,
+            replicas=spec.sharding.replicas, tp=spec.sharding.tp,
+            pp=spec.sharding.pp, policy=spec.sharding.policy,
+            algorithm=spec.sharding.algorithm,
+            interconnect=spec.interconnect_spec(),
+            requests=spec.load_requests(),
+            prefix_groups=spec.workload.prefix_groups,
+            arrival=spec.make_arrival(),
+            chunk_tokens=spec.workload.chunk_tokens,
+            max_batch=spec.workload.max_batch,
+            block_tokens=spec.workload.block_tokens,
+            t=spec.workload.t,
+            engine=spec.workload.engine, jobs=spec.sharding.jobs,
+        )
+
+    def run_controlplane(self, *, tiers=None, autoscaler=None, faults=None,
+                         shed_backlog_tokens: float = 0.0,
+                         cold_start_s: "float | None" = None):
+        """Control-plane run (SLO tiers, autoscaling, faults) over this
+        scenario.  Control-loop configuration stays a call-site choice
+        — it describes the controller, not the scenario."""
+        from repro.controlplane import DEFAULT_TIERS, simulate_controlplane
+
+        spec = self.resolved()
+        return simulate_controlplane(
+            spec.resolve_model(), spec.gpu,
+            rate=spec.workload.rate, duration=spec.workload.duration,
+            seed=spec.workload.seed, plans=spec.plans,
+            arrival=spec.make_arrival(),
+            tiers=tiers if tiers is not None else DEFAULT_TIERS,
+            replicas=spec.sharding.replicas, autoscaler=autoscaler,
+            faults=faults, policy=spec.sharding.policy,
+            shed_backlog_tokens=shed_backlog_tokens,
+            cold_start_s=cold_start_s,
+            tp=spec.sharding.tp, pp=spec.sharding.pp,
+            chunk_tokens=spec.workload.chunk_tokens,
+            max_batch=spec.workload.max_batch,
+            block_tokens=spec.workload.block_tokens,
+            t=spec.workload.t,
+        )
+
+
+def apply_tuned_plan(spec: ScenarioSpec, artifact) -> ScenarioSpec:
+    """``spec`` with a tuned-plan artifact's winner applied.
+
+    Pins ``plans`` to the winning plan and overwrites exactly the
+    knobs the winner config carries; everything else (model, device,
+    workload shape, arrival process) stays the scenario's own.
+    """
+    config = artifact.winner_config
+    workload_updates = {
+        key: config[key]
+        for key in ("t", "chunk_tokens", "max_batch")
+        if key in config
+    }
+    sharding_updates = {
+        key: config[key]
+        for key in ("tp", "pp", "policy")
+        if key in config
+    }
+    return replace(
+        spec,
+        plans=(str(config["plan"]),),
+        plan_file=None,
+        workload=replace(spec.workload, **workload_updates),
+        sharding=replace(spec.sharding, **sharding_updates),
+    )
+
+
+# -- shared argparse parents -----------------------------------------------
+
+
+def add_workload_args(parser) -> None:
+    """The model/device/workload/arrival flag set every serving-style
+    subcommand shares (``serve-sim``, ``cluster-sim``,
+    ``controlplane-sim``, ``trace``, ``tune``)."""
+    parser.add_argument("--model", default="bert-large",
+                        help="bert-large | gpt-neo-1.3b | bigbird-large | "
+                             "longformer-large")
+    parser.add_argument("--model-json", default=None,
+                        help="path to a custom ModelConfig JSON file "
+                             "(overrides --model)")
+    parser.add_argument("--gpu", default="A100",
+                        help="A100 | RTX 3090 | T4 | V100 | H100")
+    parser.add_argument("--rate", type=float, default=8.0,
+                        help="Poisson arrival rate, requests/second")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="arrival-window length, seconds (the run "
+                             "continues until every request drains)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--arrival", default=None,
+                        choices=("poisson", "mmpp", "diurnal"),
+                        help="arrival process; default keeps the legacy "
+                             "Poisson stream (mmpp: bursty two-state; "
+                             "diurnal: day-curve thinning)")
+    parser.add_argument("--burst-rate", type=float, default=0.0,
+                        help="mmpp burst-state rate, req/s (default "
+                             "4x --rate)")
+    parser.add_argument("--base-dwell", type=float, default=20.0,
+                        help="mmpp mean base-state dwell, seconds")
+    parser.add_argument("--burst-dwell", type=float, default=5.0,
+                        help="mmpp mean burst-state dwell, seconds")
+    parser.add_argument("--period", type=float, default=0.0,
+                        help="diurnal day-curve period, seconds "
+                             "(default: --duration, i.e. one compressed "
+                             "day per run)")
+    parser.add_argument("--plans", default="baseline,sdf",
+                        help="comma-separated plans to compare "
+                             "(baseline, sd, sdf)")
+    parser.add_argument("--plan-file", default=None,
+                        help="tuned-plan artifact (repro.tuned_plan/v1, "
+                             "from `repro tune`); pins the plan and the "
+                             "knobs it tuned, overriding --plans")
+    parser.add_argument("--trace-file", default=None,
+                        help="JSONL request trace to replay instead of "
+                             "the synthetic Poisson workload")
+    parser.add_argument("--chunk-tokens", type=int, default=512,
+                        help="prefill chunk size / per-step prefill budget")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="max concurrently running requests")
+    parser.add_argument("--block-tokens", type=int, default=64,
+                        help="KV-cache block size, tokens")
+    parser.add_argument("--engine", choices=("epoch", "event"),
+                        default="epoch",
+                        help="stepping mode: epoch-batched fast path "
+                             "(default) or the classic per-step event loop "
+                             "(identical output, slower)")
+
+
+def add_sharding_args(parser) -> None:
+    """The fleet-shape flag set (``cluster-sim``, ``trace --sim
+    cluster``, ``tune --sim cluster``)."""
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="model replicas behind the router")
+    parser.add_argument("--tp", type=int, default=1,
+                        help="tensor-parallel GPUs per replica")
+    parser.add_argument("--pp", type=int, default=1,
+                        help="pipeline-parallel stages per replica")
+    parser.add_argument("--policy", default="round-robin",
+                        choices=("round-robin", "least-outstanding",
+                                 "prefix-affinity"),
+                        help="request-routing policy")
+    parser.add_argument("--algorithm", choices=("ring", "tree"),
+                        default="ring",
+                        help="all-reduce algorithm inside each replica")
+    parser.add_argument("--interconnect", choices=("nvlink3", "pcie4"),
+                        default="nvlink3",
+                        help="intra-replica GPU interconnect")
+    parser.add_argument("--prefix-groups", type=int, default=0,
+                        help="synthetic shared-prefix groups in the "
+                             "workload (0 = none)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sharded replica "
+                             "simulation (round-robin policy only; "
+                             "results are identical either way)")
+
+
+def scenario_from_args(args) -> ScenarioSpec:
+    """The one CLI-namespace -> :class:`ScenarioSpec` helper."""
+    return ScenarioSpec.from_args(args)

@@ -36,6 +36,7 @@ import numpy as np
 from repro.common.dtypes import DType
 from repro.common.errors import ServingError
 from repro.core.plan import AttentionPlan
+from repro.core.plansource import PlanSource, resolve_plan
 from repro.gpu.interconnect import NVLINK3, InterconnectSpec
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
@@ -161,7 +162,7 @@ class ControlPlaneSimulator:
         gpu: "GPUSpec | str",
         *,
         workload: ServingWorkload,
-        plan: "AttentionPlan | str" = AttentionPlan.RECOMPOSED,
+        plan: "PlanSource | AttentionPlan | str | None" = None,
         tiers: "tuple[SLOTier, ...]" = DEFAULT_TIERS,
         replicas: int = 2,
         autoscaler: "AutoscalerConfig | None" = None,
@@ -196,7 +197,13 @@ class ControlPlaneSimulator:
             )
         self.model = get_model(model) if isinstance(model, str) else model
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
-        self.plan = AttentionPlan.from_name(plan)
+        from repro.serving.costmodel import SUPPORTED_PLANS
+
+        self.plan = resolve_plan(
+            AttentionPlan.RECOMPOSED if plan is None else plan,
+            model=self.model, gpu=self.gpu, t=t,
+            candidates=SUPPORTED_PLANS,
+        )
         self.workload = workload
         self.tiers = tuple(tiers)
         self.num_replicas = replicas
@@ -682,7 +689,7 @@ def simulate_controlplane(
     rate: float = 4.0,
     duration: float = 30.0,
     seed: int = 0,
-    plans: "tuple[AttentionPlan | str, ...]" = ("sdf",),
+    plans: "tuple[PlanSource | AttentionPlan | str, ...]" = ("sdf",),
     arrival=None,
     tiers: "tuple[SLOTier, ...]" = DEFAULT_TIERS,
     replicas: int = 2,
@@ -707,13 +714,13 @@ def simulate_controlplane(
     )
     reports = {}
     for plan in plans:
-        plan = AttentionPlan.from_name(plan)
         sim = ControlPlaneSimulator(
-            model, gpu, workload=workload, plan=plan, tiers=tiers,
+            model, gpu, workload=workload, plan=PlanSource.of(plan),
+            tiers=tiers,
             replicas=replicas, autoscaler=autoscaler, faults=faults,
             policy=policy, **kwargs,
         )
-        reports[plan.value] = sim.run()
+        reports[sim.plan.value] = sim.run()
     tracer = current_tracer()
     return ControlPlaneReport(
         model=model.name,

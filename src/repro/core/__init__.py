@@ -11,6 +11,7 @@
   only (Eq. 3), showing recomposition applies to training (Section 6).
 """
 
+from repro.core.autotune import INFEASIBLE, PlanChoice, select_plan
 from repro.core.backward import softmax_backward
 from repro.core.decomposition import (
     SoftmaxDecomposition,
@@ -19,6 +20,11 @@ from repro.core.decomposition import (
 from repro.core.graph import Buffer, KernelGraph, Node
 from repro.core.online import online_softmax
 from repro.core.plan import AttentionPlan, attention_matrix_sweeps
+from repro.core.plansource import (
+    PlanSource,
+    PlanSourceKind,
+    resolve_plan,
+)
 from repro.core.recompose import (
     build_dense_sda_graph,
     build_sparse_sda_graph,
@@ -30,6 +36,12 @@ from repro.core.recompose import (
 __all__ = [
     "AttentionPlan",
     "attention_matrix_sweeps",
+    "PlanSource",
+    "PlanSourceKind",
+    "resolve_plan",
+    "PlanChoice",
+    "select_plan",
+    "INFEASIBLE",
     "SoftmaxDecomposition",
     "decomposed_softmax",
     "online_softmax",

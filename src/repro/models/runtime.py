@@ -18,6 +18,7 @@ import numpy as np
 from repro.common.dtypes import DType
 from repro.common.errors import ConfigError
 from repro.core.plan import AttentionPlan
+from repro.core.plansource import PlanSource, resolve_plan
 from repro.gpu.device import Device
 from repro.gpu.energy import EnergyModel
 from repro.gpu.profiler import Profile
@@ -154,7 +155,7 @@ class InferenceSession:
         model: "ModelConfig | str",
         *,
         gpu: "GPUSpec | str" = "A100",
-        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        plan: "PlanSource | AttentionPlan | str" = AttentionPlan.BASELINE,
         seq_len: int = 4096,
         batch: int = 1,
         dtype: DType = DType.FP16,
@@ -164,13 +165,10 @@ class InferenceSession:
     ) -> None:
         self.model = get_model(model) if isinstance(model, str) else model
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
-        if isinstance(plan, str) and plan.lower() == "auto":
-            from repro.core.autotune import select_plan
-
-            plan = select_plan(
-                self.model, gpu=self.gpu, seq_len=seq_len, batch=batch, t=t
-            ).plan
-        self.plan = AttentionPlan.from_name(plan)
+        # PlanSource is the one resolution point: fixed names/enums,
+        # "auto" (measured selection), or a tuned-plan artifact path.
+        self.plan = resolve_plan(plan, model=self.model, gpu=self.gpu,
+                                 seq_len=seq_len, batch=batch, t=t)
         if seq_len < 1:
             raise ConfigError(f"seq_len must be positive, got {seq_len}")
         if batch < 1:

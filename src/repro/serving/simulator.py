@@ -28,6 +28,7 @@ from __future__ import annotations
 from repro.common.dtypes import DType
 from repro.common.errors import ServingError
 from repro.core.plan import AttentionPlan
+from repro.core.plansource import PlanSource, resolve_plan
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
 from repro.obs.instrument import emit_request_phase_spans
@@ -58,7 +59,9 @@ class ServingSimulator:
     until each request actually arrives — at fleet scale nothing
     allocates a million dataclasses up front.
 
-    >>> sim = ServingSimulator("bert-large", "a100", plan="sdf",
+    >>> from repro.core.plansource import PlanSource
+    >>> sim = ServingSimulator("bert-large", "a100",
+    ...     plan=PlanSource.of("sdf"),
     ...     requests=[Request(request_id=0, arrival_time=0.0,
     ...                       prompt_len=512, output_len=4)])
     >>> report = sim.run()
@@ -71,7 +74,7 @@ class ServingSimulator:
         model: "ModelConfig | str",
         gpu: "GPUSpec | str",
         *,
-        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        plan: "PlanSource | AttentionPlan | str | None" = None,
         requests: "list[Request] | None" = None,
         workload: "ServingWorkload | None" = None,
         dtype: DType = DType.FP16,
@@ -79,6 +82,7 @@ class ServingSimulator:
         max_batch: int = 32,
         block_tokens: int = 64,
         reserve_fraction: float = 0.1,
+        t: int = 64,
         max_steps: int = 2_000_000,
         engine: str = "epoch",
         max_epoch: int = DEFAULT_MAX_EPOCH,
@@ -94,7 +98,18 @@ class ServingSimulator:
             )
         self.model = get_model(model) if isinstance(model, str) else model
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
-        self.plan = AttentionPlan.from_name(plan)
+        # Resolved exactly once, here; legacy bare string/enum
+        # spellings keep working (with a DeprecationWarning pointing
+        # at PlanSource).
+        from repro.serving.costmodel import SUPPORTED_PLANS
+
+        self.plan = resolve_plan(
+            AttentionPlan.BASELINE if plan is None else plan,
+            model=self.model, gpu=self.gpu, t=t,
+            candidates=SUPPORTED_PLANS,
+            deprecate=None if plan is None else "ServingSimulator",
+        )
+        self.t = t
         self.dtype = dtype
         self.chunk_tokens = chunk_tokens
         self.max_batch = max_batch
@@ -112,7 +127,7 @@ class ServingSimulator:
             self._requests = None
             self._workload = workload
         self.cost = StepCostModel(self.model, self.gpu, plan=self.plan,
-                                  dtype=self.dtype)
+                                  dtype=self.dtype, t=self.t)
 
     @property
     def num_requests(self) -> int:
@@ -280,7 +295,8 @@ def simulate_serving(
     rate: float,
     duration: float,
     seed: int = 0,
-    plans: "tuple[AttentionPlan | str, ...]" = ("baseline", "sdf"),
+    plans: "tuple[PlanSource | AttentionPlan | str, ...]" = ("baseline",
+                                                             "sdf"),
     requests: "list[Request] | None" = None,
     arrival=None,
     **kwargs,
@@ -289,7 +305,10 @@ def simulate_serving(
 
     Extra keyword arguments are forwarded to :class:`ServingSimulator`
     (``chunk_tokens``, ``max_batch``, ``block_tokens``, ``engine``,
-    ...).  Pass ``requests`` to replay a trace instead of the
+    ...).  ``plans`` entries may be plan names, enums, ``"auto"``, a
+    tuned-plan artifact path, or :class:`PlanSource` objects — this is
+    the scenario-level API, so every spelling is accepted without
+    ceremony.  Pass ``requests`` to replay a trace instead of the
     synthetic workload; otherwise the synthetic stream is sampled once
     into shared arrays and every plan replays the same values.  An
     ``arrival`` process (:mod:`repro.serving.arrivals`) replaces the
@@ -307,11 +326,11 @@ def simulate_serving(
     reports = {}
     num_requests = None
     for plan in plans:
-        plan = AttentionPlan.from_name(plan)
-        sim = ServingSimulator(model, gpu, plan=plan, requests=requests,
-                               workload=workload, **kwargs)
+        sim = ServingSimulator(model, gpu, plan=PlanSource.of(plan),
+                               requests=requests, workload=workload,
+                               **kwargs)
         num_requests = sim.num_requests
-        reports[plan.value] = sim.run()
+        reports[sim.plan.value] = sim.run()
     tracer = current_tracer()
     return ServingReport(
         model=model.name,

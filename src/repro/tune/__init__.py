@@ -1,0 +1,47 @@
+"""Closed-loop plan autotuning (``repro tune``).
+
+One deterministic, budgeted search (:func:`~repro.tune.search.tune`)
+over a scenario's configuration space, scored through the existing
+simulation layers and emitting a versioned ``repro.tuned_plan/v1``
+artifact that every simulator accepts back via ``--plan-file``:
+
+- :mod:`repro.tune.space`    — search spaces and the untuned default;
+- :mod:`repro.tune.evaluate` — the memoizing objective function
+  bridging to inference / serving / cluster simulation;
+- :mod:`repro.tune.search`   — successive halving + coordinate
+  descent, never worse than the default by construction;
+- :mod:`repro.tune.artifact` — the artifact schema, strict loading,
+  and round-tripping.
+"""
+
+from repro.tune.artifact import (
+    TunedPlan,
+    load_tuned_plan,
+    save_tuned_plan,
+)
+from repro.tune.evaluate import (
+    MODES,
+    OBJECTIVES,
+    ScenarioEvaluator,
+    canonical_score,
+    default_mode,
+    score_config,
+)
+from repro.tune.search import TuneResult, tune
+from repro.tune.space import SearchSpace, build_space
+
+__all__ = [
+    "MODES",
+    "OBJECTIVES",
+    "ScenarioEvaluator",
+    "SearchSpace",
+    "TuneResult",
+    "TunedPlan",
+    "build_space",
+    "canonical_score",
+    "default_mode",
+    "load_tuned_plan",
+    "save_tuned_plan",
+    "score_config",
+    "tune",
+]

@@ -1,0 +1,237 @@
+"""Scoring one candidate configuration against a scenario.
+
+:class:`ScenarioEvaluator` is the bridge between the search engine and
+the existing simulation layers — it never re-implements a cost model:
+
+- ``mode="inference"`` — :class:`repro.models.runtime.InferenceSession`
+  end-to-end latency at the scenario's ``seq_len``/``batch`` shape;
+- ``mode="serving"``   — :class:`repro.serving.ServingSimulator` over
+  the scenario's request stream (TTFT/TPOT percentiles, throughput);
+- ``mode="cluster"``   — :class:`repro.cluster.ClusterSimulator` with
+  the candidate's TP x PP and routing policy.
+
+Fidelity is the successive-halving lever: a fidelity of ``0.25``
+replays the first quarter of the arrival window, which ranks
+configurations well enough to discard the bottom half cheaply.  All
+final decisions are taken at fidelity ``1.0``.
+
+Every evaluation is memoized on ``(config, fidelity)`` — the search
+re-visits configurations freely and only fresh simulations count
+against the budget.  Deeper down, :mod:`repro.gpu.simcache` memoizes
+the kernel-level simulations shared between candidates, so evaluations
+that differ only in engine knobs are cheap.  Infeasible candidates
+(any :class:`~repro.common.errors.ReproError` from construction or
+execution) score ``inf`` instead of aborting the search.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ReproError, TuneError
+from repro.obs.tracer import current_tracer
+
+#: Tuning objectives.  All are minimized internally; ``throughput`` is
+#: negated (maximize tokens/s == minimize its negation).
+OBJECTIVES = ("latency", "ttft_p99", "tpot_p99", "throughput")
+
+#: Evaluation backends.
+MODES = ("inference", "serving", "cluster")
+
+
+def canonical_score(objective: str, value: float) -> float:
+    """Lower-is-better score for any objective (``inf`` stays ``inf``)."""
+    if objective == "throughput" and math.isfinite(value):
+        return -value
+    return value
+
+
+def default_mode(objective: str, sim: str = "serving") -> str:
+    """The evaluation backend an objective implies.
+
+    ``latency`` is a single-inference property; the serving objectives
+    go through ``sim`` (``serving`` or ``cluster``).
+    """
+    if objective not in OBJECTIVES:
+        raise TuneError(f"unknown objective {objective!r}; choose from "
+                        f"{', '.join(OBJECTIVES)}")
+    if objective == "latency":
+        return "inference"
+    if sim not in ("serving", "cluster"):
+        raise TuneError(f"unknown simulator {sim!r}; choose from "
+                        f"serving, cluster")
+    return sim
+
+
+class ScenarioEvaluator:
+    """Memoizing objective function over one scenario."""
+
+    def __init__(self, spec, objective: str, mode: str) -> None:
+        if objective not in OBJECTIVES:
+            raise TuneError(
+                f"unknown objective {objective!r}; choose from "
+                f"{', '.join(OBJECTIVES)}")
+        if mode not in MODES:
+            raise TuneError(f"unknown mode {mode!r}; choose from "
+                            f"{', '.join(MODES)}")
+        if objective == "latency" and mode != "inference":
+            raise TuneError("objective 'latency' is a single-inference "
+                            "property; it requires mode='inference'")
+        if objective != "latency" and mode == "inference":
+            raise TuneError(f"objective {objective!r} is a serving "
+                            f"property; it requires a serving or "
+                            f"cluster mode")
+        self.spec = spec
+        self.objective = objective
+        self.mode = mode
+        #: Fresh (non-memoized) evaluations performed so far.
+        self.evaluations = 0
+        self._memo: "dict[tuple, float]" = {}
+        self._workloads: "dict[float, object]" = {}
+        self._requests = None
+        self._requests_loaded = False
+
+    # -- memo bookkeeping -----------------------------------------------
+
+    @staticmethod
+    def _key(config: "dict[str, object]", fidelity: float) -> tuple:
+        return (tuple(sorted(config.items())), fidelity)
+
+    def seen(self, config: "dict[str, object]", fidelity: float) -> bool:
+        """True when this evaluation is already memoized (free)."""
+        return self._key(config, fidelity) in self._memo
+
+    def evaluate(self, config: "dict[str, object]",
+                 fidelity: float = 1.0) -> float:
+        """Raw objective value of ``config`` (``inf`` if infeasible).
+
+        Fresh evaluations increment :attr:`evaluations`; memoized
+        repeats are free.
+        """
+        key = self._key(config, fidelity)
+        if key in self._memo:
+            return self._memo[key]
+        tracer = current_tracer()
+        self.evaluations += 1
+        try:
+            value = self._evaluate(config, fidelity)
+        except ReproError:
+            value = math.inf
+        if tracer.enabled:
+            tracer.metrics.counter("tune.evaluations").inc()
+            if not math.isfinite(value):
+                tracer.metrics.counter("tune.infeasible").inc()
+        self._memo[key] = value
+        return value
+
+    # -- backends -------------------------------------------------------
+
+    def _evaluate(self, config, fidelity: float) -> float:
+        if self.mode == "inference":
+            return self._evaluate_inference(config)
+        report = (self._evaluate_serving(config, fidelity)
+                  if self.mode == "serving"
+                  else self._evaluate_cluster(config, fidelity))
+        if self.objective == "ttft_p99":
+            return report.ttft.p99
+        if self.objective == "tpot_p99":
+            return report.tpot.p99
+        return report.throughput_tokens_per_s
+
+    def _evaluate_inference(self, config) -> float:
+        from repro.models.runtime import InferenceSession
+
+        spec = self.spec
+        session = InferenceSession(
+            spec.resolve_model(), gpu=spec.gpu, plan=str(config["plan"]),
+            seq_len=spec.workload.seq_len, batch=spec.workload.batch,
+            t=int(config["t"]),
+        )
+        return session.simulate().total_time
+
+    def _stream(self, fidelity: float):
+        """The request stream at a fidelity: ``(requests, workload)``.
+
+        A replayed trace is used whole at every fidelity (its length is
+        fixed); the synthetic stream scales its arrival window by
+        ``fidelity`` and is built once per fidelity level, so every
+        candidate at one level replays the identical stream.
+        """
+        if not self._requests_loaded:
+            self._requests = self.spec.load_requests()
+            self._requests_loaded = True
+        if self._requests is not None:
+            return self._requests, None
+        if fidelity not in self._workloads:
+            from repro.serving.requests import ServingWorkload
+
+            spec = self.spec
+            duration = spec.workload.duration * fidelity
+            arrival = None
+            if spec.arrival.kind is not None:
+                from repro.serving import make_arrival
+
+                arrival = make_arrival(
+                    spec.arrival.kind, rate=spec.workload.rate,
+                    burst_rate=spec.arrival.burst_rate,
+                    base_dwell=spec.arrival.base_dwell,
+                    burst_dwell=spec.arrival.burst_dwell,
+                    period=spec.arrival.period, duration=duration,
+                )
+            self._workloads[fidelity] = ServingWorkload(
+                rate=spec.workload.rate, duration=duration,
+                seed=spec.workload.seed,
+                block_tokens=spec.workload.block_tokens,
+                prefix_groups=spec.workload.prefix_groups,
+                arrival=arrival,
+            )
+        return None, self._workloads[fidelity]
+
+    def _evaluate_serving(self, config, fidelity: float):
+        from repro.core.plansource import PlanSource
+        from repro.serving.simulator import ServingSimulator
+
+        spec = self.spec
+        requests, workload = self._stream(fidelity)
+        return ServingSimulator(
+            spec.resolve_model(), spec.gpu,
+            plan=PlanSource.of(str(config["plan"])),
+            requests=requests, workload=workload,
+            chunk_tokens=int(config["chunk_tokens"]),
+            max_batch=int(config["max_batch"]),
+            block_tokens=spec.workload.block_tokens,
+            t=int(config["t"]), engine=spec.workload.engine,
+        ).run()
+
+    def _evaluate_cluster(self, config, fidelity: float):
+        from repro.cluster.router import ClusterSimulator
+        from repro.core.plansource import PlanSource
+
+        spec = self.spec
+        requests, workload = self._stream(fidelity)
+        return ClusterSimulator(
+            spec.resolve_model(), spec.gpu,
+            plan=PlanSource.of(str(config["plan"])),
+            requests=requests, workload=workload,
+            replicas=spec.sharding.replicas,
+            tp=int(config["tp"]), pp=int(config["pp"]),
+            policy=str(config["policy"]),
+            algorithm=spec.sharding.algorithm,
+            interconnect=spec.interconnect_spec(),
+            chunk_tokens=int(config["chunk_tokens"]),
+            max_batch=int(config["max_batch"]),
+            block_tokens=spec.workload.block_tokens,
+            t=int(config["t"]), engine=spec.workload.engine,
+            jobs=spec.sharding.jobs,
+        ).run()
+
+
+def score_config(spec, config: "dict[str, object]", *, objective: str,
+                 mode: str) -> float:
+    """Full-fidelity raw objective value of one configuration.
+
+    The round-trip check for tuned-plan artifacts: re-scoring the
+    recorded winner must reproduce the recorded value exactly (the
+    whole stack is deterministic).
+    """
+    return ScenarioEvaluator(spec, objective, mode).evaluate(config, 1.0)

@@ -1,0 +1,156 @@
+"""Search spaces for the closed-loop plan autotuner.
+
+A :class:`SearchSpace` is an ordered set of axes (name -> candidate
+values) plus the *default* configuration — the one the scenario would
+run without tuning.  The default anchors the never-worse guarantee:
+:func:`repro.tune.search.tune` always scores it at full fidelity and
+only ever moves away from it on a strict improvement.
+
+Three builders cover the three evaluation backends:
+
+- :func:`inference_space` — single-inference latency: every execution
+  plan in the paper's comparison plus the decomposition tile width;
+- :func:`serving_space`   — single-node serving: the serving-supported
+  plans plus tile width and the engine knobs (prefill chunk size,
+  batch cap);
+- :func:`cluster_space`   — the serving axes plus fleet shape
+  (TP x PP) and routing policy.
+
+Axis order is part of the contract: grids enumerate in axis order and
+coordinate descent walks axes in axis order, so a space is as
+deterministic as its definition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.common.errors import TuneError
+
+#: Plans the serving-path cost model supports (kept in sync with
+#: :data:`repro.serving.costmodel.SUPPORTED_PLANS` by a unit test).
+SERVING_PLAN_NAMES = ("baseline", "sd", "sdf")
+
+#: Every plan the single-inference comparison covers.
+INFERENCE_PLAN_NAMES = (
+    "baseline", "sd", "sdf", "online", "turbo", "fused-mha", "flash",
+)
+
+#: Softmax decomposition tile widths worth searching.
+TILE_WIDTHS = (32, 64, 128)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """An ordered product grid plus the untuned default config."""
+
+    #: ``(axis name, candidate values)`` in search order.
+    axes: "tuple[tuple[str, tuple], ...]"
+    #: The configuration the scenario runs without tuning.
+    default: "dict[str, object]"
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.axes]
+        if len(set(names)) != len(names):
+            raise TuneError(f"duplicate axes in search space: {names}")
+        missing = [name for name in names if name not in self.default]
+        if missing:
+            raise TuneError(
+                f"default config is missing axes {missing}; the "
+                f"never-worse guarantee needs a complete default")
+
+    @property
+    def size(self) -> int:
+        """Number of configurations in the full grid."""
+        size = 1
+        for _, values in self.axes:
+            size *= len(values)
+        return size
+
+    def configs(self) -> "list[dict[str, object]]":
+        """Every configuration, enumerated in axis order."""
+        names = [name for name, _ in self.axes]
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(
+                *(values for _, values in self.axes))
+        ]
+
+    def to_dict(self) -> "dict[str, object]":
+        """JSON-ready description (recorded in tuned-plan artifacts)."""
+        return {
+            "axes": {name: list(values) for name, values in self.axes},
+            "default": dict(self.default),
+        }
+
+
+def _default_plan(spec) -> str:
+    """The scenario's incumbent plan: the last entry of ``plans`` (the
+    CLI convention puts the optimised plan last, e.g. ``baseline,sdf``)."""
+    return spec.plans[-1]
+
+
+def inference_space(spec) -> SearchSpace:
+    """Plan x tile width, scored by single-inference latency."""
+    return SearchSpace(
+        axes=(
+            ("plan", INFERENCE_PLAN_NAMES),
+            ("t", TILE_WIDTHS),
+        ),
+        default={"plan": _default_plan(spec), "t": spec.workload.t},
+    )
+
+
+def serving_space(spec) -> SearchSpace:
+    """Plan x tile x engine knobs, scored through the serving simulator."""
+    return SearchSpace(
+        axes=(
+            ("plan", SERVING_PLAN_NAMES),
+            ("t", TILE_WIDTHS),
+            ("chunk_tokens", (256, 512, 1024)),
+            ("max_batch", (8, 16, 32, 64)),
+        ),
+        default={
+            "plan": _default_plan(spec),
+            "t": spec.workload.t,
+            "chunk_tokens": spec.workload.chunk_tokens,
+            "max_batch": spec.workload.max_batch,
+        },
+    )
+
+
+def cluster_space(spec) -> SearchSpace:
+    """The serving axes plus fleet shape and routing policy."""
+    serving = serving_space(spec)
+    return SearchSpace(
+        axes=serving.axes + (
+            ("tp", (1, 2, 4)),
+            ("pp", (1, 2)),
+            ("policy", ("round-robin", "least-outstanding",
+                        "prefix-affinity")),
+        ),
+        default={
+            **serving.default,
+            "tp": spec.sharding.tp,
+            "pp": spec.sharding.pp,
+            "policy": spec.sharding.policy,
+        },
+    )
+
+
+def build_space(spec, mode: str) -> SearchSpace:
+    """The search space for an evaluation ``mode`` (see
+    :class:`repro.tune.evaluate.ScenarioEvaluator`)."""
+    builders = {
+        "inference": inference_space,
+        "serving": serving_space,
+        "cluster": cluster_space,
+    }
+    try:
+        builder = builders[mode]
+    except KeyError:
+        raise TuneError(
+            f"unknown tuning mode {mode!r}; choose from "
+            f"{', '.join(sorted(builders))}") from None
+    return builder(spec)

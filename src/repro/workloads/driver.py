@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.common.validation import require_divisible, require_positive
 from repro.core.plan import AttentionPlan
+from repro.core.plansource import PlanSource, resolve_plan
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.models.config import ModelConfig, get_model
 from repro.workloads.triviaqa import SyntheticTriviaQA
@@ -97,7 +98,7 @@ class DatasetBenchmark:
         model: "ModelConfig | str",
         *,
         gpu: "GPUSpec | str" = "A100",
-        plan: "AttentionPlan | str" = AttentionPlan.BASELINE,
+        plan: "PlanSource | AttentionPlan | str | None" = None,
         max_seq_len: int = 4096,
         bucket: int = 512,
         batch: int = 1,
@@ -112,7 +113,16 @@ class DatasetBenchmark:
         self.dataset = dataset
         self.model = get_model(model) if isinstance(model, str) else model
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
-        self.plan = AttentionPlan.from_name(plan)
+        # One resolution point for every plan spelling — fixed names,
+        # "auto", or a tuned-plan artifact path.  Legacy bare
+        # string/enum arguments keep working behind a
+        # DeprecationWarning pointing at PlanSource.
+        self.plan = resolve_plan(
+            AttentionPlan.BASELINE if plan is None else plan,
+            model=self.model, gpu=self.gpu, seq_len=max_seq_len,
+            batch=batch, t=t,
+            deprecate=None if plan is None else "DatasetBenchmark",
+        )
         self.max_seq_len = max_seq_len
         self.bucket = bucket
         self.batch = batch

@@ -6,6 +6,7 @@ from repro.common import PlanError
 from repro.core import AttentionPlan
 from repro.core.autotune import (
     ALL_CANDIDATES,
+    INFEASIBLE,
     PAPER_CANDIDATES,
     select_plan,
 )
@@ -24,20 +25,20 @@ class TestSelectPlan:
                              candidates=ALL_CANDIDATES)
         assert choice.plan is AttentionPlan.FLASH
         # Turbo and fully fused are infeasible at this length.
-        assert choice.latencies[AttentionPlan.TURBO] is None
-        assert choice.latencies[AttentionPlan.FULLY_FUSED] is None
+        assert choice.latencies[AttentionPlan.TURBO] is INFEASIBLE
+        assert choice.latencies[AttentionPlan.FULLY_FUSED] is INFEASIBLE
 
     def test_fully_fused_wins_at_short_length(self):
         choice = select_plan(BERT_LARGE, seq_len=256,
                              candidates=ALL_CANDIDATES)
         assert choice.plan in (AttentionPlan.FULLY_FUSED,
                                AttentionPlan.FLASH)
-        assert choice.latencies[AttentionPlan.FULLY_FUSED] is not None
+        assert choice.latencies[AttentionPlan.FULLY_FUSED] is not INFEASIBLE
 
     def test_sparse_model_skips_dense_only_plans(self):
         choice = select_plan(BIGBIRD_LARGE, seq_len=4096,
                              candidates=ALL_CANDIDATES)
-        assert choice.latencies[AttentionPlan.ONLINE] is None
+        assert choice.latencies[AttentionPlan.ONLINE] is INFEASIBLE
         assert choice.plan in (AttentionPlan.RECOMPOSED, AttentionPlan.FLASH)
 
     def test_feasible_subset(self):

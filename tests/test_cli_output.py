@@ -17,6 +17,7 @@ from repro.common.results import (
     APPROX_SWEEP_SCHEMA,
     RESULT_SCHEMA,
     TRACE_SCHEMA,
+    TUNED_PLAN_SCHEMA,
 )
 
 #: Fast invocations, one per subcommand.
@@ -39,6 +40,7 @@ FAST_ARGS = {
     "approx-sweep": ["--models", "bert-large", "--seq-lens", "256",
                      "--cases", "1"],
     "selfbench": ["--repetitions", "1"],
+    "tune": ["--rate", "2", "--duration", "3", "--budget", "6"],
 }
 
 #: The discriminator each subcommand's document must carry.
@@ -59,14 +61,17 @@ EXPECTED_KIND = {
     "verify": "reproduction",
     "approx-sweep": "approx-sweep",
     "selfbench": "selfbench",
+    "tune": "tuned-plan",
 }
 
 #: Schema tag per subcommand; ``trace`` emits the larger
-#: ``repro.trace/v1`` documents and ``approx-sweep`` the nested Pareto
-#: report, everything else ``repro.result/v1``.
+#: ``repro.trace/v1`` documents, ``approx-sweep`` the nested Pareto
+#: report, and ``tune`` the tuned-plan artifact, everything else
+#: ``repro.result/v1``.
 EXPECTED_SCHEMA = {
     command: TRACE_SCHEMA if command == "trace"
     else APPROX_SWEEP_SCHEMA if command == "approx-sweep"
+    else TUNED_PLAN_SCHEMA if command == "tune"
     else RESULT_SCHEMA
     for command in EXPECTED_KIND
 }
@@ -139,6 +144,53 @@ class TestOutputContract:
         assert validate_nesting(document["traceEvents"]) == []
         assert run_cli(capsys, *argv) == out
 
+class TestPlanFileFlag:
+    """``--plan-file`` feeds one tuned-plan artifact to every
+    serving-style simulator: the run is pinned to the artifact's
+    winning plan and tuned knobs."""
+
+    @pytest.fixture(scope="class")
+    def plan_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("tuned") / "plan.json"
+        assert main(["tune", "--rate", "2", "--duration", "3",
+                     "--budget", "6", "--output", str(path)]) == 0
+        return path
+
+    def winner(self, plan_file):
+        return json.loads(plan_file.read_text())["winner"]["config"]
+
+    @pytest.mark.parametrize("command,extra", [
+        ("serve-sim", ()),
+        ("cluster-sim", ("--replicas", "2")),
+        ("controlplane-sim", ("--replicas", "2")),
+    ])
+    def test_simulators_accept_plan_file(self, capsys, plan_file,
+                                         command, extra):
+        out = run_cli(capsys, command, "--rate", "2", "--duration", "3",
+                      *extra, "--plan-file", str(plan_file), "--json")
+        document = json.loads(out)
+        winner = self.winner(plan_file)
+        assert list(document["plans"]) == [winner["plan"]]
+
+    def test_plan_file_overrides_plans_flag(self, capsys, plan_file):
+        out = run_cli(capsys, "serve-sim", "--rate", "2", "--duration",
+                      "3", "--plans", "baseline,sd,sdf",
+                      "--plan-file", str(plan_file), "--json")
+        winner = self.winner(plan_file)
+        assert list(json.loads(out)["plans"]) == [winner["plan"]]
+
+    def test_corrupted_plan_file_raises_typed_error(self, capsys,
+                                                    tmp_path):
+        from repro.common.errors import ArtifactError
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ArtifactError):
+            main(["serve-sim", "--rate", "2", "--duration", "3",
+                  "--plan-file", str(bad), "--json"])
+
+
+class TestClusterAcceptance:
     def test_cluster_acceptance_invocation(self, capsys):
         """The headline invocation from the cluster docs."""
         argv = ("cluster-sim", "--replicas", "4", "--tp", "2",
