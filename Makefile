@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-fast bench bench-serving bench-serving-smoke verify \
 	verify-fuzz lint cluster-smoke controlplane-smoke trace-smoke \
-	approx-smoke tune-smoke
+	approx-smoke tune-smoke moe-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +44,18 @@ tune-smoke:
 		--output /tmp/tune_smoke.json >/dev/null
 	$(PYTHON) tools/compare_golden.py /tmp/tune_smoke.json \
 		tests/golden/tune_smoke.json
+
+# Fixed-seed MoE + speculative-decoding serving run compared against
+# the committed golden report — pins the expert-parallel cost model
+# and the deterministic speculative schedule (see docs/models.md).
+moe-smoke:
+	$(PYTHON) -m repro serve-sim --model bert-large \
+		--n-experts 8 --top-k 2 \
+		--draft-model gpt-neo-1.3b --draft-len 4 --accept-rate 0.75 \
+		--rate 4 --duration 3 --seed 0 --plans baseline,sdf \
+		--json > /tmp/moe_smoke.json
+	$(PYTHON) tools/compare_golden.py /tmp/moe_smoke.json \
+		tests/golden/moe_smoke.json
 
 bench:
 	$(PYTHON) benchmarks/bench_selfperf.py

@@ -13,6 +13,7 @@ Commands
 ``parallel``     tensor-parallel scaling across 2-8 GPUs
 ``roofline``     roofline plot of one inference's kernel categories
 ``footprint``    peak device-memory footprint per plan
+``seq2seq``      encoder-decoder inference (Transformer base/big)
 ``serve-sim``    discrete-event serving simulation (SLO metrics per plan)
 ``cluster-sim``  multi-replica, TP/PP-sharded cluster serving simulation
 ``controlplane-sim``  SLO tiers, autoscaling, shedding, fault injection
@@ -448,6 +449,31 @@ def cmd_footprint(args: argparse.Namespace) -> str:
     return emit(payload, text, args)
 
 
+def cmd_seq2seq(args: argparse.Namespace) -> str:
+    from repro.models.seq2seq import (
+        VANILLA_TRANSFORMER_BASE,
+        VANILLA_TRANSFORMER_BIG,
+        Seq2SeqSession,
+    )
+
+    config = (VANILLA_TRANSFORMER_BIG if args.config == "big"
+              else VANILLA_TRANSFORMER_BASE)
+    result = Seq2SeqSession(
+        config, gpu=args.gpu, plan=args.plan,
+        src_len=args.src_len, tgt_len=args.tgt_len, batch=args.batch,
+    ).simulate()
+    text = "\n".join([
+        f"{config.name} on {result.gpu.name} "
+        f"(src={args.src_len}, tgt={args.tgt_len}, batch={args.batch}, "
+        f"plan={args.plan})",
+        f"latency:          {result.total_time * 1e3:.2f} ms",
+        f"off-chip traffic: {result.total_dram_bytes / 1e9:.2f} GB",
+        f"off-chip energy:  {result.offchip_energy * 1e3:.1f} mJ",
+        f"softmax share:    {result.softmax_time_fraction() * 100:.0f}%",
+    ])
+    return emit(result.to_dict(), text, args)
+
+
 def cmd_serve_sim(args: argparse.Namespace) -> str:
     from repro.analysis.serving import render_serving_comparison
 
@@ -678,6 +704,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_fp)
     _add_output(p_fp)
     p_fp.set_defaults(func=cmd_footprint)
+
+    p_s2s = sub.add_parser(
+        "seq2seq",
+        help="encoder-decoder inference (Transformer base/big)")
+    p_s2s.add_argument("--config", choices=("base", "big"), default="base",
+                       help="Vaswani et al. transformer variant")
+    p_s2s.add_argument("--gpu", default="A100",
+                       help="A100 | RTX 3090 | T4 | H100")
+    p_s2s.add_argument("--plan", default="baseline")
+    p_s2s.add_argument("--src-len", type=int, default=4096,
+                       help="encoder (source) sequence length")
+    p_s2s.add_argument("--tgt-len", type=int, default=4096,
+                       help="decoder (target) sequence length")
+    p_s2s.add_argument("--batch", type=int, default=1)
+    _add_output(p_s2s)
+    p_s2s.set_defaults(func=cmd_seq2seq)
 
     p_srv = sub.add_parser("serve-sim",
                            help="discrete-event serving simulation")

@@ -32,6 +32,7 @@ from repro.gpu.interconnect import (
     InterconnectSpec,
     NVLINK3,
     allreduce_time,
+    alltoall_time,
     point_to_point_time,
 )
 from repro.gpu.specs import GPUSpec
@@ -58,15 +59,17 @@ class ShardedStepCostModel(StepCostModel):
         kv_bucket: int = 64,
         tp: int = 1,
         pp: int = 1,
+        ep: int = 1,
         interconnect: InterconnectSpec = NVLINK3,
         algorithm: str = "ring",
     ) -> None:
         require_positive("tp", tp)
         require_positive("pp", pp)
         super().__init__(model, gpu, plan=plan, dtype=dtype, t=t,
-                         kv_bucket=kv_bucket, tp_shards=tp)
+                         kv_bucket=kv_bucket, tp_shards=tp, ep_shards=ep)
         self.tp = tp
         self.pp = pp
+        self.ep = ep
         self.interconnect = interconnect
         self.algorithm = algorithm
         # Validate the algorithm (and the sharding) eagerly, not on the
@@ -77,14 +80,16 @@ class ShardedStepCostModel(StepCostModel):
     @property
     def n_gpus(self) -> int:
         """GPUs in the replica group."""
-        return self.tp * self.pp
+        return self.tp * self.pp * self.ep
 
     def comm_time(self, total_tokens: int) -> float:
         """Collective time of one engine step over ``total_tokens``.
 
         Two hidden-state all-reduces per layer across the TP group,
         plus one point-to-point hidden-state transfer per pipeline
-        boundary.
+        boundary.  Expert parallelism (``ep > 1``) adds two all-to-alls
+        per layer — dispatch and combine of the step's routed
+        activations (``tokens * top_k`` rows) across the EP group.
         """
         if total_tokens <= 0:
             return 0.0
@@ -96,6 +101,14 @@ class ShardedStepCostModel(StepCostModel):
                 algorithm=self.algorithm,
             ) + (self.pp - 1) * point_to_point_time(self.interconnect,
                                                     hidden)
+            if self.ep > 1:
+                from repro.models.moe import routed_bytes
+
+                cached += self.model.num_layers * 2 * alltoall_time(
+                    self.interconnect,
+                    routed_bytes(self.model, total_tokens, self.dtype),
+                    self.ep,
+                )
             self._comm_cache[total_tokens] = cached
         return cached
 

@@ -82,6 +82,7 @@ class Replica:
         dtype: DType = DType.FP16,
         tp: int = 1,
         pp: int = 1,
+        ep: int = 1,
         interconnect: InterconnectSpec = NVLINK3,
         algorithm: str = "ring",
         chunk_tokens: int = 512,
@@ -93,12 +94,15 @@ class Replica:
         engine: str = "epoch",
         max_epoch: int = DEFAULT_MAX_EPOCH,
         retain_requests: bool = True,
+        draft_model: "ModelConfig | str | None" = None,
+        draft_len: int = 4,
+        accept_rate: float = 1.0,
     ) -> None:
         from repro.cluster.costmodel import ShardedStepCostModel
 
         self.replica_id = replica_id
         self.cost = ShardedStepCostModel(
-            model, gpu, plan=plan, dtype=dtype, t=t, tp=tp, pp=pp,
+            model, gpu, plan=plan, dtype=dtype, t=t, tp=tp, pp=pp, ep=ep,
             interconnect=interconnect, algorithm=algorithm,
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -108,16 +112,39 @@ class Replica:
             f"{AttentionPlan.from_name(plan).value}:replica{replica_id}")
         self.memory = KVBlockManager.for_model(
             model, gpu, block_tokens=block_tokens, dtype=dtype,
-            reserve_fraction=reserve_fraction, n_gpus=tp * pp,
+            reserve_fraction=reserve_fraction, n_gpus=tp * pp * ep,
         )
         self.scheduler = ContinuousBatchingScheduler(
             self.memory, chunk_tokens=chunk_tokens, max_batch=max_batch,
             tracer=self.tracer, trace_process=self.trace_process,
         )
+        # The draft model is small and replicates across the group, so
+        # its per-round cost is priced unsharded on one GPU.
+        spec_runtime = None
+        if draft_model is not None:
+            from repro.models.config import get_model
+            from repro.serving.costmodel import StepCostModel
+            from repro.serving.specdecode import (
+                SpecDecodeConfig,
+                SpecDecodeRuntime,
+            )
+
+            config = SpecDecodeConfig(
+                draft_model=(get_model(draft_model)
+                             if isinstance(draft_model, str)
+                             else draft_model),
+                draft_len=draft_len,
+                accept_rate=accept_rate,
+            )
+            spec_runtime = SpecDecodeRuntime(config, StepCostModel(
+                config.draft_model, gpu, plan=self.cost.plan,
+                dtype=dtype, t=t,
+            ))
         self.engine = EpochEngine(
             cost=self.cost, memory=self.memory, scheduler=self.scheduler,
             tracer=self.tracer, epoch=engine == "epoch",
             max_epoch=max_epoch, on_step=self._trace_step,
+            spec_decode=spec_runtime,
         )
         self.retain_requests = retain_requests
         #: Every request ever routed here, in submission order; empty

@@ -71,6 +71,7 @@ class ClusterSimulator:
         replicas: int = 2,
         tp: int = 1,
         pp: int = 1,
+        ep: int = 1,
         policy: "str | RouterPolicy" = "round-robin",
         interconnect: InterconnectSpec = NVLINK3,
         algorithm: str = "ring",
@@ -85,6 +86,9 @@ class ClusterSimulator:
         max_epoch: int = DEFAULT_MAX_EPOCH,
         latency_cutover: int = EXACT_PERCENTILE_CUTOVER,
         jobs: int = 1,
+        draft_model: "ModelConfig | str | None" = None,
+        draft_len: int = 4,
+        accept_rate: float = 1.0,
     ) -> None:
         if replicas < 1:
             raise ServingError(f"need at least one replica, got {replicas}")
@@ -128,11 +132,12 @@ class ClusterSimulator:
             self._requests = None
             self._workload = workload
         self._replica_kwargs = dict(
-            dtype=dtype, tp=tp, pp=pp,
+            dtype=dtype, tp=tp, pp=pp, ep=ep,
             interconnect=interconnect, algorithm=algorithm,
             chunk_tokens=chunk_tokens, max_batch=max_batch,
             block_tokens=block_tokens, reserve_fraction=reserve_fraction,
-            t=t,
+            t=t, draft_model=draft_model, draft_len=draft_len,
+            accept_rate=accept_rate,
         )
         self.num_replicas = replicas
 
@@ -300,7 +305,12 @@ def simulate_cluster(
             arrival=arrival,
         )
     reports = {}
-    num_requests = None
+    # Counted from the stream itself so trace-driven runs (and empty
+    # ``plans`` tuples) report the actual loaded request count.
+    if requests is not None:
+        num_requests = len(requests)
+    else:
+        num_requests = len(workload.request_arrays())
     for plan in plans:
         sim = ClusterSimulator(
             model, gpu, plan=PlanSource.of(plan), requests=requests,
@@ -308,7 +318,6 @@ def simulate_cluster(
             replicas=replicas, tp=tp, pp=pp, policy=policy,
             interconnect=interconnect, algorithm=algorithm, **engine_kwargs,
         )
-        num_requests = sim.num_requests
         reports[sim.plan.value] = sim.run()
     tracer = current_tracer()
     return ClusterReport(
@@ -323,7 +332,7 @@ def simulate_cluster(
         policy=policy if isinstance(policy, str) else policy.name,
         algorithm=algorithm,
         interconnect=interconnect.name,
-        num_requests=num_requests if num_requests is not None else 0,
+        num_requests=num_requests,
         plans=reports,
         trace_summary=tracer.summary() if tracer.enabled else None,
         arrival=arrival.describe() if arrival is not None else None,

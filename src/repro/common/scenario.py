@@ -69,6 +69,11 @@ class WorkloadSpec:
     #: Single-inference shape (``latency`` objective / ``simulate``).
     seq_len: int = 4096
     batch: int = 1
+    #: Speculative decoding: draft model name (``None`` disables — the
+    #: default keeps reports byte-identical to earlier releases).
+    draft_model: Optional[str] = None
+    draft_len: int = 4
+    accept_rate: float = 1.0
 
     def to_dict(self) -> "dict[str, object]":
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -90,12 +95,33 @@ class ArrivalSpec:
 
 
 @dataclass(frozen=True)
+class MoESpec:
+    """Mixture-of-experts overlay applied to the scenario's model.
+
+    ``n_experts=1`` (the default) leaves the model untouched, so every
+    pre-MoE scenario document keeps meaning exactly what it meant.
+    With ``n_experts > 1`` the dense model's FFN is replaced by a
+    routed expert bank (:func:`repro.models.moe.moe_overrides`).
+    """
+
+    n_experts: int = 1
+    top_k: int = 1
+    capacity_factor: float = 1.25
+
+    def to_dict(self) -> "dict[str, object]":
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
 class ShardingSpec:
-    """Fleet shape: replicas, TP×PP, routing, and interconnect."""
+    """Fleet shape: replicas, TP×PP×EP, routing, and interconnect."""
 
     replicas: int = 2
     tp: int = 1
     pp: int = 1
+    #: Expert-parallel shards (MoE models only; 1 = all experts
+    #: resident on every TP group).
+    ep: int = 1
     policy: str = "round-robin"
     algorithm: str = "ring"
     interconnect: str = "nvlink3"
@@ -115,6 +141,7 @@ class ScenarioSpec:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
     sharding: ShardingSpec = field(default_factory=ShardingSpec)
+    moe: MoESpec = field(default_factory=MoESpec)
     #: Plans to compare, in report order.
     plans: "tuple[str, ...]" = ("baseline", "sdf")
     #: Tuned-plan artifact pinning the plan + knobs (overrides both).
@@ -151,6 +178,9 @@ class ScenarioSpec:
             prefix_groups=get("prefix_groups", 0),
             seq_len=get("seq_len", 4096),
             batch=get("batch", 1),
+            draft_model=getattr(args, "draft_model", None),
+            draft_len=get("draft_len", 4),
+            accept_rate=get("accept_rate", 1.0),
         )
         arrival = ArrivalSpec(
             kind=getattr(args, "arrival", None),
@@ -163,10 +193,16 @@ class ScenarioSpec:
             replicas=get("replicas", 2),
             tp=get("tp", 1),
             pp=get("pp", 1),
+            ep=get("ep", 1),
             policy=get("policy", "round-robin"),
             algorithm=get("algorithm", "ring"),
             interconnect=get("interconnect", "nvlink3"),
             jobs=get("jobs", 1),
+        )
+        moe = MoESpec(
+            n_experts=get("n_experts", 1),
+            top_k=get("top_k", 1),
+            capacity_factor=get("capacity_factor", 1.25),
         )
         return cls(
             model=get("model", "bert-large"),
@@ -175,6 +211,7 @@ class ScenarioSpec:
             workload=workload,
             arrival=arrival,
             sharding=sharding,
+            moe=moe,
             plans=plans if plans else ("baseline", "sdf"),
             plan_file=getattr(args, "plan_file", None),
         )
@@ -201,6 +238,7 @@ class ScenarioSpec:
             "workload": WorkloadSpec,
             "arrival": ArrivalSpec,
             "sharding": ShardingSpec,
+            "moe": MoESpec,
         }
         kwargs: "dict[str, object]" = {}
         for key, value in document.items():
@@ -225,6 +263,7 @@ class ScenarioSpec:
             "workload": self.workload.to_dict(),
             "arrival": self.arrival.to_dict(),
             "sharding": self.sharding.to_dict(),
+            "moe": self.moe.to_dict(),
             "plans": list(self.plans),
             "plan_file": self.plan_file,
         }
@@ -232,12 +271,30 @@ class ScenarioSpec:
     # -- resolution helpers ---------------------------------------------
 
     def resolve_model(self):
-        """Model name or, with ``model_json``, the loaded ModelConfig."""
+        """Model name or, with ``model_json``, the loaded ModelConfig.
+
+        With ``moe.n_experts > 1`` the resolved model gets the
+        mixture-of-experts overlay applied; the degenerate default is
+        the identity, so dense scenarios resolve to exactly what they
+        always did (names included).
+        """
         if self.model_json:
             from repro.models.serialization import load_config
 
-            return load_config(self.model_json)
-        return self.model
+            model = load_config(self.model_json)
+        else:
+            model = self.model
+        if self.moe.n_experts > 1:
+            from repro.models.config import get_model
+            from repro.models.moe import moe_overrides
+
+            model = moe_overrides(
+                get_model(model) if isinstance(model, str) else model,
+                n_experts=self.moe.n_experts,
+                top_k=self.moe.top_k,
+                capacity_factor=self.moe.capacity_factor,
+            )
+        return model
 
     def make_arrival(self):
         """The arrival process selected by ``arrival.kind``, or ``None``.
@@ -311,6 +368,9 @@ class ScenarioSpec:
             block_tokens=spec.workload.block_tokens,
             t=spec.workload.t,
             engine=spec.workload.engine,
+            draft_model=spec.workload.draft_model,
+            draft_len=spec.workload.draft_len,
+            accept_rate=spec.workload.accept_rate,
         )
 
     def run_cluster(self):
@@ -323,7 +383,8 @@ class ScenarioSpec:
             rate=spec.workload.rate, duration=spec.workload.duration,
             seed=spec.workload.seed, plans=spec.plans,
             replicas=spec.sharding.replicas, tp=spec.sharding.tp,
-            pp=spec.sharding.pp, policy=spec.sharding.policy,
+            pp=spec.sharding.pp, ep=spec.sharding.ep,
+            policy=spec.sharding.policy,
             algorithm=spec.sharding.algorithm,
             interconnect=spec.interconnect_spec(),
             requests=spec.load_requests(),
@@ -334,6 +395,9 @@ class ScenarioSpec:
             block_tokens=spec.workload.block_tokens,
             t=spec.workload.t,
             engine=spec.workload.engine, jobs=spec.sharding.jobs,
+            draft_model=spec.workload.draft_model,
+            draft_len=spec.workload.draft_len,
+            accept_rate=spec.workload.accept_rate,
         )
 
     def run_controlplane(self, *, tiers=None, autoscaler=None, faults=None,
@@ -373,12 +437,17 @@ def apply_tuned_plan(spec: ScenarioSpec, artifact) -> ScenarioSpec:
     config = artifact.winner_config
     workload_updates = {
         key: config[key]
-        for key in ("t", "chunk_tokens", "max_batch")
+        for key in ("t", "chunk_tokens", "max_batch", "draft_len")
         if key in config
     }
     sharding_updates = {
         key: config[key]
         for key in ("tp", "pp", "policy")
+        if key in config
+    }
+    moe_updates = {
+        key: config[key]
+        for key in ("top_k",)
         if key in config
     }
     return replace(
@@ -387,6 +456,7 @@ def apply_tuned_plan(spec: ScenarioSpec, artifact) -> ScenarioSpec:
         plan_file=None,
         workload=replace(spec.workload, **workload_updates),
         sharding=replace(spec.sharding, **sharding_updates),
+        moe=replace(spec.moe, **moe_updates),
     )
 
 
@@ -448,6 +518,22 @@ def add_workload_args(parser) -> None:
                         help="stepping mode: epoch-batched fast path "
                              "(default) or the classic per-step event loop "
                              "(identical output, slower)")
+    parser.add_argument("--n-experts", type=int, default=1,
+                        help="mixture-of-experts expert count applied to "
+                             "the model's FFN (1 = dense, the default)")
+    parser.add_argument("--top-k", type=int, default=1,
+                        help="experts each token routes to (MoE only)")
+    parser.add_argument("--capacity-factor", type=float, default=1.25,
+                        help="per-expert capacity slack over the balanced "
+                             "load (MoE only)")
+    parser.add_argument("--draft-model", default=None,
+                        help="draft model enabling speculative decoding "
+                             "(default: disabled)")
+    parser.add_argument("--draft-len", type=int, default=4,
+                        help="speculation depth: draft tokens per round")
+    parser.add_argument("--accept-rate", type=float, default=1.0,
+                        help="modeled per-round draft acceptance rate "
+                             "in [0, 1]")
 
 
 def add_sharding_args(parser) -> None:
@@ -459,6 +545,9 @@ def add_sharding_args(parser) -> None:
                         help="tensor-parallel GPUs per replica")
     parser.add_argument("--pp", type=int, default=1,
                         help="pipeline-parallel stages per replica")
+    parser.add_argument("--ep", type=int, default=1,
+                        help="expert-parallel shards per replica (MoE "
+                             "models; must divide --n-experts)")
     parser.add_argument("--policy", default="round-robin",
                         choices=("round-robin", "least-outstanding",
                                  "prefix-affinity"),

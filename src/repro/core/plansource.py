@@ -22,11 +22,37 @@ string/enum spellings keep working everywhere.
 from __future__ import annotations
 
 import enum
+import os
+import sys
 import warnings
 from dataclasses import dataclass
 
 from repro.common.errors import PlanError
 from repro.core.plan import AttentionPlan
+
+#: Root of the installed ``repro`` package, for stack-walk attribution.
+_PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _external_stacklevel() -> int:
+    """Stacklevel of the nearest frame outside the ``repro`` package.
+
+    :func:`resolve_plan` is reached through a varying number of
+    internal wrappers (simulator constructors, the dataset driver, the
+    cluster router), so any fixed ``stacklevel`` blames the wrong file
+    for some call path — historically the deprecation warning pointed
+    at ``plansource.py`` itself.  Walking outward until the code object
+    leaves the package root pins the warning on the caller's own line.
+    """
+    level = 1
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = os.path.abspath(frame.f_code.co_filename)
+        if not filename.startswith(_PACKAGE_ROOT + os.sep):
+            return level
+        frame = frame.f_back
+        level += 1
+    return level
 
 
 class PlanSourceKind(enum.Enum):
@@ -150,7 +176,7 @@ def resolve_plan(
             f"string/enum is deprecated; pass "
             f"repro.core.plansource.PlanSource.of({value!r}) instead",
             DeprecationWarning,
-            stacklevel=3,
+            stacklevel=_external_stacklevel(),
         )
     return PlanSource.of(value).resolve(
         model=model, gpu=gpu, seq_len=seq_len, batch=batch, t=t,

@@ -111,6 +111,23 @@ def allreduce_time(spec: InterconnectSpec, nbytes: float, n_gpus: int,
             + allgather_time(spec, nbytes, n_gpus))
 
 
+def alltoall_time(spec: InterconnectSpec, nbytes: float,
+                  n_gpus: int) -> float:
+    """All-to-all latency for ``nbytes`` of per-GPU payload.
+
+    Each GPU keeps its own ``1/n`` slice and exchanges the remaining
+    ``(n-1)/n`` pairwise — the expert-parallel dispatch/combine
+    pattern of MoE layers, where ``nbytes`` is one GPU's routed
+    activation volume.  Same link volume as one ring phase, with one
+    hop per peer.
+    """
+    _check_group(n_gpus)
+    if n_gpus == 1 or nbytes <= 0:
+        return 0.0
+    volume = (n_gpus - 1) / n_gpus * nbytes
+    return volume / spec.link_bandwidth + (n_gpus - 1) * spec.hop_latency
+
+
 def point_to_point_time(spec: InterconnectSpec, nbytes: float) -> float:
     """One point-to-point transfer (a pipeline-stage boundary)."""
     if nbytes <= 0:
@@ -142,17 +159,25 @@ def verification_oracles():
         tree = allreduce_time(spec, nbytes, n_gpus, algorithm="tree")
         composed = (reduce_scatter_time(spec, nbytes, n_gpus)
                     + allgather_time(spec, nbytes, n_gpus))
+        a2a = alltoall_time(spec, nbytes, n_gpus)
         violations = []
         for name, value in (("ring", ring), ("tree", tree),
+                            ("alltoall", a2a),
                             ("p2p", point_to_point_time(spec, nbytes))):
             if not (np.isfinite(value) and value >= 0.0):
                 violations.append(Violation(
                     "nonnegative_finite",
                     f"{name} collective cost {value!r} on {spec.name}"))
-        if n_gpus == 1 and (ring != 0.0 or tree != 0.0):
+        if n_gpus == 1 and (ring != 0.0 or tree != 0.0 or a2a != 0.0):
             violations.append(Violation(
                 "single_gpu_free",
-                f"n_gpus=1 must cost 0, got ring={ring!r} tree={tree!r}"))
+                f"n_gpus=1 must cost 0, got ring={ring!r} tree={tree!r} "
+                f"alltoall={a2a!r}"))
+        if a2a > allgather_time(spec, nbytes, n_gpus):
+            violations.append(Violation(
+                "alltoall_vs_allgather",
+                f"all-to-all {a2a!r} exceeds the all-gather of the same "
+                f"buffer on {spec.name}"))
         for algorithm, small in (("ring", ring), ("tree", tree)):
             big = allreduce_time(spec, 2.0 * nbytes, n_gpus,
                                  algorithm=algorithm)

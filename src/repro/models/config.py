@@ -224,6 +224,11 @@ _REGISTRY = {
 
 def get_model(name: str) -> ModelConfig:
     """Look up a model preset by (case-insensitive) name."""
+    if name.lower() not in _REGISTRY:
+        # MoE presets register on import; pull them in lazily so the
+        # lookup works regardless of which module loaded first.
+        import repro.models.moe  # noqa: F401
+
     try:
         return _REGISTRY[name.lower()]
     except KeyError:

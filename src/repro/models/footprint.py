@@ -45,9 +45,20 @@ class MemoryFootprint:
 
 
 def weight_bytes(config: ModelConfig, dtype: DType = DType.FP16) -> int:
-    """Parameter bytes of the model (per-layer matrices + biases)."""
+    """Parameter bytes of the model (per-layer matrices + biases).
+
+    Mixture-of-experts configs carry ``n_experts`` copies of the FFN
+    matrices plus the router gate per layer; the degenerate one-expert
+    case is byte-identical to the dense formula.
+    """
     d, dff = config.d_model, config.d_ff
-    per_layer = 4 * d * d + 2 * d * dff + dff + d + 4 * d
+    attention = 4 * d * d + 4 * d
+    ffn = 2 * d * dff + dff + d
+    n_experts = getattr(config, "n_experts", 1)
+    if n_experts > 1:
+        per_layer = attention + n_experts * ffn + d * n_experts
+    else:
+        per_layer = attention + ffn
     return config.num_layers * per_layer * dtype.nbytes
 
 

@@ -168,6 +168,7 @@ def layer_step_kernels(
     t: int = 64,
     prefix: str = "dec",
     tp_shards: int = 1,
+    ep_shards: int = 1,
 ) -> list:
     """Kernel launches of one layer processing ``m_tokens`` new queries
     against ``kv_len`` cached keys/values.
@@ -181,7 +182,7 @@ def layer_step_kernels(
     """
     pre, post = mlp_step_kernels(model, m_tokens=m_tokens, batch=batch,
                                  dtype=dtype, prefix=prefix,
-                                 tp_shards=tp_shards)
+                                 tp_shards=tp_shards, ep_shards=ep_shards)
     return [
         *pre,
         *attention_step_kernels(model, layer, m_tokens=m_tokens,
@@ -215,6 +216,7 @@ def mlp_step_kernels(
     dtype: DType = DType.FP16,
     prefix: str = "dec",
     tp_shards: int = 1,
+    ep_shards: int = 1,
 ) -> tuple[list, list]:
     """The non-attention kernels of one layer step, as
     ``(before_attention, after_attention)`` lists.
@@ -231,8 +233,19 @@ def mlp_step_kernels(
     append writes only the shard's heads.  The two per-layer
     hidden-state all-reduces are *not* included — the caller charges
     them through :mod:`repro.gpu.interconnect`.
+
+    Mixture-of-experts models (:class:`~repro.models.moe.MoEConfig`
+    with routing) replace the dense FC1/GeLU/FC2 with the router gate,
+    dispatch, grouped expert GEMMs, and combine of
+    :func:`~repro.models.moe.moe_ffn_kernels`; ``ep_shards`` selects
+    one expert-parallel GPU's share (the EP all-to-alls are charged by
+    the caller, like the TP all-reduces).  The degenerate
+    ``n_experts=1, top_k=1`` config emits exactly the dense list.
     """
+    from repro.models.moe import check_ep_shards, moe_ffn_kernels
+
     _check_tp_shards(model, tp_shards)
+    check_ep_shards(model, ep_shards)
     d, dff = model.d_model, model.d_ff
     ds, dffs = d // tp_shards, dff // tp_shards
     m = m_tokens
@@ -243,6 +256,16 @@ def mlp_step_kernels(
                             tile_k=64, b_shared=True, name=name,
                             category=category)
 
+    if getattr(model, "is_moe", False):
+        ffn = moe_ffn_kernels(model, m_tokens=m, batch=batch, dtype=dtype,
+                              prefix=prefix, tp_shards=tp_shards,
+                              ep_shards=ep_shards)
+    else:
+        ffn = [
+            fc(dffs, d, f"{prefix}_ff1", CATEGORY.FEEDFORWARD),
+            AddBiasGeluKernel(batch * m * dffs, dtype=dtype),
+            fc(d, dffs, f"{prefix}_ff2", CATEGORY.FEEDFORWARD),
+        ]
     pre = [
         fc(ds, d, f"{prefix}_q_proj", CATEGORY.FC),
         fc(ds, d, f"{prefix}_k_proj", CATEGORY.FC),
@@ -255,9 +278,7 @@ def mlp_step_kernels(
         fc(d, ds, f"{prefix}_out_proj", CATEGORY.FC),
         ResidualAddKernel(batch * m * d, dtype=dtype),
         LayerNormKernel(batch * m, d, dtype=dtype),
-        fc(dffs, d, f"{prefix}_ff1", CATEGORY.FEEDFORWARD),
-        AddBiasGeluKernel(batch * m * dffs, dtype=dtype),
-        fc(d, dffs, f"{prefix}_ff2", CATEGORY.FEEDFORWARD),
+        *ffn,
         ResidualAddKernel(batch * m * d, dtype=dtype),
         LayerNormKernel(batch * m, d, dtype=dtype),
     ]

@@ -1,0 +1,433 @@
+"""Mixture-of-experts feed-forward layers (Mixtral-style).
+
+The paper's softmax recomposition is architecture-agnostic; this
+module extends the model zoo past the four dense paper models with
+sparsely-activated FFN blocks so the serving stack can price them:
+
+- :class:`MoEConfig` — a :class:`~repro.models.config.ModelConfig`
+  whose FFN is replicated into ``n_experts`` experts, each token
+  routed to its ``top_k`` best by a learned gate;
+- :func:`moe_ffn_kernels` — the per-step kernel launches of one MoE
+  FFN block: the router gate (a small MatMul feeding a row softmax —
+  the same :class:`~repro.kernels.softmax.RowSoftmaxKernel` family the
+  paper recomposes), a dispatch scatter, grouped expert GEMMs, and a
+  weighted combine;
+- :func:`expert_token_counts` / :func:`route_tokens` — the load model:
+  pricing assumes the capacity-bounded balanced assignment a tuned
+  router converges to, while :func:`route_tokens` draws a seeded
+  random routing for the ``moe.router_conservation`` oracle.
+
+Degeneracy contract: ``n_experts=1, top_k=1`` produces *exactly* the
+dense FFN kernel list (same names, shapes, and order), so every report
+downstream is byte-identical to the dense model's — the same contract
+the epoch engine keeps against the classic loop.
+
+Expert parallelism shards experts across ``ep_shards`` GPUs; each
+shard computes its own experts' GEMMs, and the caller charges the two
+all-to-alls (dispatch, combine) per layer through
+:func:`repro.gpu.interconnect.alltoall_time`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.common.dtypes import DType
+from repro.common.errors import ConfigError
+from repro.common.validation import require_positive
+from repro.kernels.base import CATEGORY
+from repro.kernels.elementwise import AddBiasGeluKernel, ResidualAddKernel
+from repro.kernels.matmul import MatMulKernel
+from repro.kernels.softmax import RowSoftmaxKernel
+from repro.models.config import (
+    AttentionKind,
+    AttentionSpec,
+    ModelConfig,
+    _REGISTRY,
+)
+
+__all__ = [
+    "MoEConfig",
+    "MIXTRAL_MOE",
+    "expert_token_counts",
+    "moe_ffn_kernels",
+    "route_tokens",
+]
+
+
+@dataclass(frozen=True)
+class MoEConfig(ModelConfig):
+    """A transformer whose FFN blocks are mixture-of-experts layers.
+
+    ``d_ff`` is the hidden width of *one* expert; every layer carries
+    ``n_experts`` of them plus a ``d_model x n_experts`` router gate.
+    ``capacity_factor`` bounds per-expert load the usual way: at most
+    ``ceil(capacity_factor * tokens * top_k / n_experts)`` token slots
+    per expert per step, overflow dropped by the router.
+    """
+
+    n_experts: int = 1
+    top_k: int = 1
+    capacity_factor: float = 1.25
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_positive("n_experts", self.n_experts)
+        require_positive("top_k", self.top_k)
+        if self.top_k > self.n_experts:
+            raise ConfigError(
+                f"{self.name}: top_k={self.top_k} exceeds "
+                f"n_experts={self.n_experts}"
+            )
+        if self.capacity_factor < 1.0:
+            raise ConfigError(
+                f"{self.name}: capacity_factor must be >= 1.0, got "
+                f"{self.capacity_factor}"
+            )
+
+    @property
+    def is_moe(self) -> bool:
+        """Whether any routing actually happens (degenerate 1/1 is a
+        plain dense model and prices as one)."""
+        return self.n_experts > 1
+
+    def expert_capacity(self, m_tokens: int) -> int:
+        """Token-slot cap of one expert for an ``m_tokens`` step."""
+        require_positive("m_tokens", m_tokens)
+        return math.ceil(
+            self.capacity_factor * m_tokens * self.top_k / self.n_experts
+        )
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: ModelConfig,
+        *,
+        n_experts: int,
+        top_k: int,
+        capacity_factor: float = 1.25,
+        name: "str | None" = None,
+    ) -> "MoEConfig":
+        """MoE-ify a dense config, replicating its FFN into experts.
+
+        The degenerate ``n_experts=1, top_k=1`` case keeps the dense
+        model's name (unless overridden) so downstream reports stay
+        byte-identical to the dense run.
+        """
+        if name is None:
+            if n_experts == 1 and top_k == 1:
+                name = dense.name
+            else:
+                name = f"{dense.name}-{n_experts}x{top_k}moe"
+        return cls(
+            name=name,
+            num_layers=dense.num_layers,
+            d_model=dense.d_model,
+            num_heads=dense.num_heads,
+            d_ff=dense.d_ff,
+            attention=dense.attention,
+            n_experts=n_experts,
+            top_k=top_k,
+            capacity_factor=capacity_factor,
+        )
+
+
+def moe_overrides(model: ModelConfig, *, n_experts: int, top_k: int,
+                  capacity_factor: float = 1.25) -> ModelConfig:
+    """Apply scenario-level MoE knobs to ``model``.
+
+    Identity when the knobs are degenerate and the model is not
+    already MoE (the byte-identity path); otherwise returns an
+    :class:`MoEConfig` with the requested routing.
+    """
+    if isinstance(model, MoEConfig):
+        if (n_experts, top_k) == (1, 1):
+            # Explicit degenerate override collapses back to dense.
+            return replace(model, n_experts=1, top_k=1,
+                           capacity_factor=capacity_factor)
+        return replace(model, n_experts=n_experts, top_k=top_k,
+                       capacity_factor=capacity_factor)
+    if n_experts == 1 and top_k == 1:
+        return model
+    return MoEConfig.from_dense(model, n_experts=n_experts, top_k=top_k,
+                                capacity_factor=capacity_factor)
+
+
+def expert_token_counts(config: MoEConfig, m_tokens: int) -> "tuple[int, ...]":
+    """Per-expert token counts the cost model prices for one step.
+
+    A tuned router load-balances, so pricing assumes the balanced
+    assignment: ``m_tokens * top_k`` routed slots split as evenly as
+    the integers allow, lowest-index experts taking the remainder.
+    Balanced counts never exceed :meth:`MoEConfig.expert_capacity`
+    (``capacity_factor >= 1``), so no priced token is ever dropped.
+    """
+    require_positive("m_tokens", m_tokens)
+    total = m_tokens * config.top_k
+    base, remainder = divmod(total, config.n_experts)
+    capacity = config.expert_capacity(m_tokens)
+    counts = tuple(
+        min(base + (1 if e < remainder else 0), capacity)
+        for e in range(config.n_experts)
+    )
+    return counts
+
+
+def route_tokens(config: MoEConfig, m_tokens: int, *, seed: int = 0):
+    """Seeded random top-k routing with capacity, for verification.
+
+    Returns ``(assignments, dropped)``: ``assignments`` is an
+    ``(m_tokens, top_k)`` int array of expert ids (``-1`` for a slot
+    dropped at capacity), ``dropped`` the number of dropped slots.
+    Every kept row slot holds a distinct expert; greedy in gate-score
+    order, honouring :meth:`MoEConfig.expert_capacity` exactly —
+    the properties ``moe.router_conservation`` checks.
+    """
+    import numpy as np
+
+    require_positive("m_tokens", m_tokens)
+    rng = np.random.default_rng((int(seed), 0x40E))
+    scores = rng.random((m_tokens, config.n_experts))
+    capacity = config.expert_capacity(m_tokens)
+    load = np.zeros(config.n_experts, dtype=np.int64)
+    assignments = np.full((m_tokens, config.top_k), -1, dtype=np.int64)
+    dropped = 0
+    for token in range(m_tokens):
+        ranked = np.argsort(-scores[token], kind="stable")
+        slot = 0
+        for expert in ranked:
+            if slot == config.top_k:
+                break
+            if load[expert] < capacity:
+                assignments[token, slot] = int(expert)
+                load[expert] += 1
+                slot += 1
+        dropped += config.top_k - slot
+    return assignments, dropped
+
+
+def _shard_expert_counts(counts: "tuple[int, ...]",
+                         ep_shards: int) -> "tuple[int, ...]":
+    """The heaviest EP shard's expert loads — the step's critical path.
+
+    Experts shard contiguously (``n_experts / ep_shards`` each); the
+    shard with the most routed tokens bounds the step, so that is the
+    one the cost model prices.
+    """
+    per_shard = len(counts) // ep_shards
+    shards = [counts[i * per_shard:(i + 1) * per_shard]
+              for i in range(ep_shards)]
+    return max(shards, key=sum)
+
+
+def moe_ffn_kernels(
+    model: MoEConfig,
+    *,
+    m_tokens: int,
+    batch: int = 1,
+    dtype: DType = DType.FP16,
+    prefix: str = "dec",
+    tp_shards: int = 1,
+    ep_shards: int = 1,
+) -> list:
+    """Kernel launches of one MoE FFN block over ``m_tokens`` tokens.
+
+    Router gate (MatMul + row softmax), dispatch scatter, one batched
+    GEMM pair per distinct expert load on the heaviest EP shard, and
+    the top-k weighted combine.  With ``tp_shards > 1`` each expert's
+    FC1/FC2 shard Megatron-style exactly like the dense FFN; the EP
+    all-to-alls are charged by the caller through
+    :mod:`repro.gpu.interconnect`.
+    """
+    check_ep_shards(model, ep_shards)
+    d = model.d_model
+    dffs = model.d_ff // tp_shards
+    m = m_tokens * batch
+
+    gate = [
+        MatMulKernel(batch=1, m=m, n=model.n_experts, k=d, dtype=dtype,
+                     tile_m=min(128, max(1, m)), tile_n=128, tile_k=64,
+                     b_shared=True, name=f"{prefix}_router_gate",
+                     category=CATEGORY.FC),
+        RowSoftmaxKernel(rows=m, length=model.n_experts, dtype=dtype,
+                         name=f"{prefix}_router_softmax"),
+    ]
+    counts = _shard_expert_counts(
+        expert_token_counts(model, m), ep_shards)
+    routed = sum(counts)
+    dispatch = [_MoEDispatchKernel(routed * d, dtype)] if routed else []
+
+    # Experts with identical loads run as one batched GEMM (the
+    # grouped-GEMM dataflow); distinct loads launch separately,
+    # heaviest first.
+    groups: "dict[int, int]" = {}
+    for count in counts:
+        if count:
+            groups[count] = groups.get(count, 0) + 1
+    experts = []
+    for count in sorted(groups, reverse=True):
+        n_same = groups[count]
+        tile_m = min(128, max(1, count))
+        experts.extend([
+            MatMulKernel(batch=n_same, m=count, n=dffs, k=d, dtype=dtype,
+                         tile_m=tile_m, tile_n=128, tile_k=64,
+                         name=f"{prefix}_expert_ff1",
+                         category=CATEGORY.FEEDFORWARD),
+            AddBiasGeluKernel(n_same * count * dffs, dtype=dtype),
+            MatMulKernel(batch=n_same, m=count, n=d, k=dffs, dtype=dtype,
+                         tile_m=tile_m, tile_n=128, tile_k=64,
+                         name=f"{prefix}_expert_ff2",
+                         category=CATEGORY.FEEDFORWARD),
+        ])
+    combine = [_MoECombineKernel(routed * d, model.top_k, dtype)] \
+        if routed else []
+    return [*gate, *dispatch, *experts, *combine]
+
+
+def check_ep_shards(model: ModelConfig, ep_shards: int) -> None:
+    """Validate an expert-parallel degree against ``model``."""
+    require_positive("ep_shards", ep_shards)
+    if ep_shards == 1:
+        return
+    n_experts = getattr(model, "n_experts", 1)
+    if n_experts <= 1:
+        raise ConfigError(
+            f"{model.name}: expert parallelism (ep={ep_shards}) needs a "
+            f"mixture-of-experts model with n_experts > 1"
+        )
+    if n_experts % ep_shards != 0:
+        raise ConfigError(
+            f"{model.name}: {n_experts} experts do not shard across "
+            f"{ep_shards} GPUs"
+        )
+
+
+def routed_bytes(model: ModelConfig, total_tokens: int,
+                 dtype: DType) -> int:
+    """Activation bytes one EP all-to-all moves for a step's tokens."""
+    top_k = getattr(model, "top_k", 1)
+    return total_tokens * top_k * model.d_model * dtype.nbytes
+
+
+class _MoEDispatchKernel(ResidualAddKernel):
+    """Scatter routed token rows into per-expert contiguous buffers."""
+
+    def __init__(self, elements: int, dtype: DType) -> None:
+        super().__init__(elements, dtype=dtype)
+        self.name = "moe_dispatch"
+        self.reads_per_element = 1.0
+        self.writes_per_element = 1.0
+        self.flops_per_element = 0.0
+
+
+class _MoECombineKernel(ResidualAddKernel):
+    """Gate-weighted sum of each token's top-k expert outputs."""
+
+    def __init__(self, elements: int, top_k: int, dtype: DType) -> None:
+        super().__init__(elements, dtype=dtype)
+        self.name = "moe_combine"
+        self.reads_per_element = 1.0
+        self.writes_per_element = 1.0 / max(1, top_k)
+        self.flops_per_element = 2.0  # gate multiply + accumulate
+
+
+#: Mixtral-style sparse decoder: the GPT-Neo-class dense backbone with
+#: eight experts per layer, two active per token.
+MIXTRAL_MOE = MoEConfig(
+    name="Mixtral-MoE",
+    num_layers=24,
+    d_model=1024,
+    num_heads=16,
+    d_ff=4096,
+    attention=(AttentionSpec(kind=AttentionKind.DENSE_CAUSAL),),
+    n_experts=8,
+    top_k=2,
+    capacity_factor=1.25,
+)
+
+_REGISTRY.setdefault("mixtral", MIXTRAL_MOE)
+_REGISTRY.setdefault("mixtral-moe", MIXTRAL_MOE)
+
+
+def verification_oracles():
+    """Oracle for the routing model: conservation under capacity.
+
+    For every serving-family case a seeded random routing is drawn for
+    a case-derived (tokens, experts, top_k, capacity_factor) shape;
+    every token must hold exactly ``top_k`` slots (distinct experts,
+    or ``-1`` drops), no expert may exceed its capacity, and the
+    kept + dropped slot totals must conserve ``tokens * top_k``.  The
+    priced balanced assignment must conserve the same total with zero
+    drops.  The actual/expected pair compares kept+dropped against the
+    routed slot total under the EXACT contract.
+    """
+    import numpy as np
+
+    from repro.common.dtypes import DType
+    from repro.verify.contracts import EXACT
+    from repro.verify.invariants import Violation
+    from repro.verify.registry import OracleSpec
+
+    def run(case):
+        seed = int(case.params.get("case_seed", 0))
+        rng = np.random.default_rng((seed, 0x0E0E))
+        n_experts = int(rng.integers(2, 17))
+        top_k = int(rng.integers(1, n_experts + 1))
+        m_tokens = int(rng.integers(1, 257))
+        capacity_factor = float(rng.uniform(1.0, 2.0))
+        config = MoEConfig.from_dense(
+            ModelConfig(name="oracle-moe", num_layers=2, d_model=128,
+                        num_heads=4, d_ff=256,
+                        attention=(AttentionSpec(kind=AttentionKind.DENSE),)),
+            n_experts=n_experts, top_k=top_k,
+            capacity_factor=capacity_factor,
+        )
+        assignments, dropped = route_tokens(config, m_tokens, seed=seed)
+        capacity = config.expert_capacity(m_tokens)
+        violations = []
+        kept = int((assignments >= 0).sum())
+        for token in range(m_tokens):
+            slots = assignments[token]
+            live = slots[slots >= 0]
+            if len(np.unique(live)) != len(live):
+                violations.append(Violation(
+                    "distinct_experts",
+                    f"token {token} routed twice to one expert: "
+                    f"{slots.tolist()}"))
+                break
+        loads = np.bincount(assignments[assignments >= 0],
+                            minlength=n_experts)
+        if loads.max(initial=0) > capacity:
+            violations.append(Violation(
+                "capacity_respected",
+                f"expert load {int(loads.max())} exceeds capacity "
+                f"{capacity} (factor {capacity_factor:.3f})"))
+        priced = expert_token_counts(config, m_tokens)
+        if sum(priced) != m_tokens * top_k:
+            violations.append(Violation(
+                "priced_conservation",
+                f"balanced counts {priced} sum to {sum(priced)}, "
+                f"expected {m_tokens * top_k}"))
+        if max(priced) > capacity:
+            violations.append(Violation(
+                "priced_capacity",
+                f"balanced count {max(priced)} exceeds capacity "
+                f"{capacity}"))
+        return {
+            "actual": np.float64(kept + dropped),
+            "expected": np.float64(m_tokens * top_k),
+            "violations": violations,
+        }
+
+    return [
+        OracleSpec(
+            name="moe.router_conservation",
+            family="serving",
+            run=run,
+            contracts={DType.FP32: EXACT, DType.FP16: EXACT},
+            description="every token routed to exactly top_k distinct "
+                        "experts (or counted dropped) under the capacity "
+                        "bound; priced balanced loads conserve tokens",
+        ),
+    ]

@@ -165,6 +165,13 @@ class InferenceSession:
     ) -> None:
         self.model = get_model(model) if isinstance(model, str) else model
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        if getattr(self.model, "is_moe", False):
+            raise ConfigError(
+                f"{self.model.name}: the single-pass inference session "
+                f"executes layers numerically and does not route "
+                f"mixture-of-experts FFNs; run MoE scenarios through the "
+                f"serving simulators (serve-sim / cluster-sim)"
+            )
         # PlanSource is the one resolution point: fixed names/enums,
         # "auto" (measured selection), or a tuned-plan artifact path.
         self.plan = resolve_plan(plan, model=self.model, gpu=self.gpu,

@@ -59,6 +59,7 @@ class StepCostModel:
         t: int = 64,
         kv_bucket: int = 64,
         tp_shards: int = 1,
+        ep_shards: int = 1,
     ) -> None:
         self.model = get_model(model) if isinstance(model, str) else model
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
@@ -78,6 +79,14 @@ class StepCostModel:
         #: composes them on top.
         _check_tp_shards(self.model, tp_shards)
         self.tp_shards = tp_shards
+        #: Expert-parallel shards for MoE models (1 = all experts
+        #: resident).  Like TP, only the compute share is priced here;
+        #: the dispatch/combine all-to-alls are composed by
+        #: :class:`repro.cluster.costmodel.ShardedStepCostModel`.
+        from repro.models.moe import check_ep_shards
+
+        check_ep_shards(self.model, ep_shards)
+        self.ep_shards = ep_shards
         self._device = Device(self.gpu)
         # One representative layer index per distinct attention spec.
         layer_of_spec = {
@@ -103,7 +112,8 @@ class StepCostModel:
         if cached is None:
             pre, post = mlp_step_kernels(self.model, m_tokens=m_tokens,
                                          dtype=self.dtype, prefix="step",
-                                         tp_shards=self.tp_shards)
+                                         tp_shards=self.tp_shards,
+                                         ep_shards=self.ep_shards)
             cached = self._simulate(pre + post)
             self._mlp_cache[m_tokens] = cached
         return cached

@@ -101,6 +101,16 @@ class EpochEngine:
         Tracing callback ``(step, ts=..., dur=..., comm=...)`` invoked
         for every classic step while the tracer is enabled.  Traced
         runs never take the epoch path, so callbacks see every step.
+    spec_decode:
+        Optional :class:`~repro.serving.specdecode.SpecDecodeRuntime`.
+        When set, decode runs in speculative rounds: the scheduler
+        grows each decoding request by ``tokens_per_round``, the
+        target model prices the multi-token verify pass as a
+        prefill-shaped entry, and the draft model's γ decode steps are
+        added on top.  ``None`` (the default) takes the historical
+        single-token path untouched — reports stay byte-identical.
+        Speculation forces the classic per-step loop; the epoch fast
+        path assumes one token per step.
     """
 
     def __init__(
@@ -113,6 +123,7 @@ class EpochEngine:
         epoch: bool = True,
         max_epoch: int = DEFAULT_MAX_EPOCH,
         on_step=None,
+        spec_decode=None,
     ) -> None:
         self.cost = cost
         self.memory = memory
@@ -121,6 +132,9 @@ class EpochEngine:
         self.epoch = epoch
         self.max_epoch = max_epoch
         self.on_step = on_step
+        self.spec_decode = spec_decode
+        self._spec_tokens = (1 if spec_decode is None
+                             else spec_decode.tokens_per_round)
         #: ``step_cost`` is the sharded cost model's entry point; its
         #: presence is what makes this a cluster-replica engine.
         self._step_cost = getattr(cost, "step_cost", None)
@@ -195,7 +209,7 @@ class EpochEngine:
         pending arrival), and at most ``max_new_steps`` are taken on
         the fast path.
         """
-        if self.epoch and not self.tracer.enabled:
+        if self.epoch and not self.tracer.enabled and self.spec_decode is None:
             scheduler = self.scheduler
             scheduler.admit(self.clock)
             running = scheduler.running
@@ -207,13 +221,38 @@ class EpochEngine:
         return self._classic_step()
 
     def _classic_step(self) -> int:
-        """One step of the pre-epoch event loop, verbatim."""
+        """One step of the pre-epoch event loop, verbatim.
+
+        Under speculative decoding the step is one *round*: multi-token
+        decode entries split into verify work — priced exactly like a
+        chunked-prefill entry of ``emitted`` query rows against the
+        post-round KV — while single-token entries (a request with one
+        token left speculates nothing) stay on the decode price, and
+        the draft model's γ sequential decode steps over the
+        speculating requests are added to the round's latency.
+        """
         scheduler = self.scheduler
-        step = scheduler.schedule(self.clock)
+        step = scheduler.schedule(self.clock, spec_tokens=self._spec_tokens)
         if step.is_empty:
             return 0
         prefill = [(chunk, kv) for _, chunk, kv in step.prefill]
-        decode_kv = [kv for _, kv in step.decode]
+        draft = 0.0
+        if self.spec_decode is None:
+            decode_kv = [kv for _, kv in step.decode]
+        else:
+            decode_kv = []
+            draft_kv = []
+            for request, kv_after in step.decode:
+                emitted = kv_after - request.kv_tokens
+                if emitted > 1:
+                    prefill.append((emitted, kv_after))
+                else:
+                    decode_kv.append(kv_after)
+                # Every decoding request drafts — a round that ends up
+                # rejected (or capped to one emitted token) still paid
+                # the draft model's γ steps.
+                draft_kv.append(request.kv_tokens + 1)
+            draft = self.spec_decode.draft_time(draft_kv)
         if self._step_cost is not None:
             total, comm = self._step_cost(prefill=prefill,
                                           decode_kv=decode_kv)
@@ -221,6 +260,7 @@ class EpochEngine:
             total = self.cost.step_time(prefill=prefill,
                                         decode_kv=decode_kv)
             comm = 0.0
+        total += draft
         if self.tracer.enabled and self.on_step is not None:
             self.on_step(step, ts=self.clock, dur=total, comm=comm)
         self.clock += total

@@ -175,7 +175,7 @@ class ContinuousBatchingScheduler:
 
     # -- step construction ----------------------------------------------
 
-    def schedule(self, now: float) -> ScheduledStep:
+    def schedule(self, now: float, *, spec_tokens: int = 1) -> ScheduledStep:
         """Admit what fits, then build the next engine step.
 
         Decode comes first (running requests keep their token cadence);
@@ -183,7 +183,14 @@ class ContinuousBatchingScheduler:
         requests afterwards.  All memory growth happens here, before
         the step notionally executes, so the pool can never be
         over-committed mid-step.
+
+        ``spec_tokens`` is the expected tokens one speculative
+        decode round emits per request (1 = plain decode): each decode
+        entry grows its KV by up to that many tokens, capped by the
+        request's remaining output.  At 1 the step is byte-identical
+        to the historical single-token schedule.
         """
+        require_positive("spec_tokens", spec_tokens)
         self._admit(now)
         step = ScheduledStep()
         # The membership re-checks only matter once a preemption has
@@ -195,10 +202,12 @@ class ContinuousBatchingScheduler:
                 continue  # preempted by an earlier iteration
             if request.prefilled < request.prefill_target:
                 continue  # still prefilling
+            emit = min(spec_tokens, request.output_len - request.generated)
+            emit = max(1, emit)
             while True:
                 try:
                     self.memory.grow(request.request_id,
-                                     request.kv_tokens + 1)
+                                     request.kv_tokens + emit)
                     break
                 except ServingError:
                     victim = self._preempt_tail(now)
@@ -206,7 +215,7 @@ class ContinuousBatchingScheduler:
                     if victim is request:
                         break  # evicted itself; skip this step
             if not preempted or request in self.running:
-                step.decode.append((request, request.kv_tokens + 1))
+                step.decode.append((request, request.kv_tokens + emit))
 
         budget = self.chunk_tokens
         for request in list(self.running):
@@ -254,7 +263,9 @@ class ContinuousBatchingScheduler:
                         self._finish(request, now)
                         finished.append(request)
         for request, kv_after in step.decode:
-            request.generated += 1
+            # One token on the plain decode path; a speculative round
+            # lands every accepted token of the round at once.
+            request.generated += kv_after - request.kv_tokens
             request.kv_tokens = kv_after
             if request.generated >= request.output_len:
                 self._finish(request, now)

@@ -87,6 +87,9 @@ class ServingSimulator:
         engine: str = "epoch",
         max_epoch: int = DEFAULT_MAX_EPOCH,
         latency_cutover: int = EXACT_PERCENTILE_CUTOVER,
+        draft_model: "ModelConfig | str | None" = None,
+        draft_len: int = 4,
+        accept_rate: float = 1.0,
     ) -> None:
         if (requests is None) == (workload is None):
             raise ServingError(
@@ -128,6 +131,27 @@ class ServingSimulator:
             self._workload = workload
         self.cost = StepCostModel(self.model, self.gpu, plan=self.plan,
                                   dtype=self.dtype, t=self.t)
+        # Speculative decoding: the draft model gets its own cost model
+        # on the same GPU/plan/dtype so its γ decode steps per round are
+        # priced through the identical kernel stack.
+        self._spec_runtime = None
+        if draft_model is not None:
+            from repro.serving.specdecode import (
+                SpecDecodeConfig,
+                SpecDecodeRuntime,
+            )
+
+            config = SpecDecodeConfig(
+                draft_model=(get_model(draft_model)
+                             if isinstance(draft_model, str)
+                             else draft_model),
+                draft_len=draft_len,
+                accept_rate=accept_rate,
+            )
+            draft_cost = StepCostModel(config.draft_model, self.gpu,
+                                       plan=self.plan, dtype=self.dtype,
+                                       t=self.t)
+            self._spec_runtime = SpecDecodeRuntime(config, draft_cost)
 
     @property
     def num_requests(self) -> int:
@@ -178,6 +202,7 @@ class ServingSimulator:
             cost=self.cost, memory=memory, scheduler=scheduler,
             tracer=tracer, epoch=self.engine == "epoch",
             max_epoch=self.max_epoch, on_step=trace_step,
+            spec_decode=self._spec_runtime,
         )
         # Below the cutover (or whenever tracing needs per-request
         # spans) requests are retained and the report is exact; above
@@ -265,13 +290,22 @@ class ServingSimulator:
         pid, tid = tracer.track(lane, "steps")
         decode = len(step.decode)
         chunk_tokens = sum(chunk for _, chunk, _ in step.prefill)
+        args = {"decode": decode,
+                "prefill_chunks": len(step.prefill),
+                "prefill_tokens": chunk_tokens,
+                "running": len(scheduler.running),
+                "waiting": len(scheduler.waiting)}
+        if self._spec_runtime is not None:
+            # Called before complete_step, so kv_tokens is still the
+            # pre-round length — the delta is this round's emission.
+            emitted = sum(kv - r.kv_tokens for r, kv in step.decode)
+            args["spec_emitted"] = emitted
+            args["spec_verify_rows"] = sum(
+                1 for r, kv in step.decode if kv - r.kv_tokens > 1)
+            tracer.metrics.counter(f"{lane}.spec_emitted").add(emitted)
         tracer.complete(
             "engine step", "engine-step", ts=ts, dur=dur, pid=pid, tid=tid,
-            args={"decode": decode,
-                  "prefill_chunks": len(step.prefill),
-                  "prefill_tokens": chunk_tokens,
-                  "running": len(scheduler.running),
-                  "waiting": len(scheduler.waiting)},
+            args=args,
         )
         tracer.counter(
             f"{lane} occupancy", ts=ts, pid=pid,
@@ -324,12 +358,17 @@ def simulate_serving(
             block_tokens=block_tokens, arrival=arrival,
         )
     reports = {}
-    num_requests = None
+    # Counted up front from the stream itself, not inside the plan
+    # loop: a trace-driven run (or an empty ``plans`` tuple) must still
+    # report how many requests were actually loaded.
+    if requests is not None:
+        num_requests = len(requests)
+    else:
+        num_requests = len(workload.request_arrays())
     for plan in plans:
         sim = ServingSimulator(model, gpu, plan=PlanSource.of(plan),
                                requests=requests, workload=workload,
                                **kwargs)
-        num_requests = sim.num_requests
         reports[sim.plan.value] = sim.run()
     tracer = current_tracer()
     return ServingReport(
@@ -338,7 +377,7 @@ def simulate_serving(
         rate=rate,
         duration=duration,
         seed=seed,
-        num_requests=num_requests if num_requests is not None else 0,
+        num_requests=num_requests,
         plans=reports,
         trace_summary=tracer.summary() if tracer.enabled else None,
         arrival=arrival.describe() if arrival is not None else None,

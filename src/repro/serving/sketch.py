@@ -101,14 +101,21 @@ class QuantileSketch:
         """
         if other.count == 0:
             return
-        other._flush()
-        self._flush()
-        self.count += other.count
         self._min = min(self._min, other._min)
         self._max = max(self._max, other._max)
-        means = np.concatenate([self._means, other._means])
-        weights = np.concatenate([self._weights, other._weights])
-        self._means, self._weights = self._compress(means, weights)
+        if len(other._means):
+            self._flush()
+            self.count += other.count - len(other._buffer)
+            means = np.concatenate([self._means, other._means])
+            weights = np.concatenate([self._weights, other._weights])
+            self._means, self._weights = self._compress(means, weights)
+        # Values still sitting in ``other``'s buffer have not been
+        # binned yet; replaying them through the streaming path keeps a
+        # merge at a flush boundary byte-identical to having streamed
+        # the same values into ``self`` directly.  ``other`` is left
+        # untouched.
+        for value in other._buffer:
+            self.add(value)
 
     # -- compression ----------------------------------------------------
 

@@ -1,0 +1,194 @@
+"""Speculative decoding for the serving simulator.
+
+A speculative round runs a small *draft* model ``draft_len`` decode
+steps ahead, then verifies the drafted tokens with one target-model
+forward pass over all of them at once — the verify pass is shaped like
+a tiny chunked prefill (``draft_len + 1`` query rows against the KV
+cache), which is exactly how the cost model prices it.  Acceptance is
+modeled deterministically in expectation: with acceptance rate ``a``
+every round emits
+
+``tokens_per_round = 1 + floor(a * draft_len)``
+
+target tokens (the verified prefix plus the bonus token), so a fixed
+(stream, config) pair still yields a byte-identical report — the same
+determinism contract everything else in the simulator keeps.
+
+Disabled speculation (``draft_model=None``, the default) takes the
+historical single-token path untouched, so reports are byte-identical
+to earlier releases; ``accept_rate=1.0`` reproduces the
+non-speculative *schedule* (same finished set, same per-request token
+counts) while landing ``draft_len + 1`` tokens per round — the
+``serving.spec_decode_equivalence`` oracle pins that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ServingError
+from repro.common.validation import require_positive
+
+__all__ = ["SpecDecodeConfig", "SpecDecodeRuntime"]
+
+
+@dataclass(frozen=True)
+class SpecDecodeConfig:
+    """Scenario-level speculative decoding knobs.
+
+    ``draft_model`` names the proposer (any registry model or a
+    :class:`~repro.models.config.ModelConfig`); ``draft_len`` is the
+    speculation depth γ; ``accept_rate`` the modeled per-round
+    acceptance probability in [0, 1].
+    """
+
+    draft_model: object
+    draft_len: int = 4
+    accept_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.draft_model is None:
+            raise ServingError(
+                "speculative decoding needs a draft_model; leave the "
+                "whole config unset to disable speculation"
+            )
+        require_positive("draft_len", self.draft_len)
+        if not 0.0 <= self.accept_rate <= 1.0:
+            raise ServingError(
+                f"accept_rate must be in [0, 1], got {self.accept_rate!r}"
+            )
+
+    @property
+    def tokens_per_round(self) -> int:
+        """Deterministic expected tokens one round emits (>= 1)."""
+        return 1 + int(self.accept_rate * self.draft_len)
+
+
+class SpecDecodeRuntime:
+    """A :class:`SpecDecodeConfig` bound to a draft-model cost model.
+
+    The engine consumes this: ``tokens_per_round`` drives the
+    scheduler's per-round KV growth, :meth:`draft_time` prices the
+    ``draft_len`` sequential draft-model decode steps of one round
+    over the speculating requests' pre-round KV lengths.
+    """
+
+    def __init__(self, config: SpecDecodeConfig, draft_cost) -> None:
+        self.config = config
+        self.draft_cost = draft_cost
+        self.draft_len = config.draft_len
+        self.tokens_per_round = config.tokens_per_round
+
+    def draft_time(self, draft_kv: "list[int]") -> float:
+        """Draft-model time of one round (γ decode steps, priced at the
+        round's starting KV lengths — bucketing absorbs the within-
+        round growth)."""
+        if not draft_kv:
+            return 0.0
+        return self.draft_len * self.draft_cost.decode_step_time(draft_kv)
+
+
+def verification_oracles():
+    """Oracle pinning schedule equivalence at ``accept_rate=1.0``.
+
+    For every serving-family case a seeded synthetic request stream
+    runs twice through the event-loop simulator: once plain, once
+    speculating with full acceptance.  The speculative run must finish
+    the same request set with the same per-request token counts —
+    speculation reshapes *when* tokens land, never *which* tokens
+    exist.  (Completion *order* is deliberately not compared: rounds
+    compress staggered requests' timelines unevenly, so relative
+    finish order is a timing property, not a schedule one.)
+    actual/expected compare the per-request generated counts in
+    request-id order under the EXACT contract.
+    """
+    import numpy as np
+
+    from repro.common.dtypes import DType
+    from repro.verify.contracts import EXACT
+    from repro.verify.invariants import Violation
+    from repro.verify.registry import OracleSpec
+
+    def run(case):  # noqa: C901 - linear scenario setup
+        from repro.models.config import (
+            AttentionKind,
+            AttentionSpec,
+            ModelConfig,
+        )
+        from repro.core.plansource import PlanSource
+        from repro.serving.requests import Request
+        from repro.serving.simulator import ServingSimulator
+
+        seed = int(case.params.get("case_seed", 0))
+        rng = np.random.default_rng((seed, 0x5DEC))
+        tiny = ModelConfig(
+            "tiny-causal", num_layers=2, d_model=128, num_heads=4,
+            d_ff=256,
+            attention=(AttentionSpec(AttentionKind.DENSE_CAUSAL),),
+        )
+        draft = ModelConfig(
+            "tiny-draft", num_layers=1, d_model=64, num_heads=2,
+            d_ff=128,
+            attention=(AttentionSpec(AttentionKind.DENSE_CAUSAL),),
+        )
+        n = int(rng.integers(3, 9))
+        requests = [
+            Request(
+                request_id=i,
+                arrival_time=float(rng.uniform(0.0, 0.05)) * i,
+                prompt_len=int(rng.integers(32, 257)),
+                output_len=int(rng.integers(2, 33)),
+            )
+            for i in range(n)
+        ]
+        draft_len = int(rng.integers(1, 9))
+
+        class CapturingSim(ServingSimulator):
+            def _iter_requests(self):
+                self.captured = []
+                for request in super()._iter_requests():
+                    self.captured.append(request)
+                    yield request
+
+        def outcome(**spec_kwargs):
+            sim = CapturingSim(
+                tiny, "A100", plan=PlanSource.of("baseline"),
+                requests=requests,
+                chunk_tokens=256, max_batch=4, engine="event",
+                **spec_kwargs,
+            )
+            sim.run()
+            finished = {r.request_id for r in sim.captured
+                        if r.finish_time is not None}
+            generated = {r.request_id: r.generated
+                         for r in sim.captured}
+            return generated, finished
+
+        plain_counts, plain_done = outcome()
+        spec_counts, spec_done = outcome(
+            draft_model=draft, draft_len=draft_len, accept_rate=1.0)
+        violations = []
+        if plain_done != spec_done:
+            violations.append(Violation(
+                "finished_set",
+                f"finished sets diverged: {sorted(plain_done)} vs "
+                f"{sorted(spec_done)}"))
+        ids = sorted(plain_counts)
+        actual = np.asarray(
+            [spec_counts.get(i, -1) for i in ids], dtype=np.float64)
+        expected = np.asarray(
+            [plain_counts[i] for i in ids], dtype=np.float64)
+        return {"actual": actual, "expected": expected,
+                "violations": violations}
+
+    return [
+        OracleSpec(
+            name="serving.spec_decode_equivalence",
+            family="serving",
+            run=run,
+            contracts={DType.FP32: EXACT, DType.FP16: EXACT},
+            description="accept_rate=1.0 speculative runs reproduce the "
+                        "non-speculative schedule: same finished set and "
+                        "per-request token counts",
+        ),
+    ]

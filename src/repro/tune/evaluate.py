@@ -187,6 +187,37 @@ class ScenarioEvaluator:
             )
         return None, self._workloads[fidelity]
 
+    def _resolve_model(self, config):
+        """The scenario's model with any searched MoE fan-out applied.
+
+        ``resolve_model`` already applies the scenario's own overlay;
+        a ``top_k`` axis value re-overlays on top of it (the overlay is
+        idempotent for everything but the searched knob).
+        """
+        model = self.spec.resolve_model()
+        if "top_k" in config:
+            from repro.models.config import get_model
+            from repro.models.moe import moe_overrides
+
+            moe = self.spec.moe
+            model = moe_overrides(
+                get_model(model) if isinstance(model, str) else model,
+                n_experts=moe.n_experts, top_k=int(config["top_k"]),
+                capacity_factor=moe.capacity_factor,
+            )
+        return model
+
+    def _spec_decode_kwargs(self, config):
+        """Speculative-decoding knobs, with any searched draft depth."""
+        workload = self.spec.workload
+        if workload.draft_model is None:
+            return {}
+        return {
+            "draft_model": workload.draft_model,
+            "draft_len": int(config.get("draft_len", workload.draft_len)),
+            "accept_rate": workload.accept_rate,
+        }
+
     def _evaluate_serving(self, config, fidelity: float):
         from repro.core.plansource import PlanSource
         from repro.serving.simulator import ServingSimulator
@@ -194,13 +225,14 @@ class ScenarioEvaluator:
         spec = self.spec
         requests, workload = self._stream(fidelity)
         return ServingSimulator(
-            spec.resolve_model(), spec.gpu,
+            self._resolve_model(config), spec.gpu,
             plan=PlanSource.of(str(config["plan"])),
             requests=requests, workload=workload,
             chunk_tokens=int(config["chunk_tokens"]),
             max_batch=int(config["max_batch"]),
             block_tokens=spec.workload.block_tokens,
             t=int(config["t"]), engine=spec.workload.engine,
+            **self._spec_decode_kwargs(config),
         ).run()
 
     def _evaluate_cluster(self, config, fidelity: float):
@@ -210,11 +242,12 @@ class ScenarioEvaluator:
         spec = self.spec
         requests, workload = self._stream(fidelity)
         return ClusterSimulator(
-            spec.resolve_model(), spec.gpu,
+            self._resolve_model(config), spec.gpu,
             plan=PlanSource.of(str(config["plan"])),
             requests=requests, workload=workload,
             replicas=spec.sharding.replicas,
             tp=int(config["tp"]), pp=int(config["pp"]),
+            ep=spec.sharding.ep,
             policy=str(config["policy"]),
             algorithm=spec.sharding.algorithm,
             interconnect=spec.interconnect_spec(),
@@ -223,6 +256,7 @@ class ScenarioEvaluator:
             block_tokens=spec.workload.block_tokens,
             t=int(config["t"]), engine=spec.workload.engine,
             jobs=spec.sharding.jobs,
+            **self._spec_decode_kwargs(config),
         ).run()
 
 

@@ -91,6 +91,31 @@ def _default_plan(spec) -> str:
     return spec.plans[-1]
 
 
+def _conditional_axes(spec):
+    """Axes that exist only when the scenario enables their subsystem.
+
+    MoE scenarios search the routing fan-out (``top_k``: candidate
+    values capped at the expert count, always including the scenario's
+    own); speculative scenarios search the draft depth (``draft_len``).
+    Dense, non-speculative scenarios get neither axis, so their grids
+    — and tuned-plan artifacts — are unchanged.
+    """
+    axes = ()
+    default = {}
+    moe = getattr(spec, "moe", None)
+    if moe is not None and moe.n_experts > 1:
+        top_k = tuple(sorted({k for k in (1, 2, 4) if k <= moe.n_experts}
+                             | {moe.top_k}))
+        axes += (("top_k", top_k),)
+        default["top_k"] = moe.top_k
+    if spec.workload.draft_model is not None:
+        draft_len = tuple(sorted({1, 2, 4, 8}
+                                 | {spec.workload.draft_len}))
+        axes += (("draft_len", draft_len),)
+        default["draft_len"] = spec.workload.draft_len
+    return axes, default
+
+
 def inference_space(spec) -> SearchSpace:
     """Plan x tile width, scored by single-inference latency."""
     return SearchSpace(
@@ -103,19 +128,24 @@ def inference_space(spec) -> SearchSpace:
 
 
 def serving_space(spec) -> SearchSpace:
-    """Plan x tile x engine knobs, scored through the serving simulator."""
+    """Plan x tile x engine knobs, scored through the serving simulator.
+
+    MoE scenarios additionally search ``top_k``; speculative scenarios
+    search ``draft_len`` (see :func:`_conditional_axes`)."""
+    extra_axes, extra_default = _conditional_axes(spec)
     return SearchSpace(
         axes=(
             ("plan", SERVING_PLAN_NAMES),
             ("t", TILE_WIDTHS),
             ("chunk_tokens", (256, 512, 1024)),
             ("max_batch", (8, 16, 32, 64)),
-        ),
+        ) + extra_axes,
         default={
             "plan": _default_plan(spec),
             "t": spec.workload.t,
             "chunk_tokens": spec.workload.chunk_tokens,
             "max_batch": spec.workload.max_batch,
+            **extra_default,
         },
     )
 

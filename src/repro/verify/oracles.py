@@ -33,6 +33,8 @@ HOOK_MODULES = (
     "repro.sparse.bsflash",
     "repro.serving.costmodel",
     "repro.serving.sketch",
+    "repro.serving.specdecode",
+    "repro.models.moe",
     "repro.gpu.interconnect",
     "repro.controlplane.controller",
 )

@@ -32,6 +32,8 @@ FAST_ARGS = {
     "parallel": ["--seq-len", "512"],
     "roofline": ["--seq-len", "512"],
     "footprint": ["--seq-len", "512"],
+    "seq2seq": ["--config", "base", "--src-len", "256",
+                "--tgt-len", "64"],
     "serve-sim": ["--rate", "2", "--duration", "3"],
     "cluster-sim": ["--rate", "2", "--duration", "3", "--replicas", "2"],
     "controlplane-sim": ["--rate", "2", "--duration", "3",
@@ -55,6 +57,7 @@ EXPECTED_KIND = {
     "parallel": "parallel-scaling",
     "roofline": "roofline",
     "footprint": "footprint",
+    "seq2seq": "inference",
     "serve-sim": "serving-report",
     "cluster-sim": "cluster-report",
     "controlplane-sim": "controlplane-report",
@@ -143,6 +146,77 @@ class TestOutputContract:
         assert document["summary"]["spans"] > 0
         assert validate_nesting(document["traceEvents"]) == []
         assert run_cli(capsys, *argv) == out
+
+class TestSeq2Seq:
+    """The encoder-decoder CLI path (``repro seq2seq``)."""
+
+    def test_json_names_the_variant(self, capsys):
+        for variant, name in (("base", "Transformer-base"),
+                              ("big", "Transformer-big")):
+            out = run_cli(capsys, "seq2seq", "--config", variant,
+                          "--src-len", "256", "--tgt-len", "64",
+                          "--json")
+            document = json.loads(out)
+            assert document["kind"] == "inference"
+            assert document["model"].startswith(name)
+            assert document["total_time_s"] > 0
+            assert 0 < document["softmax_time_fraction"] < 1
+
+    def test_json_matches_output_file(self, capsys, tmp_path):
+        path = tmp_path / "seq2seq.json"
+        argv = ("seq2seq", "--config", "base", "--src-len", "256",
+                "--tgt-len", "64")
+        printed = run_cli(capsys, *argv, "--json")
+        run_cli(capsys, *argv, "--output", str(path))
+        assert json.loads(printed) == json.loads(path.read_text())
+
+
+class TestMoESpecDecodeCLI:
+    """MoE and speculative-decoding scenarios through the CLI, plus
+    their degeneracy guarantees: disabled knobs reproduce the dense
+    reports byte-for-byte."""
+
+    BASE = ("serve-sim", "--rate", "2", "--duration", "3",
+            "--seed", "0", "--plans", "baseline,sdf")
+
+    def test_moe_flags_reach_the_report(self, capsys):
+        out = run_cli(capsys, *self.BASE, "--n-experts", "8",
+                      "--top-k", "2", "--json")
+        document = json.loads(out)
+        assert document["model"] == "BERT-large-8x2moe"
+        assert document["plans"]["sdf"]["finished"] > 0
+
+    def test_degenerate_moe_is_byte_identical(self, capsys):
+        dense = run_cli(capsys, *self.BASE, "--json")
+        moe = run_cli(capsys, *self.BASE, "--n-experts", "1",
+                      "--top-k", "1", "--json")
+        assert moe == dense
+
+    def test_disabled_speculation_is_byte_identical(self, capsys):
+        dense = run_cli(capsys, *self.BASE, "--json")
+        spec = run_cli(capsys, *self.BASE, "--draft-len", "8",
+                       "--accept-rate", "0.5", "--json")
+        # draft_len/accept_rate without --draft-model stay inert.
+        assert spec == dense
+
+    def test_speculation_changes_the_schedule(self, capsys):
+        dense = json.loads(run_cli(capsys, *self.BASE, "--json"))
+        spec = json.loads(run_cli(
+            capsys, *self.BASE, "--draft-model", "gpt-neo-1.3b",
+            "--accept-rate", "1.0", "--json"))
+        for plan in ("baseline", "sdf"):
+            assert spec["plans"][plan]["steps"] < \
+                dense["plans"][plan]["steps"]
+            assert spec["plans"][plan]["generated_tokens"] == \
+                dense["plans"][plan]["generated_tokens"]
+
+    def test_cluster_sim_accepts_ep(self, capsys):
+        out = run_cli(capsys, "cluster-sim", "--model", "mixtral",
+                      "--replicas", "2", "--ep", "4", "--plans", "sdf",
+                      "--rate", "2", "--duration", "3", "--json")
+        plan = json.loads(out)["plans"]["sdf"]
+        assert all(r["n_gpus"] == 4 for r in plan["per_replica"])
+
 
 class TestPlanFileFlag:
     """``--plan-file`` feeds one tuned-plan artifact to every

@@ -75,6 +75,27 @@ class TestWorkload:
         assert [r.arrival_time for r in requests] == [0.1, 0.5]
         assert requests[1].prompt_len == 128  # rounded up to blocks
 
+    def test_trace_driven_report_counts_loaded_requests(self, tmp_path):
+        """Regression: a trace-driven run used to report
+        ``num_requests=0`` — the counter only ticked along the
+        synthetic-workload path.  The count must reflect the loaded
+        stream, even when no plan runs at all."""
+        from repro.serving import simulate_serving
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text("".join(
+            '{"arrival_time": %.1f, "prompt_len": 64, "output_len": 2}\n'
+            % (0.1 * i) for i in range(3)))
+        requests = load_trace(str(path))
+        report = simulate_serving("bert-large", "a100", rate=1.0,
+                                  duration=1.0, plans=("sdf",),
+                                  requests=requests)
+        assert report.num_requests == 3
+        empty = simulate_serving("bert-large", "a100", rate=1.0,
+                                 duration=1.0, plans=(),
+                                 requests=requests)
+        assert empty.num_requests == 3
+
     def test_trace_bad_record(self, tmp_path):
         path = tmp_path / "trace.jsonl"
         path.write_text('{"arrival_time": 0.1}\n')

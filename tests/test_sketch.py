@@ -184,6 +184,34 @@ class TestDeterminismAndMerge:
         assert out.quantile(100.0) == 4.0
         assert out.quantile(50.0) == pytest.approx(1.0)
 
+    def test_merge_at_flush_boundary_matches_streaming_exactly(self):
+        """Regression: merging a shard into a sketch sitting exactly at
+        a flush boundary must produce the same centroid layout — not
+        just the same quantile answers — as streaming every value into
+        one sketch in order.  The old merge path re-binned the already
+        flushed buffer a second time, which drifted the layout."""
+        rng = np.random.default_rng(17)
+        boundary = QuantileSketch().buffer_size
+        head = rng.exponential(size=boundary)
+        tail = rng.exponential(size=37)
+
+        streamed = QuantileSketch()
+        streamed.extend(head)
+        streamed.extend(tail)
+
+        left = QuantileSketch()
+        left.extend(head)  # exactly one full buffer: flushes here
+        assert not left._buffer
+        right = QuantileSketch()
+        right.extend(tail)
+        left.merge(right)
+
+        assert left.count == streamed.count
+        left._flush()
+        streamed._flush()
+        assert np.array_equal(left._means, streamed._means)
+        assert np.array_equal(left._weights, streamed._weights)
+
     def test_single_element_merge_matches_direct_stream(self):
         rng = np.random.default_rng(11)
         values = rng.exponential(size=64)

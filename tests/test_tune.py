@@ -221,9 +221,13 @@ class TestDeprecatedPlanArguments:
 
         requests = [Request(request_id=0, arrival_time=0.0,
                             prompt_len=128, output_len=2)]
-        with pytest.warns(DeprecationWarning, match="PlanSource"):
+        with pytest.warns(DeprecationWarning, match="PlanSource") as record:
             sim = ServingSimulator("bert-large", "A100", plan="sdf",
                                    requests=requests)
+        # The warning must point at the *caller's* line (this file),
+        # not at plansource.py internals — the stacklevel walks out of
+        # repro.core frames before attributing the warning.
+        assert record[0].filename.endswith("test_tune.py")
         assert sim.plan.value == "sdf"
         assert sim.run().finished == 1
 

@@ -32,7 +32,8 @@ class TestRegistry:
         assert len(registry) >= 20
         prefixes = {name.split(".")[0] for name in registry.names()}
         assert prefixes == {"softmax", "attention", "block_sparse",
-                            "serving", "interconnect", "controlplane"}
+                            "serving", "interconnect", "controlplane",
+                            "moe"}
 
     def test_contracts_resolve_for_both_dtypes(self):
         from repro.common.dtypes import DType
